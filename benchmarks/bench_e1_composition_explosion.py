@@ -1,0 +1,53 @@
+"""E1 — composition explosion (paper Section 1).
+
+Claim: "when several agents are composed together, the possible number
+of behaviors are of the exponential order of the number of agents"
+(CCS-style interleaving), while the Petri-net representation stays
+linear.
+
+Reproduced series: shuffle-product state count, distinct-behaviour count,
+and Petri-net size for N = 1..8 independent 3-state cyclic agents.
+The benchmarked kernel is the product enumeration at N = 6 (3⁶ = 729
+states) against building the equivalent 18-place net.
+"""
+
+from repro.analysis import (
+    composition_growth,
+    cycle_agent,
+    petri_representation,
+    shuffle_product,
+)
+from repro.io import format_records
+
+from conftest import emit
+
+MAX_AGENTS = 8
+AGENT_SIZE = 3
+
+
+def test_e1_product_enumeration(benchmark):
+    agents = [cycle_agent(f"A{i}", AGENT_SIZE) for i in range(6)]
+    result = benchmark(shuffle_product, agents)
+    assert result.complete
+    assert result.num_states == AGENT_SIZE ** 6
+
+    rows = composition_growth(MAX_AGENTS, AGENT_SIZE)
+    emit(format_records(
+        rows,
+        title="E1: interleaved product vs Petri-net size "
+              f"({AGENT_SIZE}-state cyclic agents)",
+        columns=["agents", "product_states", "petri_places",
+                 "petri_transitions", "behaviours"],
+    ))
+    # shape assertions: exponential vs linear
+    for row in rows:
+        n = row["agents"]
+        assert row["product_states"] == AGENT_SIZE ** n
+        assert row["petri_places"] == AGENT_SIZE * n
+    assert rows[-1]["product_states"] > 50 * rows[-1]["petri_places"]
+
+
+def test_e1_petri_representation(benchmark):
+    agents = [cycle_agent(f"A{i}", AGENT_SIZE) for i in range(6)]
+    net = benchmark(petri_representation, agents)
+    assert len(net.places) == 18

@@ -1,0 +1,44 @@
+"""E3 — Theorem 4.2: vertex mergers preserve semantics.
+
+For every zoo design: enumerate legal merger pairs, apply each, and
+verify the external event structure is unchanged.  The benchmarked
+kernel is merger legality checking plus application (the inner loop of
+resource allocation).
+"""
+
+from repro.core import merger_legal
+from repro.io import format_table
+from repro.synthesis import merger_candidates
+from repro.transform import VertexMerger, behaviourally_equivalent
+
+from conftest import emit
+
+
+def test_e3_merger_preservation_across_zoo(zoo, benchmark):
+    rows = []
+    for name in sorted(zoo):
+        design, system = zoo[name]
+        candidates = merger_candidates(system, min_area=0.0)
+        checked = 0
+        preserved = 0
+        for v_i, v_j in candidates[:8]:
+            merged = VertexMerger(v_i, v_j).apply(system)
+            verdict = behaviourally_equivalent(
+                system, merged, [design.environment()], max_steps=200_000)
+            checked += 1
+            preserved += bool(verdict)
+            assert verdict, f"{name}: merge({v_i},{v_j}): {verdict.failure}"
+        rows.append([name, len(candidates), checked, preserved])
+    emit(format_table(
+        ["design", "legal merger pairs", "checked", "S(Γ)=S(Γ') held"],
+        rows, title="E3: control-invariant (vertex merger) preservation"))
+
+    _design, fir8 = zoo["fir8"]
+    pair = merger_candidates(fir8)[0]
+
+    def merge_once():
+        assert merger_legal(fir8, *pair)
+        return VertexMerger(*pair).apply(fir8)
+
+    merged = benchmark(merge_once)
+    assert pair[0] not in merged.datapath.vertices

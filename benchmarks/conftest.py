@@ -1,0 +1,30 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one experiment from the DESIGN.md
+index (E1–E9).  Since the paper is a theory paper with no numbered
+tables/figures, every experiment reproduces one of its quantitative or
+qualitative *claims*; the printed tables are the series EXPERIMENTS.md
+records.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import all_designs
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """name -> (Design, compiled read-only serial system)."""
+    return {design.name: (design, design.build()) for design in all_designs()}
+
+
+def emit(text: str) -> None:
+    """Print a report block, set off from pytest's own output."""
+    print()
+    print(text)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The composition-explosion argument, measured (paper Section 1).
+
+CCS-style interleaving semantics expands N concurrent agents into a
+product automaton — exponentially many states and a multinomially
+exploding set of distinct behaviours.  The Petri-net-based model keeps
+the same N agents as one net of *linear* size and never expands the
+interleavings.
+
+The script sweeps N, enumerates the shuffle product by brute force, and
+prints both curves side by side; it then shows the same effect inside the
+model proper, using the ``par``-heavy traffic design: its control net is
+small while its reachable marking graph (the interleaved view an
+interleaving semantics would have to build) is much larger.
+
+Run:  python examples/composition_explosion.py
+"""
+
+from repro.analysis import composition_growth, state_space_stats
+from repro.designs import get_design
+from repro.io import format_records
+
+
+def main() -> None:
+    rows = composition_growth(max_agents=8, agent_size=3)
+    print(format_records(
+        rows,
+        title="E1: shuffle-product size vs Petri-net size "
+              "(3-state cyclic agents)",
+        columns=["agents", "product_states", "petri_places",
+                 "petri_transitions", "behaviours"],
+    ))
+    last = rows[-1]
+    ratio = last["product_states"] / last["petri_places"]
+    print(f"\nat N={last['agents']}: the interleaved product holds "
+          f"{last['product_states']} states versus "
+          f"{last['petri_places']} places — {ratio:,.0f}x larger, "
+          "and growing exponentially.")
+
+    print("\nthe same effect inside a synthesised design:")
+    system = get_design("traffic").build()
+    stats = state_space_stats(system)
+    print(f"  traffic controller: {stats.summary()}")
+    print(f"  the model executes and checks equivalence on the "
+          f"{stats.places}-place net;")
+    print(f"  an interleaving semantics would manipulate the "
+          f"{stats.markings}-marking graph instead.")
+
+
+if __name__ == "__main__":
+    main()

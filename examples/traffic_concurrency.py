@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Concurrency semantics: casual events, policy invariance, and the cost
+of total-order models.
+
+The traffic-light design runs two controllers as parallel branches.  Its
+external event structure contains **casually related** events — the NS
+and EW writes of each cycle are neither ordered (``≺``) nor simultaneous
+(``≍``): the model deliberately leaves their order open, which is the
+paper's core argument for partial-order semantics.  The script
+
+1. extracts the event structure and classifies every event pair;
+2. shows the structure is invariant across firing policies (the paper's
+   determinism claim for properly designed systems);
+3. quantifies what a regular-expression (total-order) event model would
+   have to do instead: enumerate every linearisation.
+
+Run:  python examples/traffic_concurrency.py
+"""
+
+from repro import Environment, extract_event_structure, get_design, simulate
+from repro.analysis import count_linear_extensions, overconstraint_report
+from repro.designs import pad_outputs
+from repro.semantics import (
+    MaximalStepPolicy,
+    RandomPolicy,
+    SequentialPolicy,
+    policy_invariant_structure,
+)
+
+
+def main() -> None:
+    design = get_design("traffic")
+    system = design.build()
+    env = design.environment({"cycles_in": [3]})
+
+    trace = simulate(system, env.fork())
+    print(f"simulation: {trace.summary()}")
+    print(f"outputs: {pad_outputs(system, trace)}")
+
+    structure = extract_event_structure(system, env.fork())
+    print(f"\nevent structure: {len(structure)} events, "
+          f"{len(structure.precedence)} precedence pairs, "
+          f"{len(structure.concurrency)} concurrent pairs, "
+          f"{len(structure.casual_pairs())} casual pairs")
+
+    print("\ncasual pairs (order deliberately left open):")
+    for pair in sorted(structure.casual_pairs(),
+                       key=lambda p: sorted(p))[:6]:
+        a, b = sorted(pair)
+        print(f"  {a}  ~  {b}")
+
+    # policy invariance: the semantics does not depend on firing order
+    policies = [MaximalStepPolicy(), SequentialPolicy(),
+                RandomPolicy(7), RandomPolicy(42)]
+    invariant = policy_invariant_structure(system, env, policies=policies)
+    print(f"\ninvariant across {len(policies)} firing policies: "
+          f"{invariant.semantically_equal(structure)}")
+
+    # what a total-order model must pay
+    report = overconstraint_report(structure)
+    print("\ntotal-order (regex) baseline would need "
+          f"{report['linear_extensions']} distinct event sequences to "
+          "cover the same behaviour;")
+    print("the partial-order event structure represents them all at once.")
+
+    # safety property: complementary phases every cycle
+    outputs = pad_outputs(system, trace)
+    for ns, ew in zip(outputs["ns_light"], outputs["ew_light"]):
+        assert ns + ew == 2, "phases must be complementary"
+    print("\nsafety: NS+EW phases complementary in every cycle — ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin setup.py shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in editable mode on offline machines whose
+toolchain predates PEP 660 (``python setup.py develop``).
+"""
+from setuptools import setup
+
+setup()

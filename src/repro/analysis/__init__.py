@@ -1,0 +1,43 @@
+"""Analysis tooling and the paper's comparison baselines.
+
+* :mod:`~repro.analysis.interleaving` — CCS-style shuffle composition and
+  the composition-explosion measurement (Section 1 comparison);
+* :mod:`~repro.analysis.regex_baseline` — McFarland-style total-order
+  event model and the over-constraint measurement;
+* :mod:`~repro.analysis.statespace` — marking-graph statistics.
+"""
+
+from .interleaving import (
+    Agent,
+    ProductResult,
+    composition_growth,
+    cycle_agent,
+    interleaving_count,
+    petri_representation,
+    sequence_agent,
+    shuffle_product,
+)
+from .regex_baseline import (
+    chains_linearisations,
+    count_linear_extensions,
+    order_relation,
+    overconstraint_report,
+)
+from .statespace import StateSpaceStats, state_space_stats
+
+__all__ = [
+    "Agent",
+    "cycle_agent",
+    "sequence_agent",
+    "shuffle_product",
+    "ProductResult",
+    "interleaving_count",
+    "petri_representation",
+    "composition_growth",
+    "count_linear_extensions",
+    "chains_linearisations",
+    "order_relation",
+    "overconstraint_report",
+    "StateSpaceStats",
+    "state_space_stats",
+]

@@ -1,0 +1,175 @@
+"""CCS-style interleaving composition — the paper's Section 1 comparison.
+
+"CCS … models the occurrence of potentially concurrent events as a
+shuffle (interleaving) of those events; i.e., the events can occur in
+either order.  As such, it has the composition explosion problem.  That
+is when several agents are composed together, the possible number of
+behaviors are of the exponential order of the number of agents."
+
+This module makes that argument quantitative.  An :class:`Agent` is a
+small labelled transition system; :func:`shuffle_product` composes N
+agents by interleaving (no synchronisation — the worst case the paper
+gestures at) and enumerates the reachable product states.  For N
+independent agents with ``k`` states each, that is ``k^N`` states and the
+number of distinct interleaved *behaviours* grows multinomially —
+:func:`interleaving_count` computes it exactly with big integers.
+
+The contrast object is :func:`petri_representation`: the same N agents as
+one Petri net — ``Σ k_i`` places, ``Σ t_i`` transitions — where the
+parallelism is represented, not expanded.  The composition-explosion
+benchmark (experiment E1) sweeps N and prints both curves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from math import factorial
+from typing import Iterable, Sequence
+
+from ..errors import DefinitionError
+from ..petri.net import PetriNet
+
+
+@dataclass(frozen=True)
+class Agent:
+    """A labelled transition system (one CCS agent, modulo value passing).
+
+    ``transitions`` maps a state to ``(label, next_state)`` pairs.
+    """
+
+    name: str
+    states: tuple[str, ...]
+    transitions: tuple[tuple[str, str, str], ...]  # (src, label, dst)
+    initial: str
+
+    def __post_init__(self) -> None:
+        state_set = set(self.states)
+        if self.initial not in state_set:
+            raise DefinitionError(
+                f"agent {self.name!r}: initial state {self.initial!r} unknown"
+            )
+        for src, _label, dst in self.transitions:
+            if src not in state_set or dst not in state_set:
+                raise DefinitionError(
+                    f"agent {self.name!r}: transition {src!r} -> {dst!r} "
+                    "references unknown states"
+                )
+
+    def successors(self, state: str) -> list[tuple[str, str]]:
+        return [(label, dst) for src, label, dst in self.transitions
+                if src == state]
+
+
+def cycle_agent(name: str, size: int) -> Agent:
+    """A ``size``-state cyclic agent ``q0 -a0-> q1 -a1-> … -> q0``."""
+    if size < 1:
+        raise DefinitionError("agent needs at least one state")
+    states = tuple(f"{name}_q{i}" for i in range(size))
+    transitions = tuple(
+        (states[i], f"{name}_a{i}", states[(i + 1) % size])
+        for i in range(size)
+    )
+    return Agent(name, states, transitions, states[0])
+
+
+def sequence_agent(name: str, labels: Sequence[str]) -> Agent:
+    """A terminating agent performing the given label sequence once."""
+    states = tuple(f"{name}_q{i}" for i in range(len(labels) + 1))
+    transitions = tuple(
+        (states[i], labels[i], states[i + 1]) for i in range(len(labels))
+    )
+    return Agent(name, states, transitions, states[0])
+
+
+@dataclass
+class ProductResult:
+    """Reachable shuffle product of a set of agents."""
+
+    num_states: int
+    num_transitions: int
+    complete: bool
+    agents: int
+
+
+def shuffle_product(agents: Sequence[Agent], *,
+                    max_states: int = 2_000_000) -> ProductResult:
+    """BFS enumeration of the interleaved product automaton.
+
+    No synchronisation between agents: every agent may move
+    independently, and the product state space is (reachably) the product
+    of the component state spaces — the composition explosion made
+    concrete.  Stops early (``complete=False``) at ``max_states``.
+    """
+    initial = tuple(agent.initial for agent in agents)
+    seen = {initial}
+    queue: deque[tuple[str, ...]] = deque([initial])
+    num_transitions = 0
+    complete = True
+    while queue:
+        state = queue.popleft()
+        for index, agent in enumerate(agents):
+            for _label, nxt in agent.successors(state[index]):
+                num_transitions += 1
+                successor = state[:index] + (nxt,) + state[index + 1:]
+                if successor not in seen:
+                    if len(seen) >= max_states:
+                        complete = False
+                        continue
+                    seen.add(successor)
+                    queue.append(successor)
+    return ProductResult(len(seen), num_transitions, complete, len(agents))
+
+
+def interleaving_count(event_counts: Sequence[int]) -> int:
+    """Exact number of interleavings of N independent event sequences.
+
+    ``(Σ nᵢ)! / Π nᵢ!`` — the number of distinct total orders (behaviours)
+    a shuffle model must distinguish for sequences of the given lengths.
+    """
+    total = factorial(sum(event_counts))
+    for count in event_counts:
+        total //= factorial(count)
+    return total
+
+
+def petri_representation(agents: Sequence[Agent]) -> PetriNet:
+    """The same agents as one Petri net: linear, not exponential, size.
+
+    Each agent state becomes a place (its initial state marked), each
+    agent transition a net transition.  ``|S| = Σ states``,
+    ``|T| = Σ transitions`` — the partial-order representation the paper
+    advocates.
+    """
+    net = PetriNet(name="agents")
+    for agent in agents:
+        for state in agent.states:
+            net.add_place(state, marked=(state == agent.initial))
+        for i, (src, label, dst) in enumerate(agent.transitions):
+            tname = f"{label}_{i}" if label in net.transitions else label
+            if tname in net.transitions or tname in net.places:
+                tname = f"{agent.name}_t{i}"
+            net.add_transition(tname)
+            net.add_arc(src, tname)
+            net.add_arc(tname, dst)
+    return net
+
+
+def composition_growth(max_agents: int, agent_size: int = 3, *,
+                       max_states: int = 2_000_000
+                       ) -> list[dict[str, object]]:
+    """The E1 sweep: rows of product-vs-Petri sizes for N = 1..max_agents."""
+    rows: list[dict[str, object]] = []
+    for n in range(1, max_agents + 1):
+        agents = [cycle_agent(f"A{i}", agent_size) for i in range(n)]
+        product = shuffle_product(agents, max_states=max_states)
+        net = petri_representation(agents)
+        rows.append({
+            "agents": n,
+            "product_states": product.num_states,
+            "product_complete": product.complete,
+            "petri_places": len(net.places),
+            "petri_transitions": len(net.transitions),
+            "behaviours": interleaving_count([agent_size] * n),
+        })
+    return rows

@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+
+``check DESIGN``
+    Compile and run the Definition 3.2 properly-designed verification.
+``simulate DESIGN [--input name=v1,v2,…]… [--max-steps N]``
+    Execute against an environment and print the external events.
+``synthesize DESIGN [--w-time F] [--w-area F] [--limit op=N]… ``
+    Run the CAMAD-style optimizer and report the before/after metrics.
+``dot DESIGN [--view datapath|petri|system]``
+    Emit Graphviz DOT to stdout.
+``export DESIGN``
+    Emit the JSON serialisation to stdout.
+``netlist DESIGN``
+    Emit a structural RTL-flavoured netlist (one-hot FSM + datapath).
+``cosim DESIGN [--input …]``
+    Co-simulate the netlist interpretation against the model semantics.
+``list``
+    List the built-in design zoo.
+
+``DESIGN`` is either a zoo name (``gcd``, ``diffeq``, …) or a path to a
+behavioural source file (``.pdl``) / serialised system (``.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import check_properly_designed
+from .core.system import DataControlSystem
+from .designs import ZOO, pad_outputs
+from .errors import ReproError
+from .io import dumps, format_table
+from .io.dot import datapath_to_dot, petri_to_dot, system_to_dot
+from .semantics import Environment, simulate
+from .synthesis import (
+    Objective,
+    compile_source,
+    critical_path,
+    optimize,
+    system_cost,
+)
+
+
+def _load(spec: str) -> tuple[DataControlSystem, Environment]:
+    """Resolve a design spec to (system, default environment)."""
+    if spec in ZOO:
+        design = ZOO[spec]
+        return design.build(), design.environment()
+    if spec.endswith(".json"):
+        from .io import load
+
+        return load(spec), Environment()
+    with open(spec, "r", encoding="utf-8") as handle:
+        return compile_source(handle.read()), Environment()
+
+
+def _parse_inputs(pairs: Sequence[str]) -> Environment:
+    streams: dict[str, list[int]] = {}
+    for pair in pairs:
+        name, _, values = pair.partition("=")
+        if not values:
+            raise ReproError(f"malformed --input {pair!r} "
+                             "(expected name=v1,v2,…)")
+        streams[name] = [int(v) for v in values.split(",") if v]
+    return Environment(streams)
+
+
+def _parse_limits(pairs: Sequence[str]) -> dict[str, int]:
+    limits: dict[str, int] = {}
+    for pair in pairs:
+        name, _, cap = pair.partition("=")
+        if not cap:
+            raise ReproError(f"malformed --limit {pair!r} (expected op=N)")
+        limits[name] = int(cap)
+    return limits
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    rows = [[design.name, design.description] for design in ZOO.values()]
+    print(format_table(["design", "description"], rows,
+                       title="built-in design zoo"))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    system, _env = _load(args.design)
+    problems = system.validate()
+    for problem in problems:
+        print(f"warning: {problem}")
+    report = check_properly_designed(system)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    system, env = _load(args.design)
+    if args.input:
+        env = _parse_inputs(args.input)
+    trace = simulate(system, env, max_steps=args.max_steps)
+    print(trace.summary())
+    for event in trace.events:
+        print(f"  step {event.end:4d}  {event}")
+    outputs = pad_outputs(system, trace)
+    if outputs:
+        print("outputs:")
+        for pad, values in sorted(outputs.items()):
+            print(f"  {pad} = {values}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    system, env = _load(args.design)
+    if args.input:
+        env = _parse_inputs(args.input)
+    objective = Objective(
+        w_time=args.w_time, w_area=args.w_area,
+        limits=_parse_limits(args.limit) or None,
+        environment=env if env.sequences or not system.datapath.input_vertices()
+        else None,
+        max_steps=args.max_steps,
+    )
+    result = optimize(system, objective, max_moves=args.max_moves)
+    print(result.summary())
+    rows = [
+        ["critical path (steps)", critical_path(system).steps,
+         critical_path(result.system).steps],
+        ["area", round(system_cost(system).total, 2),
+         round(system_cost(result.system).total, 2)],
+        ["functional units",
+         sum(1 for v in system.datapath.vertices.values()
+             if v.is_combinational),
+         sum(1 for v in result.system.datapath.vertices.values()
+             if v.is_combinational)],
+    ]
+    print(format_table(["metric", "before", "after"], rows))
+    if args.output:
+        from .io import save
+
+        save(result.system, args.output)
+        print(f"optimized system written to {args.output}")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    system, _env = _load(args.design)
+    renderers = {
+        "datapath": lambda: datapath_to_dot(system.datapath),
+        "petri": lambda: petri_to_dot(system.net),
+        "system": lambda: system_to_dot(system),
+    }
+    print(renderers[args.view]())
+    return 0
+
+
+def cmd_netlist(args: argparse.Namespace) -> int:
+    system, _env = _load(args.design)
+    from .io import to_verilog
+
+    print(to_verilog(system))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    system, _env = _load(args.design)
+    print(dumps(system))
+    return 0
+
+
+def cmd_cosim(args: argparse.Namespace) -> int:
+    system, env = _load(args.design)
+    if args.input:
+        env = _parse_inputs(args.input)
+    from .io.rtl_sim import crosscheck
+
+    try:
+        trace = crosscheck(system, env, max_cycles=args.max_steps)
+    except AssertionError as error:
+        print(f"MISMATCH: {error}", file=sys.stderr)
+        return 1
+    print(f"RTL == model over {trace.cycles} cycle(s)")
+    for pad, values in sorted(trace.outputs.items()):
+        print(f"  {pad} = {values}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data/control flow hardware synthesis "
+                    "(Peng, ICPP 1988 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in design zoo") \
+        .set_defaults(func=cmd_list)
+
+    p_check = sub.add_parser("check",
+                             help="verify Definition 3.2 (properly designed)")
+    p_check.add_argument("design")
+    p_check.set_defaults(func=cmd_check)
+
+    p_sim = sub.add_parser("simulate", help="execute against an environment")
+    p_sim.add_argument("design")
+    p_sim.add_argument("--input", action="append", default=[],
+                       metavar="NAME=V1,V2,…",
+                       help="input stream (repeatable)")
+    p_sim.add_argument("--max-steps", type=int, default=100_000)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_syn = sub.add_parser("synthesize", help="run the optimizer")
+    p_syn.add_argument("design")
+    p_syn.add_argument("--w-time", type=float, default=1.0)
+    p_syn.add_argument("--w-area", type=float, default=1.0)
+    p_syn.add_argument("--limit", action="append", default=[],
+                       metavar="OP=N", help="resource limit (repeatable)")
+    p_syn.add_argument("--input", action="append", default=[],
+                       metavar="NAME=V1,V2,…",
+                       help="environment for measured latency")
+    p_syn.add_argument("--max-moves", type=int, default=32)
+    p_syn.add_argument("--max-steps", type=int, default=100_000)
+    p_syn.add_argument("--output", help="write optimized system as JSON")
+    p_syn.set_defaults(func=cmd_synthesize)
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
+    p_dot.add_argument("design")
+    p_dot.add_argument("--view", choices=("datapath", "petri", "system"),
+                       default="system")
+    p_dot.set_defaults(func=cmd_dot)
+
+    p_exp = sub.add_parser("export", help="emit JSON serialisation")
+    p_exp.add_argument("design")
+    p_exp.set_defaults(func=cmd_export)
+
+    p_net = sub.add_parser("netlist",
+                           help="emit a structural RTL-flavoured netlist")
+    p_net.add_argument("design")
+    p_net.set_defaults(func=cmd_netlist)
+
+    p_cosim = sub.add_parser(
+        "cosim", help="co-simulate the netlist interpretation vs the model")
+    p_cosim.add_argument("design")
+    p_cosim.add_argument("--input", action="append", default=[],
+                         metavar="NAME=V1,V2,…")
+    p_cosim.add_argument("--max-steps", type=int, default=100_000)
+    p_cosim.set_defaults(func=cmd_cosim)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro list | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Core model: the paper's primary contribution.
+
+* :class:`~repro.core.system.DataControlSystem` — Γ (Definition 2.2) with
+  the derived sets of Definitions 2.4/2.5/4.2;
+* :mod:`~repro.core.properly_designed` — the five rules of Definition 3.2;
+* :mod:`~repro.core.dependence` — ``↔`` and ``◇`` (Definitions 4.3/4.4);
+* :mod:`~repro.core.events` — external events and event structures
+  (Definitions 3.3–3.6);
+* :mod:`~repro.core.equivalence` — the three equivalence relations of
+  Section 4 (Definitions 4.1, 4.5, 4.6).
+"""
+
+from .dependence import (
+    DataDependence,
+    direct_dependence_reasons,
+    directly_dependent,
+    sequential_sources,
+)
+from .equivalence import (
+    EquivalenceVerdict,
+    control_invariant_equivalent,
+    data_invariant_equivalent,
+    merger_legal,
+    ordered_dependent_pairs,
+    semantically_equivalent,
+)
+from .events import EventKey, EventStructure, ExternalEvent, build_event_structure
+from .properly_designed import (
+    CheckResult,
+    ProperDesignReport,
+    assert_properly_designed,
+    check_properly_designed,
+)
+from .system import DataControlSystem
+
+__all__ = [
+    "DataControlSystem",
+    "CheckResult",
+    "ProperDesignReport",
+    "check_properly_designed",
+    "assert_properly_designed",
+    "DataDependence",
+    "directly_dependent",
+    "direct_dependence_reasons",
+    "sequential_sources",
+    "ExternalEvent",
+    "EventStructure",
+    "EventKey",
+    "build_event_structure",
+    "EquivalenceVerdict",
+    "ordered_dependent_pairs",
+    "data_invariant_equivalent",
+    "merger_legal",
+    "control_invariant_equivalent",
+    "semantically_equivalent",
+]

@@ -1,0 +1,239 @@
+"""The properly-designed check — Definition 3.2.
+
+A data/control flow system is *properly designed* iff
+
+1. parallel control states have disjoint active subgraphs:
+   ``ASS(S_i) ∩ ASS(S_j) = ∅`` whenever ``S_i ∥ S_j``;
+2. the control net is **safe** (never more than one token per place);
+3. the net is **conflict-free**: transitions sharing an input place carry
+   mutually exclusive guards;
+4. no control state's associated subgraph contains a combinational loop;
+5. every control state's ``ASS`` contains at least one sequential vertex.
+
+Properly designed systems are deterministic up to firing order: every
+interleaving yields the same external event structure, which is what makes
+the equivalence checking of Section 4 tractable.  The library's simulator
+and transformation engine only promise correct results on properly
+designed systems, mirroring the paper ("From now on we only consider
+properly designed systems").
+
+Rule 3 is verified on two levels: a *static* sufficient condition —
+guards are literally complementary (one guard port is the output of a
+``not`` vertex fed from the other guard port), the pattern the synthesis
+frontend emits for if/while branches — and an optional *dynamic* sweep
+that simulates the system and reports any reachable marking where two
+competing transitions are simultaneously fireable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..datapath.ports import PortId
+from ..datapath.validate import combinational_cycle
+from ..errors import ValidationError
+from ..petri.properties import check_safety, structural_conflicts
+from .system import DataControlSystem
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one of the five rules."""
+
+    rule: str
+    ok: bool
+    details: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+@dataclass
+class ProperDesignReport:
+    """Aggregated outcome of the properly-designed verification."""
+
+    checks: list[CheckResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.ok]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+    def summary(self) -> str:
+        lines = []
+        for check in self.checks:
+            status = "ok" if check.ok else "FAIL"
+            lines.append(f"[{status}] {check.rule}")
+            for detail in check.details:
+                lines.append(f"       - {detail}")
+        return "\n".join(lines)
+
+
+def _check_parallel_disjoint(system: DataControlSystem) -> CheckResult:
+    """Rule 1: parallel states use disjoint arcs and vertices.
+
+    "Parallel" is taken *behaviourally*: two states violate the rule when
+    they share resources **and can be simultaneously marked** (the
+    coexistence relation from reachability analysis).  The paper's
+    structural ``∥`` (Definition 2.3(5)) mis-measures concurrency in both
+    directions — it calls mutually exclusive if/else branch states
+    parallel (over-approximation: they may legitimately share a resource)
+    and calls same-iteration loop-body states sequential because each
+    reaches the other around the back edge (under-approximation: they
+    genuinely coexist).  Coexistence is exactly the "never active at the
+    same time" condition the rule is meant to enforce.
+    """
+    details: list[str] = []
+    ass_cache = {p: system.ass(p) for p in system.control}
+    places = sorted(system.control)
+    for s_i, s_j in combinations(places, 2):
+        if not system.may_coexist(s_i, s_j):
+            continue
+        arcs_i, verts_i = ass_cache[s_i]
+        arcs_j, verts_j = ass_cache[s_j]
+        shared_arcs = arcs_i & arcs_j
+        shared_verts = verts_i & verts_j
+        if shared_arcs or shared_verts:
+            what = []
+            if shared_arcs:
+                what.append(f"arcs {sorted(shared_arcs)}")
+            if shared_verts:
+                what.append(f"vertices {sorted(shared_verts)}")
+            details.append(
+                f"coexistent states {s_i!r} and {s_j!r} share "
+                f"{', '.join(what)}"
+            )
+    return CheckResult("1: parallel states have disjoint ASS", not details, details)
+
+
+def _check_safety(system: DataControlSystem, max_markings: int) -> CheckResult:
+    """Rule 2: the control net is safe (1-bounded)."""
+    report = check_safety(system.net, max_markings=max_markings)
+    details: list[str] = []
+    if not report.safe:
+        details.append(
+            f"unsafe marking reachable"
+            + (f": {report.witness!r}" if report.witness is not None else "")
+        )
+    elif not report.decided:
+        details.append(
+            "exploration budget exhausted before safety was proven "
+            f"({report.markings_explored} markings)"
+        )
+    return CheckResult("2: control net is safe", report.safe and report.decided, details)
+
+
+def _is_complement(system: DataControlSystem, a: PortId, b: PortId) -> bool:
+    """True iff port ``b`` is the output of a NOT vertex driven from ``a``."""
+    vertex = system.datapath.vertex(b.vertex)
+    op = vertex.ops.get(b.port)
+    if op is None or op.name != "not":
+        return False
+    for in_port in vertex.input_ids():
+        for arc in system.datapath.arcs_into(in_port):
+            if arc.source == a:
+                return True
+    return False
+
+
+def _guards_exclusive(system: DataControlSystem, t_1: str, t_2: str) -> bool:
+    """Static sufficient condition for mutually exclusive guards.
+
+    Each transition must be guarded by exactly one port, and one port must
+    be the logical complement of the other (a ``not`` vertex wired from
+    it).  This is exactly the branch pattern the frontend compiler emits;
+    hand-built systems with richer exclusivity should be verified with the
+    dynamic sweep instead.
+    """
+    g_1 = system.guard_ports(t_1)
+    g_2 = system.guard_ports(t_2)
+    if len(g_1) != 1 or len(g_2) != 1:
+        return False
+    (p_1,) = g_1
+    (p_2,) = g_2
+    return _is_complement(system, p_1, p_2) or _is_complement(system, p_2, p_1)
+
+
+def _check_conflict_free(system: DataControlSystem) -> CheckResult:
+    """Rule 3 (static): shared-place transitions carry exclusive guards."""
+    details: list[str] = []
+    for place, t_1, t_2 in structural_conflicts(system.net):
+        if not _guards_exclusive(system, t_1, t_2):
+            details.append(
+                f"transitions {t_1!r} and {t_2!r} compete for place {place!r} "
+                "without provably exclusive guards"
+            )
+    return CheckResult("3: net is conflict-free (static)", not details, details)
+
+
+def _check_no_combinational_loops(system: DataControlSystem) -> CheckResult:
+    """Rule 4: each state's active subgraph is combinational-loop-free."""
+    details: list[str] = []
+    for place in sorted(system.control):
+        cycle = combinational_cycle(system.datapath, system.control_arcs(place))
+        if cycle is not None:
+            details.append(
+                f"state {place!r} activates combinational loop "
+                f"{' -> '.join(cycle)}"
+            )
+    return CheckResult("4: no combinational loop within a state", not details, details)
+
+
+def _check_sequential_vertex(system: DataControlSystem) -> CheckResult:
+    """Rule 5: every controlling state drives at least one sequential vertex."""
+    details: list[str] = []
+    for place in sorted(system.net.places):
+        arcs = system.control_arcs(place)
+        if not arcs:
+            # A state controlling no arcs performs no operation; the rule
+            # only constrains states that are mapped by C.
+            continue
+        vertices = system.associated_vertices(place)
+        if not any(system.datapath.vertex(v).is_sequential for v in vertices):
+            details.append(f"state {place!r} drives no sequential vertex")
+    return CheckResult("5: every state includes a sequential vertex", not details, details)
+
+
+def check_properly_designed(system: DataControlSystem, *,
+                            max_markings: int = 100_000) -> ProperDesignReport:
+    """Run all five rules of Definition 3.2 and return a report."""
+    return ProperDesignReport([
+        _check_parallel_disjoint(system),
+        _check_safety(system, max_markings),
+        _check_conflict_free(system),
+        _check_no_combinational_loops(system),
+        _check_sequential_vertex(system),
+    ])
+
+
+def assert_properly_designed(system: DataControlSystem, *,
+                             max_markings: int = 100_000) -> None:
+    """Raise :class:`~repro.errors.ValidationError` unless properly designed."""
+    report = check_properly_designed(system, max_markings=max_markings)
+    if not report.ok:
+        raise ValidationError(
+            "system is not properly designed:\n" + report.summary()
+        )
+
+
+def dynamic_conflict_sweep(system: DataControlSystem, *, max_steps: int = 2000):
+    """Rule 3 (dynamic): simulate and report simultaneous fireable conflicts.
+
+    Returns a list of ``(step, place, t1, t2)`` tuples — empty means no
+    conflict was observed along the executed schedule.  Requires an
+    environment only when the system has input vertices; in that case the
+    caller should run the sweep through
+    :func:`repro.semantics.event_structure.observed_conflicts` instead,
+    which threads the environment through.
+    """
+    from ..semantics.environment import Environment
+    from ..semantics.simulator import Simulator
+
+    simulator = Simulator(system, Environment())
+    return simulator.run(max_steps=max_steps).conflicts

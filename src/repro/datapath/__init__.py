@@ -1,0 +1,87 @@
+"""Data-path substrate: the data-flow half of the computation model.
+
+Public surface:
+
+* :class:`~repro.datapath.graph.DataPath` — the port graph
+  ``D = (V, I, O, A, B)`` of Definition 2.1;
+* :class:`~repro.datapath.vertex.Vertex`,
+  :class:`~repro.datapath.ports.PortId`,
+  :class:`~repro.datapath.ports.Arc` — its elements;
+* :mod:`~repro.datapath.operations` — the operation algebra (SEQ/COM);
+* :mod:`~repro.datapath.library` — ready-made module constructors with
+  area/delay cost models;
+* :mod:`~repro.datapath.validate` — structural validation and the
+  combinational-loop detector used by the properly-designed check.
+"""
+
+from .graph import DataPath
+from .library import (
+    CONSTRUCTORS,
+    accumulator,
+    adder,
+    comparator,
+    constant,
+    divider,
+    input_pad,
+    inverter,
+    multiplier,
+    mux,
+    operator,
+    output_pad,
+    register,
+    subtractor,
+    vertex_area,
+    vertex_delay,
+)
+from .operations import (
+    BINARY_SYMBOLS,
+    UNARY_SYMBOLS,
+    OpKind,
+    Operation,
+    constant_op,
+    get_operation,
+    standard_operations,
+)
+from .ports import Arc, Direction, PortId
+from .validate import (
+    assert_valid,
+    combinational_cycle,
+    topological_com_order,
+    validate_datapath,
+)
+from .vertex import Vertex
+
+__all__ = [
+    "DataPath",
+    "Vertex",
+    "PortId",
+    "Arc",
+    "Direction",
+    "OpKind",
+    "Operation",
+    "get_operation",
+    "constant_op",
+    "standard_operations",
+    "BINARY_SYMBOLS",
+    "UNARY_SYMBOLS",
+    "operator",
+    "adder",
+    "subtractor",
+    "multiplier",
+    "divider",
+    "comparator",
+    "mux",
+    "inverter",
+    "register",
+    "accumulator",
+    "constant",
+    "input_pad",
+    "output_pad",
+    "CONSTRUCTORS",
+    "vertex_area",
+    "vertex_delay",
+    "validate_datapath",
+    "assert_valid",
+    "combinational_cycle",
+    "topological_com_order",
+]

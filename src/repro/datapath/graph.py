@@ -1,0 +1,211 @@
+"""The data path ``D = (V, I, O, A, B)`` — Definition 2.1.
+
+A directed port graph over the algebraic structure defined in
+:mod:`repro.datapath.operations`.  The class stores vertices by name and
+arcs by name (arcs need identities because the control mapping ``C`` of
+Definition 2.2 maps control states to *sets of arcs*).
+
+Structure-only: how the data path computes is defined by the simulator in
+:mod:`repro.semantics.simulator`, mirroring the paper's separation between
+the structural definition (Section 2) and the behaviour (Definition 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import DefinitionError
+from ..values import Value
+from .operations import OpKind, Operation
+from .ports import Arc, PortId
+from .vertex import Vertex
+
+
+@dataclass
+class DataPath:
+    """A mutable data-path graph with named vertices and arcs."""
+
+    name: str = "datapath"
+    vertices: dict[str, Vertex] = field(default_factory=dict)
+    arcs: dict[str, Arc] = field(default_factory=dict)
+    # index: input PortId -> set of arc names driving it
+    _into: dict[PortId, set[str]] = field(default_factory=dict)
+    # index: output PortId -> set of arc names reading it
+    _from: dict[PortId, set[str]] = field(default_factory=dict)
+    _arc_counter: itertools.count = field(default_factory=itertools.count)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        if vertex.name in self.vertices:
+            raise DefinitionError(f"duplicate vertex name {vertex.name!r}")
+        self.vertices[vertex.name] = vertex
+        return vertex
+
+    def connect(self, source: PortId | str, target: PortId | str,
+                name: str | None = None) -> Arc:
+        """Add an arc ``(O, I)`` from an output port to an input port.
+
+        ``source``/``target`` accept either :class:`PortId` or the string
+        form ``"vertex.port"``.  Returns the created arc; a fresh unique
+        name (``a0``, ``a1``, …) is generated when none is given.
+        """
+        src = PortId.parse(source) if isinstance(source, str) else source
+        dst = PortId.parse(target) if isinstance(target, str) else target
+        self._check_port(src, OpKind.COM, expect_output=True)
+        self._check_port(dst, OpKind.COM, expect_output=False)
+        if name is None:
+            name = f"a{next(self._arc_counter)}"
+            while name in self.arcs:
+                name = f"a{next(self._arc_counter)}"
+        elif name in self.arcs:
+            raise DefinitionError(f"duplicate arc name {name!r}")
+        arc = Arc(name, src, dst)
+        self.arcs[name] = arc
+        self._into.setdefault(dst, set()).add(name)
+        self._from.setdefault(src, set()).add(name)
+        return arc
+
+    def remove_arc(self, name: str) -> None:
+        arc = self.arcs.pop(name, None)
+        if arc is None:
+            raise DefinitionError(f"unknown arc {name!r}")
+        self._into[arc.target].discard(name)
+        self._from[arc.source].discard(name)
+
+    def remove_vertex(self, name: str) -> None:
+        """Remove a vertex; all arcs touching it must be removed first."""
+        if name not in self.vertices:
+            raise DefinitionError(f"unknown vertex {name!r}")
+        touching = [a.name for a in self.arcs.values()
+                    if a.source.vertex == name or a.target.vertex == name]
+        if touching:
+            raise DefinitionError(
+                f"vertex {name!r} still has arcs {sorted(touching)}"
+            )
+        del self.vertices[name]
+
+    def _check_port(self, port: PortId, _kind, *, expect_output: bool) -> None:
+        vertex = self.vertices.get(port.vertex)
+        if vertex is None:
+            raise DefinitionError(f"unknown vertex {port.vertex!r}")
+        if expect_output:
+            if port.port not in vertex.out_ports:
+                raise DefinitionError(
+                    f"{port} is not an output port (arcs run O → I)"
+                )
+            if vertex.operation(port.port).kind is OpKind.OUTPUT:
+                raise DefinitionError(
+                    f"{port} is an environment sink and cannot drive arcs"
+                )
+        else:
+            if port.port not in vertex.in_ports:
+                raise DefinitionError(
+                    f"{port} is not an input port (arcs run O → I)"
+                )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def vertex(self, name: str) -> Vertex:
+        try:
+            return self.vertices[name]
+        except KeyError:
+            raise DefinitionError(f"unknown vertex {name!r}") from None
+
+    def arc(self, name: str) -> Arc:
+        try:
+            return self.arcs[name]
+        except KeyError:
+            raise DefinitionError(f"unknown arc {name!r}") from None
+
+    def arcs_into(self, port: PortId) -> list[Arc]:
+        """All arcs driving an input port ("pending arcs", Def. 3.1(10))."""
+        return [self.arcs[n] for n in sorted(self._into.get(port, ()))]
+
+    def arcs_from(self, port: PortId) -> list[Arc]:
+        """All arcs reading an output port (fan-out is unrestricted)."""
+        return [self.arcs[n] for n in sorted(self._from.get(port, ()))]
+
+    def vertex_in_arcs(self, vertex: str) -> list[Arc]:
+        v = self.vertex(vertex)
+        return [a for p in v.input_ids() for a in self.arcs_into(p)]
+
+    def vertex_out_arcs(self, vertex: str) -> list[Arc]:
+        v = self.vertex(vertex)
+        return [a for p in v.output_ids() for a in self.arcs_from(p)]
+
+    def operation_of(self, port: PortId) -> Operation:
+        """``B(O)`` — the operation on an output port."""
+        return self.vertex(port.vertex).operation(port.port)
+
+    # -- external structure (Definition 3.3) ----------------------------
+    def input_vertices(self) -> list[Vertex]:
+        """``V_i`` — external vertices supplying values from outside."""
+        return [v for v in self.vertices.values() if v.is_input_vertex]
+
+    def output_vertices(self) -> list[Vertex]:
+        """``V_o`` — external vertices consuming values to outside."""
+        return [v for v in self.vertices.values() if v.is_output_vertex]
+
+    def external_vertices(self) -> list[Vertex]:
+        """``V_e = V_i ∪ V_o``."""
+        return [v for v in self.vertices.values() if v.is_external]
+
+    def external_arcs(self) -> list[Arc]:
+        """``A_e`` — arcs touching an external port (Definition 3.3)."""
+        external = {v.name for v in self.external_vertices()}
+        return [a for a in self.arcs.values()
+                if a.source.vertex in external or a.target.vertex in external]
+
+    def is_external_arc(self, name: str) -> bool:
+        arc = self.arc(name)
+        return (self.vertex(arc.source.vertex).is_external
+                or self.vertex(arc.target.vertex).is_external)
+
+    # ------------------------------------------------------------------
+    # statistics / copying
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.arcs)
+
+    def sequential_vertices(self) -> list[Vertex]:
+        return [v for v in self.vertices.values() if v.is_sequential]
+
+    def combinational_vertices(self) -> list[Vertex]:
+        return [v for v in self.vertices.values() if v.is_combinational]
+
+    def copy(self) -> "DataPath":
+        clone = DataPath(name=self.name)
+        clone.vertices = dict(self.vertices)  # Vertex is frozen → safe to share
+        clone.arcs = dict(self.arcs)          # Arc is frozen → safe to share
+        clone._into = {k: set(v) for k, v in self._into.items()}
+        clone._from = {k: set(v) for k, v in self._from.items()}
+        clone._arc_counter = itertools.count(
+            max((int(n[1:]) for n in self.arcs if n.startswith("a") and n[1:].isdigit()),
+                default=-1) + 1
+        )
+        return clone
+
+    def structure_equal(self, other: "DataPath") -> bool:
+        """Equality of V, ports, B (by operation name) and A (by name)."""
+        if set(self.vertices) != set(other.vertices):
+            return False
+        for name, mine in self.vertices.items():
+            if mine.signature() != other.vertices[name].signature():
+                return False
+        if set(self.arcs) != set(other.arcs):
+            return False
+        return all(self.arcs[n] == other.arcs[n] for n in self.arcs)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DataPath({self.name!r}: |V|={self.num_vertices}, "
+                f"|A|={self.num_arcs})")

@@ -1,0 +1,146 @@
+"""Module library: ready-made vertex constructors with cost models.
+
+The paper assumes "some modules exist in a module library which can
+perform the defined operations of the data path" (Section 2).  This module
+is that library: each helper builds a :class:`~repro.datapath.vertex.Vertex`
+with the conventional port naming used throughout the synthesis pipeline
+
+* binary operators: inputs ``l``, ``r``; output ``o``;
+* unary operators: input ``i``; output ``o``;
+* registers: input ``d``; output ``q``;
+* multiplexers: inputs ``sel``, ``a``, ``b``; output ``o``;
+* environment pads: input vertices expose output ``out``; output vertices
+  expose input ``in`` (plus the sink record port ``snk``).
+
+Area and delay figures are taken from the operation table
+(:mod:`repro.datapath.operations`).
+"""
+
+from __future__ import annotations
+
+from ..errors import DefinitionError
+from ..values import Value
+from .operations import (
+    EXTERNAL_INPUT,
+    EXTERNAL_OUTPUT,
+    REG,
+    ACC,
+    OpKind,
+    Operation,
+    constant_op,
+    get_operation,
+)
+from .vertex import Vertex
+
+#: Port names for binary combinational units.
+BINARY_PORTS = ("l", "r")
+
+
+def operator(name: str, op_name: str) -> Vertex:
+    """A combinational operator vertex for any standard operation.
+
+    Binary operations get ports ``l``/``r``; unary get ``i``; 3-input
+    (``mux``) get ``sel``/``a``/``b``.  Output port is always ``o``.
+    """
+    op = get_operation(op_name)
+    if op.kind is not OpKind.COM:
+        raise DefinitionError(f"operation {op_name!r} is not combinational")
+    if op.arity == 2:
+        ins: tuple[str, ...] = BINARY_PORTS
+    elif op.arity == 1:
+        ins = ("i",)
+    elif op.arity == 3:
+        ins = ("sel", "a", "b")
+    elif op.arity == 0:
+        ins = ()
+    else:  # pragma: no cover - no standard op has other arities
+        raise DefinitionError(f"unsupported arity {op.arity} for {op_name!r}")
+    return Vertex(name, ins, ("o",), {"o": op})
+
+
+def adder(name: str) -> Vertex:
+    return operator(name, "add")
+
+
+def subtractor(name: str) -> Vertex:
+    return operator(name, "sub")
+
+
+def multiplier(name: str) -> Vertex:
+    return operator(name, "mul")
+
+
+def divider(name: str) -> Vertex:
+    return operator(name, "div")
+
+
+def comparator(name: str, relation: str = "lt") -> Vertex:
+    if relation not in {"eq", "ne", "lt", "le", "gt", "ge"}:
+        raise DefinitionError(f"unknown comparison relation {relation!r}")
+    return operator(name, relation)
+
+
+def mux(name: str) -> Vertex:
+    return operator(name, "mux")
+
+
+def inverter(name: str) -> Vertex:
+    return operator(name, "not")
+
+
+def register(name: str, init: Value | None = None) -> Vertex:
+    """A plain register: latches ``d`` into ``q`` when its arc closes."""
+    initial = {} if init is None else {"q": init}
+    return Vertex(name, ("d",), ("q",), {"q": REG}, initial)
+
+
+def accumulator(name: str, init: Value = 0) -> Vertex:
+    """An accumulating register: ``q ← q + d`` on each activation."""
+    return Vertex(name, ("d",), ("q",), {"q": ACC}, {"q": init})
+
+
+def constant(name: str, value: int) -> Vertex:
+    """A wired constant: zero-input combinational vertex."""
+    return Vertex(name, (), ("o",), {"o": constant_op(value)})
+
+
+def input_pad(name: str) -> Vertex:
+    """An input vertex (Definition 3.3): one output port ``out`` fed by
+    the environment."""
+    return Vertex(name, (), ("out",), {"out": EXTERNAL_INPUT})
+
+
+def output_pad(name: str) -> Vertex:
+    """An output vertex (Definition 3.3): one input port ``in``.
+
+    The record port ``snk`` carries the ``ext_out`` pseudo-operation so
+    that the pad's consumed-value history is observable to the simulator;
+    it can never drive an arc (the data path refuses arcs from OUTPUT-kind
+    ports).
+    """
+    return Vertex(name, ("in",), ("snk",), {"snk": EXTERNAL_OUTPUT})
+
+
+#: name → constructor, for serialisation and the frontend.
+CONSTRUCTORS = {
+    "adder": adder,
+    "subtractor": subtractor,
+    "multiplier": multiplier,
+    "divider": divider,
+    "mux": mux,
+    "inverter": inverter,
+    "register": register,
+    "accumulator": accumulator,
+    "input_pad": input_pad,
+    "output_pad": output_pad,
+}
+
+
+def vertex_area(vertex: Vertex) -> float:
+    """Area of one vertex: the sum of its output operations' areas."""
+    return sum(op.area for op in vertex.ops.values())
+
+
+def vertex_delay(vertex: Vertex) -> float:
+    """Worst-case propagation delay through one vertex."""
+    return max((op.delay for op in vertex.ops.values()), default=0.0)

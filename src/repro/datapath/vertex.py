@@ -1,0 +1,175 @@
+"""Data-path vertices: data manipulation nodes (Definition 2.1).
+
+A vertex models a hardware unit — a register, an arithmetic operator, a
+multiplexer, a communication pad.  It owns a tuple of input ports and a
+tuple of output ports, and the mapping ``B`` assigns an
+:class:`~repro.datapath.operations.Operation` to every *output* port
+(input ports carry no operation; they merely receive values over arcs).
+
+External vertices (Definition 3.3) are modelled explicitly:
+
+* an **input vertex** has no input ports and a single output port whose
+  operation kind is ``INPUT`` — its value stream comes from the
+  environment;
+* an **output vertex** has a single input port, no meaningful output, and
+  operation kind ``OUTPUT`` on a phantom port record — we give it a single
+  port mapped to ``ext_out`` so the port-structure equality test of
+  Definition 4.6 stays uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import DefinitionError
+from ..values import UNDEF, Value
+from .operations import OpKind, Operation
+from .ports import PortId
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """One data manipulation node.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the data path.
+    in_ports / out_ports:
+        Local port names, ordered.  Order matters: it defines the argument
+        order of the operations on the output ports.
+    ops:
+        ``B`` restricted to this vertex — mapping from *output port name*
+        to :class:`Operation`.  Every output port must be mapped.
+    init:
+        Initial values for sequential output ports (reset state).  Ports
+        not listed start :data:`~repro.semantics.values.UNDEF`.
+    """
+
+    name: str
+    in_ports: tuple[str, ...]
+    out_ports: tuple[str, ...]
+    ops: Mapping[str, Operation]
+    init: Mapping[str, Value] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.in_ports)) != len(self.in_ports):
+            raise DefinitionError(f"vertex {self.name!r} has duplicate input ports")
+        if len(set(self.out_ports)) != len(self.out_ports):
+            raise DefinitionError(f"vertex {self.name!r} has duplicate output ports")
+        overlap = set(self.in_ports) & set(self.out_ports)
+        if overlap:
+            raise DefinitionError(
+                f"vertex {self.name!r}: ports {sorted(overlap)} are both input "
+                "and output (I ∩ O must be empty)"
+            )
+        for port in self.out_ports:
+            if port not in self.ops:
+                raise DefinitionError(
+                    f"vertex {self.name!r}: output port {port!r} has no operation"
+                )
+        for port in self.ops:
+            if port not in self.out_ports:
+                raise DefinitionError(
+                    f"vertex {self.name!r}: operation mapped to unknown output "
+                    f"port {port!r}"
+                )
+        for port in self.init:
+            if port not in self.out_ports:
+                raise DefinitionError(
+                    f"vertex {self.name!r}: initial value for unknown port {port!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def is_sequential(self) -> bool:
+        """True iff the vertex holds state between control steps.
+
+        SEQ operations latch values; environment pads (INPUT/OUTPUT kinds)
+        also hold their current/last value between activations, so for the
+        purposes of Definition 3.2(5) ("every control state must drive at
+        least one sequential vertex") they count as sequential.
+        """
+        return any(
+            op.kind in (OpKind.SEQ, OpKind.INPUT, OpKind.OUTPUT)
+            for op in self.ops.values()
+        )
+
+    @property
+    def is_combinational(self) -> bool:
+        """True iff all output operations are combinational (COM)."""
+        return bool(self.ops) and all(
+            op.kind is OpKind.COM for op in self.ops.values()
+        )
+
+    @property
+    def is_input_vertex(self) -> bool:
+        """Definition 3.3: a single output port fed by the environment."""
+        return any(op.kind is OpKind.INPUT for op in self.ops.values())
+
+    @property
+    def is_output_vertex(self) -> bool:
+        """Definition 3.3: a single input port consumed by the environment."""
+        return any(op.kind is OpKind.OUTPUT for op in self.ops.values())
+
+    @property
+    def is_external(self) -> bool:
+        return self.is_input_vertex or self.is_output_vertex
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def port_id(self, port: str) -> PortId:
+        if port not in self.in_ports and port not in self.out_ports:
+            raise DefinitionError(f"vertex {self.name!r} has no port {port!r}")
+        return PortId(self.name, port)
+
+    def input_ids(self) -> list[PortId]:
+        return [PortId(self.name, p) for p in self.in_ports]
+
+    def output_ids(self) -> list[PortId]:
+        return [PortId(self.name, p) for p in self.out_ports]
+
+    def operation(self, port: str) -> Operation:
+        try:
+            return self.ops[port]
+        except KeyError:
+            raise DefinitionError(
+                f"vertex {self.name!r} has no operation on port {port!r}"
+            ) from None
+
+    def initial_value(self, port: str) -> Value:
+        return self.init.get(port, UNDEF)
+
+    # ------------------------------------------------------------------
+    # Definition 4.6 support
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """Operational definition + port structure, for merger legality.
+
+        Two vertices are mergeable (Definition 4.6) only if they "have the
+        same operational definition and port structure": equal port name
+        tuples and equal operation names per output port.  Initial values
+        of sequential ports are included — merging registers with
+        different reset states would not preserve semantics.
+        """
+        return (
+            self.in_ports,
+            self.out_ports,
+            tuple((p, self.ops[p].name) for p in self.out_ports),
+            tuple(sorted((p, self.init.get(p, UNDEF) is UNDEF,
+                          self.init.get(p, None) if self.init.get(p, UNDEF) is not UNDEF else None)
+                         for p in self.out_ports)),
+        )
+
+    def renamed(self, new_name: str) -> "Vertex":
+        """A copy of this vertex under a different name."""
+        return Vertex(new_name, self.in_ports, self.out_ports, dict(self.ops),
+                      dict(self.init))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        ops = ",".join(f"{p}:{op.name}" for p, op in self.ops.items())
+        return f"Vertex({self.name}: in={list(self.in_ports)} out=[{ops}])"

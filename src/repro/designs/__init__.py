@@ -1,0 +1,60 @@
+"""Benchmark design zoo.
+
+Every entry is a :class:`~repro.designs.base.Design`: behavioural source,
+default environment, and a pure-Python reference model.  ``ZOO`` maps
+design names to entries; ``all_designs()`` returns them in a stable
+order.
+"""
+
+from .base import Design, pad_inputs, pad_outputs
+from .counter import DESIGN as COUNTER
+from .diffeq import DESIGN as DIFFEQ
+from .ewf import DESIGN as EWF
+from .fir import FIR4, FIR8
+from .gcd import DESIGN as GCD
+from .isqrt import DESIGN as ISQRT
+from .parsum import DESIGN as PARSUM
+from .shiftmul import DESIGN as SHIFTMUL
+from .sortnet import DESIGN as SORT4
+from .traffic import DESIGN as TRAFFIC
+
+ZOO: dict[str, Design] = {
+    design.name: design
+    for design in (GCD, DIFFEQ, FIR4, FIR8, EWF, TRAFFIC, PARSUM, COUNTER,
+                   ISQRT, SORT4, SHIFTMUL)
+}
+
+
+def all_designs() -> list[Design]:
+    """All zoo entries in registration order."""
+    return list(ZOO.values())
+
+
+def get_design(name: str) -> Design:
+    """Look up a zoo entry by name."""
+    try:
+        return ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(ZOO))
+        raise KeyError(f"unknown design {name!r}; known designs: {known}") from None
+
+
+__all__ = [
+    "Design",
+    "pad_outputs",
+    "pad_inputs",
+    "ZOO",
+    "all_designs",
+    "get_design",
+    "GCD",
+    "DIFFEQ",
+    "FIR4",
+    "FIR8",
+    "EWF",
+    "TRAFFIC",
+    "PARSUM",
+    "COUNTER",
+    "ISQRT",
+    "SORT4",
+    "SHIFTMUL",
+]

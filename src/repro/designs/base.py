@@ -1,0 +1,92 @@
+"""Common machinery for the benchmark design zoo.
+
+Each design bundles: behavioural source text (exercising the textual
+frontend), a default environment, and a pure-Python *reference model*
+computing the expected output streams — the oracle the test suite checks
+compiled-and-transformed hardware against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..core.system import DataControlSystem
+from ..semantics.environment import Environment
+from ..semantics.trace import Trace
+from ..synthesis.frontend import compile_source, parse
+from ..synthesis.frontend.ast import Program
+
+#: A reference model: input streams -> expected output streams per pad.
+Reference = Callable[[Mapping[str, list[int]]], dict[str, list[int]]]
+
+
+@dataclass(frozen=True)
+class Design:
+    """One zoo entry."""
+
+    name: str
+    description: str
+    source: str
+    default_inputs: dict[str, list[int]] = field(default_factory=dict)
+    reference: Reference | None = None
+
+    def program(self) -> Program:
+        """Parse the behavioural source."""
+        return parse(self.source)
+
+    def build(self) -> DataControlSystem:
+        """Compile the naive serial system Γ."""
+        return compile_source(self.source)
+
+    def environment(self, overrides: Mapping[str, list[int]] | None = None
+                    ) -> Environment:
+        """Default environment, optionally overriding input streams."""
+        streams = {k: list(v) for k, v in self.default_inputs.items()}
+        if overrides:
+            streams.update({k: list(v) for k, v in overrides.items()})
+        return Environment(streams)
+
+    def expected(self, overrides: Mapping[str, list[int]] | None = None
+                 ) -> dict[str, list[int]]:
+        """Reference-model output streams for the (overridden) inputs."""
+        if self.reference is None:
+            raise NotImplementedError(f"design {self.name!r} has no reference")
+        streams = {k: list(v) for k, v in self.default_inputs.items()}
+        if overrides:
+            streams.update({k: list(v) for k, v in overrides.items()})
+        return self.reference(streams)
+
+
+def pad_outputs(system: DataControlSystem, trace: Trace) -> dict[str, list[int]]:
+    """Group a trace's external events by *output pad* vertex name.
+
+    The canonical way examples and tests read results: events on arcs
+    whose target is an output vertex, in occurrence order.
+    """
+    grouped: dict[str, list[tuple[tuple[int, int, str, int], int]]] = {
+        v.name: [] for v in system.datapath.output_vertices()
+    }
+    for event in trace.events:
+        arc = system.datapath.arc(event.arc)
+        target = system.datapath.vertex(arc.target.vertex)
+        if target.is_output_vertex:
+            # several distinct arcs may feed one pad: order by observation
+            # time first, then arc/occurrence for deterministic ties
+            key = (event.end, event.start, event.arc, event.index)
+            grouped[target.name].append((key, event.value))
+    return {pad: [v for _, v in sorted(pairs)] for pad, pairs in grouped.items()}
+
+
+def pad_inputs(system: DataControlSystem, trace: Trace) -> dict[str, list[int]]:
+    """Group a trace's external events by *input pad* vertex name."""
+    grouped: dict[str, list[tuple[tuple[int, int, str, int], int]]] = {
+        v.name: [] for v in system.datapath.input_vertices()
+    }
+    for event in trace.events:
+        arc = system.datapath.arc(event.arc)
+        source = system.datapath.vertex(arc.source.vertex)
+        if source.is_input_vertex:
+            key = (event.end, event.start, event.arc, event.index)
+            grouped[source.name].append((key, event.value))
+    return {pad: [v for _, v in sorted(pairs)] for pad, pairs in grouped.items()}

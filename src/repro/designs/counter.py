@@ -1,0 +1,37 @@
+"""Counter — the smallest looping design; the quickstart workload.
+
+Counts from 0 to a limit read from the environment, emitting every value.
+One output event per iteration makes it the natural throughput workload
+for the simulator benchmark.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design counter {
+  input limit_in;
+  output count;
+  var n = 0, limit;
+  limit = read(limit_in);
+  while (n < limit) {
+    write(count, n);
+    n = n + 1;
+  }
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    limit = inputs["limit_in"][0]
+    return {"count": list(range(limit))}
+
+
+DESIGN = Design(
+    name="counter",
+    description="0..limit counter emitting one event per iteration",
+    source=SOURCE,
+    default_inputs={"limit_in": [5]},
+    reference=_reference,
+)

@@ -1,0 +1,63 @@
+"""HAL differential-equation solver — the canonical HLS benchmark.
+
+Solves ``y'' + 3xy' + 3y = 0`` by forward Euler (the example introduced
+with the HAL system and reused across the high-level-synthesis
+literature, including the CAMAD papers this paper summarises).  Inside
+the loop body the three update expressions are mutually independent given
+the previous iteration's values, so the design rewards both
+parallelization (multiple multiplies per step) and, under resource
+constraints, multiplier sharing.
+
+All arithmetic is integer; ``dx`` is a unit step so the reference model
+is exact (the point is the data path's shape, not numerics).
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design diffeq {
+  input a_in, dx_in, x_in, y_in, u_in;
+  output y_out;
+  var a, dx, x, y, u, x1, y1, u1;
+  a  = read(a_in);
+  dx = read(dx_in);
+  x  = read(x_in);
+  y  = read(y_in);
+  u  = read(u_in);
+  while (x < a) {
+    x1 = x + dx;
+    u1 = u - (3 * x * u * dx) - (3 * y * dx);
+    y1 = y + u * dx;
+    x = x1;
+    u = u1;
+    y = y1;
+  }
+  write(y_out, y);
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    a = inputs["a_in"][0]
+    dx = inputs["dx_in"][0]
+    x = inputs["x_in"][0]
+    y = inputs["y_in"][0]
+    u = inputs["u_in"][0]
+    while x < a:
+        x1 = x + dx
+        u1 = u - (3 * x * u * dx) - (3 * y * dx)
+        y1 = y + u * dx
+        x, u, y = x1, u1, y1
+    return {"y_out": [y]}
+
+
+DESIGN = Design(
+    name="diffeq",
+    description="HAL differential equation solver (forward Euler loop)",
+    source=SOURCE,
+    default_inputs={"a_in": [4], "dx_in": [1], "x_in": [0], "y_in": [1],
+                    "u_in": [1]},
+    reference=_reference,
+)

@@ -1,0 +1,64 @@
+"""Elliptic-wave-filter-style biquad cascade.
+
+The classic "EWF" HLS benchmark is a fifth-order elliptic wave filter
+(34 additions, 8 multiplications).  The authors' exact dataflow is tied
+to a specific published figure; this zoo entry is an honest stand-in with
+the same *character*: a cascade of two direct-form-II biquad sections —
+feedback chains that serialise, feed-forward taps that parallelise, and
+enough multiplies that sharing matters.  The substitution is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design ewf {
+  input x_in;
+  output y_out;
+  var x, w1, w1d1, w1d2, y1;
+  var w2, w2d1, w2d2, y2;
+  var n = 0, len;
+  len = read(x_in);
+  while (n < len) {
+    x = read(x_in);
+    w1 = x - (3 * w1d1) - (2 * w1d2);
+    y1 = w1 + (2 * w1d1) + w1d2;
+    w1d2 = w1d1;
+    w1d1 = w1;
+    w2 = y1 - (2 * w2d1) - (1 * w2d2);
+    y2 = w2 + (2 * w2d1) + w2d2;
+    w2d2 = w2d1;
+    w2d1 = w2;
+    write(y_out, y2);
+    n = n + 1;
+  }
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    stream = list(inputs["x_in"])
+    length = stream[0]
+    samples = stream[1:1 + length]
+    w1d1 = w1d2 = w2d1 = w2d2 = 0
+    out: list[int] = []
+    for x in samples:
+        w1 = x - 3 * w1d1 - 2 * w1d2
+        y1 = w1 + 2 * w1d1 + w1d2
+        w1d2, w1d1 = w1d1, w1
+        w2 = y1 - 2 * w2d1 - 1 * w2d2
+        y2 = w2 + 2 * w2d1 + w2d2
+        w2d2, w2d1 = w2d1, w2
+        out.append(y2)
+    return {"y_out": out}
+
+
+DESIGN = Design(
+    name="ewf",
+    description="Elliptic-wave-filter-style cascade of two biquad sections",
+    source=SOURCE,
+    default_inputs={"x_in": [4, 1, 0, 2, 1]},
+    reference=_reference,
+)

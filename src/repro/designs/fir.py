@@ -1,0 +1,97 @@
+"""FIR filters — straight-line scheduling and sharing showcases.
+
+A 4-tap and an 8-tap direct-form FIR over a block of samples.  The
+product terms are mutually independent, the adder tree has log depth —
+exactly the shape where compaction shows its speedup and where resource
+limits (``{"mul": 1}``) stretch the schedule back out.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE_FIR4 = """
+design fir4 {
+  input x_in;
+  output y_out;
+  var x0, x1, x2, x3, p0, p1, p2, p3, s0, s1, y;
+  x0 = read(x_in);
+  x1 = read(x_in);
+  x2 = read(x_in);
+  x3 = read(x_in);
+  p0 = x0 * 2;
+  p1 = x1 * 3;
+  p2 = x2 * 5;
+  p3 = x3 * 7;
+  s0 = p0 + p1;
+  s1 = p2 + p3;
+  y  = s0 + s1;
+  write(y_out, y);
+}
+"""
+
+_COEFFS4 = (2, 3, 5, 7)
+
+
+def _reference4(inputs) -> dict[str, list[int]]:
+    xs = inputs["x_in"][:4]
+    return {"y_out": [sum(c * x for c, x in zip(_COEFFS4, xs))]}
+
+
+FIR4 = Design(
+    name="fir4",
+    description="4-tap FIR filter: independent multiplies + adder tree",
+    source=SOURCE_FIR4,
+    default_inputs={"x_in": [1, 2, 3, 4]},
+    reference=_reference4,
+)
+
+SOURCE_FIR8 = """
+design fir8 {
+  input x_in;
+  output y_out;
+  var x0, x1, x2, x3, x4, x5, x6, x7;
+  var p0, p1, p2, p3, p4, p5, p6, p7;
+  var s0, s1, s2, s3, t0, t1, y;
+  x0 = read(x_in);
+  x1 = read(x_in);
+  x2 = read(x_in);
+  x3 = read(x_in);
+  x4 = read(x_in);
+  x5 = read(x_in);
+  x6 = read(x_in);
+  x7 = read(x_in);
+  p0 = x0 * 2;
+  p1 = x1 * 3;
+  p2 = x2 * 5;
+  p3 = x3 * 7;
+  p4 = x4 * 11;
+  p5 = x5 * 13;
+  p6 = x6 * 17;
+  p7 = x7 * 19;
+  s0 = p0 + p1;
+  s1 = p2 + p3;
+  s2 = p4 + p5;
+  s3 = p6 + p7;
+  t0 = s0 + s1;
+  t1 = s2 + s3;
+  y  = t0 + t1;
+  write(y_out, y);
+}
+"""
+
+_COEFFS8 = (2, 3, 5, 7, 11, 13, 17, 19)
+
+
+def _reference8(inputs) -> dict[str, list[int]]:
+    xs = inputs["x_in"][:8]
+    return {"y_out": [sum(c * x for c, x in zip(_COEFFS8, xs))]}
+
+
+FIR8 = Design(
+    name="fir8",
+    description="8-tap FIR filter: wide multiply layer + adder tree",
+    source=SOURCE_FIR8,
+    default_inputs={"x_in": [1, 2, 3, 4, 5, 6, 7, 8]},
+    reference=_reference8,
+)

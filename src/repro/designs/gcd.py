@@ -1,0 +1,49 @@
+"""GCD — the classic looping/branching synthesis benchmark.
+
+Exercises: while loop, if/else, guarded transitions, data-dependent
+iteration count.  Little parallelism is available (every statement touches
+``a`` or ``b``), making it the control-flow stress test of the zoo rather
+than a scheduling showcase.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design gcd {
+  input a_in, b_in;
+  output result;
+  var a, b;
+  a = read(a_in);
+  b = read(b_in);
+  while (a != b) {
+    if (a > b) {
+      a = a - b;
+    } else {
+      b = b - a;
+    }
+  }
+  write(result, a);
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    a = inputs["a_in"][0]
+    b = inputs["b_in"][0]
+    while a != b:
+        if a > b:
+            a -= b
+        else:
+            b -= a
+    return {"result": [a]}
+
+
+DESIGN = Design(
+    name="gcd",
+    description="Euclid's subtractive GCD: loop + branch control flow",
+    source=SOURCE,
+    default_inputs={"a_in": [48], "b_in": [36]},
+    reference=_reference,
+)

@@ -1,0 +1,52 @@
+"""Integer square root by bisection — division-free loop benchmark.
+
+A data-dependent loop whose body mixes comparisons, shifts and
+arithmetic; the condition register / guard machinery gets a workout, and
+the midpoint computation gives the scheduler a little parallelism to
+find inside the loop body.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design isqrt {
+  input n_in;
+  output root;
+  var n, lo = 0, hi, mid, sq;
+  n = read(n_in);
+  hi = n + 1;
+  while ((hi - lo) > 1) {
+    mid = (lo + hi) >> 1;
+    sq = mid * mid;
+    if (sq > n) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  write(root, lo);
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    n = inputs["n_in"][0]
+    lo, hi = 0, n + 1
+    while hi - lo > 1:
+        mid = (lo + hi) >> 1
+        if mid * mid > n:
+            hi = mid
+        else:
+            lo = mid
+    return {"root": [lo]}
+
+
+DESIGN = Design(
+    name="isqrt",
+    description="Integer square root by bisection (shift + compare loop)",
+    source=SOURCE,
+    default_inputs={"n_in": [133]},
+    reference=_reference,
+)

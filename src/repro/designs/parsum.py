@@ -1,0 +1,49 @@
+"""Parallel reduction — two accumulation chains in ``par``.
+
+Reads four values, sums two disjoint pairs in parallel branches, then
+combines.  The smallest design that exercises fork/join control together
+with rule 3.2(1): the branches write disjoint registers, so their
+``ASS`` sets are disjoint and the design is properly parallel.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design parsum {
+  input x_in;
+  output total;
+  var a, b, c, d, left, right, sum;
+  a = read(x_in);
+  b = read(x_in);
+  c = read(x_in);
+  d = read(x_in);
+  par {
+    {
+      left = a + b;
+      left = left * 2;
+    }
+    {
+      right = c + d;
+      right = right * 3;
+    }
+  }
+  sum = left + right;
+  write(total, sum);
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    a, b, c, d = inputs["x_in"][:4]
+    return {"total": [(a + b) * 2 + (c + d) * 3]}
+
+
+DESIGN = Design(
+    name="parsum",
+    description="Fork/join parallel reduction over disjoint registers",
+    source=SOURCE,
+    default_inputs={"x_in": [1, 2, 3, 4]},
+    reference=_reference,
+)

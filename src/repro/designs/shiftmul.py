@@ -1,0 +1,46 @@
+"""Shift-add multiplier — multiplication without a multiplier unit.
+
+The classic area-minimal multiplier: iterate over the multiplier's bits,
+conditionally accumulating the shifted multiplicand.  Exercises the
+bitwise operation set (``&``, ``<<``, ``>>``) inside data-dependent
+control flow, and makes a nice contrast object for the cost model: a
+single-cycle ``mul`` unit costs 8.0 area units, this loop replaces it
+with an adder and two shifters at a many-cycle latency.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design shiftmul {
+  input a_in, b_in;
+  output product;
+  var a, b, acc = 0;
+  a = read(a_in);
+  b = read(b_in);
+  while (b > 0) {
+    if (b & 1) {
+      acc = acc + a;
+    }
+    a = a << 1;
+    b = b >> 1;
+  }
+  write(product, acc);
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    a = inputs["a_in"][0]
+    b = inputs["b_in"][0]
+    return {"product": [a * b]}
+
+
+DESIGN = Design(
+    name="shiftmul",
+    description="Shift-add multiplier: bitwise loop instead of a mul unit",
+    source=SOURCE,
+    default_inputs={"a_in": [13], "b_in": [11]},
+    reference=_reference,
+)

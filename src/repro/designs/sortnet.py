@@ -1,0 +1,69 @@
+"""4-element sorting network — a min/max dataflow benchmark.
+
+A Batcher odd-even network over four inputs: five compare-exchange
+operations in three stages, expressed branch-free with the arithmetic
+selection identity
+
+    hi = (a > b)·a + (1 − (a > b))·b        (max)
+    lo = a + b − hi                          (min)
+
+(the language's ``min``/``max`` have no surface syntax, and a branchy
+formulation would serialise on the condition registers).  Every stage
+writes fresh variables, so the network is a pure dataflow DAG: the first
+stage's two exchanges are independent, as are the second's — rich
+material for the scheduler, and ten same-signature multiplier/adder/
+comparator units for the allocator.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+
+def _compare_exchange(a: str, b: str, lo: str, hi: str) -> str:
+    return (f"  g = {a} > {b};\n"
+            f"  {hi} = g * {a} + (1 - g) * {b};\n"
+            f"  {lo} = {a} + {b} - {hi};\n")
+
+
+SOURCE = ("""
+design sort4 {
+  input x_in;
+  output y0, y1, y2, y3;
+  var a, b, c, d, g;
+  var s0, s1, s2, s3;
+  var u0, u3, t1, t2, m1, m2;
+  a = read(x_in);
+  b = read(x_in);
+  c = read(x_in);
+  d = read(x_in);
+"""
+          # stage 1: sort the two input pairs
+          + _compare_exchange("a", "b", lo="s0", hi="s1")
+          + _compare_exchange("c", "d", lo="s2", hi="s3")
+          # stage 2: overall min and max
+          + _compare_exchange("s0", "s2", lo="u0", hi="t1")
+          + _compare_exchange("s1", "s3", lo="t2", hi="u3")
+          # stage 3: order the middle pair
+          + _compare_exchange("t1", "t2", lo="m1", hi="m2")
+          + """  write(y0, u0);
+  write(y1, m1);
+  write(y2, m2);
+  write(y3, u3);
+}
+""")
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    values = sorted(inputs["x_in"][:4])
+    return {f"y{i}": [values[i]] for i in range(4)}
+
+
+DESIGN = Design(
+    name="sort4",
+    description="4-input odd-even sorting network (branch-free "
+                "compare-exchange stages)",
+    source=SOURCE,
+    default_inputs={"x_in": [7, 2, 9, 4]},
+    reference=_reference,
+)

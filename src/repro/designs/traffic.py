@@ -1,0 +1,62 @@
+"""Traffic-light controller — designer-specified parallelism (``par``).
+
+Two light controllers (north–south and east–west) run as parallel
+branches inside each cycle: each computes and publishes its own phase to
+its own output pad.  The two writes per cycle are **casually related**
+events — neither ordered nor concurrent in the external event structure —
+which is exactly the distributed-modules situation the paper uses to
+motivate partial-order semantics ("Trying to force a total ordering on
+events of different modules will simply introduce unnecessary
+constraints").
+
+Phases are complementary by construction (when NS shows green=2, EW
+shows red=0), giving the safety property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from .base import Design
+
+SOURCE = """
+design traffic {
+  input cycles_in;
+  output ns_light, ew_light;
+  var n = 0, cycles, phase = 0, ns, ew;
+  cycles = read(cycles_in);
+  while (n < cycles) {
+    par {
+      {
+        ns = phase;
+        write(ns_light, ns);
+      }
+      {
+        ew = 2 - phase;
+        write(ew_light, ew);
+      }
+    }
+    phase = 2 - phase;
+    n = n + 1;
+  }
+}
+"""
+
+
+def _reference(inputs) -> dict[str, list[int]]:
+    cycles = inputs["cycles_in"][0]
+    ns_values: list[int] = []
+    ew_values: list[int] = []
+    phase = 0
+    for _ in range(cycles):
+        ns_values.append(phase)
+        ew_values.append(2 - phase)
+        phase = 2 - phase
+    return {"ns_light": ns_values, "ew_light": ew_values}
+
+
+DESIGN = Design(
+    name="traffic",
+    description="Two parallel light controllers; casually related outputs",
+    source=SOURCE,
+    default_inputs={"cycles_in": [4]},
+    reference=_reference,
+)

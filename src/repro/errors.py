@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing construction-time problems (:class:`DefinitionError`),
+verification failures (:class:`ValidationError`), runtime problems during
+simulation (:class:`ExecutionError`), illegal transformations
+(:class:`TransformError`) and frontend parse errors (:class:`ParseError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DefinitionError(ReproError):
+    """A model element is malformed or violates a structural definition.
+
+    Raised while *constructing* data paths, Petri nets, or data/control
+    systems — e.g. connecting an arc to a non-existent port, mapping a
+    control state to an unknown arc, or redefining a named element.
+    """
+
+
+class ValidationError(ReproError):
+    """A completed model fails a well-formedness or verification check.
+
+    Raised by validators such as the properly-designed checker
+    (Definition 3.2 of the paper) when asked to *enforce* rather than
+    merely report.
+    """
+
+
+class ExecutionError(ReproError):
+    """The simulator encountered a runtime fault.
+
+    Examples: two simultaneously active arcs drive the same input port,
+    a combinational loop is detected among active vertices, or the
+    environment ran out of input values for an input vertex.
+    """
+
+
+class EnvironmentExhausted(ExecutionError):
+    """An input vertex requested a value but its sequence is exhausted."""
+
+    def __init__(self, vertex: str, consumed: int) -> None:
+        super().__init__(
+            f"environment sequence for input vertex {vertex!r} exhausted "
+            f"after {consumed} value(s)"
+        )
+        self.vertex = vertex
+        self.consumed = consumed
+
+
+class TransformError(ReproError):
+    """A transformation was applied to a system where it is not legal."""
+
+
+class ParseError(ReproError):
+    """The behavioural frontend could not parse the given source text."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column

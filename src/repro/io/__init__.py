@@ -1,0 +1,23 @@
+"""Import/export: DOT rendering, JSON round-trips, text reports."""
+
+from .dot import datapath_to_dot, petri_to_dot, system_to_dot
+from .json_io import dumps, load, loads, save, system_from_dict, system_to_dict
+from .netlist import Netlist, lower, to_verilog
+from .report import format_records, format_table
+
+__all__ = [
+    "datapath_to_dot",
+    "petri_to_dot",
+    "system_to_dot",
+    "Netlist",
+    "lower",
+    "to_verilog",
+    "system_to_dict",
+    "system_from_dict",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "format_table",
+    "format_records",
+]

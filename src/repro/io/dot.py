@@ -1,0 +1,115 @@
+"""Graphviz DOT export — the paper emphasises graphical representation.
+
+Three views: the data path alone, the control Petri net alone, and the
+combined system with the ``C`` (control) and ``G`` (guard) cross edges
+drawn dashed between the two halves.
+"""
+
+from __future__ import annotations
+
+from ..core.system import DataControlSystem
+from ..datapath.graph import DataPath
+from ..petri.net import PetriNet
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def datapath_to_dot(dp: DataPath, *, name: str | None = None) -> str:
+    """Data-path graph: boxes for vertices, labelled edges for arcs."""
+    lines = [f'digraph "{_escape(name or dp.name)}" {{',
+             "  rankdir=LR;",
+             "  node [shape=record, fontsize=10];"]
+    for vertex in dp.vertices.values():
+        ops = ",".join(f"{p}:{vertex.operation(p).name}"
+                       for p in vertex.out_ports)
+        shape = ("invhouse" if vertex.is_input_vertex
+                 else "house" if vertex.is_output_vertex
+                 else "box" if vertex.is_combinational else "box3d")
+        lines.append(
+            f'  "{_escape(vertex.name)}" [shape={shape}, '
+            f'label="{_escape(vertex.name)}\\n{_escape(ops)}"];'
+        )
+    for arc in dp.arcs.values():
+        lines.append(
+            f'  "{_escape(arc.source.vertex)}" -> "{_escape(arc.target.vertex)}" '
+            f'[label="{_escape(arc.name)}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def petri_to_dot(net: PetriNet, *, name: str | None = None) -> str:
+    """Control net: circles for places (doubled when marked), bars for
+    transitions."""
+    lines = [f'digraph "{_escape(name or net.name)}" {{',
+             "  rankdir=TB;",
+             "  node [fontsize=10];"]
+    for place in net.places.values():
+        marked = net.initial.get(place.name, 0) > 0
+        shape = "doublecircle" if marked else "circle"
+        lines.append(f'  "{_escape(place.name)}" [shape={shape}];')
+    for transition in net.transitions.values():
+        lines.append(
+            f'  "{_escape(transition.name)}" '
+            f'[shape=box, height=0.1, style=filled, fillcolor=black, '
+            f'fontcolor=white];'
+        )
+    for source, target in net.arcs():
+        lines.append(f'  "{_escape(source)}" -> "{_escape(target)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def system_to_dot(system: DataControlSystem) -> str:
+    """Combined view: both halves plus dashed C/G cross edges."""
+    lines = [f'digraph "{_escape(system.name)}" {{',
+             "  compound=true; fontsize=10; node [fontsize=9];",
+             '  subgraph cluster_control { label="control (Petri net)";']
+    net = system.net
+    for place in net.places.values():
+        marked = net.initial.get(place.name, 0) > 0
+        shape = "doublecircle" if marked else "circle"
+        lines.append(f'    "{_escape(place.name)}" [shape={shape}];')
+    for transition in net.transitions.values():
+        lines.append(
+            f'    "{_escape(transition.name)}" [shape=box, height=0.1, '
+            f'style=filled, fillcolor=black, fontcolor=white];'
+        )
+    for source, target in net.arcs():
+        lines.append(f'    "{_escape(source)}" -> "{_escape(target)}";')
+    lines.append("  }")
+    lines.append('  subgraph cluster_datapath { label="data path";')
+    dp = system.datapath
+    for vertex in dp.vertices.values():
+        shape = ("invhouse" if vertex.is_input_vertex
+                 else "house" if vertex.is_output_vertex
+                 else "box" if vertex.is_combinational else "box3d")
+        lines.append(f'    "v_{_escape(vertex.name)}" '
+                     f'[shape={shape}, label="{_escape(vertex.name)}"];')
+    for arc in dp.arcs.values():
+        lines.append(
+            f'    "v_{_escape(arc.source.vertex)}" -> '
+            f'"v_{_escape(arc.target.vertex)}" '
+            f'[label="{_escape(arc.name)}", fontsize=7];'
+        )
+    lines.append("  }")
+    # C edges: place --> controlled arc's target vertex (dashed)
+    for place, arcs in sorted(system.control.items()):
+        for arc_name in sorted(arcs):
+            arc = dp.arc(arc_name)
+            lines.append(
+                f'  "{_escape(place)}" -> "v_{_escape(arc.target.vertex)}" '
+                f'[style=dashed, color=blue, arrowhead=open, fontsize=7, '
+                f'label="{_escape(arc_name)}"];'
+            )
+    # G edges: guard port's vertex --> transition (dashed)
+    for transition, ports in sorted(system.guards.items()):
+        for port in sorted(ports, key=str):
+            lines.append(
+                f'  "v_{_escape(port.vertex)}" -> "{_escape(transition)}" '
+                f'[style=dashed, color=red, arrowhead=open];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

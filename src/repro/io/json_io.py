@@ -1,0 +1,122 @@
+"""JSON (de)serialization of complete data/control flow systems.
+
+Round-trips everything the model defines — vertices with operations and
+initial values, arcs by name, the net's S/T/F/M0, and the C and G
+mappings — so designs can be saved mid-synthesis and reloaded.  Operation
+objects are serialised by *name* and reconstructed from the standard
+library (constants included via their ``const[k]`` names), matching the
+paper's assumption that operations come from a module library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.system import DataControlSystem
+from ..datapath.graph import DataPath
+from ..datapath.operations import get_operation
+from ..datapath.ports import PortId
+from ..datapath.vertex import Vertex
+from ..errors import DefinitionError
+from ..petri.net import PetriNet
+from ..values import UNDEF
+
+FORMAT_VERSION = 1
+
+
+def system_to_dict(system: DataControlSystem) -> dict[str, Any]:
+    """Serialisable dict form of a system."""
+    dp = system.datapath
+    net = system.net
+    vertices = []
+    for vertex in dp.vertices.values():
+        vertices.append({
+            "name": vertex.name,
+            "in_ports": list(vertex.in_ports),
+            "out_ports": list(vertex.out_ports),
+            "ops": {port: vertex.operation(port).name
+                    for port in vertex.out_ports},
+            "init": {port: value for port, value in vertex.init.items()
+                     if value is not UNDEF},
+        })
+    return {
+        "format": FORMAT_VERSION,
+        "name": system.name,
+        "datapath": {
+            "name": dp.name,
+            "vertices": vertices,
+            "arcs": [
+                {"name": arc.name, "source": str(arc.source),
+                 "target": str(arc.target)}
+                for arc in dp.arcs.values()
+            ],
+        },
+        "net": {
+            "name": net.name,
+            "places": [{"name": p.name, "label": p.label,
+                        "tokens": net.initial.get(p.name, 0)}
+                       for p in net.places.values()],
+            "transitions": [{"name": t.name, "label": t.label}
+                            for t in net.transitions.values()],
+            "flow": [[source, target] for source, target in net.arcs()],
+        },
+        "control": {place: sorted(arcs)
+                    for place, arcs in sorted(system.control.items())},
+        "guards": {transition: sorted(str(p) for p in ports)
+                   for transition, ports in sorted(system.guards.items())},
+    }
+
+
+def system_from_dict(data: dict[str, Any]) -> DataControlSystem:
+    """Inverse of :func:`system_to_dict`."""
+    if data.get("format") != FORMAT_VERSION:
+        raise DefinitionError(
+            f"unsupported serialisation format {data.get('format')!r}"
+        )
+    dp = DataPath(name=data["datapath"]["name"])
+    for entry in data["datapath"]["vertices"]:
+        ops = {port: get_operation(name) for port, name in entry["ops"].items()}
+        dp.add_vertex(Vertex(
+            entry["name"], tuple(entry["in_ports"]), tuple(entry["out_ports"]),
+            ops, dict(entry.get("init", {})),
+        ))
+    for entry in data["datapath"]["arcs"]:
+        dp.connect(PortId.parse(entry["source"]), PortId.parse(entry["target"]),
+                   name=entry["name"])
+    net = PetriNet(name=data["net"]["name"])
+    for entry in data["net"]["places"]:
+        net.add_place(entry["name"], label=entry.get("label", ""),
+                      tokens=entry.get("tokens", 0))
+    for entry in data["net"]["transitions"]:
+        net.add_transition(entry["name"], label=entry.get("label", ""))
+    for source, target in data["net"]["flow"]:
+        net.add_arc(source, target)
+    system = DataControlSystem(dp, net, name=data["name"])
+    for place, arcs in data["control"].items():
+        system.set_control(place, arcs)
+    for transition, ports in data["guards"].items():
+        system.set_guard(transition, [PortId.parse(p) for p in ports])
+    return system
+
+
+def dumps(system: DataControlSystem, *, indent: int | None = 2) -> str:
+    """Serialise a system to a JSON string."""
+    return json.dumps(system_to_dict(system), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> DataControlSystem:
+    """Deserialise a system from a JSON string."""
+    return system_from_dict(json.loads(text))
+
+
+def save(system: DataControlSystem, path: str) -> None:
+    """Write a system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(system))
+
+
+def load(path: str) -> DataControlSystem:
+    """Read a system from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,230 @@
+"""Structural netlist backend: Γ → RTL-flavoured hardware description.
+
+The paper's synthesis trajectory ends at "a final implementation"; this
+module performs that last lowering step.  A
+:class:`~repro.core.system.DataControlSystem` maps onto hardware as:
+
+* **controller** — the safe Petri net becomes a one-hot FSM: one
+  flip-flop per place (reset to ``M0``), one *fire* signal per
+  transition (AND of its input places' flip-flops, AND the OR of its
+  guard ports), and per-place next-state logic
+  ``p' = (p ∧ ¬drained(p)) ∨ fed(p)``;
+* **data path** — every vertex becomes an instance (registers with an
+  enable, combinational operators as gates/ALUs, pads as module ports);
+* **steering** — an input port with several drivers becomes an explicit
+  multiplexer selected by the controlling places' flip-flops (this is
+  where the cost model's ``mux_area`` turns into real structure);
+* **enables** — a register's clock-enable is the OR of the places
+  controlling its input arcs (the latch-on-departure semantics in
+  synchronous form); an output pad gets a ``valid`` strobe the same way.
+
+The emitted text is Verilog-flavoured and intended to be *read* (and
+structurally checked — the test suite and :func:`lower` 's counts tie it
+back to the cost model); it is not run through a Verilog simulator here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.system import DataControlSystem
+from ..datapath.operations import OpKind
+from ..datapath.ports import PortId
+
+
+def _sig(name: str) -> str:
+    """Sanitise an identifier for the netlist namespace."""
+    return name.replace(".", "_").replace("[", "_").replace("]", "")
+
+
+@dataclass
+class Mux:
+    """One multiplexer in front of a multi-driver input port."""
+
+    target: PortId
+    inputs: list[tuple[str, str]] = field(default_factory=list)
+    # (driving signal, selecting place)
+
+
+@dataclass
+class Netlist:
+    """Structural summary of the lowered design."""
+
+    name: str
+    module_inputs: list[str] = field(default_factory=list)
+    module_outputs: list[str] = field(default_factory=list)
+    registers: list[str] = field(default_factory=list)
+    operators: list[tuple[str, str]] = field(default_factory=list)  # (inst, op)
+    muxes: list[Mux] = field(default_factory=list)
+    state_flops: list[str] = field(default_factory=list)
+    fire_signals: dict[str, str] = field(default_factory=dict)
+    enables: dict[str, str] = field(default_factory=dict)
+    text: str = ""
+
+    @property
+    def mux_input_count(self) -> int:
+        """Extra mux inputs beyond one driver per port — comparable to
+        :attr:`repro.synthesis.cost.CostReport.mux_inputs`."""
+        return sum(len(m.inputs) - 1 for m in self.muxes)
+
+
+def _port_signal(system: DataControlSystem, port: PortId) -> str:
+    """The wire carrying an output port's value."""
+    vertex = system.datapath.vertex(port.vertex)
+    op = vertex.operation(port.port)
+    if op.kind is OpKind.INPUT:
+        return _sig(f"{port.vertex}_in")
+    return _sig(f"{port.vertex}_{port.port}")
+
+
+def lower(system: DataControlSystem) -> Netlist:
+    """Lower a data/control flow system to a structural netlist."""
+    dp = system.datapath
+    net = system.net
+    result = Netlist(name=system.name)
+    lines: list[str] = []
+
+    # ------------------------------------------------------------------ ports
+    for vertex in dp.input_vertices():
+        result.module_inputs.append(_sig(f"{vertex.name}_in"))
+    for vertex in dp.output_vertices():
+        result.module_outputs.append(_sig(f"{vertex.name}_out"))
+        result.module_outputs.append(_sig(f"{vertex.name}_valid"))
+
+    header_ports = ["clk", "rst"] + result.module_inputs + \
+        result.module_outputs
+    lines.append(f"module {_sig(result.name)} (")
+    lines.append("  " + ", ".join(header_ports))
+    lines.append(");")
+
+    # ------------------------------------------------------- controller FSM
+    lines.append("")
+    lines.append("  // one-hot controller: one flip-flop per control state")
+    for place in net.places:
+        flop = _sig(f"st_{place}")
+        result.state_flops.append(flop)
+        reset = "1'b1" if net.initial.get(place, 0) else "1'b0"
+        lines.append(f"  reg {flop};  // reset to {reset}")
+    lines.append("")
+    lines.append("  // transition fire signals: all input states held, "
+                 "guard true")
+    for transition in net.transitions:
+        terms = [_sig(f"st_{p}") for p in sorted(net.preset(transition))]
+        guards = sorted(system.guard_ports(transition), key=str)
+        if guards:
+            guard_expr = " | ".join(
+                f"|{_port_signal(system, g)}" for g in guards)
+            terms.append(f"({guard_expr})")
+        fire = _sig(f"fire_{transition}")
+        expr = " & ".join(terms) if terms else "1'b1"
+        result.fire_signals[transition] = expr
+        lines.append(f"  wire {fire} = {expr};")
+    lines.append("")
+    lines.append("  always @(posedge clk) begin")
+    lines.append("    if (rst) begin")
+    for place in net.places:
+        reset = "1'b1" if net.initial.get(place, 0) else "1'b0"
+        lines.append(f"      {_sig('st_' + place)} <= {reset};")
+    lines.append("    end else begin")
+    for place in net.places:
+        drains = [f"fire_{_sig(t)}" for t in sorted(net.postset(place))]
+        feeds = [f"fire_{_sig(t)}" for t in sorted(net.preset(place))]
+        hold = _sig(f"st_{place}")
+        drained = (" | ".join(drains)) if drains else "1'b0"
+        fed = (" | ".join(feeds)) if feeds else "1'b0"
+        lines.append(f"      {hold} <= ({hold} & ~({drained})) | ({fed});")
+    lines.append("    end")
+    lines.append("  end")
+
+    # ------------------------------------------------- steering (muxes)
+    lines.append("")
+    lines.append("  // data-path steering: one mux per multi-driver port")
+    # group by *driving signal*: two arcs from the same source into the
+    # same port are one physical wire (steered in different states), not
+    # two mux inputs — matching the cost model's distinct-source count
+    port_sources: dict[PortId, dict[str, set[str]]] = {}
+    for arc in dp.arcs.values():
+        source_signal = _port_signal(system, arc.source)
+        selects = port_sources.setdefault(arc.target, {}) \
+            .setdefault(source_signal, set())
+        selects.update(system.controlling_states(arc.name))
+
+    port_wire: dict[PortId, str] = {}
+    for target, sources in sorted(port_sources.items(),
+                                  key=lambda kv: str(kv[0])):
+        wire = _sig(f"{target.vertex}_{target.port}_d")
+        port_wire[target] = wire
+        unique = sorted(
+            (signal, " | ".join(_sig(f"st_{p}") for p in sorted(selects)))
+            for signal, selects in sources.items()
+        )
+        if len(unique) == 1:
+            lines.append(f"  wire {wire} = {unique[0][0]};")
+            continue
+        mux = Mux(target=target, inputs=unique)
+        result.muxes.append(mux)
+        arms = " : ".join(
+            f"({select}) ? {signal}"
+            for signal, select in unique[:-1]
+        )
+        lines.append(f"  wire {wire} = {arms} : {unique[-1][0]};  // mux")
+
+    # --------------------------------------------------------- data path
+    lines.append("")
+    lines.append("  // data path instances")
+    for vertex in dp.vertices.values():
+        if vertex.is_input_vertex:
+            continue
+        if vertex.is_output_vertex:
+            in_port = PortId(vertex.name, vertex.in_ports[0])
+            wire = port_wire.get(in_port, "'bx")
+            states = sorted({
+                place
+                for arc in dp.arcs_into(in_port)
+                for place in system.controlling_states(arc.name)
+            })
+            valid = " | ".join(_sig(f"st_{p}") for p in states) or "1'b0"
+            lines.append(f"  assign {_sig(vertex.name + '_out')} = {wire};")
+            lines.append(f"  assign {_sig(vertex.name + '_valid')} = {valid};")
+            result.enables[vertex.name] = valid
+            continue
+        if vertex.is_sequential:
+            result.registers.append(vertex.name)
+            in_port = PortId(vertex.name, vertex.in_ports[0])
+            q_wire = _port_signal(system, PortId(vertex.name,
+                                                 vertex.out_ports[0]))
+            d_wire = port_wire.get(in_port, "'bx")
+            states = sorted({
+                place
+                for arc in dp.arcs_into(in_port)
+                for place in system.controlling_states(arc.name)
+            })
+            enable = " | ".join(_sig(f"st_{p}") for p in states) or "1'b0"
+            result.enables[vertex.name] = enable
+            lines.append(f"  reg [WIDTH-1:0] {q_wire};")
+            lines.append(f"  always @(posedge clk) if ({enable}) "
+                         f"{q_wire} <= {d_wire};")
+            continue
+        # combinational operator / constant
+        op_names = [vertex.operation(p).name for p in vertex.out_ports]
+        result.operators.append((vertex.name, ",".join(op_names)))
+        out_wire = _port_signal(system, PortId(vertex.name,
+                                               vertex.out_ports[0]))
+        args = ", ".join(
+            port_wire.get(PortId(vertex.name, p), "'bx")
+            for p in vertex.in_ports
+        )
+        op = vertex.operation(vertex.out_ports[0])
+        lines.append(f"  wire [WIDTH-1:0] {out_wire};")
+        lines.append(f"  {op.name}_unit u_{_sig(vertex.name)} "
+                     f"({args}{', ' if args else ''}{out_wire});")
+
+    lines.append("")
+    lines.append("endmodule")
+    result.text = "\n".join(lines)
+    return result
+
+
+def to_verilog(system: DataControlSystem) -> str:
+    """Convenience: the netlist text only."""
+    return lower(system).text

@@ -1,0 +1,67 @@
+"""Plain-text tables for the benchmark harness.
+
+The benchmarks print the series the paper's claims predict; this module
+renders them uniformly so EXPERIMENTS.md can paste the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, title: str | None = None) -> str:
+    """Fixed-width ASCII table with right-aligned numeric columns."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    numeric = [
+        all(_is_numeric(row[i]) for row in text_rows) if text_rows else False
+        for i in range(len(headers))
+    ]
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i]
+                         else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_records(records: Sequence[Mapping[str, Any]],
+                   *, title: str | None = None,
+                   columns: Sequence[str] | None = None) -> str:
+    """Table from a list of dicts (columns default to first record's keys)."""
+    if not records:
+        return title or "(no data)"
+    headers = list(columns) if columns else list(records[0].keys())
+    rows = [[record.get(h, "") for h in headers] for record in records]
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    if not text:
+        return False
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

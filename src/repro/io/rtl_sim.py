@@ -1,0 +1,233 @@
+"""RTL co-simulation: execute the netlist *interpretation* of a design.
+
+:mod:`repro.io.netlist` lowers a system to a one-hot FSM plus a muxed
+data path.  This module executes that interpretation cycle by cycle —
+an independent second semantics:
+
+* control state lives in per-place flip-flops updated by the boolean
+  equations ``p' = (p ∧ ¬drained) ∨ fed`` with ``fire_t = ⋀ preset ∧
+  (⋁ guards)`` — the *hardware* reading of the token game (maximal step
+  by construction, no arbitration: exactly why the model must be
+  conflict-free before lowering);
+* registers latch on **every** cycle their enable (the OR of their
+  controlling places' flip-flops) is high — not only at token departure;
+  for properly designed systems the latched value is stable across a
+  holding window, so the final value agrees with the model;
+* an input pad presents a stream value that advances on the *rising
+  edge* of any place reading it; an output pad's value is sampled on the
+  cycle its controlling place's token departs (``valid ∧ drained``).
+
+:func:`simulate_rtl` returns the per-pad output streams, and
+:func:`crosscheck` asserts they match the reference
+:mod:`repro.semantics.simulator` — the executable proof that the netlist
+lowering scheme preserves the semantics the transformations preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.system import DataControlSystem
+from ..datapath.operations import OpKind
+from ..datapath.ports import PortId
+from ..datapath.validate import topological_com_order
+from ..errors import ExecutionError
+from ..semantics.environment import Environment
+from ..values import UNDEF, Value, truthy
+
+
+@dataclass
+class RtlTrace:
+    """Observable outcome of an RTL run."""
+
+    outputs: dict[str, list[Value]] = field(default_factory=dict)
+    inputs: dict[str, list[Value]] = field(default_factory=dict)
+    cycles: int = 0
+    finished: bool = False   # all state flip-flops cleared
+    stalled: bool = False    # state vector stopped changing with flops set
+
+
+def simulate_rtl(system: DataControlSystem, environment: Environment, *,
+                 max_cycles: int = 100_000) -> RtlTrace:
+    """Run the one-hot FSM / enabled-register interpretation."""
+    dp = system.datapath
+    net = system.net
+    trace = RtlTrace()
+    trace.outputs = {v.name: [] for v in dp.output_vertices()}
+    trace.inputs = {v.name: [] for v in dp.input_vertices()}
+
+    state: dict[str, bool] = {p: net.initial.get(p, 0) > 0
+                              for p in net.places}
+    registers: dict[PortId, Value] = {}
+    for vertex in dp.vertices.values():
+        for port in vertex.out_ports:
+            if vertex.operation(port).kind is OpKind.SEQ:
+                registers[PortId(vertex.name, port)] = \
+                    vertex.initial_value(port)
+    pad_value: dict[str, Value] = {v.name: UNDEF
+                                   for v in dp.input_vertices()}
+
+    # which places read each input pad / drive each register or out pad
+    pad_readers: dict[str, frozenset[str]] = {}
+    for vertex in dp.input_vertices():
+        out = PortId(vertex.name, vertex.out_ports[0])
+        places: set[str] = set()
+        for arc in dp.arcs_from(out):
+            places |= system.controlling_states(arc.name)
+        pad_readers[vertex.name] = frozenset(places)
+
+    previous_state = {p: False for p in net.places}
+
+    def active_places() -> list[str]:
+        return [p for p, on in state.items() if on]
+
+    def evaluate() -> dict[PortId, Value]:
+        """Combinational fixpoint under the current state vector.
+
+        Identical shape to the model simulator's phase 1 — this is the
+        part of the RTL whose muxes steer by the state flip-flops, so the
+        *active-arc* view is exactly what the mux network computes.
+        """
+        active_arcs: set[str] = set()
+        for place in active_places():
+            active_arcs |= system.control_arcs(place)
+        values: dict[PortId, Value] = dict(registers)
+        for vertex in dp.input_vertices():
+            values[PortId(vertex.name, vertex.out_ports[0])] = \
+                pad_value[vertex.name]
+
+        def resolve(port: PortId) -> Value:
+            for arc in dp.arcs_into(port):
+                if arc.name in active_arcs:
+                    return values.get(arc.source, UNDEF)
+            return UNDEF
+
+        for name in topological_com_order(dp, active_arcs):
+            vertex = dp.vertex(name)
+            args = [resolve(p) for p in vertex.input_ids()]
+            for port in vertex.out_ports:
+                values[PortId(name, port)] = \
+                    vertex.operation(port).evaluate(*args)
+        values["__resolve__"] = resolve  # type: ignore[assignment]
+        return values
+
+    def flush_outputs(values, fired_drains: dict[str, bool],
+                      final: bool) -> None:
+        resolve = values["__resolve__"]
+        for vertex in dp.output_vertices():
+            in_port = PortId(vertex.name, vertex.in_ports[0])
+            places = {
+                place
+                for arc in dp.arcs_into(in_port)
+                for place in system.controlling_states(arc.name)
+            }
+            for place in sorted(places):
+                if state[place] and (final or fired_drains.get(place, False)):
+                    trace.outputs[vertex.name].append(resolve(in_port))
+
+    for cycle in range(max_cycles):
+        if not any(state.values()):
+            trace.finished = True
+            break
+
+        # rising-edge input draws (a place newly reading a pad)
+        for pad, readers in pad_readers.items():
+            if any(state[p] and not previous_state[p] for p in readers):
+                pad_value[pad] = environment.draw(pad)
+                trace.inputs[pad].append(pad_value[pad])
+
+        values = evaluate()
+        resolve = values["__resolve__"]
+
+        # fire signals (boolean, unarbitrated — maximal step in hardware)
+        fire: dict[str, bool] = {}
+        for transition in net.transitions:
+            enabled = all(state[p] for p in net.preset(transition))
+            guards = system.guard_ports(transition)
+            if guards:
+                enabled = enabled and any(
+                    truthy(values.get(g, UNDEF)) for g in guards)
+            fire[transition] = enabled
+
+        fired_drains = {
+            p: any(fire[t] for t in net.postset(p)) for p in net.places
+        }
+
+        if not any(fire.values()):
+            # quiescent with flops set: sample held outputs and stop
+            flush_outputs(values, fired_drains, final=True)
+            trace.stalled = True
+            break
+
+        # outputs sampled at token departure
+        flush_outputs(values, fired_drains, final=False)
+
+        # register latches: every cycle the enable is high
+        updates: dict[PortId, Value] = {}
+        for vertex in dp.vertices.values():
+            if not vertex.is_sequential or vertex.is_external:
+                continue
+            in_port = PortId(vertex.name, vertex.in_ports[0])
+            enabled = any(
+                state[place]
+                for arc in dp.arcs_into(in_port)
+                for place in system.controlling_states(arc.name)
+            )
+            if not enabled:
+                continue
+            incoming = resolve(in_port)
+            for port_name in vertex.out_ports:
+                op = vertex.operation(port_name)
+                if op.kind is not OpKind.SEQ:
+                    continue
+                port = PortId(vertex.name, port_name)
+                old = registers[port]
+                if op.func is None:
+                    new = incoming if incoming is not UNDEF else old
+                else:
+                    computed = op.evaluate(old, incoming)
+                    new = computed if computed is not UNDEF else old
+                updates[port] = new
+        registers.update(updates)
+
+        # state flip-flop update: p' = (p & ~drained) | fed
+        previous_state = dict(state)
+        next_state: dict[str, bool] = {}
+        for place in net.places:
+            fed = any(fire[t] for t in net.preset(place))
+            next_state[place] = (state[place]
+                                 and not fired_drains[place]) or fed
+        state = next_state
+        trace.cycles = cycle + 1
+    else:
+        raise ExecutionError(
+            f"RTL simulation did not finish within {max_cycles} cycles")
+
+    return trace
+
+
+def crosscheck(system: DataControlSystem, environment: Environment, *,
+               max_cycles: int = 100_000) -> RtlTrace:
+    """Run both semantics and assert the observable streams agree.
+
+    Returns the RTL trace on success; raises ``AssertionError`` carrying
+    the first differing pad otherwise.
+    """
+    from ..designs.base import pad_inputs, pad_outputs
+    from ..semantics.simulator import simulate
+
+    reference = simulate(system, environment.fork(), max_steps=max_cycles)
+    expected_out = pad_outputs(system, reference)
+    expected_in = pad_inputs(system, reference)
+    rtl = simulate_rtl(system, environment.fork(), max_cycles=max_cycles)
+    for pad, values in expected_out.items():
+        assert rtl.outputs.get(pad, []) == values, (
+            f"output pad {pad!r}: RTL {rtl.outputs.get(pad)} "
+            f"vs model {values}"
+        )
+    for pad, values in expected_in.items():
+        assert rtl.inputs.get(pad, []) == values, (
+            f"input pad {pad!r}: RTL {rtl.inputs.get(pad)} "
+            f"vs model {values}"
+        )
+    return rtl

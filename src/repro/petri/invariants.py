@@ -1,0 +1,191 @@
+"""Incidence matrix and P/T-invariants of a Petri net.
+
+The incidence matrix ``N`` has one row per place and one column per
+transition, with ``N[p, t] = post(t)[p] - pre(t)[p]`` (token change at
+place ``p`` caused by firing ``t``).  Two classical linear-algebraic
+consequences are used in the library:
+
+* **State equation** — firing a step with count vector ``σ`` takes marking
+  ``m`` to ``m + N·σ``; tests use this as an executable invariant of the
+  token game (a property-based check of :mod:`repro.petri.execution`).
+* **P-invariants** — integer vectors ``y ≥ 0`` with ``yᵀ·N = 0``.  The
+  weighted token sum ``yᵀ·m`` is constant under firing; a net covered by
+  positive P-invariants with ``yᵀ·M0 = 1`` is structurally safe, which the
+  properly-designed checker exploits as a fast pre-check before falling
+  back to reachability analysis.
+
+The null-space computation is exact (fractions.Fraction Gaussian
+elimination), so invariants are exact integer vectors — floating point
+rank decisions would be unacceptable here.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Sequence
+
+import numpy as np
+
+from .marking import Marking
+from .net import PetriNet
+
+
+def incidence_matrix(net: PetriNet) -> np.ndarray:
+    """The |S| × |T| incidence matrix with integer entries.
+
+    Row order follows ``net.place_names()``; column order follows
+    ``net.transition_names()``.
+    """
+    places = net.place_names()
+    transitions = net.transition_names()
+    p_index = {p: i for i, p in enumerate(places)}
+    matrix = np.zeros((len(places), len(transitions)), dtype=np.int64)
+    for j, t in enumerate(transitions):
+        for p in net.preset(t):
+            matrix[p_index[p], j] -= 1
+        for p in net.postset(t):
+            matrix[p_index[p], j] += 1
+    return matrix
+
+
+def state_equation_delta(net: PetriNet, counts: dict[str, int]) -> dict[str, int]:
+    """Marking change ``N·σ`` for a firing-count vector ``σ``."""
+    matrix = incidence_matrix(net)
+    sigma = np.zeros(len(net.transitions), dtype=np.int64)
+    for j, t in enumerate(net.transition_names()):
+        sigma[j] = counts.get(t, 0)
+    delta = matrix @ sigma
+    return {p: int(delta[i]) for i, p in enumerate(net.place_names()) if delta[i]}
+
+
+def apply_state_equation(net: PetriNet, marking: Marking, counts: dict[str, int]) -> dict[str, int]:
+    """``m + N·σ`` as a plain dict (may be negative if σ is not realisable)."""
+    delta = state_equation_delta(net, counts)
+    result = {p: marking[p] for p in net.place_names()}
+    for p, d in delta.items():
+        result[p] = result.get(p, 0) + d
+    return result
+
+
+def _rational_nullspace(matrix: np.ndarray) -> list[list[Fraction]]:
+    """Exact basis of the (right) null space of ``matrix`` over ℚ."""
+    rows, cols = matrix.shape
+    work = [[Fraction(int(matrix[i, j])) for j in range(cols)] for i in range(rows)]
+    pivot_cols: list[int] = []
+    rank = 0
+    for col in range(cols):
+        pivot_row = None
+        for row in range(rank, rows):
+            if work[row][col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            continue
+        work[rank], work[pivot_row] = work[pivot_row], work[rank]
+        pivot = work[rank][col]
+        work[rank] = [value / pivot for value in work[rank]]
+        for row in range(rows):
+            if row != rank and work[row][col] != 0:
+                factor = work[row][col]
+                work[row] = [a - factor * b for a, b in zip(work[row], work[rank])]
+        pivot_cols.append(col)
+        rank += 1
+        if rank == rows:
+            break
+    free_cols = [c for c in range(cols) if c not in pivot_cols]
+    basis: list[list[Fraction]] = []
+    for free in free_cols:
+        vector = [Fraction(0)] * cols
+        vector[free] = Fraction(1)
+        for row, col in enumerate(pivot_cols):
+            vector[col] = -work[row][free]
+        basis.append(vector)
+    return basis
+
+
+def _to_integer_vector(vector: Sequence[Fraction]) -> list[int]:
+    """Scale a rational vector to the smallest collinear integer vector."""
+    denominators = [value.denominator for value in vector]
+    lcm = 1
+    for d in denominators:
+        lcm = lcm * d // gcd(lcm, d)
+    ints = [int(value * lcm) for value in vector]
+    divisor = 0
+    for value in ints:
+        divisor = gcd(divisor, abs(value))
+    if divisor > 1:
+        ints = [value // divisor for value in ints]
+    return ints
+
+
+def p_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """A basis of P-invariants (``yᵀ·N = 0``) as place-weight dicts.
+
+    The basis spans the left null space; individual basis vectors may have
+    negative entries (semi-positive invariants are a cone, not a space —
+    callers interested in safety should use :func:`positive_p_invariants`).
+    """
+    matrix = incidence_matrix(net)
+    basis = _rational_nullspace(matrix.T)
+    places = net.place_names()
+    result = []
+    for vector in basis:
+        ints = _to_integer_vector(vector)
+        result.append({p: w for p, w in zip(places, ints) if w})
+    return result
+
+
+def t_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """A basis of T-invariants (``N·x = 0``) as transition-count dicts.
+
+    A realisable T-invariant describes a firing sequence that reproduces
+    the marking it started from — the cyclic steady state of a loop.
+    """
+    matrix = incidence_matrix(net)
+    basis = _rational_nullspace(matrix)
+    transitions = net.transition_names()
+    result = []
+    for vector in basis:
+        ints = _to_integer_vector(vector)
+        result.append({t: w for t, w in zip(transitions, ints) if w})
+    return result
+
+
+def positive_p_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """Semi-positive P-invariants found in (combinations of) the basis.
+
+    This is a pragmatic extractor, not a complete Farkas enumeration: it
+    returns basis vectors that are already semi-positive, after flipping
+    sign where the vector is semi-negative.  Sufficient for the structural
+    safety pre-check on the nets produced by the synthesis frontend, whose
+    sequential regions are covered by {0,1} invariants.
+    """
+    result = []
+    for invariant in p_invariants(net):
+        values = list(invariant.values())
+        if all(v >= 0 for v in values):
+            result.append(invariant)
+        elif all(v <= 0 for v in values):
+            result.append({p: -w for p, w in invariant.items()})
+    return result
+
+
+def invariant_token_sum(invariant: dict[str, int], marking: Marking) -> int:
+    """Weighted token count ``yᵀ·m`` of a marking under an invariant."""
+    return sum(weight * marking[place] for place, weight in invariant.items())
+
+
+def structurally_safe_places(net: PetriNet) -> frozenset[str]:
+    """Places proven safe by a semi-positive P-invariant argument.
+
+    A place ``p`` is structurally safe if some semi-positive invariant
+    ``y`` has ``y[p] ≥ 1`` and ``yᵀ·M0 ≤ 1``: the weighted token sum is
+    conserved, so ``p`` can never hold two tokens.
+    """
+    initial = net.initial_marking()
+    safe: set[str] = set()
+    for invariant in positive_p_invariants(net):
+        if invariant_token_sum(invariant, initial) <= 1:
+            safe.update(p for p, w in invariant.items() if w >= 1)
+    return frozenset(safe)

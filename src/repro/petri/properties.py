@@ -1,0 +1,121 @@
+"""Behavioural properties of nets: safety, conflicts, deadlock, liveness.
+
+These are the net-level ingredients of the properly-designed check
+(Definition 3.2); the full check, which also involves the data path, lives
+in :mod:`repro.core.properly_designed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .invariants import structurally_safe_places
+from .marking import Marking
+from .net import PetriNet
+from .reachability import ReachabilityGraph, explore
+
+
+@dataclass
+class SafetyReport:
+    """Outcome of a safety (1-boundedness) analysis."""
+
+    safe: bool
+    decided: bool
+    method: str
+    witness: Marking | None = None
+    markings_explored: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.safe and self.decided
+
+
+def check_safety(net: PetriNet, *, max_markings: int = 100_000) -> SafetyReport:
+    """Decide safety, trying a structural proof before exploration.
+
+    1.  If every place is covered by a semi-positive P-invariant with an
+        initial weighted token sum ≤ 1, the net is safe — no exploration
+        needed (fast path for large synthesised controllers).
+    2.  Otherwise fall back to reachability exploration with token bound 1.
+    """
+    covered = structurally_safe_places(net)
+    if covered.issuperset(net.places):
+        return SafetyReport(safe=True, decided=True, method="p-invariant")
+    graph = explore(net, max_markings=max_markings, token_bound=1)
+    if graph.bounded_by > 1:
+        witness = next(
+            (m for m in graph.markings if any(m[p] > 1 for p in m)), None
+        )
+        return SafetyReport(
+            safe=False, decided=True, method="reachability",
+            witness=witness, markings_explored=graph.num_markings,
+        )
+    return SafetyReport(
+        safe=True, decided=graph.complete, method="reachability",
+        markings_explored=graph.num_markings,
+    )
+
+
+def structural_conflicts(net: PetriNet) -> list[tuple[str, str, str]]:
+    """Transition pairs competing for a shared input place.
+
+    Returns ``(place, t1, t2)`` triples with ``t1 < t2``.  These are the
+    *potential* conflicts of Definition 3.2(3); whether they are resolved
+    by mutually exclusive guards is checked at the system level, where
+    guard ports are known.
+    """
+    conflicts: list[tuple[str, str, str]] = []
+    for place in net.places:
+        sharers = sorted(net.postset(place))
+        for i, t1 in enumerate(sharers):
+            for t2 in sharers[i + 1:]:
+                conflicts.append((place, t1, t2))
+    return conflicts
+
+
+@dataclass
+class LivenessReport:
+    """Deadlock/termination structure of the reachable marking graph."""
+
+    deadlock_free: bool
+    terminating: bool
+    deadlock_markings: list[Marking] = field(default_factory=list)
+    terminal_markings: list[Marking] = field(default_factory=list)
+    complete: bool = True
+
+
+def check_liveness(net: PetriNet, *, max_markings: int = 100_000) -> LivenessReport:
+    """Classify quiescent markings into proper terminations and deadlocks.
+
+    A quiescent marking with zero tokens is a proper termination
+    (Definition 3.1(6)); one with tokens remaining is a deadlock.
+    """
+    graph: ReachabilityGraph = explore(net, max_markings=max_markings)
+    deadlocks = [graph.markings[i] for i in graph.deadlocks]
+    terminals = [graph.markings[i] for i in graph.terminals]
+    return LivenessReport(
+        deadlock_free=not deadlocks,
+        terminating=bool(terminals) or bool(deadlocks),
+        deadlock_markings=deadlocks,
+        terminal_markings=terminals,
+        complete=graph.complete,
+    )
+
+
+def is_marked_graph(net: PetriNet) -> bool:
+    """True iff every place has at most one input and one output transition.
+
+    Marked graphs (decision-free nets) are conflict-free by construction;
+    the synthesis frontend emits marked-graph regions for straight-line
+    code and only introduces place-sharing at guarded branch points.
+    """
+    return all(
+        len(net.preset(p)) <= 1 and len(net.postset(p)) <= 1 for p in net.places
+    )
+
+
+def is_state_machine(net: PetriNet) -> bool:
+    """True iff every transition has exactly one input and one output place."""
+    return all(
+        len(net.preset(t)) == 1 and len(net.postset(t)) == 1
+        for t in net.transitions
+    )

@@ -1,0 +1,164 @@
+"""Structural net theory: siphons, traps, and Commoner's condition.
+
+Classical structure-based liveness reasoning, complementing the
+behavioural (reachability) checks in :mod:`repro.petri.properties`:
+
+* a **siphon** is a place set ``D`` with ``•D ⊆ D•`` — once empty it
+  stays empty, disabling every transition it feeds;
+* a **trap** is a place set ``Q`` with ``Q• ⊆ •Q`` — once marked it
+  stays marked;
+* **Commoner's condition** (sufficient for liveness on free-choice
+  nets): every non-empty siphon contains an initially marked trap.
+
+The synthesis pipeline itself relies on reachability (its nets are
+small), but the structural results are cheap on large nets, and the
+properly-designed benchmark uses them as a scalable pre-screen: a
+token-free siphon reachable from the initial marking is a structural
+deadlock certificate no simulation is needed for.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from .net import PetriNet
+
+
+def preset_of_places(net: PetriNet, places: Iterable[str]) -> frozenset[str]:
+    """``•D`` — transitions with an output arc into any place of ``D``."""
+    result: set[str] = set()
+    for place in places:
+        result.update(net.preset(place))
+    return frozenset(result)
+
+
+def postset_of_places(net: PetriNet, places: Iterable[str]) -> frozenset[str]:
+    """``D•`` — transitions with an input arc from any place of ``D``."""
+    result: set[str] = set()
+    for place in places:
+        result.update(net.postset(place))
+    return frozenset(result)
+
+
+def is_siphon(net: PetriNet, places: Iterable[str]) -> bool:
+    """``•D ⊆ D•`` — every transition feeding D also drains it."""
+    place_set = set(places)
+    if not place_set:
+        return False
+    return preset_of_places(net, place_set) <= postset_of_places(net, place_set)
+
+
+def is_trap(net: PetriNet, places: Iterable[str]) -> bool:
+    """``Q• ⊆ •Q`` — every transition draining Q also feeds it."""
+    place_set = set(places)
+    if not place_set:
+        return False
+    return postset_of_places(net, place_set) <= preset_of_places(net, place_set)
+
+
+def maximal_siphon_within(net: PetriNet, places: Iterable[str]) -> frozenset[str]:
+    """The largest siphon contained in ``places`` (possibly empty).
+
+    Standard pruning fixpoint: repeatedly drop any place fed by a
+    transition that does not drain the current set.  The siphons
+    contained in a set form a lattice, so the fixpoint is the unique
+    maximum.
+    """
+    current = set(places)
+    changed = True
+    while changed and current:
+        changed = False
+        drains = postset_of_places(net, current)
+        for place in sorted(current):
+            if not net.preset(place) <= drains:
+                current.discard(place)
+                changed = True
+                break
+    return frozenset(current)
+
+
+def maximal_trap_within(net: PetriNet, places: Iterable[str]) -> frozenset[str]:
+    """The largest trap contained in ``places`` (possibly empty)."""
+    current = set(places)
+    changed = True
+    while changed and current:
+        changed = False
+        feeds = preset_of_places(net, current)
+        for place in sorted(current):
+            if not net.postset(place) <= feeds:
+                current.discard(place)
+                changed = True
+                break
+    return frozenset(current)
+
+
+def minimal_siphons(net: PetriNet, *, max_size: int | None = None,
+                    limit: int = 10_000) -> list[frozenset[str]]:
+    """All minimal siphons up to ``max_size`` (brute force over subsets).
+
+    Siphon enumeration is exponential in general; this is intended for
+    the net sizes structural analysis is usually *read* on (tests,
+    teaching, small controllers).  ``limit`` caps the number of candidate
+    sets examined per size to keep worst cases bounded.
+    """
+    places = sorted(net.places)
+    bound = max_size if max_size is not None else len(places)
+    found: list[frozenset[str]] = []
+    for size in range(1, bound + 1):
+        examined = 0
+        for subset in combinations(places, size):
+            examined += 1
+            if examined > limit:
+                break
+            candidate = frozenset(subset)
+            if any(s <= candidate for s in found):
+                continue  # not minimal
+            if is_siphon(net, candidate):
+                found.append(candidate)
+    return found
+
+
+def is_free_choice(net: PetriNet) -> bool:
+    """Free choice: any two transitions sharing an input place share all.
+
+    Equivalently, for every arc ``(p, t)``: either ``p• = {t}`` or
+    ``•t = {p}``.  Compiled systems are free-choice by construction
+    (branch decisions happen at dedicated condition places).
+    """
+    for place in net.places:
+        drains = net.postset(place)
+        if len(drains) <= 1:
+            continue
+        for t in drains:
+            if net.preset(t) != {place}:
+                return False
+    return True
+
+
+def commoner_holds(net: PetriNet, *, max_size: int | None = None,
+                   limit: int = 10_000) -> bool:
+    """Commoner's condition: every minimal siphon contains a marked trap.
+
+    Sufficient for liveness of free-choice nets (and for deadlock-freedom
+    more broadly); necessary-and-sufficient on free-choice nets.  Uses
+    :func:`minimal_siphons`, so apply on modest nets only.
+    """
+    initial = net.initial_marking()
+    for siphon in minimal_siphons(net, max_size=max_size, limit=limit):
+        trap = maximal_trap_within(net, siphon)
+        if not trap or not any(initial[p] > 0 for p in trap):
+            return False
+    return True
+
+
+def token_free_siphon(net: PetriNet) -> frozenset[str]:
+    """The maximal initially-unmarked siphon (empty set if none).
+
+    A non-empty result is a structural liveness red flag: those places
+    can never gain a first token unless a transition outside their
+    postset feeds them — and by the siphon property none exists, so the
+    transitions they feed are dead from the start.
+    """
+    unmarked = [p for p in net.places if net.initial.get(p, 0) == 0]
+    return maximal_siphon_within(net, unmarked)

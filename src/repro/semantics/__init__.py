@@ -1,0 +1,56 @@
+"""Execution semantics of the data/control flow model (Section 3).
+
+* :mod:`~repro.semantics.values` — the value domain with ⊥ (UNDEF);
+* :class:`~repro.semantics.environment.Environment` — predefined input
+  sequences per input vertex;
+* :class:`~repro.semantics.simulator.Simulator` — the two-phase
+  interpreter of Definition 3.1;
+* :mod:`~repro.semantics.policies` — firing-choice strategies;
+* :mod:`~repro.semantics.event_structure` — extraction of ``S(Γ)``.
+"""
+
+from .environment import Environment
+from .event_structure import (
+    default_policy_sweep,
+    event_structure_from_trace,
+    extract_event_structure,
+    observed_conflicts,
+    policy_invariant_structure,
+)
+from .policies import (
+    FiringPolicy,
+    FixedOrderPolicy,
+    MaximalStepPolicy,
+    RandomPolicy,
+    ScriptedPolicy,
+    SequentialPolicy,
+)
+from .simulator import Simulator, simulate
+from .trace import ConflictRecord, LatchRecord, Trace
+from .values import UNDEF, Value, as_word, is_defined, strict, truthy
+
+__all__ = [
+    "UNDEF",
+    "Value",
+    "is_defined",
+    "truthy",
+    "strict",
+    "as_word",
+    "Environment",
+    "Simulator",
+    "simulate",
+    "Trace",
+    "LatchRecord",
+    "ConflictRecord",
+    "FiringPolicy",
+    "MaximalStepPolicy",
+    "SequentialPolicy",
+    "RandomPolicy",
+    "FixedOrderPolicy",
+    "ScriptedPolicy",
+    "extract_event_structure",
+    "event_structure_from_trace",
+    "policy_invariant_structure",
+    "default_policy_sweep",
+    "observed_conflicts",
+]

@@ -1,0 +1,91 @@
+"""Extracting external event structures ``S(Γ)`` from executions.
+
+Ties together the simulator (which observes the events) and the
+structural ``⇒`` relation (which supplies the precedence condition of
+Definition 3.5).  Also provides the *policy sweep* — running the same
+system under several firing policies and checking that the observed event
+structure is invariant, which is the operational content of
+"properly designed systems are deterministic up to firing order".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.events import EventStructure, build_event_structure
+from ..core.system import DataControlSystem
+from ..errors import ExecutionError
+from .environment import Environment
+from .policies import FiringPolicy, MaximalStepPolicy, RandomPolicy, SequentialPolicy
+from .simulator import Simulator
+from .trace import ConflictRecord, Trace
+
+
+def event_structure_from_trace(system: DataControlSystem,
+                               trace: Trace) -> EventStructure:
+    """Assemble ``S(Γ)`` from a finished trace (Definition 3.5)."""
+    relations = system.relations
+    return build_event_structure(trace.events,
+                                 state_precedes=relations.precedes)
+
+
+def extract_event_structure(system: DataControlSystem,
+                            environment: Environment | None = None, *,
+                            policy: FiringPolicy | None = None,
+                            max_steps: int = 10_000) -> EventStructure:
+    """Simulate once and return the observed external event structure."""
+    env = environment if environment is not None else Environment()
+    simulator = Simulator(
+        system, env, policy if policy is not None else MaximalStepPolicy()
+    )
+    trace = simulator.run(max_steps=max_steps)
+    return event_structure_from_trace(system, trace)
+
+
+def default_policy_sweep(seeds: Iterable[int] = (1, 2, 3)) -> list[FiringPolicy]:
+    """The standard battery: maximal step, fully sequential, random seeds."""
+    policies: list[FiringPolicy] = [MaximalStepPolicy(), SequentialPolicy()]
+    policies.extend(RandomPolicy(seed) for seed in seeds)
+    return policies
+
+
+def policy_invariant_structure(system: DataControlSystem,
+                               environment: Environment | None = None, *,
+                               policies: Sequence[FiringPolicy] | None = None,
+                               max_steps: int = 10_000) -> EventStructure:
+    """Extract ``S(Γ)`` under several policies and insist they agree.
+
+    For a properly designed system every firing policy must observe the
+    same external event structure; a disagreement means the system is
+    *not* conflict-free (or shares resources between parallel states) and
+    is reported as an :class:`~repro.errors.ExecutionError` carrying the
+    first difference.
+    """
+    env = environment if environment is not None else Environment()
+    battery = list(policies) if policies is not None else default_policy_sweep()
+    if not battery:
+        raise ValueError("at least one policy is required")
+    reference: EventStructure | None = None
+    for policy in battery:
+        structure = extract_event_structure(system, env.fork(), policy=policy,
+                                            max_steps=max_steps)
+        if reference is None:
+            reference = structure
+        elif not reference.semantically_equal(structure):
+            raise ExecutionError(
+                "event structure differs across firing policies — the system "
+                "is not properly designed: "
+                + (reference.explain_difference(structure) or "unknown")
+            )
+    assert reference is not None
+    return reference
+
+
+def observed_conflicts(system: DataControlSystem,
+                       environment: Environment | None = None, *,
+                       max_steps: int = 10_000) -> list[ConflictRecord]:
+    """Dynamic rule-3 sweep: simulate leniently and report conflicts."""
+    env = environment if environment is not None else Environment()
+    simulator = Simulator(system, env, MaximalStepPolicy(), strict=False)
+    trace = simulator.run(max_steps=max_steps, on_limit="return")
+    return trace.conflicts

@@ -1,0 +1,364 @@
+"""The execution engine — Definition 3.1 made operational.
+
+One simulation **step** is a two-phase affair:
+
+1. **Combinational phase.**  The marking determines the set of *open*
+   arcs (``C(S)`` for every marked ``S``).  Values propagate from
+   state-holding ports (registers, environment pads) through the open
+   arcs and combinational vertices to a fixpoint.  Because properly
+   designed systems have no combinational loop inside a control state
+   (Definition 3.2(4)), the fixpoint is a single topological pass.
+
+2. **Control phase.**  Guards are evaluated on the fixpoint
+   (Definition 3.1(4), OR over multiple guard ports); the firing policy
+   picks a conflict-free step of fireable transitions; the step fires
+   (Definition 3.1(5)).  Every place losing its token *completes an
+   activation*: the sequential vertices it drives **latch** the value
+   present at their input port ("the last defined value of the
+   expression", Definition 3.1(9)), and the external arcs it controls
+   emit **external events** stamped with the activation interval
+   (Definition 3.4: the event happens while the state holds its token).
+
+Undefined values (Definition 3.1(10)) arise when an input port has no
+active arc, or combinationally from an undefined input.  A register whose
+input is undefined at latch time *keeps its previous value* — the "last
+defined value" reading.
+
+Execution terminates when no tokens remain (Definition 3.1(6)); a
+quiescent marking with tokens remaining is reported as a deadlock.
+Activations still open at quiescence are flushed so their events are
+observed (a terminal output state's event must not be lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.events import ExternalEvent
+from ..core.system import DataControlSystem
+from ..datapath.operations import OpKind
+from ..datapath.ports import PortId
+from ..datapath.validate import topological_com_order
+from ..errors import ExecutionError
+from ..petri.execution import fire_step, is_enabled
+from ..petri.marking import Marking
+from .environment import Environment
+from .policies import FiringPolicy, MaximalStepPolicy
+from .trace import ConflictRecord, LatchRecord, Trace
+from .values import UNDEF, Value, truthy
+
+
+@dataclass
+class _Activation:
+    """A token-holding interval of one control state."""
+
+    ident: int
+    place: str
+    start: int
+
+
+@dataclass
+class Simulator:
+    """Single-run executor for a :class:`DataControlSystem`.
+
+    Parameters
+    ----------
+    system:
+        The data/control flow system Γ.  Not mutated.
+    environment:
+        Value sequences for the input vertices; forked by the caller when
+        the same environment is reused across runs.
+    policy:
+        The firing policy (default: maximal step — synchronous hardware).
+    strict:
+        When True (default), runtime faults — bus-drive conflicts and
+        double latches — raise :class:`~repro.errors.ExecutionError`.
+        When False they are recorded in the trace and the affected value
+        becomes UNDEF, which lets the analysis tooling *observe* improper
+        designs instead of dying on them.
+    """
+
+    system: DataControlSystem
+    environment: Environment = field(default_factory=Environment)
+    policy: FiringPolicy = field(default_factory=MaximalStepPolicy)
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        self._dp = self.system.datapath
+        self._net = self.system.net
+        # initial sequential state: SEQ ports from vertex init; INPUT 'out'
+        # ports and OUTPUT 'snk' record ports start undefined
+        self._state: dict[PortId, Value] = {}
+        for vertex in self._dp.vertices.values():
+            for port in vertex.out_ports:
+                op = vertex.operation(port)
+                if op.kind in (OpKind.SEQ, OpKind.INPUT, OpKind.OUTPUT):
+                    self._state[PortId(vertex.name, port)] = vertex.initial_value(port)
+        self._event_index: dict[str, int] = {}
+        self._activation_counter = 0
+        self._external = self.system.external_arc_names()
+
+    # ------------------------------------------------------------------
+    # combinational phase
+    # ------------------------------------------------------------------
+    def _active_arcs(self, marking: Marking) -> set[str]:
+        active: set[str] = set()
+        for place in marking.marked_places():
+            active.update(self.system.control_arcs(place))
+        return active
+
+    def _drive_conflicts(self, active: set[str], step: int,
+                         trace: Trace) -> set[PortId]:
+        """Input ports driven by more than one distinct active source."""
+        drivers: dict[PortId, set[PortId]] = {}
+        for name in active:
+            arc = self._dp.arc(name)
+            drivers.setdefault(arc.target, set()).add(arc.source)
+        conflicted: set[PortId] = set()
+        for port, sources in drivers.items():
+            if len(sources) > 1:
+                conflicted.add(port)
+                record = ConflictRecord(
+                    step, "drive",
+                    f"input port {port} driven by {sorted(map(str, sources))}",
+                )
+                trace.conflicts.append(record)
+                if self.strict:
+                    raise ExecutionError(record.detail)
+        return conflicted
+
+    def _evaluate(self, active: set[str], conflicted: set[PortId]
+                  ) -> tuple[dict[PortId, Value], dict[PortId, Value]]:
+        """Compute the combinational fixpoint.
+
+        Returns ``(out_values, in_values)``: the value present at every
+        output port and at every input port under the current marking.
+        """
+        out_values: dict[PortId, Value] = dict(self._state)
+        in_values: dict[PortId, Value] = {}
+
+        def resolve(port: PortId) -> Value:
+            if port in in_values:
+                return in_values[port]
+            if port in conflicted:
+                in_values[port] = UNDEF
+                return UNDEF
+            value: Value = UNDEF
+            for arc in self._dp.arcs_into(port):
+                if arc.name in active:
+                    value = out_values.get(arc.source, UNDEF)
+                    break  # conflicts were pre-detected; one active source
+            in_values[port] = value
+            return value
+
+        for name in topological_com_order(self._dp, active):
+            vertex = self._dp.vertex(name)
+            args = [resolve(p) for p in vertex.input_ids()]
+            for port in vertex.out_ports:
+                out_values[PortId(name, port)] = vertex.operation(port).evaluate(*args)
+        return out_values, in_values
+
+    # ------------------------------------------------------------------
+    # control phase helpers
+    # ------------------------------------------------------------------
+    def _guard_eval(self, out_values: dict[PortId, Value]):
+        def evaluate(transition: str) -> bool:
+            ports = self.system.guard_ports(transition)
+            if not ports:
+                return True
+            return any(truthy(out_values.get(p, UNDEF)) for p in ports)
+        return evaluate
+
+    def _record_choice_conflicts(self, marking: Marking, guard_eval,
+                                 step: int, trace: Trace) -> None:
+        """Dynamic Definition 3.2(3) check: competing fireable transitions."""
+        for place in marking.marked_places():
+            if marking[place] >= 2:
+                continue
+            fireable = [
+                t for t in self._net.postset(place)
+                if is_enabled(self._net, marking, t) and guard_eval(t)
+            ]
+            if len(fireable) > 1:
+                trace.conflicts.append(ConflictRecord(
+                    step, "choice",
+                    f"transitions {sorted(fireable)} compete for the token "
+                    f"in place {place!r}",
+                ))
+
+    def _start_activations(self, places: list[str], step: int,
+                           activations: dict[str, _Activation]) -> None:
+        """Open activations and draw environment values for input reads."""
+        draw: set[str] = set()
+        for place in places:
+            self._activation_counter += 1
+            activations[place] = _Activation(self._activation_counter, place, step)
+            for arc_name in self.system.control_arcs(place):
+                source = self._dp.arc(arc_name).source
+                if self._dp.vertex(source.vertex).is_input_vertex:
+                    draw.add(source.vertex)
+        for vertex in sorted(draw):
+            port = PortId(vertex, self._dp.vertex(vertex).out_ports[0])
+            self._state[port] = self.environment.draw(vertex)
+
+    def _complete_activation(self, place: str, step: int,
+                             activation: _Activation,
+                             out_values: dict[PortId, Value],
+                             in_values_resolve,
+                             latch_plan: dict[PortId, tuple[Value, str]] | None,
+                             trace: Trace) -> None:
+        """Emit events and plan latches for a departing control state.
+
+        ``latch_plan=None`` emits events only — used when flushing the
+        activations still open at quiescence, whose tokens never depart
+        and whose registers therefore never commit.
+        """
+        arcs = self.system.control_arcs(place)
+        # external events (Definition 3.4)
+        for arc_name in sorted(arcs & self._external):
+            arc = self._dp.arc(arc_name)
+            value = out_values.get(arc.source, UNDEF)
+            index = self._event_index.get(arc_name, 0)
+            self._event_index[arc_name] = index + 1
+            trace.events.append(ExternalEvent(
+                arc=arc_name, value=value, index=index, state=place,
+                activation=activation.ident, start=activation.start, end=step,
+            ))
+        # latch plan (Definition 3.1(9))
+        if latch_plan is None:
+            return
+        for arc_name in sorted(arcs):
+            arc = self._dp.arc(arc_name)
+            vertex = self._dp.vertex(arc.target.vertex)
+            if not vertex.is_sequential:
+                continue
+            incoming = in_values_resolve(arc.target)
+            for port_name in vertex.out_ports:
+                op = vertex.operation(port_name)
+                if op.kind not in (OpKind.SEQ, OpKind.OUTPUT):
+                    continue
+                port = PortId(vertex.name, port_name)
+                old = self._state.get(port, UNDEF)
+                if op.kind is OpKind.OUTPUT:
+                    new = incoming
+                elif op.func is None:  # plain register
+                    new = incoming if incoming is not UNDEF else old
+                else:  # stateful function, e.g. accumulator
+                    computed = op.evaluate(old, incoming)
+                    new = computed if computed is not UNDEF else old
+                if port in latch_plan and latch_plan[port][0] != new:
+                    record = ConflictRecord(
+                        step, "latch",
+                        f"port {port} latched by {latch_plan[port][1]!r} and "
+                        f"{place!r} in the same step",
+                    )
+                    trace.conflicts.append(record)
+                    if self.strict:
+                        raise ExecutionError(record.detail)
+                latch_plan[port] = (new, place)
+                trace.latches.append(LatchRecord(step, port, old, new, place))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, *, max_steps: int = 10_000, on_limit: str = "raise") -> Trace:
+        """Execute until termination, deadlock, or the step budget.
+
+        ``on_limit`` — ``"raise"`` (default) raises
+        :class:`~repro.errors.ExecutionError` when ``max_steps`` is
+        reached; ``"return"`` returns the partial trace instead (with
+        neither ``terminated`` nor ``deadlocked`` set).
+        """
+        trace = Trace()
+        marking = self._net.initial_marking()
+        activations: dict[str, _Activation] = {}
+        self._start_activations(sorted(marking.marked_places()), 0, activations)
+
+        step = 0
+        while step < max_steps:
+            if marking.is_empty():
+                trace.terminated = True
+                break
+            active = self._active_arcs(marking)
+            conflicted = self._drive_conflicts(active, step, trace)
+            out_values, in_values = self._evaluate(active, conflicted)
+
+            def resolve(port: PortId, _iv=in_values, _act=active,
+                        _ov=out_values, _cf=conflicted) -> Value:
+                if port in _iv:
+                    return _iv[port]
+                if port in _cf:
+                    return UNDEF
+                for arc in self._dp.arcs_into(port):
+                    if arc.name in _act:
+                        return _ov.get(arc.source, UNDEF)
+                return UNDEF
+
+            guard_eval = self._guard_eval(out_values)
+            self._record_choice_conflicts(marking, guard_eval, step, trace)
+            if self.strict and any(c.kind == "choice" and c.step == step
+                                   for c in trace.conflicts):
+                bad = next(c for c in trace.conflicts
+                           if c.kind == "choice" and c.step == step)
+                raise ExecutionError(bad.detail)
+
+            chosen = self.policy.choose(self._net, marking, guard_eval)
+            if not chosen:
+                # quiescent with tokens: deadlock; flush open activations
+                for place in sorted(marking.marked_places()):
+                    activation = activations.pop(place, None)
+                    if activation is not None:
+                        self._complete_activation(
+                            place, step, activation, out_values, resolve,
+                            None, trace,
+                        )
+                trace.deadlocked = True
+                break
+
+            consumed: list[str] = []
+            for transition in chosen:
+                consumed.extend(self._net.preset(transition))
+            latch_plan: dict[PortId, tuple[Value, str]] = {}
+            for place in sorted(set(consumed)):
+                activation = activations.pop(place, None)
+                if activation is None:  # pragma: no cover - defensive
+                    raise ExecutionError(
+                        f"token leaves place {place!r} with no activation open"
+                    )
+                self._complete_activation(place, step, activation, out_values,
+                                          resolve, latch_plan, trace)
+            for port, (value, _state) in latch_plan.items():
+                self._state[port] = value
+
+            marking = fire_step(self._net, marking, chosen, guard_eval)
+            trace.steps.append(list(chosen))
+            produced = sorted(
+                p for p in marking.marked_places() if p not in activations
+            )
+            self._start_activations(produced, step + 1, activations)
+            step += 1
+        else:
+            if on_limit == "raise":
+                raise ExecutionError(
+                    f"simulation did not finish within {max_steps} steps"
+                )
+
+        trace.step_count = step
+        trace.final_marking = marking
+        trace.final_state = dict(self._state)
+        return trace
+
+
+def simulate(system: DataControlSystem,
+             environment: Environment | None = None, *,
+             policy: FiringPolicy | None = None,
+             max_steps: int = 10_000,
+             strict: bool = True,
+             on_limit: str = "raise") -> Trace:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(
+        system,
+        environment if environment is not None else Environment(),
+        policy if policy is not None else MaximalStepPolicy(),
+        strict,
+    ).run(max_steps=max_steps, on_limit=on_limit)

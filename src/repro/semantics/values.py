@@ -1,0 +1,11 @@
+"""Re-export of the value domain (kept here for discoverability).
+
+The implementation lives in :mod:`repro.values` — a leaf module with no
+intra-package dependencies, so that the data path (which needs UNDEF and
+strictness) never has to import the semantics package it is itself a
+dependency of.
+"""
+
+from ..values import UNDEF, Value, as_word, is_defined, strict, truthy
+
+__all__ = ["UNDEF", "Value", "is_defined", "truthy", "strict", "as_word"]

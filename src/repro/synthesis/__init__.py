@@ -1,0 +1,80 @@
+"""Hardware synthesis pipeline (Section 5): frontend → transformations.
+
+* :mod:`~repro.synthesis.frontend` — behavioural language, parser, eDSL,
+  compiler to the naive serial Γ;
+* :mod:`~repro.synthesis.schedule` — block detection, ASAP/ALAP/list
+  scheduling, compaction via :class:`RestructureBlock`;
+* :mod:`~repro.synthesis.allocate` — resource sharing via vertex mergers;
+* :mod:`~repro.synthesis.critical_path` — the guiding analysis;
+* :mod:`~repro.synthesis.cost` — the area model;
+* :mod:`~repro.synthesis.optimize` — the greedy CAMAD loop.
+"""
+
+from .allocate import (
+    SharingReport,
+    compatibility_classes,
+    merger_candidates,
+    share_all,
+)
+from .cost import (
+    CostReport,
+    WIRE_COST,
+    datapath_cost,
+    functional_unit_count,
+    register_count,
+    system_cost,
+)
+from .critical_path import (
+    CriticalPath,
+    clock_period,
+    critical_path,
+    place_delay,
+    schedule_length,
+)
+from .frontend import ProgramBuilder, compile_program, compile_source, parse, unparse
+from .optimize import Move, Objective, OptimizationResult, optimize, optimize_portfolio, optimize_random
+from .schedule import (
+    CompactionReport,
+    alap_layers,
+    asap_layers,
+    compact,
+    linear_blocks,
+    list_schedule,
+    place_resources,
+)
+
+__all__ = [
+    "compile_source",
+    "compile_program",
+    "parse",
+    "unparse",
+    "ProgramBuilder",
+    "linear_blocks",
+    "asap_layers",
+    "alap_layers",
+    "list_schedule",
+    "place_resources",
+    "compact",
+    "CompactionReport",
+    "share_all",
+    "compatibility_classes",
+    "merger_candidates",
+    "SharingReport",
+    "critical_path",
+    "CriticalPath",
+    "place_delay",
+    "clock_period",
+    "schedule_length",
+    "system_cost",
+    "datapath_cost",
+    "CostReport",
+    "WIRE_COST",
+    "functional_unit_count",
+    "register_count",
+    "Objective",
+    "optimize",
+    "optimize_random",
+    "optimize_portfolio",
+    "OptimizationResult",
+    "Move",
+]

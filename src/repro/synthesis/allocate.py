@@ -1,0 +1,124 @@
+"""Resource allocation and binding via vertex mergers (Definition 4.6).
+
+After scheduling, the data path still holds one operator vertex per
+*textual occurrence* of an operation.  Allocation shares hardware by
+merging operation-identical vertices whose control states are in
+sequential order — Theorem 4.2 guarantees each merger preserves the
+external semantics.
+
+The algorithm is greedy bin-packing on the compatibility relation: walk
+each signature class (same operation, same ports, Definition 4.6's "same
+operational definition and port structure") and merge every vertex into
+the first existing bin the merger is legal with.  Since legality of a
+merger can only be destroyed by *earlier* mergers making states overlap —
+which cannot happen, merging does not change the control net — the greedy
+pass is sound; it is not guaranteed minimal (minimum binning is clique
+cover), which matches the practice of the era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.equivalence import merger_legal
+from ..core.system import DataControlSystem
+from ..datapath.operations import MUX
+from ..transform.base import TransformLog
+from ..transform.datapath_tf import VertexMerger
+
+
+@dataclass
+class SharingReport:
+    """Outcome of a resource-sharing pass."""
+
+    merges: list[tuple[str, str]] = field(default_factory=list)
+    vertices_before: int = 0
+    vertices_after: int = 0
+    log: TransformLog = field(default_factory=TransformLog)
+
+    @property
+    def units_saved(self) -> int:
+        return len(self.merges)
+
+    def summary(self) -> str:
+        return (f"shared {self.units_saved} unit(s): "
+                f"{self.vertices_before} -> {self.vertices_after} "
+                f"combinational vertices")
+
+
+def compatibility_classes(system: DataControlSystem,
+                          *, min_area: float | None = None) -> list[list[str]]:
+    """Group combinational vertices by Definition 4.6 signature.
+
+    Only classes with at least two members are returned (singletons have
+    nothing to share).  ``min_area`` filters out units cheaper than the
+    threshold; the default (``None``) is *cost-aware*: a unit is only
+    worth sharing when its area strictly exceeds the worst-case
+    multiplexer overhead one merger can introduce (one 2-way mux per
+    input port).  Sharing a 1.0-area adder through two 0.5-area muxes is
+    exactly break-even; sharing an inverter is a loss; sharing a
+    multiplier is a clear win.  Pass ``min_area=0.0`` for maximal
+    (area-oblivious) sharing.
+    """
+    groups: dict[tuple, list[str]] = {}
+    for vertex in system.datapath.vertices.values():
+        if not vertex.is_combinational:
+            continue
+        if not vertex.in_ports:
+            continue  # constants: already canonicalised by the compiler
+        area = sum(op.area for op in vertex.ops.values())
+        if min_area is None:
+            if area <= MUX.area * len(vertex.in_ports):
+                continue
+        elif area < min_area:
+            continue
+        groups.setdefault(vertex.signature(), []).append(vertex.name)
+    return [sorted(members) for _, members in sorted(
+        groups.items(), key=lambda item: item[1][0]) if len(members) > 1]
+
+
+def merger_candidates(system: DataControlSystem,
+                      *, min_area: float | None = None) -> list[tuple[str, str]]:
+    """All currently legal merger pairs, most-area-saving first."""
+    pairs: list[tuple[float, str, str]] = []
+    for group in compatibility_classes(system, min_area=min_area):
+        for i, v_i in enumerate(group):
+            area = sum(op.area
+                       for op in system.datapath.vertex(v_i).ops.values())
+            for v_j in group[i + 1:]:
+                if merger_legal(system, v_i, v_j):
+                    pairs.append((area, v_i, v_j))
+    pairs.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+    return [(v_i, v_j) for _, v_i, v_j in pairs]
+
+
+def share_all(system: DataControlSystem, *,
+              min_area: float | None = None,
+              verify: bool = True) -> tuple[DataControlSystem, SharingReport]:
+    """Greedy maximal sharing: merge every legal pair per signature class.
+
+    Returns a new system; the input is untouched.  ``min_area=None``
+    (default) shares only units whose area beats the worst-case mux
+    overhead (see :func:`compatibility_classes`); ``min_area=0.0`` shares
+    everything legal regardless of cost.
+    """
+    from .cost import functional_unit_count  # local: avoid import cycle
+
+    report = SharingReport(vertices_before=functional_unit_count(system))
+    current = system
+    for group in compatibility_classes(system, min_area=min_area):
+        bins: list[str] = []
+        for name in group:
+            merged = False
+            for representative in bins:
+                transform = VertexMerger(name, representative)
+                if transform.is_legal(current):
+                    current = transform.apply(current, verify=verify)
+                    report.merges.append((name, representative))
+                    report.log.record(transform)
+                    merged = True
+                    break
+            if not merged:
+                bins.append(name)
+    report.vertices_after = functional_unit_count(current)
+    return current, report

@@ -1,0 +1,103 @@
+"""Area/cost model for synthesised designs.
+
+The paper's optimization trades performance against implementation cost
+("improve performance as well as reduce cost", Abstract).  The cost
+figures here are the symbolic units attached to the operation library —
+relative module areas in the style of 1980s HLS papers, not silicon
+measurements — plus the two structural overheads sharing introduces:
+
+* **multiplexing**: an input port driven by ``k > 1`` distinct sources
+  needs ``k − 1`` two-way multiplexers in front of it;
+* **wiring**: every arc contributes a small interconnect cost.
+
+These overheads are what keeps the optimizer honest: merging every pair
+of adders "saves" functional area but buys muxes and wires, and past a
+point the trade stops paying — an effect the resource-sharing benchmark
+measures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.system import DataControlSystem
+from ..datapath.graph import DataPath
+from ..datapath.operations import MUX, OpKind
+
+#: interconnect cost per arc, in the same relative units as module areas
+WIRE_COST = 0.05
+
+
+@dataclass
+class CostReport:
+    """Cost breakdown of one design."""
+
+    functional_area: float = 0.0
+    storage_area: float = 0.0
+    pad_area: float = 0.0
+    mux_area: float = 0.0
+    wiring_area: float = 0.0
+    resource_counts: Counter = field(default_factory=Counter)
+    mux_inputs: int = 0
+
+    @property
+    def total(self) -> float:
+        return (self.functional_area + self.storage_area + self.pad_area
+                + self.mux_area + self.wiring_area)
+
+    def summary(self) -> str:
+        parts = ", ".join(f"{name}×{count}"
+                          for name, count in sorted(self.resource_counts.items()))
+        return (f"area {self.total:.2f} (functional {self.functional_area:.2f}, "
+                f"storage {self.storage_area:.2f}, mux {self.mux_area:.2f}, "
+                f"wires {self.wiring_area:.2f}) [{parts}]")
+
+
+def datapath_cost(dp: DataPath) -> CostReport:
+    """Cost of a bare data path (no control overhead modelled)."""
+    report = CostReport()
+    for vertex in dp.vertices.values():
+        for port in vertex.out_ports:
+            op = vertex.operation(port)
+            if op.kind is OpKind.COM:
+                report.functional_area += op.area
+            elif op.kind is OpKind.SEQ:
+                report.storage_area += op.area
+            else:
+                report.pad_area += op.area
+            report.resource_counts[op.name] += 1
+    # multiplexing: distinct sources per input port beyond the first
+    drivers: dict = {}
+    for arc in dp.arcs.values():
+        drivers.setdefault(arc.target, set()).add(arc.source)
+    for sources in drivers.values():
+        extra = len(sources) - 1
+        if extra > 0:
+            report.mux_area += extra * MUX.area
+            report.mux_inputs += extra
+    report.wiring_area = WIRE_COST * len(dp.arcs)
+    return report
+
+
+def system_cost(system: DataControlSystem) -> CostReport:
+    """Cost of a complete data/control flow system.
+
+    Control cost (the FSM / token machinery) is proportional to net size
+    and identical across data-invariant variants, so it is deliberately
+    excluded: the report isolates exactly what the data-path
+    transformations change.
+    """
+    return datapath_cost(system.datapath)
+
+
+def functional_unit_count(system: DataControlSystem) -> int:
+    """Number of combinational operator vertices (shared units count once)."""
+    return sum(1 for v in system.datapath.vertices.values()
+               if v.is_combinational)
+
+
+def register_count(system: DataControlSystem) -> int:
+    """Number of state-holding vertices excluding environment pads."""
+    return sum(1 for v in system.datapath.vertices.values()
+               if v.is_sequential and not v.is_external)

@@ -1,0 +1,200 @@
+"""Critical-path analysis (Section 5).
+
+"As from each step there are usually several ways to go, it is necessary
+to have some strategy to guide the transformation process.  A critical
+path analysis technique is used for this purpose."
+
+Two delay notions:
+
+* **intra-state delay** (:func:`place_delay`) — the longest combinational
+  path through the vertices a control state activates, plus the latch
+  delay of its sequential targets.  The maximum over all states bounds
+  the achievable clock period.
+* **control critical path** (:func:`critical_path`) — the longest
+  node-weighted path through the place-level precedence graph, with loop
+  back edges removed (a DFS from the initial places classifies them).
+  This estimates end-to-end latency for one pass through the algorithm;
+  loops contribute one iteration (the per-iteration cost is what the
+  transformations can actually shorten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.system import DataControlSystem
+from ..datapath.ports import PortId
+from ..datapath.validate import topological_com_order
+
+
+def place_delay(system: DataControlSystem, place: str) -> float:
+    """Longest combinational path delay within ``ASS(place)``.
+
+    Computed by a topological sweep over the combinational vertices the
+    state activates: arrival time of a vertex = max over active input
+    arcs of the source's arrival, plus its own operation delay.
+    Sequential sources arrive at their latch delay (clock-to-Q);
+    sequential targets add their own latch delay at the end.
+    """
+    dp = system.datapath
+    arcs = [dp.arc(a) for a in system.control_arcs(place)]
+    if not arcs:
+        return 0.0
+    arrival: dict[PortId, float] = {}
+
+    def source_arrival(port: PortId) -> float:
+        if port in arrival:
+            return arrival[port]
+        vertex = dp.vertex(port.vertex)
+        op = vertex.ops.get(port.port)
+        # sequential / constant / input sources launch at their own delay
+        return op.delay if op is not None and not op.is_combinational else 0.0
+
+    order = topological_com_order(dp, [a.name for a in arcs])
+    incoming: dict[str, list[PortId]] = {}
+    for arc in arcs:
+        incoming.setdefault(arc.target.vertex, []).append(arc.source)
+    for name in order:
+        vertex = dp.vertex(name)
+        inputs = incoming.get(name, [])
+        start = max((source_arrival(p) for p in inputs), default=0.0)
+        for out_port in vertex.out_ports:
+            op = vertex.operation(out_port)
+            arrival[PortId(name, out_port)] = start + op.delay
+    # longest path seen at any activated port, plus target latch delays
+    worst = max(arrival.values(), default=0.0)
+    for arc in arcs:
+        target_vertex = dp.vertex(arc.target.vertex)
+        if target_vertex.is_sequential:
+            latch = max((op.delay for op in target_vertex.ops.values()),
+                        default=0.0)
+            worst = max(worst, source_arrival(arc.source) + latch,
+                        arrival.get(arc.source, 0.0) + latch)
+    return worst
+
+
+def clock_period(system: DataControlSystem) -> float:
+    """Minimum clock period: the slowest control state's delay."""
+    return max((place_delay(system, p) for p in system.net.places),
+               default=0.0)
+
+
+def _place_edges(system: DataControlSystem) -> dict[str, set[str]]:
+    """Place-level successor relation: ``p → q`` via one transition."""
+    net = system.net
+    edges: dict[str, set[str]] = {p: set() for p in net.places}
+    for t in net.transitions:
+        for p in net.preset(t):
+            edges[p].update(net.postset(t))
+    return edges
+
+
+def _forward_dag(system: DataControlSystem) -> dict[str, set[str]]:
+    """Place edges with DFS back edges removed (loop-free skeleton)."""
+    edges = _place_edges(system)
+    roots = sorted(p for p in system.net.places
+                   if system.net.initial.get(p, 0) > 0)
+    colour: dict[str, int] = {}
+    dag: dict[str, set[str]] = {p: set() for p in edges}
+    WHITE, GREY, BLACK = 0, 1, 2
+
+    def visit(root: str) -> None:
+        stack: list[tuple[str, list[str]]] = [(root, sorted(edges[root]))]
+        colour[root] = GREY
+        while stack:
+            node, children = stack[-1]
+            if children:
+                child = children.pop()
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    continue  # back edge — drop it
+                dag[node].add(child)
+                if state == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, sorted(edges[child])))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+
+    for root in roots:
+        if colour.get(root, WHITE) == WHITE:
+            visit(root)
+    return dag
+
+
+@dataclass
+class CriticalPath:
+    """A longest path through the loop-free control skeleton."""
+
+    places: list[str] = field(default_factory=list)
+    delay: float = 0.0
+    steps: int = 0
+
+    def summary(self) -> str:
+        route = " -> ".join(self.places)
+        return f"critical path ({self.steps} steps, delay {self.delay:.2f}): {route}"
+
+
+def critical_path(system: DataControlSystem) -> CriticalPath:
+    """Longest node-weighted path from an initial place (back edges cut).
+
+    Node weight = ``max(place_delay, ε)`` with a small ε so that pure
+    control states still count one step; the returned ``steps`` counts
+    places on the path — the schedule-length view of the same path.
+    """
+    dag = _forward_dag(system)
+    weights = {p: max(place_delay(system, p), 1e-9)
+               for p in system.net.places}
+    # topological order via DFS finish times on the DAG
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def topo(node: str) -> None:
+        stack = [(node, iter(sorted(dag[node])))]
+        seen.add(node)
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(sorted(dag[child]))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    roots = sorted(p for p in system.net.places
+                   if system.net.initial.get(p, 0) > 0)
+    for root in roots:
+        if root not in seen:
+            topo(root)
+    reachable = set(order)
+    best: dict[str, float] = {}
+    successor_choice: dict[str, str | None] = {}
+    for node in order:  # reverse-topological: children first
+        child_best = 0.0
+        choice: str | None = None
+        for child in sorted(dag[node]):
+            if child in reachable and best.get(child, 0.0) > child_best:
+                child_best = best[child]
+                choice = child
+        best[node] = weights[node] + child_best
+        successor_choice[node] = choice
+
+    if not best:
+        return CriticalPath()
+    start = max((p for p in roots if p in best), key=lambda p: best[p],
+                default=None)
+    if start is None:
+        start = max(best, key=lambda p: best[p])
+    path = [start]
+    while successor_choice.get(path[-1]):
+        path.append(successor_choice[path[-1]])  # type: ignore[arg-type]
+    return CriticalPath(path, best[start], len(path))
+
+
+def schedule_length(system: DataControlSystem) -> int:
+    """Static schedule length: places on the critical path."""
+    return critical_path(system).steps

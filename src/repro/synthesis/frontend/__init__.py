@@ -1,0 +1,55 @@
+"""Behavioural frontend: language, parser, eDSL builder, compiler."""
+
+from .ast import (
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    If,
+    Par,
+    Program,
+    Read,
+    Stmt,
+    UnOp,
+    Var,
+    While,
+    Write,
+)
+from .builder import (
+    ProgramBuilder,
+    add,
+    and_,
+    c,
+    div,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    mod,
+    mul,
+    ne,
+    neg,
+    not_,
+    or_,
+    shl,
+    shr,
+    sub,
+    v,
+)
+from .compile import compile_program, compile_source
+from .lexer import Token, tokenize
+from .parser import parse
+from .unparse import unparse, unparse_expr
+
+__all__ = [
+    "Program", "Stmt", "Expr",
+    "Var", "Const", "BinOp", "UnOp",
+    "Assign", "Read", "Write", "If", "While", "Par",
+    "ProgramBuilder",
+    "v", "c", "add", "sub", "mul", "div", "mod",
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "and_", "or_", "not_", "neg", "shl", "shr",
+    "parse", "tokenize", "Token", "unparse", "unparse_expr",
+    "compile_program", "compile_source",
+]

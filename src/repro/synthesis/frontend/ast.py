@@ -1,0 +1,264 @@
+"""Abstract syntax of the behavioural input language.
+
+The paper's synthesis flow starts from "some algorithmic description of
+its behavior" (Section 5) which is first translated into the data/control
+flow notation.  This is that algorithmic language: a small imperative
+core with variables, arithmetic/logic expressions, environment I/O and
+structured control flow including an explicit ``par`` construct for
+designer-specified parallelism.
+
+The AST is deliberately plain: frozen dataclasses, no methods beyond
+pretty-printing — the compiler in
+:mod:`repro.synthesis.frontend.compile` walks it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ...datapath.operations import BINARY_SYMBOLS, UNARY_SYMBOLS
+from ...errors import DefinitionError
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """Reference to a declared variable (a register in the data path)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """Integer literal (a wired-constant vertex)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operation; ``op`` is an operation name (``"add"``, ``"lt"`` …)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        symbol = next((s for s, n in BINARY_SYMBOLS.items() if n == self.op),
+                      self.op)
+        return f"({self.left} {symbol} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """Unary operation; ``op`` is an operation name (``"neg"``, ``"not"``)."""
+
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        symbol = next((s for s, n in UNARY_SYMBOLS.items() if n == self.op),
+                      self.op)
+        return f"{symbol}{self.operand}"
+
+
+Expr = Union[Var, Const, BinOp, UnOp]
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = expr;`` — latch an expression into a variable register."""
+
+    target: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr};"
+
+
+@dataclass(frozen=True)
+class Read:
+    """``target = read(source);`` — consume one environment value."""
+
+    target: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = read({self.source});"
+
+
+@dataclass(frozen=True)
+class Write:
+    """``write(target, expr);`` — emit a value to an output pad."""
+
+    target: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"write({self.target}, {self.expr});"
+
+
+@dataclass(frozen=True)
+class If:
+    """Two-way branch; ``orelse`` may be empty."""
+
+    cond: Expr
+    then: tuple["Stmt", ...]
+    orelse: tuple["Stmt", ...] = ()
+
+    def __str__(self) -> str:
+        text = f"if ({self.cond}) {{ … {len(self.then)} stmt }}"
+        if self.orelse:
+            text += f" else {{ … {len(self.orelse)} stmt }}"
+        return text
+
+
+@dataclass(frozen=True)
+class While:
+    """Pre-tested loop."""
+
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) {{ … {len(self.body)} stmt }}"
+
+
+@dataclass(frozen=True)
+class Par:
+    """Designer-specified parallel branches (fork/join in the control net).
+
+    The branches must not share written state — the properly-designed
+    checker (rule 1) will reject the compiled system otherwise.
+    """
+
+    branches: tuple[tuple["Stmt", ...], ...]
+
+    def __str__(self) -> str:
+        return f"par {{ {len(self.branches)} branches }}"
+
+
+Stmt = Union[Assign, Read, Write, If, While, Par]
+
+
+# ---------------------------------------------------------------------------
+# program
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete behavioural design.
+
+    Attributes
+    ----------
+    name:
+        Design name (becomes the system name).
+    inputs / outputs:
+        Environment port names (become input/output pad vertices).
+    variables:
+        Declared variables with initial values (become registers).
+    body:
+        Statement sequence.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    variables: dict[str, int] = field(default_factory=dict)
+    body: tuple[Stmt, ...] = ()
+
+    def validate(self) -> None:
+        """Name-resolution checks; raises on the first problem."""
+        declared = set(self.variables)
+        inputs, outputs = set(self.inputs), set(self.outputs)
+        overlap = declared & (inputs | outputs)
+        if overlap:
+            raise DefinitionError(
+                f"names {sorted(overlap)} are both variables and I/O ports"
+            )
+        if inputs & outputs:
+            raise DefinitionError(
+                f"names {sorted(inputs & outputs)} are both inputs and outputs"
+            )
+
+        def check_expr(expr: Expr) -> None:
+            if isinstance(expr, Var):
+                if expr.name not in declared:
+                    raise DefinitionError(f"undeclared variable {expr.name!r}")
+            elif isinstance(expr, BinOp):
+                check_expr(expr.left)
+                check_expr(expr.right)
+            elif isinstance(expr, UnOp):
+                check_expr(expr.operand)
+
+        def check_block(block: Sequence[Stmt]) -> None:
+            for stmt in block:
+                if isinstance(stmt, Assign):
+                    if stmt.target not in declared:
+                        raise DefinitionError(
+                            f"assignment to undeclared variable {stmt.target!r}"
+                        )
+                    check_expr(stmt.expr)
+                elif isinstance(stmt, Read):
+                    if stmt.target not in declared:
+                        raise DefinitionError(
+                            f"read into undeclared variable {stmt.target!r}"
+                        )
+                    if stmt.source not in inputs:
+                        raise DefinitionError(
+                            f"read from undeclared input {stmt.source!r}"
+                        )
+                elif isinstance(stmt, Write):
+                    if stmt.target not in outputs:
+                        raise DefinitionError(
+                            f"write to undeclared output {stmt.target!r}"
+                        )
+                    check_expr(stmt.expr)
+                elif isinstance(stmt, If):
+                    check_expr(stmt.cond)
+                    check_block(stmt.then)
+                    check_block(stmt.orelse)
+                elif isinstance(stmt, While):
+                    check_expr(stmt.cond)
+                    check_block(stmt.body)
+                elif isinstance(stmt, Par):
+                    for branch in stmt.branches:
+                        check_block(branch)
+                else:  # pragma: no cover - exhaustive
+                    raise DefinitionError(f"unknown statement {stmt!r}")
+
+        check_block(self.body)
+
+    def statement_count(self) -> int:
+        """Total number of primitive statements (for reporting)."""
+
+        def count(block: Sequence[Stmt]) -> int:
+            total = 0
+            for stmt in block:
+                if isinstance(stmt, If):
+                    total += 1 + count(stmt.then) + count(stmt.orelse)
+                elif isinstance(stmt, While):
+                    total += 1 + count(stmt.body)
+                elif isinstance(stmt, Par):
+                    total += sum(count(b) for b in stmt.branches)
+                else:
+                    total += 1
+            return total
+
+        return count(self.body)

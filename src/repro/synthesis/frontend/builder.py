@@ -1,0 +1,215 @@
+"""Python eDSL for building behavioural programs.
+
+Equivalent in power to the textual frontend but convenient from code —
+the design zoo and the property-based tests generate programs through it.
+
+Expression helpers
+------------------
+
+``v("x")``, ``c(3)``, ``add(a, b)``, ``sub``, ``mul``, ``div``, ``mod``,
+``eq``, ``ne``, ``lt``, ``le``, ``gt``, ``ge``, ``and_``, ``or_``,
+``not_``, ``neg`` — each returns a plain AST expression.  Bare ints and
+strings are coerced: ``add("x", 1)`` means ``add(v("x"), c(1))``.
+
+Program builder
+---------------
+
+.. code-block:: python
+
+    b = ProgramBuilder("gcd", inputs=["a_in", "b_in"], outputs=["result"])
+    b.vars(a=0, b=0)
+    b.read("a", "a_in")
+    b.read("b", "b_in")
+    with b.while_(ne("a", "b")):
+        with b.if_(gt("a", "b")):
+            b.assign("a", sub("a", "b"))
+        with b.else_():
+            b.assign("b", sub("b", "a"))
+    b.write("result", "a")
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ...errors import DefinitionError
+from .ast import Assign, BinOp, Const, Expr, If, Par, Program, Read, Stmt, UnOp, Var, While, Write
+
+
+def _coerce(value) -> Expr:
+    """Accept AST expressions, variable names, or integer literals."""
+    if isinstance(value, (Var, Const, BinOp, UnOp)):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise DefinitionError(f"cannot coerce {value!r} to an expression")
+
+
+def v(name: str) -> Var:
+    """Variable reference."""
+    return Var(name)
+
+
+def c(value: int) -> Const:
+    """Integer constant."""
+    return Const(value)
+
+
+def _binary(op: str):
+    def build(left, right) -> BinOp:
+        return BinOp(op, _coerce(left), _coerce(right))
+    build.__name__ = op
+    build.__doc__ = f"Binary ``{op}`` expression."
+    return build
+
+
+add = _binary("add")
+sub = _binary("sub")
+mul = _binary("mul")
+div = _binary("div")
+mod = _binary("mod")
+eq = _binary("eq")
+ne = _binary("ne")
+lt = _binary("lt")
+le = _binary("le")
+gt = _binary("gt")
+ge = _binary("ge")
+and_ = _binary("and")
+or_ = _binary("or")
+shl = _binary("shl")
+shr = _binary("shr")
+
+
+def not_(operand) -> UnOp:
+    """Logical negation."""
+    return UnOp("not", _coerce(operand))
+
+
+def neg(operand) -> UnOp:
+    """Arithmetic negation."""
+    return UnOp("neg", _coerce(operand))
+
+
+class ProgramBuilder:
+    """Imperative builder producing an immutable :class:`Program`."""
+
+    def __init__(self, name: str, *, inputs: Sequence[str] = (),
+                 outputs: Sequence[str] = ()) -> None:
+        self._name = name
+        self._inputs = list(inputs)
+        self._outputs = list(outputs)
+        self._variables: dict[str, int] = {}
+        self._blocks: list[list[Stmt]] = [[]]
+        # pending If awaiting a possible else_()
+        self._pending_if: list[If | None] = [None]
+
+    # -- declarations ----------------------------------------------------
+    def inputs(self, *names: str) -> "ProgramBuilder":
+        self._inputs.extend(names)
+        return self
+
+    def outputs(self, *names: str) -> "ProgramBuilder":
+        self._outputs.extend(names)
+        return self
+
+    def vars(self, **initials: int) -> "ProgramBuilder":
+        """Declare variables with initial values: ``b.vars(x=0, y=3)``."""
+        self._variables.update(initials)
+        return self
+
+    # -- simple statements -------------------------------------------------
+    def _emit(self, stmt: Stmt) -> None:
+        self._blocks[-1].append(stmt)
+        self._pending_if[-1] = None
+
+    def assign(self, target: str, expr) -> "ProgramBuilder":
+        self._emit(Assign(target, _coerce(expr)))
+        return self
+
+    def read(self, target: str, source: str) -> "ProgramBuilder":
+        self._emit(Read(target, source))
+        return self
+
+    def write(self, target: str, expr) -> "ProgramBuilder":
+        self._emit(Write(target, _coerce(expr)))
+        return self
+
+    # -- structured statements ----------------------------------------------
+    @contextmanager
+    def if_(self, cond) -> Iterator[None]:
+        """``with b.if_(cond): …`` — optionally followed by ``b.else_()``."""
+        self._blocks.append([])
+        self._pending_if.append(None)
+        yield
+        self._pending_if.pop()
+        body = tuple(self._blocks.pop())
+        statement = If(_coerce(cond), body)
+        self._blocks[-1].append(statement)
+        self._pending_if[-1] = statement
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        """Attach an else-branch to the immediately preceding ``if_``."""
+        pending = self._pending_if[-1]
+        if pending is None or not self._blocks[-1] \
+                or self._blocks[-1][-1] is not pending:
+            raise DefinitionError("else_() must directly follow an if_() block")
+        self._blocks.append([])
+        self._pending_if.append(None)
+        yield
+        self._pending_if.pop()
+        orelse = tuple(self._blocks.pop())
+        replaced = If(pending.cond, pending.then, orelse)
+        self._blocks[-1][-1] = replaced
+        self._pending_if[-1] = None
+
+    @contextmanager
+    def while_(self, cond) -> Iterator[None]:
+        """``with b.while_(cond): …``"""
+        self._blocks.append([])
+        self._pending_if.append(None)
+        yield
+        self._pending_if.pop()
+        body = tuple(self._blocks.pop())
+        self._emit(While(_coerce(cond), body))
+
+    @contextmanager
+    def par(self) -> Iterator["_ParBuilder"]:
+        """``with b.par() as p:`` then ``with p.branch(): …`` per branch."""
+        par_builder = _ParBuilder(self)
+        yield par_builder
+        if len(par_builder.branches) < 2:
+            raise DefinitionError("par needs at least two branches")
+        self._emit(Par(tuple(par_builder.branches)))
+
+    # -- finish -----------------------------------------------------------
+    def build(self) -> Program:
+        if len(self._blocks) != 1:
+            raise DefinitionError("unbalanced structured blocks")
+        program = Program(self._name, tuple(self._inputs),
+                          tuple(self._outputs), dict(self._variables),
+                          tuple(self._blocks[0]))
+        program.validate()
+        return program
+
+
+class _ParBuilder:
+    """Collects the branches of one ``par`` statement."""
+
+    def __init__(self, owner: ProgramBuilder) -> None:
+        self._owner = owner
+        self.branches: list[tuple[Stmt, ...]] = []
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        self._owner._blocks.append([])
+        self._owner._pending_if.append(None)
+        yield
+        self._owner._pending_if.pop()
+        self.branches.append(tuple(self._owner._blocks.pop()))

@@ -1,0 +1,300 @@
+"""Compiler: behavioural AST → data/control flow system Γ.
+
+The translation follows the paper's Section 5 flow ("we first transform
+the description into the data/control flow notation") and produces the
+*naive serial* design — one control state per primitive statement, all
+states chained sequentially.  Every later improvement (compaction,
+resource sharing) is carried out by the semantics-preserving
+transformations of :mod:`repro.transform`, never by the compiler.
+
+Mapping:
+
+=====================  =====================================================
+source construct        compiled structure
+=====================  =====================================================
+variable ``x``          register vertex ``reg_x`` (initial value from decl)
+input/output name       input/output pad vertex with the same name
+constant ``k``          one shared wired-constant vertex ``c<k>``
+operator use            a *fresh* combinational vertex per occurrence
+                        (sharing is the optimizer's job, Definition 4.6)
+``x = e;``              place opening the expression arcs + latch arc
+``x = read(i);``        place opening the external arc ``i.out → reg_x.d``
+``write(o, e);``        place opening expression arcs + external arc to pad
+``if (c) A else B``     place evaluating ``c`` (latching it into a fresh
+                        condition register to satisfy rule 3.2(5)), two
+                        guarded transitions with complementary guards
+                        (``c`` and ``not c`` — provably conflict-free),
+                        branch sub-nets, joined on exit
+``while (c) A``         condition place as for ``if``; guarded loop entry,
+                        guarded exit, unguarded back edges
+``par { A B … }``       fork transition → branch sub-nets → join transition
+=====================  =====================================================
+
+Each compiled control state drives at least one sequential vertex
+(assignments latch their target, condition states latch the condition
+register, writes latch the output pad), so compiled systems satisfy
+Definition 3.2(5) by construction; rules 1–4 are checked by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.system import DataControlSystem
+from ...datapath.graph import DataPath
+from ...datapath.library import constant, input_pad, inverter, operator, output_pad, register
+from ...datapath.operations import get_operation
+from ...datapath.ports import PortId
+from ...errors import DefinitionError
+from ...petri.net import PetriNet
+from .ast import Assign, BinOp, Const, Expr, If, Par, Program, Read, Stmt, UnOp, Var, While, Write
+
+
+@dataclass
+class _Exit:
+    """A dangling block exit awaiting its successor.
+
+    Either a *place* whose token must be moved on by a fresh transition,
+    or an already-created *transition* that still lacks its output arc
+    (guarded if/while exits, par joins).
+    """
+
+    place: str | None = None
+    transition: str | None = None
+
+
+class _Compiler:
+    def __init__(self, program: Program) -> None:
+        program.validate()
+        self.program = program
+        self.dp = DataPath(name=program.name)
+        self.net = PetriNet(name=program.name)
+        self.system = DataControlSystem(self.dp, self.net, name=program.name)
+        self._place_counter = 0
+        self._vertex_counter = 0
+        self._transition_counter = 0
+        self._consts: dict[int, str] = {}
+        for name in program.inputs:
+            self.dp.add_vertex(input_pad(name))
+        for name in program.outputs:
+            self.dp.add_vertex(output_pad(name))
+        for name, init in program.variables.items():
+            self.dp.add_vertex(register(f"reg_{name}", init))
+
+    # -- fresh names ------------------------------------------------------
+    def _place(self, label: str) -> str:
+        name = f"s{self._place_counter}_{label}"
+        self._place_counter += 1
+        self.net.add_place(name, label=label)
+        return name
+
+    def _transition(self, stem: str) -> str:
+        name = f"{stem}{self._transition_counter}"
+        self._transition_counter += 1
+        self.net.add_transition(name)
+        return name
+
+    def _vertex_name(self, stem: str) -> str:
+        name = f"{stem}{self._vertex_counter}"
+        self._vertex_counter += 1
+        return name
+
+    # -- expressions ------------------------------------------------------
+    def _const_vertex(self, value: int) -> str:
+        if value not in self._consts:
+            name = f"c{value}" if value >= 0 else f"cm{-value}"
+            self.dp.add_vertex(constant(name, value))
+            self._consts[value] = name
+        return self._consts[value]
+
+    def _compile_expr(self, expr: Expr, arcs: set[str]) -> PortId:
+        """Build the expression tree; returns the result output port.
+
+        All internal connection arcs are added to ``arcs`` so the calling
+        statement can map them to its control state.
+        """
+        if isinstance(expr, Var):
+            return PortId(f"reg_{expr.name}", "q")
+        if isinstance(expr, Const):
+            return PortId(self._const_vertex(expr.value), "o")
+        if isinstance(expr, BinOp):
+            get_operation(expr.op)  # validate the operation name eagerly
+            left = self._compile_expr(expr.left, arcs)
+            right = self._compile_expr(expr.right, arcs)
+            vertex = self.dp.add_vertex(
+                operator(self._vertex_name(expr.op), expr.op))
+            arcs.add(self.dp.connect(left, PortId(vertex.name, "l")).name)
+            arcs.add(self.dp.connect(right, PortId(vertex.name, "r")).name)
+            return PortId(vertex.name, "o")
+        if isinstance(expr, UnOp):
+            get_operation(expr.op)
+            operand = self._compile_expr(expr.operand, arcs)
+            vertex = self.dp.add_vertex(
+                operator(self._vertex_name(expr.op), expr.op))
+            arcs.add(self.dp.connect(operand, PortId(vertex.name, "i")).name)
+            return PortId(vertex.name, "o")
+        raise DefinitionError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    # -- linking ------------------------------------------------------------
+    def _link(self, exits: list[_Exit], target: str) -> None:
+        """Route every dangling exit into the target place."""
+        for exit_ in exits:
+            if exit_.transition is not None:
+                self.net.add_arc(exit_.transition, target)
+            else:
+                assert exit_.place is not None
+                t = self._transition("t")
+                self.net.add_arc(exit_.place, t)
+                self.net.add_arc(t, target)
+
+    def _terminate(self, exits: list[_Exit]) -> None:
+        """End of program: exits consume their token and stop (Def 3.1(6))."""
+        for exit_ in exits:
+            if exit_.place is not None:
+                t = self._transition("t_end")
+                self.net.add_arc(exit_.place, t)
+            # open transitions with no output arc already just consume
+
+    def _noop_place(self, label: str) -> str:
+        """A place controlling no arcs (pure control glue)."""
+        return self._place(label)
+
+    # -- statements -----------------------------------------------------------
+    def _compile_condition(self, cond: Expr, label: str
+                           ) -> tuple[str, PortId, PortId]:
+        """Compile a condition-evaluation state.
+
+        Returns ``(place, true_port, false_port)``.  The state opens the
+        expression arcs, feeds the complement through a ``not`` vertex
+        (so the two branch guards are provably exclusive — rule 3.2(3)),
+        and latches the condition into a fresh register (rule 3.2(5)).
+        """
+        place = self._place(label)
+        arcs: set[str] = set()
+        true_port = self._compile_expr(cond, arcs)
+        nv = self.dp.add_vertex(inverter(self._vertex_name("not")))
+        arcs.add(self.dp.connect(true_port, PortId(nv.name, "i")).name)
+        creg = self.dp.add_vertex(register(self._vertex_name("creg")))
+        arcs.add(self.dp.connect(true_port, PortId(creg.name, "d")).name)
+        self.system.set_control(place, arcs)
+        return place, true_port, PortId(nv.name, "o")
+
+    def _compile_block(self, block: tuple[Stmt, ...], label: str
+                       ) -> tuple[str, list[_Exit]]:
+        """Compile a statement sequence; empty blocks become no-op states."""
+        if not block:
+            place = self._noop_place(f"{label}_noop")
+            return place, [_Exit(place=place)]
+        entry: str | None = None
+        exits: list[_Exit] = []
+        for statement in block:
+            s_entry, s_exits = self._compile_stmt(statement)
+            if entry is None:
+                entry = s_entry
+            else:
+                self._link(exits, s_entry)
+            exits = s_exits
+        assert entry is not None
+        return entry, exits
+
+    def _compile_stmt(self, stmt: Stmt) -> tuple[str, list[_Exit]]:
+        if isinstance(stmt, Assign):
+            place = self._place(f"assign_{stmt.target}")
+            arcs: set[str] = set()
+            result = self._compile_expr(stmt.expr, arcs)
+            target = PortId(f"reg_{stmt.target}", "d")
+            arcs.add(self.dp.connect(result, target).name)
+            self.system.set_control(place, arcs)
+            return place, [_Exit(place=place)]
+
+        if isinstance(stmt, Read):
+            place = self._place(f"read_{stmt.target}")
+            source = PortId(stmt.source,
+                            self.dp.vertex(stmt.source).out_ports[0])
+            arc = self.dp.connect(source, PortId(f"reg_{stmt.target}", "d"))
+            self.system.set_control(place, {arc.name})
+            return place, [_Exit(place=place)]
+
+        if isinstance(stmt, Write):
+            place = self._place(f"write_{stmt.target}")
+            arcs = set()
+            result = self._compile_expr(stmt.expr, arcs)
+            pad_in = PortId(stmt.target,
+                            self.dp.vertex(stmt.target).in_ports[0])
+            arcs.add(self.dp.connect(result, pad_in).name)
+            self.system.set_control(place, arcs)
+            return place, [_Exit(place=place)]
+
+        if isinstance(stmt, If):
+            place, true_port, false_port = self._compile_condition(
+                stmt.cond, "if")
+            t_then = self._transition("t_then")
+            self.net.add_arc(place, t_then)
+            self.system.set_guard(t_then, [true_port])
+            then_entry, then_exits = self._compile_block(stmt.then, "then")
+            self.net.add_arc(t_then, then_entry)
+
+            t_else = self._transition("t_else")
+            self.net.add_arc(place, t_else)
+            self.system.set_guard(t_else, [false_port])
+            if stmt.orelse:
+                else_entry, else_exits = self._compile_block(stmt.orelse,
+                                                             "else")
+                self.net.add_arc(t_else, else_entry)
+                return place, then_exits + else_exits
+            return place, then_exits + [_Exit(transition=t_else)]
+
+        if isinstance(stmt, While):
+            place, true_port, false_port = self._compile_condition(
+                stmt.cond, "while")
+            t_body = self._transition("t_body")
+            self.net.add_arc(place, t_body)
+            self.system.set_guard(t_body, [true_port])
+            body_entry, body_exits = self._compile_block(stmt.body, "body")
+            self.net.add_arc(t_body, body_entry)
+            self._link(body_exits, place)  # back edges
+
+            t_exit = self._transition("t_exit")
+            self.net.add_arc(place, t_exit)
+            self.system.set_guard(t_exit, [false_port])
+            return place, [_Exit(transition=t_exit)]
+
+        if isinstance(stmt, Par):
+            head = self._noop_place("par")
+            t_fork = self._transition("t_fork")
+            self.net.add_arc(head, t_fork)
+            t_join = self._transition("t_join")
+            for index, branch in enumerate(stmt.branches):
+                entry, exits = self._compile_block(branch, f"branch{index}")
+                self.net.add_arc(t_fork, entry)
+                if len(exits) == 1 and exits[0].place is not None:
+                    landing = exits[0].place
+                else:
+                    landing = self._noop_place(f"bend{index}")
+                    self._link(exits, landing)
+                self.net.add_arc(landing, t_join)
+            return head, [_Exit(transition=t_join)]
+
+        raise DefinitionError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+    # -- program ------------------------------------------------------------
+    def compile(self) -> DataControlSystem:
+        entry = self._noop_place("entry")
+        self.net.set_initial(entry, 1)
+        body_entry, exits = self._compile_block(self.program.body, "main")
+        self._link([_Exit(place=entry)], body_entry)
+        self._terminate(exits)
+        self.system.invalidate()
+        return self.system
+
+
+def compile_program(program: Program) -> DataControlSystem:
+    """Compile a validated :class:`Program` into the naive serial Γ."""
+    return _Compiler(program).compile()
+
+
+def compile_source(source: str) -> DataControlSystem:
+    """Parse and compile behavioural source text."""
+    from .parser import parse
+
+    return compile_program(parse(source))

@@ -1,0 +1,81 @@
+"""Tokenizer for the behavioural input language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ParseError
+
+KEYWORDS = frozenset({
+    "design", "input", "output", "var", "if", "else", "while", "for",
+    "par", "read", "write",
+})
+
+#: Multi-character operators, longest first so the scanner is greedy.
+OPERATORS = (
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", ",", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    kind: str   # "ident" | "int" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan source text into tokens; ``#`` and ``//`` start line comments."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(Token("int", source[start:i], line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,263 @@
+"""Recursive-descent parser for the behavioural language.
+
+Grammar (EBNF; ``#``/``//`` line comments allowed everywhere):
+
+.. code-block:: text
+
+    program   := "design" IDENT "{" decl* stmt* "}"
+    decl      := "input"  IDENT ("," IDENT)* ";"
+               | "output" IDENT ("," IDENT)* ";"
+               | "var"    var_init ("," var_init)* ";"
+    var_init  := IDENT ("=" ("-")? INT)?
+    stmt      := IDENT "=" "read" "(" IDENT ")" ";"
+               | IDENT "=" expr ";"
+               | "write" "(" IDENT "," expr ")" ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "for" "(" assign ";" expr ";" assign ")" block
+               | "par" "{" block block* "}"
+
+``for`` is pure sugar: it desugars in the parser to the initialiser
+followed by a ``while`` whose body ends with the update assignment, so
+everything downstream (compiler, transformations) sees only core forms.
+    block     := "{" stmt* "}"
+    expr      := precedence-climbing over the binary operator table of
+                 :mod:`repro.datapath.operations`; unary "-" and "!";
+                 primaries: INT, IDENT, "(" expr ")"
+
+Operator precedence (loosest to tightest): ``||``, ``&&``,
+``|``, ``^``, ``&``, equality, relational, shifts, additive,
+multiplicative.
+"""
+
+from __future__ import annotations
+
+from ...datapath.operations import BINARY_SYMBOLS, UNARY_SYMBOLS
+from ...errors import ParseError
+from .ast import Assign, BinOp, Const, Expr, If, Par, Program, Read, Stmt, UnOp, Var, While, Write
+from .lexer import Token, tokenize
+
+#: precedence level per binary operator symbol (higher binds tighter)
+_PRECEDENCE: dict[str, int] = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        # statements a desugaring wants emitted *before* the one being
+        # parsed (the for-loop initialiser)
+        self._pending_prefix: list[Stmt] = []
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line, token.column,
+            )
+        return self._next()
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # -- program --------------------------------------------------------
+    def parse_program(self) -> Program:
+        self._expect("keyword", "design")
+        name = self._expect("ident").text
+        self._expect("op", "{")
+        inputs: list[str] = []
+        outputs: list[str] = []
+        variables: dict[str, int] = {}
+        while self._peek().kind == "keyword" and \
+                self._peek().text in ("input", "output", "var"):
+            keyword = self._next().text
+            if keyword in ("input", "output"):
+                names = [self._expect("ident").text]
+                while self._accept("op", ","):
+                    names.append(self._expect("ident").text)
+                (inputs if keyword == "input" else outputs).extend(names)
+            else:
+                while True:
+                    ident = self._expect("ident").text
+                    init = 0
+                    if self._accept("op", "="):
+                        sign = -1 if self._accept("op", "-") else 1
+                        init = sign * int(self._expect("int").text)
+                    variables[ident] = init
+                    if not self._accept("op", ","):
+                        break
+            self._expect("op", ";")
+        body = self._parse_statements(stop="}")
+        self._expect("op", "}")
+        self._expect("eof")
+        program = Program(name, tuple(inputs), tuple(outputs), variables,
+                          tuple(body))
+        program.validate()
+        return program
+
+    # -- statements -------------------------------------------------------
+    def _parse_statements(self, stop: str) -> list[Stmt]:
+        statements: list[Stmt] = []
+        while not (self._peek().kind == "op" and self._peek().text == stop):
+            if self._peek().kind == "eof":
+                token = self._peek()
+                raise ParseError(f"unexpected end of input (missing {stop!r})",
+                                 token.line, token.column)
+            statement = self._parse_statement()
+            statements.extend(self._pending_prefix)
+            self._pending_prefix.clear()
+            statements.append(statement)
+        return statements
+
+    def _parse_simple_assignment(self) -> Assign:
+        target = self._expect("ident").text
+        self._expect("op", "=")
+        return Assign(target, self._parse_expr())
+
+    def _parse_block(self) -> tuple[Stmt, ...]:
+        self._expect("op", "{")
+        statements = self._parse_statements(stop="}")
+        self._expect("op", "}")
+        return tuple(statements)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.text == "if":
+                self._next()
+                self._expect("op", "(")
+                cond = self._parse_expr()
+                self._expect("op", ")")
+                then = self._parse_block()
+                orelse: tuple[Stmt, ...] = ()
+                if self._accept("keyword", "else"):
+                    orelse = self._parse_block()
+                return If(cond, then, orelse)
+            if token.text == "while":
+                self._next()
+                self._expect("op", "(")
+                cond = self._parse_expr()
+                self._expect("op", ")")
+                body = self._parse_block()
+                return While(cond, body)
+            if token.text == "for":
+                # for (i = e0; cond; i = e1) { body }  ==>
+                #   i = e0; while (cond) { body; i = e1; }
+                # the parser returns the while; the initialiser is
+                # spliced in by _parse_statements via _pending_prefix
+                self._next()
+                self._expect("op", "(")
+                init = self._parse_simple_assignment()
+                self._expect("op", ";")
+                cond = self._parse_expr()
+                self._expect("op", ";")
+                update = self._parse_simple_assignment()
+                self._expect("op", ")")
+                body = self._parse_block()
+                self._pending_prefix.append(init)
+                return While(cond, body + (update,))
+            if token.text == "par":
+                self._next()
+                self._expect("op", "{")
+                branches = [self._parse_block()]
+                while self._peek().kind == "op" and self._peek().text == "{":
+                    branches.append(self._parse_block())
+                self._expect("op", "}")
+                if len(branches) < 2:
+                    raise ParseError("par needs at least two branches",
+                                     token.line, token.column)
+                return Par(tuple(branches))
+            if token.text == "write":
+                self._next()
+                self._expect("op", "(")
+                target = self._expect("ident").text
+                self._expect("op", ",")
+                expr = self._parse_expr()
+                self._expect("op", ")")
+                self._expect("op", ";")
+                return Write(target, expr)
+            raise ParseError(f"unexpected keyword {token.text!r}",
+                             token.line, token.column)
+        if token.kind == "ident":
+            target = self._next().text
+            self._expect("op", "=")
+            if self._accept("keyword", "read"):
+                self._expect("op", "(")
+                source = self._expect("ident").text
+                self._expect("op", ")")
+                self._expect("op", ";")
+                return Read(target, source)
+            expr = self._parse_expr()
+            self._expect("op", ";")
+            return Assign(target, expr)
+        raise ParseError(f"unexpected token {token.text or token.kind!r}",
+                         token.line, token.column)
+
+    # -- expressions ------------------------------------------------------
+    def _parse_expr(self, min_precedence: int = 1) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind != "op" or token.text not in _PRECEDENCE:
+                return left
+            precedence = _PRECEDENCE[token.text]
+            if precedence < min_precedence:
+                return left
+            self._next()
+            right = self._parse_expr(precedence + 1)
+            left = BinOp(BINARY_SYMBOLS[token.text], left, right)
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in UNARY_SYMBOLS:
+            self._next()
+            operand = self._parse_unary()
+            # constant-fold unary minus on literals so "-3" is a constant
+            if token.text == "-" and isinstance(operand, Const):
+                return Const(-operand.value)
+            return UnOp(UNARY_SYMBOLS[token.text], operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._next()
+        if token.kind == "int":
+            return Const(int(token.text))
+        if token.kind == "ident":
+            return Var(token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text or token.kind!r} "
+                         "in expression", token.line, token.column)
+
+
+def parse(source: str) -> Program:
+    """Parse behavioural source text into a validated :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,108 @@
+"""Pretty-printer: AST → behavioural source text.
+
+The inverse of :func:`repro.synthesis.frontend.parser.parse` up to
+formatting: ``parse(unparse(p)) == p`` for every valid program, which the
+property-based test suite checks on random programs.  Useful for saving
+eDSL-built designs in reviewable form.
+"""
+
+from __future__ import annotations
+
+from ...datapath.operations import BINARY_SYMBOLS, UNARY_SYMBOLS
+from ...errors import DefinitionError
+from .ast import Assign, BinOp, Const, Expr, If, Par, Program, Read, Stmt, UnOp, Var, While, Write
+
+#: operation name -> surface symbol (inverse of the frontend tables)
+_BINARY_TEXT = {name: symbol for symbol, name in BINARY_SYMBOLS.items()}
+_UNARY_TEXT = {name: symbol for symbol, name in UNARY_SYMBOLS.items()}
+
+#: precedence levels mirroring the parser's table
+_PRECEDENCE = {
+    "or": 1, "and": 2, "bor": 3, "bxor": 4, "band": 5,
+    "eq": 6, "ne": 6,
+    "lt": 7, "le": 7, "gt": 7, "ge": 7,
+    "shl": 8, "shr": 8,
+    "add": 9, "sub": 9,
+    "mul": 10, "div": 10, "mod": 10,
+}
+_UNARY_LEVEL = 11
+
+
+def unparse_expr(expr: Expr, parent_level: int = 0) -> str:
+    """Render an expression with minimal parentheses.
+
+    Conservative about associativity: any nested binary operation on the
+    *right* of an equal-precedence parent is parenthesised, so the
+    re-parsed tree (left-associative grammar) matches the original.
+    """
+    if isinstance(expr, Const):
+        # negative literals re-parse as folded unary minus -> same Const
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, UnOp):
+        inner = unparse_expr(expr.operand, _UNARY_LEVEL)
+        return f"{_UNARY_TEXT[expr.op]}{inner}"
+    if isinstance(expr, BinOp):
+        level = _PRECEDENCE[expr.op]
+        left = unparse_expr(expr.left, level)
+        right = unparse_expr(expr.right, level + 1)
+        text = f"{left} {_BINARY_TEXT[expr.op]} {right}"
+        if level < parent_level:
+            return f"({text})"
+        return text
+    raise DefinitionError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def _unparse_block(block: tuple[Stmt, ...], indent: int) -> list[str]:
+    pad = "  " * indent
+    lines: list[str] = []
+    for statement in block:
+        if isinstance(statement, Assign):
+            lines.append(f"{pad}{statement.target} = "
+                         f"{unparse_expr(statement.expr)};")
+        elif isinstance(statement, Read):
+            lines.append(f"{pad}{statement.target} = "
+                         f"read({statement.source});")
+        elif isinstance(statement, Write):
+            lines.append(f"{pad}write({statement.target}, "
+                         f"{unparse_expr(statement.expr)});")
+        elif isinstance(statement, If):
+            lines.append(f"{pad}if ({unparse_expr(statement.cond)}) {{")
+            lines.extend(_unparse_block(statement.then, indent + 1))
+            if statement.orelse:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_unparse_block(statement.orelse, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(statement, While):
+            lines.append(f"{pad}while ({unparse_expr(statement.cond)}) {{")
+            lines.extend(_unparse_block(statement.body, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(statement, Par):
+            lines.append(f"{pad}par {{")
+            for branch in statement.branches:
+                lines.append(f"{pad}  {{")
+                lines.extend(_unparse_block(branch, indent + 2))
+                lines.append(f"{pad}  }}")
+            lines.append(f"{pad}}}")
+        else:  # pragma: no cover - exhaustive
+            raise DefinitionError(f"unknown statement {statement!r}")
+    return lines
+
+
+def unparse(program: Program) -> str:
+    """Render a complete program as parseable source text."""
+    lines = [f"design {program.name} {{"]
+    if program.inputs:
+        lines.append(f"  input {', '.join(program.inputs)};")
+    if program.outputs:
+        lines.append(f"  output {', '.join(program.outputs)};")
+    if program.variables:
+        declarations = ", ".join(
+            name if value == 0 else f"{name} = {value}"
+            for name, value in program.variables.items()
+        )
+        lines.append(f"  var {declarations};")
+    lines.extend(_unparse_block(program.body, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,273 @@
+"""Scheduling: turning serial control chains into parallel steps.
+
+The compiler emits one control state per statement, chained serially.
+*Scheduling* here means choosing, for each maximal linear region of the
+control net, a partition of its states into ordered **layers** — states
+in one layer execute in parallel — and realising that choice with the
+data-invariant :class:`~repro.transform.control.RestructureBlock`
+transformation.  Because the transformation preserves Definition 4.5 (and
+hence, by Theorem 4.1, the external semantics), the scheduler cannot
+produce a wrong design, only a slow one.
+
+Two classic policies are provided:
+
+* :func:`asap_layers` — each state as early as its data dependences allow
+  (unlimited resources);
+* :func:`list_schedule` — ASAP order under resource constraints: at most
+  ``limits[op]`` uses of operation ``op`` per layer (the conventional
+  list-scheduling algorithm of HLS, with chain position as priority).
+
+:func:`compact` drives the whole flow: find blocks, schedule each,
+restructure, and return the transformed system plus a report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.dependence import DataDependence
+from ..core.system import DataControlSystem
+from ..transform.base import TransformLog
+from ..transform.control import RestructureBlock
+
+
+def linear_blocks(system: DataControlSystem, *, min_length: int = 2) -> list[list[str]]:
+    """Maximal linear place chains eligible for restructuring.
+
+    ``p`` chains to ``q`` when a single unguarded transition connects
+    exactly ``p`` to exactly ``q`` (``post(p) = {t}``, ``•t = {p}``,
+    ``t• = {q}``, ``pre(q) = {t}``) — the pattern
+    :class:`~repro.transform.control.RestructureBlock` accepts.
+    """
+    net = system.net
+    next_of: dict[str, str] = {}
+    for place in net.places:
+        post = net.postset(place)
+        if len(post) != 1:
+            continue
+        (t,) = post
+        if system.guard_ports(t):
+            continue
+        if net.preset(t) != {place}:
+            continue
+        succ = net.postset(t)
+        if len(succ) != 1:
+            continue
+        (q,) = succ
+        if net.preset(q) != {t}:
+            continue
+        next_of[place] = q
+
+    has_pred = set(next_of.values())
+    blocks: list[list[str]] = []
+    for head in net.places:
+        if head not in next_of or head in has_pred:
+            continue
+        # restructuring needs a feeding transition for the first layer and
+        # an unmarked chain (M0 is fixed); skip forward past unusable heads
+        while head in next_of and (not net.preset(head)
+                                   or net.initial.get(head, 0)):
+            head = next_of[head]
+        if head not in next_of:
+            continue
+        chain = [head]
+        seen = {head}
+        while chain[-1] in next_of:
+            succ = next_of[chain[-1]]
+            if succ in seen:  # degenerate full-cycle chain
+                break
+            chain.append(succ)
+            seen.add(succ)
+        if len(chain) >= min_length:
+            blocks.append(chain)
+    return blocks
+
+
+def place_resources(system: DataControlSystem, place: str) -> Counter:
+    """Operation-name usage of one control state.
+
+    Counts the combinational operator vertices *activated* by the state
+    (vertices whose input arcs the state opens) — the functional units the
+    state occupies for one step.
+    """
+    usage: Counter = Counter()
+    for vertex_name in system.associated_vertices(place):
+        vertex = system.datapath.vertex(vertex_name)
+        if vertex.is_combinational:
+            usage.update(op.name for op in vertex.ops.values())
+    return usage
+
+
+def _block_dependences(system: DataControlSystem,
+                       block: Sequence[str], *,
+                       closure: bool = False) -> dict[str, set[str]]:
+    """For each place, the earlier block places it *directly* depends on.
+
+    Direct pairs suffice: a layering that keeps every directly dependent
+    pair ordered keeps every dependence chain ordered (see the
+    interpretation note on
+    :func:`repro.core.equivalence.ordered_dependent_pairs`).
+    ``closure=True`` uses the paper-literal transitive ``◇`` instead —
+    kept for the ablation benchmark, which measures how much parallelism
+    the literal reading would forfeit.
+    """
+    dependence = DataDependence(system)
+    related = dependence.dependent if closure else dependence.direct
+    deps: dict[str, set[str]] = {p: set() for p in block}
+    for i, p in enumerate(block):
+        for q in block[i + 1:]:
+            if related(p, q):
+                deps[q].add(p)
+    return deps
+
+
+def asap_layers(system: DataControlSystem,
+                block: Sequence[str], *,
+                closure: bool = False) -> list[list[str]]:
+    """ASAP layering: level(q) = 1 + max(level(p) for p before q)."""
+    deps = _block_dependences(system, block, closure=closure)
+    level: dict[str, int] = {}
+    for place in block:  # chain order is a topological order of deps
+        level[place] = 1 + max((level[p] for p in deps[place]), default=-1)
+    depth = max(level.values(), default=-1) + 1
+    layers: list[list[str]] = [[] for _ in range(depth)]
+    for place in block:
+        layers[level[place]].append(place)
+    return layers
+
+
+def alap_layers(system: DataControlSystem,
+                block: Sequence[str]) -> list[list[str]]:
+    """ALAP layering: each state as late as its dependents allow.
+
+    Uses the ASAP depth as the schedule length, then pushes every state
+    to the latest layer from which all its dependents are still
+    reachable.  Useful for slack computation (ASAP level == ALAP level ⇒
+    the state is on the block's critical path).
+    """
+    deps = _block_dependences(system, block)
+    dependents: dict[str, set[str]] = {p: set() for p in block}
+    for q, earlier in deps.items():
+        for p in earlier:
+            dependents[p].add(q)
+    depth = len(asap_layers(system, block))
+    level: dict[str, int] = {}
+    for place in reversed(list(block)):
+        level[place] = min((level[q] - 1 for q in dependents[place]),
+                           default=depth - 1)
+    layers: list[list[str]] = [[] for _ in range(depth)]
+    for place in block:
+        layers[level[place]].append(place)
+    return [layer for layer in layers if layer]
+
+
+def list_schedule(system: DataControlSystem, block: Sequence[str],
+                  limits: Mapping[str, int] | None = None, *,
+                  closure: bool = False) -> list[list[str]]:
+    """Resource-constrained list scheduling.
+
+    ``limits`` caps, per layer, how many vertices of each operation name
+    may be active (e.g. ``{"mul": 1}``); operations without an entry are
+    unconstrained.  Priority: chain position (earlier statements first) —
+    with ready-set semantics this reduces to ASAP when no limits bind.
+    """
+    limits = dict(limits or {})
+    deps = _block_dependences(system, block, closure=closure)
+    usage = {p: place_resources(system, p) for p in block}
+    ass = {p: system.ass(p) for p in block}
+    # a block draining through guarded transitions (an if/while condition
+    # state at its tail) must keep that state alone in the final layer —
+    # the guard decision is taken when the last layer completes
+    # (see RestructureBlock.is_legal)
+    pinned_tail: str | None = None
+    tail_drains = system.net.postset(block[-1])
+    if any(system.guard_ports(t) for t in tail_drains):
+        pinned_tail = block[-1]
+    scheduled: dict[str, int] = {}
+    remaining = [p for p in block if p != pinned_tail]
+    layers: list[list[str]] = []
+    while remaining:
+        layer: list[str] = []
+        layer_usage: Counter = Counter()
+        layer_arcs: set[str] = set()
+        layer_vertices: set[str] = set()
+        for place in list(remaining):
+            if any(p not in scheduled for p in deps[place]):
+                continue  # a dependence is still unscheduled
+            if any(scheduled.get(p) == len(layers) for p in deps[place]):
+                continue  # dependence scheduled in this very layer
+            arcs, vertices = ass[place]
+            if (arcs & layer_arcs) or (vertices & layer_vertices):
+                continue  # shares a data-path resource (rule 3.2(1))
+            candidate = layer_usage + usage[place]
+            if layer and any(candidate[op] > cap
+                             for op, cap in limits.items()):
+                # the limit rejects *co-scheduling*; a single statement
+                # whose own expression already exceeds the cap still gets
+                # a layer of its own (statements are atomic — splitting
+                # them is the frontend's granularity, not the scheduler's)
+                continue
+            layer.append(place)
+            layer_usage = candidate
+            layer_arcs |= arcs
+            layer_vertices |= vertices
+        if not layer:  # pragma: no cover - chain order guarantees progress
+            raise RuntimeError("list scheduling made no progress")
+        for place in layer:
+            scheduled[place] = len(layers)
+            remaining.remove(place)
+        layers.append(layer)
+    if pinned_tail is not None:
+        layers.append([pinned_tail])
+    return layers
+
+
+@dataclass
+class CompactionReport:
+    """Outcome of :func:`compact` over a whole system."""
+
+    blocks: int = 0
+    restructured: int = 0
+    states_before: int = 0
+    layers_after: int = 0
+    log: TransformLog = field(default_factory=TransformLog)
+
+    @property
+    def steps_saved(self) -> int:
+        return self.states_before - self.layers_after
+
+    def summary(self) -> str:
+        return (f"compacted {self.restructured}/{self.blocks} blocks: "
+                f"{self.states_before} serial states -> {self.layers_after} "
+                f"layers ({self.steps_saved} steps saved)")
+
+
+def compact(system: DataControlSystem,
+            limits: Mapping[str, int] | None = None, *,
+            verify: bool = True) -> tuple[DataControlSystem, CompactionReport]:
+    """Schedule every linear block and restructure the control net.
+
+    Returns the transformed system (the input is untouched) and a report.
+    Blocks whose schedule is already serial-optimal (one layer per state
+    with no parallelism gained) are left alone.
+    """
+    report = CompactionReport()
+    current = system
+    for block in linear_blocks(current):
+        report.blocks += 1
+        layers = list_schedule(current, block, limits)
+        report.states_before += len(block)
+        report.layers_after += len(layers)
+        if len(layers) == len(block):
+            continue  # nothing gained
+        transform = RestructureBlock(block, layers)
+        legality = transform.is_legal(current)
+        if not legality:
+            report.log.record(transform, legal=False, reason=legality.reason)
+            continue
+        current = transform.apply(current, verify=verify)
+        report.log.record(transform)
+        report.restructured += 1
+    return current, report

@@ -1,0 +1,153 @@
+"""Transformation framework.
+
+A :class:`Transformation` is a named rewrite of a
+:class:`~repro.core.system.DataControlSystem` that **preserves semantics**
+(Section 4 of the paper).  Transformations are pure: :meth:`apply` returns
+a *new* system, leaving the input untouched, so the synthesis optimizer
+can explore candidate moves and discard the ones that do not pay off.
+
+Every transformation carries its proof obligation in code:
+
+* :meth:`is_legal` checks the paper's side conditions (cheap, static);
+* :meth:`apply` performs the rewrite and then, unless ``verify=False``,
+  re-establishes the relevant equivalence relation between input and
+  output — Definition 4.5 for control transformations, Definition 4.6 for
+  data-path transformations — raising
+  :class:`~repro.errors.TransformError` if the rewrite turned out not to
+  preserve it.  This defence-in-depth mirrors the paper's structure:
+  theorems guarantee the transformations are sound, and the checkers are
+  the executable form of those theorems.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..core.system import DataControlSystem
+from ..errors import TransformError
+
+
+@dataclass
+class Legality:
+    """Result of a legality pre-check."""
+
+    legal: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.legal
+
+
+class Transformation(abc.ABC):
+    """Base class for all semantics-preserving rewrites."""
+
+    #: which equivalence the transformation preserves:
+    #: ``"data-invariant"`` (Definition 4.5), ``"control-invariant"``
+    #: (Definition 4.6) or ``"behavioural"`` (extended transformations,
+    #: verified by simulation only).
+    preserves: str = "data-invariant"
+
+    @abc.abstractmethod
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        """Check side conditions without modifying anything."""
+
+    @abc.abstractmethod
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        """Perform the rewrite on a fresh copy (no legality re-check)."""
+
+    def _verify(self, before: DataControlSystem,
+                after: DataControlSystem) -> None:
+        """Re-establish the preserved equivalence; raise on failure.
+
+        Subclasses override to call the appropriate checker.  The default
+        does nothing (for transformations whose legality check is already
+        a complete proof).
+        """
+
+    def apply(self, system: DataControlSystem, *,
+              verify: bool = True) -> DataControlSystem:
+        """Check legality, rewrite, and (by default) verify equivalence."""
+        legality = self.is_legal(system)
+        if not legality:
+            raise TransformError(f"{self.describe()}: {legality.reason}")
+        # _rewrite builds on DataControlSystem.copy(), whose caches start
+        # empty; rewrites that provably keep the control net intact (e.g.
+        # the vertex merger) re-seed them explicitly.
+        result = self._rewrite(system)
+        if verify:
+            self._verify(system, result)
+        return result
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``parallelize(s3, s4)``."""
+        return type(self).__name__
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.describe()
+
+
+@dataclass
+class AppliedTransform:
+    """One entry of a transformation log."""
+
+    description: str
+    preserves: str
+    legal: bool
+    reason: str = ""
+
+
+@dataclass
+class TransformLog:
+    """Record of a transformation sequence — the synthesis audit trail."""
+
+    entries: list[AppliedTransform] = field(default_factory=list)
+
+    def record(self, transform: Transformation, *, legal: bool = True,
+               reason: str = "") -> None:
+        self.entries.append(AppliedTransform(
+            transform.describe(), transform.preserves, legal, reason,
+        ))
+
+    @property
+    def applied(self) -> int:
+        return sum(1 for e in self.entries if e.legal)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for e in self.entries if not e.legal)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.entries)} transformation attempt(s): "
+                 f"{self.applied} applied, {self.rejected} rejected"]
+        for entry in self.entries:
+            mark = "+" if entry.legal else "-"
+            note = f" ({entry.reason})" if entry.reason else ""
+            lines.append(f" {mark} [{entry.preserves}] {entry.description}{note}")
+        return "\n".join(lines)
+
+
+def apply_sequence(system: DataControlSystem,
+                   transforms: list[Transformation], *,
+                   verify: bool = True,
+                   skip_illegal: bool = False,
+                   log: TransformLog | None = None) -> DataControlSystem:
+    """Apply a sequence of transformations left to right.
+
+    With ``skip_illegal=True``, transformations whose side conditions fail
+    are recorded in the log and skipped instead of raising — the mode the
+    greedy optimizer uses when probing candidate moves.
+    """
+    current = system
+    for transform in transforms:
+        legality = transform.is_legal(current)
+        if not legality:
+            if log is not None:
+                log.record(transform, legal=False, reason=legality.reason)
+            if skip_illegal:
+                continue
+            raise TransformError(f"{transform.describe()}: {legality.reason}")
+        current = transform.apply(current, verify=verify)
+        if log is not None:
+            log.record(transform)
+    return current

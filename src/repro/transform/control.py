@@ -1,0 +1,385 @@
+"""Data-invariant control transformations (Definition 4.5, Theorem 4.1).
+
+These rewrites change only the transition set ``T`` and flow relation
+``F`` of the control Petri net — the data path ``D``, the place set
+``S``, the control mapping ``C``, the guard ports and the initial marking
+``M0`` are untouched.  Legality reduces to keeping every ordered,
+data-dependent state pair in the same relative order; Theorem 4.1 then
+gives semantic equivalence.
+
+* :class:`ParallelizeStates` — collapse a sequential pair ``S1 → t → S2``
+  of data-*independent* states into a parallel fork/join.  This is the
+  "add one more control flow path … allow more operation units to operate
+  at the same time" move of Section 5.
+* :class:`SerializeStates` — the inverse: order a parallel,
+  data-independent pair (used to *reduce* peak resource demand before
+  sharing hardware).
+* :class:`RestructureBlock` — rebuild a whole linear region into layered
+  fork/join steps according to a schedule (the workhorse behind list
+  scheduling; a compound of parallelize moves applied at once).
+
+Every ``apply`` re-checks Definition 4.5 between input and output by
+default — the executable form of Theorem 4.1's hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.dependence import DataDependence
+from ..core.equivalence import data_invariant_equivalent
+from ..core.system import DataControlSystem
+from ..errors import TransformError
+from .base import Legality, Transformation
+
+
+def _fresh_transition(system: DataControlSystem, stem: str) -> str:
+    """A transition name not yet used in the net."""
+    name = stem
+    counter = 0
+    net = system.net
+    while name in net.transitions or name in net.places:
+        counter += 1
+        name = f"{stem}_{counter}"
+    return name
+
+
+def _ass_overlap(system: DataControlSystem, s_1: str, s_2: str) -> bool:
+    """Would the two states violate Definition 3.2(1) if made parallel?
+
+    Checks both the associated vertex sets (shared data-manipulation
+    units — e.g. a functional unit merged by Definition 4.6) and the
+    controlled arc sets.  Transformations must keep properly designed
+    systems properly designed, so two states may only become parallel
+    when their active subgraphs are disjoint.
+    """
+    arcs_1, verts_1 = system.ass(s_1)
+    arcs_2, verts_2 = system.ass(s_2)
+    return bool(arcs_1 & arcs_2) or bool(verts_1 & verts_2)
+
+
+class _ControlTransform(Transformation):
+    """Shared verification: Definition 4.5 between before and after."""
+
+    preserves = "data-invariant"
+
+    def _verify(self, before: DataControlSystem,
+                after: DataControlSystem) -> None:
+        verdict = data_invariant_equivalent(before, after)
+        if not verdict:
+            raise TransformError(
+                f"{self.describe()} broke data-invariance: {verdict.reason}"
+            )
+
+
+@dataclass
+class ParallelizeStates(_ControlTransform):
+    """Turn ``S1 → t → S2`` into ``{S1 ∥ S2}``.
+
+    Pattern requirements (checked by :meth:`is_legal`):
+
+    * a transition ``t`` with ``•t = {S1}`` and ``t• = {S2}`` exists,
+      is unguarded, and is the *only* successor of ``S1`` and the only
+      predecessor of ``S2``;
+    * ``¬(S1 ◇ S2)`` — the states are data-independent (Definition 4.4).
+
+    Rewrite: remove ``t``; every transition that fed ``S1`` now also
+    feeds ``S2`` (fork), and every transition draining ``S2`` now also
+    drains ``S1`` (join).
+    """
+
+    s1: str
+    s2: str
+
+    def describe(self) -> str:
+        return f"parallelize({self.s1}, {self.s2})"
+
+    def _middle_transition(self, system: DataControlSystem) -> str | None:
+        net = system.net
+        post = net.postset(self.s1)
+        if len(post) != 1:
+            return None
+        (t,) = post
+        if net.preset(t) != {self.s1} or net.postset(t) != {self.s2}:
+            return None
+        if net.preset(self.s2) != {t}:
+            return None
+        return t
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        net = system.net
+        if self.s1 not in net.places or self.s2 not in net.places:
+            return Legality(False, f"unknown place {self.s1!r} or {self.s2!r}")
+        t = self._middle_transition(system)
+        if t is None:
+            return Legality(False,
+                            f"no simple chain {self.s1} -> t -> {self.s2}")
+        if system.guard_ports(t):
+            return Legality(False, f"middle transition {t!r} is guarded")
+        guarded_drains = [u for u in net.postset(self.s2)
+                          if system.guard_ports(u)]
+        if guarded_drains:
+            return Legality(
+                False,
+                f"{self.s2!r} drains through guarded transition(s) "
+                f"{sorted(guarded_drains)} — joining {self.s1!r} into them "
+                "would move the guard decision point",
+            )
+        if not net.preset(self.s1):
+            return Legality(False,
+                            f"{self.s1!r} has no feeding transition to fork from")
+        if system.net.initial.get(self.s1, 0) or system.net.initial.get(self.s2, 0):
+            return Legality(False,
+                            "initially marked places cannot be parallelized "
+                            "(M0 is fixed by Definition 4.5)")
+        dependence = DataDependence(system)
+        if dependence.direct(self.s1, self.s2):
+            return Legality(False,
+                            f"{self.s1} ↔ {self.s2} (data dependent — "
+                            "reordering would change semantics)")
+        if _ass_overlap(system, self.s1, self.s2):
+            return Legality(False,
+                            f"{self.s1} and {self.s2} share data-path "
+                            "resources — parallelizing them would violate "
+                            "Definition 3.2(1)")
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        net = result.net
+        t = self._middle_transition(result)
+        assert t is not None  # is_legal ran first
+        feeders = sorted(net.preset(self.s1))
+        drainers = sorted(net.postset(self.s2) - {t})
+        net.remove_transition(t)
+        for feeder in feeders:
+            net.add_arc(feeder, self.s2)
+        for drainer in drainers:
+            net.add_arc(self.s1, drainer)
+        return result
+
+
+@dataclass
+class SerializeStates(_ControlTransform):
+    """Order a parallel pair: ``{S1 ∥ S2}`` becomes ``S1 → t → S2``.
+
+    Pattern requirements:
+
+    * a common fork ``ta`` with arcs to both states and a common join
+      ``tb`` with arcs from both states exist; ``ta`` and ``tb`` are
+      unguarded;
+    * ``S2`` is fed only by ``ta`` and ``S1`` drains only into ``tb``
+      (so the rewire leaves no stranded token paths);
+    * ``¬(S1 ◇ S2)`` — Definition 4.5 is symmetric: introducing an order
+      between *dependent* states would add an ordered dependent pair that
+      the original system does not have.
+    """
+
+    s1: str
+    s2: str
+
+    def describe(self) -> str:
+        return f"serialize({self.s1}, {self.s2})"
+
+    def _fork_join(self, system: DataControlSystem) -> tuple[str, str] | None:
+        net = system.net
+        forks = net.preset(self.s1) & net.preset(self.s2)
+        joins = net.postset(self.s1) & net.postset(self.s2)
+        if not forks or not joins:
+            return None
+        return sorted(forks)[0], sorted(joins)[0]
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        net = system.net
+        if self.s1 not in net.places or self.s2 not in net.places:
+            return Legality(False, f"unknown place {self.s1!r} or {self.s2!r}")
+        if not system.relations.parallel(self.s1, self.s2):
+            return Legality(False, f"{self.s1} and {self.s2} are not parallel")
+        pair = self._fork_join(system)
+        if pair is None:
+            return Legality(False,
+                            f"{self.s1} and {self.s2} share no fork/join")
+        ta, tb = pair
+        if system.guard_ports(ta) or system.guard_ports(tb):
+            return Legality(False, "fork or join transition is guarded")
+        if net.preset(self.s2) != {ta}:
+            return Legality(False,
+                            f"{self.s2!r} has feeders besides the fork {ta!r}")
+        if net.postset(self.s1) != {tb}:
+            return Legality(False,
+                            f"{self.s1!r} has drains besides the join {tb!r}")
+        if system.net.initial.get(self.s1, 0) or system.net.initial.get(self.s2, 0):
+            return Legality(False,
+                            "initially marked places cannot be serialized "
+                            "(M0 is fixed by Definition 4.5)")
+        dependence = DataDependence(system)
+        if dependence.direct(self.s1, self.s2):
+            return Legality(False,
+                            f"{self.s1} ↔ {self.s2} (ordering dependent states "
+                            "adds an ordered dependent pair)")
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        net = result.net
+        pair = self._fork_join(result)
+        assert pair is not None
+        ta, tb = pair
+        net.remove_arc(ta, self.s2)
+        net.remove_arc(self.s1, tb)
+        t_new = _fresh_transition(result, f"t_{self.s1}_{self.s2}")
+        net.add_transition(t_new)
+        net.add_arc(self.s1, t_new)
+        net.add_arc(t_new, self.s2)
+        return result
+
+
+@dataclass
+class RestructureBlock(_ControlTransform):
+    """Rebuild a linear chain of places into layered fork/join steps.
+
+    ``places`` must form a chain ``p1 → t1 → p2 → … → pn`` whose interior
+    transitions are unguarded and connect exactly one place to the next.
+    ``layers`` is a partition of the same places into an ordered list of
+    steps; places within one layer execute in parallel, consecutive
+    layers are separated by fresh join/fork transitions.
+
+    Legality requires the layering to respect the data-dependence order:
+    if ``p_i ◇ p_j`` and ``i < j`` in the chain, then ``p_i``'s layer
+    must come strictly before ``p_j``'s.  This is what a list scheduler
+    produces; the transformation is the mechanism that realises its
+    schedule on the control net (Section 5's "sequence of transformations
+    moves a design from abstract description to implementation").
+    """
+
+    places: Sequence[str]
+    layers: Sequence[Sequence[str]]
+
+    def describe(self) -> str:
+        layer_text = " | ".join(",".join(layer) for layer in self.layers)
+        return f"restructure[{layer_text}]"
+
+    def _interior_transitions(self, system: DataControlSystem) -> list[str] | None:
+        net = system.net
+        transitions: list[str] = []
+        for a, b in zip(self.places, self.places[1:]):
+            candidates = [t for t in net.postset(a)
+                          if net.preset(t) == {a} and net.postset(t) == {b}]
+            if len(candidates) != 1:
+                return None
+            t = candidates[0]
+            if net.preset(b) != {t} or net.postset(a) != {t}:
+                return None
+            if system.guard_ports(t):
+                return None
+            transitions.append(t)
+        return transitions
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        net = system.net
+        chain = list(self.places)
+        if len(chain) < 2:
+            return Legality(False, "chain must contain at least two places")
+        for place in chain:
+            if place not in net.places:
+                return Legality(False, f"unknown place {place!r}")
+        flat = [p for layer in self.layers for p in layer]
+        if sorted(flat) != sorted(chain):
+            return Legality(False, "layers are not a partition of the chain")
+        if any(not layer for layer in self.layers):
+            return Legality(False, "empty layer")
+        if self._interior_transitions(system) is None:
+            return Legality(False,
+                            "places do not form a simple unguarded chain")
+        if not net.preset(chain[0]):
+            return Legality(False,
+                            f"{chain[0]!r} has no feeding transition — the "
+                            "first layer could never receive tokens")
+        marked = [p for p in chain if net.initial.get(p, 0)]
+        if marked:
+            return Legality(False,
+                            f"initially marked place(s) {marked} inside the "
+                            "block (M0 is fixed by Definition 4.5)")
+        # dependence order must be respected
+        layer_of = {p: i for i, layer in enumerate(self.layers) for p in layer}
+        position = {p: i for i, p in enumerate(chain)}
+        dependence = DataDependence(system)
+        for i, p in enumerate(chain):
+            for q in chain[i + 1:]:
+                if dependence.direct(p, q):
+                    if layer_of[p] >= layer_of[q]:
+                        return Legality(
+                            False,
+                            f"{p} ↔ {q} but layering puts {p!r} (layer "
+                            f"{layer_of[p]}) not before {q!r} (layer "
+                            f"{layer_of[q]})",
+                        )
+        # guarded exits pin the condition state: the block's drain
+        # transitions take their guard decision when the *last layer*
+        # completes, so if any drain is guarded (the chain ends in an
+        # if/while condition state) that state must remain the sole
+        # member of the last layer — otherwise the guard would be
+        # evaluated at a different control point.
+        net_last_drains = net.postset(chain[-1])
+        if any(system.guard_ports(t) for t in net_last_drains):
+            if list(self.layers[-1]) != [chain[-1]]:
+                return Legality(
+                    False,
+                    f"the chain drains through guarded transition(s) "
+                    f"{sorted(net_last_drains)}; {chain[-1]!r} must remain "
+                    "alone in the final layer",
+                )
+        # states sharing data-path resources must not land in one layer
+        # (Definition 3.2(1) — e.g. after a functional unit was merged)
+        for layer in self.layers:
+            members = sorted(layer)
+            for i, p in enumerate(members):
+                for q in members[i + 1:]:
+                    if _ass_overlap(system, p, q):
+                        return Legality(
+                            False,
+                            f"layer co-schedules {p!r} and {q!r}, which "
+                            "share data-path resources (Definition 3.2(1))",
+                        )
+        del position
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        net = result.net
+        interior = self._interior_transitions(result)
+        assert interior is not None
+        first, last = self.places[0], self.places[-1]
+        feeders = sorted(net.preset(first))
+        drainers = sorted(net.postset(last) - set(interior))
+        for t in interior:
+            net.remove_transition(t)
+        layers = [list(layer) for layer in self.layers]
+        # detach the old boundary arcs: the first/last layer may contain
+        # different places than the chain's old head/tail
+        for feeder in feeders:
+            for place in self.places:
+                if place in net.postset(feeder):
+                    net.remove_arc(feeder, place)
+        for place in self.places:
+            for drainer in drainers:
+                if drainer in net.postset(place):
+                    net.remove_arc(place, drainer)
+        # entry: every feeder forks into the whole first layer
+        for place in layers[0]:
+            for feeder in feeders:
+                net.add_arc(feeder, place)
+        # between consecutive layers: fresh join/fork transition
+        for i in range(len(layers) - 1):
+            t_new = _fresh_transition(result, f"t_layer{i}")
+            net.add_transition(t_new)
+            for place in layers[i]:
+                net.add_arc(place, t_new)
+            for place in layers[i + 1]:
+                net.add_arc(t_new, place)
+        # exit: the whole last layer joins into every drainer
+        for place in layers[-1]:
+            for drainer in drainers:
+                net.add_arc(place, drainer)
+        return result

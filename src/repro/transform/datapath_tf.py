@@ -1,0 +1,174 @@
+"""Control-invariant data-path transformations (Definition 4.6, Theorem 4.2).
+
+* :class:`VertexMerger` — merge vertex ``V_i`` into ``V_j``: the two
+  operations share one hardware unit.  "The intrinsic property of a
+  merger operation is to share hardware resources … for example two
+  addition operations can be implemented with the same adder" (Section 4).
+  Arc identities are preserved — ``A'`` is ``A`` with endpoints remapped —
+  so the control mapping ``C`` needs no change, exactly as in the paper's
+  definition.
+
+* :class:`VertexSplitter` — the inverse: duplicate a shared vertex and
+  move a subset of its uses onto the copy.  This is the Section 5 move
+  "possibly additional data manipulation units in the data path will
+  allow more operation units to operate at the same time": splitting is
+  what makes a subsequent parallelization legal when two operations
+  previously shared a unit.
+
+Legality for the merger is :func:`repro.core.equivalence.merger_legal` —
+the executable hypothesis of Theorem 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.equivalence import merger_legal
+from ..core.system import DataControlSystem
+from ..datapath.ports import PortId
+from ..errors import TransformError
+from .base import Legality, Transformation
+
+
+@dataclass
+class VertexMerger(Transformation):
+    """Merge ``v_i`` into ``v_j`` (Definition 4.6)."""
+
+    v_i: str
+    v_j: str
+
+    preserves = "control-invariant"
+
+    def describe(self) -> str:
+        return f"merge({self.v_i} -> {self.v_j})"
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        verdict = merger_legal(system, self.v_i, self.v_j)
+        return Legality(verdict.equivalent, verdict.reason)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        # a merger never touches the control net, so the structural and
+        # coexistence caches stay valid — carry them over (explore() is
+        # the expensive part of repeated merger legality checks)
+        result._relations = system._relations
+        result._coexistence = system._coexistence
+        dp = result.datapath
+
+        def remap(port: PortId) -> PortId:
+            if port.vertex == self.v_i:
+                return PortId(self.v_j, port.port)
+            return port
+
+        for arc in list(dp.arcs.values()):
+            if arc.source.vertex == self.v_i or arc.target.vertex == self.v_i:
+                dp.remove_arc(arc.name)
+                dp.connect(remap(arc.source), remap(arc.target), name=arc.name)
+        for transition, ports in list(result.guards.items()):
+            result.guards[transition] = {remap(p) for p in ports}
+        dp.remove_vertex(self.v_i)
+        return result
+
+
+@dataclass
+class VertexSplitter(Transformation):
+    """Duplicate a shared vertex; move the uses of the given control
+    states onto the copy.
+
+    Legality:
+
+    * the vertex is combinational (splitting a register would split its
+      state);
+    * its output ports are not used as guards (guards are not tied to a
+      single control state, so re-pointing them is ambiguous);
+    * every arc touching the vertex is controlled either entirely by
+      ``states`` or entirely by other states — otherwise one arc would
+      have to exist on both copies at once.
+
+    The inverse :class:`VertexMerger` restores the original system, which
+    is how the transformation's soundness is tested.
+    """
+
+    vertex: str
+    clone: str
+    states: Sequence[str]
+
+    preserves = "control-invariant"
+
+    def describe(self) -> str:
+        return f"split({self.vertex} -> {self.clone} @ {list(self.states)})"
+
+    def _moved_arcs(self, system: DataControlSystem) -> list[str] | None:
+        """Arcs to remap, or None if some arc straddles the state split."""
+        chosen = set(self.states)
+        moved: list[str] = []
+        for arc in system.datapath.arcs.values():
+            if self.vertex not in (arc.source.vertex, arc.target.vertex):
+                continue
+            controllers = system.controlling_states(arc.name)
+            if not controllers:
+                return None  # uncontrolled arc touching the vertex
+            if controllers <= chosen:
+                moved.append(arc.name)
+            elif controllers & chosen:
+                return None  # straddles the split
+        return moved
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        dp = system.datapath
+        if self.vertex not in dp.vertices:
+            return Legality(False, f"unknown vertex {self.vertex!r}")
+        if self.clone in dp.vertices:
+            return Legality(False, f"clone name {self.clone!r} already in use")
+        vertex = dp.vertex(self.vertex)
+        if not vertex.is_combinational:
+            return Legality(False,
+                            f"{self.vertex!r} is state-holding; splitting "
+                            "would split its state")
+        for port in vertex.output_ids():
+            if system.guarded_transitions(port):
+                return Legality(False,
+                                f"output port {port} is used as a guard")
+        unknown = [s for s in self.states if s not in system.net.places]
+        if unknown:
+            return Legality(False, f"unknown control states {unknown}")
+        moved = self._moved_arcs(system)
+        if moved is None:
+            return Legality(False,
+                            "an arc touching the vertex is controlled by "
+                            "states on both sides of the split (or by none)")
+        if not moved:
+            return Legality(False,
+                            f"states {list(self.states)} control no arc "
+                            f"touching {self.vertex!r} — nothing to split")
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        dp = result.datapath
+        original = dp.vertex(self.vertex)
+        dp.add_vertex(original.renamed(self.clone))
+        moved = self._moved_arcs(result)
+        assert moved is not None
+
+        def remap(port: PortId) -> PortId:
+            if port.vertex == self.vertex:
+                return PortId(self.clone, port.port)
+            return port
+
+        for name in moved:
+            arc = dp.arc(name)
+            dp.remove_arc(name)
+            dp.connect(remap(arc.source), remap(arc.target), name=name)
+        return result
+
+    def _verify(self, before: DataControlSystem,
+                after: DataControlSystem) -> None:
+        """Splitting must be undoable by the Definition 4.6 merger."""
+        verdict = merger_legal(after, self.clone, self.vertex)
+        if not verdict:
+            raise TransformError(
+                f"{self.describe()} produced a split that the merger could "
+                f"not undo: {verdict.reason}"
+            )

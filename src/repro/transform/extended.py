@@ -1,0 +1,270 @@
+"""Extended transformations — beyond the paper's two families.
+
+The paper presents two equivalence-backed transformation families and
+notes the CAMAD system applies "a set of transformation, analysis, and
+optimization algorithms" [3,4].  This module implements three further
+moves that the CAMAD literature uses, clearly marked as extensions:
+they change the control state set ``S`` (which Definitions 4.5/4.6 fix),
+so they fall outside the paper's two structural equivalences and are
+classified ``preserves="behavioural"`` — their soundness argument is the
+side conditions below plus the behavioural test battery, not a theorem
+from the paper.
+
+* :class:`MergeStates` — fuse two data-independent states that execute
+  back-to-back into one state opening both arc sets (one control step
+  instead of two — "scheduling compaction" at state granularity, saving
+  control logic where :class:`ParallelizeStates` would keep two places).
+* :class:`SplitState` — the inverse: split one state's arc set into two
+  sequential states (used to meet a clock-period target: each half has a
+  shorter combinational path).
+* :class:`EliminateDeadVertices` — drop vertices no arc touches and no
+  guard reads (cleanup after mergers and splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.dependence import DataDependence
+from ..core.system import DataControlSystem
+from ..datapath.validate import combinational_cycle
+from ..errors import TransformError
+from .base import Legality, Transformation
+from .control import _fresh_transition
+
+
+@dataclass
+class MergeStates(Transformation):
+    """Fuse ``S1 → t → S2`` into the single state ``S1`` with
+    ``C(S1) ∪ C(S2)``.
+
+    Side conditions:
+
+    * the usual simple-chain pattern (sole unguarded connector, as for
+      :class:`~repro.transform.control.ParallelizeStates`);
+    * the states are *data independent* — in one step both arc sets open
+      simultaneously, so a read-after-write pair would see the old value;
+    * their resources are disjoint (rule 3.2(1) within the fused state)
+      and the union opens no combinational loop (rule 3.2(4));
+    * neither state controls an external arc — fusing I/O states would
+      merge two observable events into one activation, changing ``S(Γ)``.
+    """
+
+    s1: str
+    s2: str
+
+    preserves = "behavioural"
+
+    def describe(self) -> str:
+        return f"merge_states({self.s1} + {self.s2})"
+
+    def _middle(self, system: DataControlSystem) -> str | None:
+        net = system.net
+        post = net.postset(self.s1)
+        if len(post) != 1:
+            return None
+        (t,) = post
+        if net.preset(t) != {self.s1} or net.postset(t) != {self.s2}:
+            return None
+        if net.preset(self.s2) != {t}:
+            return None
+        return t
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        net = system.net
+        if self.s1 == self.s2:
+            return Legality(False, "cannot fuse a state with itself")
+        if self.s1 not in net.places or self.s2 not in net.places:
+            return Legality(False, f"unknown place {self.s1!r} or {self.s2!r}")
+        t = self._middle(system)
+        if t is None:
+            return Legality(False,
+                            f"no simple chain {self.s1} -> t -> {self.s2}")
+        if system.guard_ports(t):
+            return Legality(False, f"connector {t!r} is guarded")
+        if net.initial.get(self.s2, 0):
+            return Legality(False, f"{self.s2!r} is initially marked")
+        external = system.external_arc_names()
+        if (system.control_arcs(self.s1) & external) or \
+                (system.control_arcs(self.s2) & external):
+            return Legality(False,
+                            "states controlling external arcs cannot be "
+                            "fused (it would merge observable events)")
+        dependence = DataDependence(system)
+        if dependence.direct(self.s1, self.s2):
+            return Legality(False,
+                            f"{self.s1} ↔ {self.s2}: a dependent pair fused "
+                            "into one step would read stale values")
+        arcs_1, verts_1 = system.ass(self.s1)
+        arcs_2, verts_2 = system.ass(self.s2)
+        if (arcs_1 & arcs_2) or (verts_1 & verts_2):
+            return Legality(False,
+                            "states share data-path resources")
+        union = system.control_arcs(self.s1) | system.control_arcs(self.s2)
+        if combinational_cycle(system.datapath, union) is not None:
+            return Legality(False,
+                            "fused arc set contains a combinational loop")
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        net = result.net
+        t = self._middle(result)
+        assert t is not None
+        drains = sorted(net.postset(self.s2))
+        union = result.control_arcs(self.s1) | result.control_arcs(self.s2)
+        net.remove_transition(t)
+        net.remove_place(self.s2)
+        for drain in drains:
+            net.add_arc(self.s1, drain)
+        result.control.pop(self.s2, None)
+        result.set_control(self.s1, union)
+        return result
+
+
+@dataclass
+class SplitState(Transformation):
+    """Split one state into two sequential states partitioning its arcs.
+
+    ``first_arcs`` names the arcs that stay with the original state; the
+    rest move to a fresh successor state ``new_place``.  Side conditions
+    mirror :class:`MergeStates` in reverse: both halves must keep a
+    sequential vertex (rule 3.2(5)), the second half must not depend on a
+    register the first half latches differently… which is guaranteed
+    because the halves were simultaneous before — splitting can only
+    *delay* reads, so the legality test forbids the second half reading
+    any register the first half writes.
+    """
+
+    place: str
+    first_arcs: tuple[str, ...]
+    new_place: str
+
+    preserves = "behavioural"
+
+    def describe(self) -> str:
+        return f"split_state({self.place} -> {self.place}+{self.new_place})"
+
+    def _partition(self, system: DataControlSystem
+                   ) -> tuple[frozenset[str], frozenset[str]] | None:
+        arcs = system.control_arcs(self.place)
+        first = frozenset(self.first_arcs)
+        if not first or not first < arcs:
+            return None
+        return first, arcs - first
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        net = system.net
+        if self.place not in net.places:
+            return Legality(False, f"unknown place {self.place!r}")
+        if self.new_place in net.places or self.new_place in net.transitions:
+            return Legality(False,
+                            f"name {self.new_place!r} already in use")
+        parts = self._partition(system)
+        if parts is None:
+            return Legality(False,
+                            "first_arcs must be a non-empty strict subset "
+                            f"of C({self.place})")
+        first, second = parts
+        dp = system.datapath
+        external = system.external_arc_names()
+        if (first & external) or (second & external):
+            return Legality(False,
+                            "splitting a state with external arcs would "
+                            "re-time its observable events")
+
+        def has_sequential(arc_names: Iterable[str]) -> bool:
+            return any(dp.vertex(dp.arc(a).target.vertex).is_sequential
+                       for a in arc_names)
+
+        if not has_sequential(first) or not has_sequential(second):
+            return Legality(False,
+                            "each half must drive a sequential vertex "
+                            "(rule 3.2(5))")
+        # the delayed half must not read what the first half writes
+        first_writes = {dp.arc(a).target.vertex for a in first
+                        if dp.vertex(dp.arc(a).target.vertex).is_sequential}
+        second_reads = {dp.arc(a).source.vertex for a in second}
+        stale = first_writes & second_reads
+        if stale:
+            return Legality(False,
+                            f"second half reads {sorted(stale)} which the "
+                            "first half latches — the split would change "
+                            "the value observed")
+        # symmetric hazard: the *first* half commits one step earlier
+        # than before, so the second half must not overwrite its sources
+        second_writes = {dp.arc(a).target.vertex for a in second
+                         if dp.vertex(dp.arc(a).target.vertex).is_sequential}
+        first_reads = {dp.arc(a).source.vertex for a in first}
+        if second_writes & first_reads:
+            return Legality(False,
+                            "first half reads registers the second half "
+                            "writes — splitting would reorder the hazard")
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        net = result.net
+        parts = self._partition(result)
+        assert parts is not None
+        first, second = parts
+        drains = sorted(net.postset(self.place))
+        net.add_place(self.new_place)
+        for drain in drains:
+            net.remove_arc(self.place, drain)
+            net.add_arc(self.new_place, drain)
+        t_new = _fresh_transition(result, f"t_{self.place}_split")
+        net.add_transition(t_new)
+        net.add_arc(self.place, t_new)
+        net.add_arc(t_new, self.new_place)
+        result.set_control(self.place, first)
+        result.set_control(self.new_place, second)
+        return result
+
+
+@dataclass
+class EliminateDeadVertices(Transformation):
+    """Remove vertices that no arc touches and no guard reads.
+
+    Mergers leave no dead vertices themselves (they remap arcs), but a
+    sequence of splits and re-merges, or hand edits, can strand units.
+    Purely structural: dead vertices have no observable behaviour.
+    """
+
+    preserves = "behavioural"
+
+    def describe(self) -> str:
+        return "eliminate_dead_vertices"
+
+    def _dead(self, system: DataControlSystem) -> list[str]:
+        dp = system.datapath
+        touched: set[str] = set()
+        for arc in dp.arcs.values():
+            touched.add(arc.source.vertex)
+            touched.add(arc.target.vertex)
+        for ports in system.guards.values():
+            touched.update(port.vertex for port in ports)
+        return sorted(set(dp.vertices) - touched)
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        if not self._dead(system):
+            return Legality(False, "no dead vertices to eliminate")
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        for name in self._dead(result):
+            result.datapath.remove_vertex(name)
+        return result
+
+
+def removed_area(system: DataControlSystem) -> float:
+    """Total area of currently-dead vertices (what elimination would save)."""
+    transform = EliminateDeadVertices()
+    dead = transform._dead(system)
+    total = 0.0
+    for name in dead:
+        vertex = system.datapath.vertex(name)
+        total += sum(op.area for op in vertex.ops.values())
+    return total

@@ -1,0 +1,310 @@
+"""Register sharing — an extended transformation with lifetime analysis.
+
+Definition 4.6 deliberately cannot merge *state-holding* vertices: two
+registers carry two live values, and "same operational definition +
+sequentially ordered uses" says nothing about whether those values'
+lifetimes overlap.  Classic high-level synthesis shares registers anyway,
+justified by **liveness analysis**: two registers may share storage iff
+no point of the control exists where both hold a value that will still be
+read.
+
+This module implements that analysis on the control net and the
+resulting :class:`RegisterMerger` transformation
+(``preserves="behavioural"`` — an extension, verified by the test
+battery, not by a theorem from the paper):
+
+* a register is **defined** at the states opening an arc into its data
+  port, and **used** at the states opening an arc from its output (plus
+  the decision states of any transition whose guard traces back to it);
+* liveness is the standard backward may-analysis over the place-level
+  successor graph (fixpoint; loops handled naturally);
+* two registers **interfere** iff some place has both live on entry, or
+  two *coexistent* places (simultaneously markable — fork branches) have
+  one live each;
+* additionally, a register live at an initially marked place carries its
+  reset value, so merging requires equal initial values in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.dependence import sequential_sources
+from ..core.system import DataControlSystem
+from ..datapath.operations import OpKind
+from ..datapath.ports import PortId
+from ..values import UNDEF
+from .base import Legality, Transformation
+from .datapath_tf import VertexMerger
+
+
+def _plain_registers(system: DataControlSystem) -> list[str]:
+    """Vertices that are plain ``reg`` units (single d/q, no next-state fn)."""
+    names = []
+    for vertex in system.datapath.vertices.values():
+        if vertex.is_external:
+            continue
+        ops = [vertex.operation(p) for p in vertex.out_ports]
+        if len(ops) == 1 and ops[0].name == "reg" and ops[0].kind is OpKind.SEQ:
+            names.append(vertex.name)
+    return sorted(names)
+
+
+def def_states(system: DataControlSystem, register: str) -> frozenset[str]:
+    """States that (may) latch a new value into the register."""
+    dp = system.datapath
+    vertex = dp.vertex(register)
+    states: set[str] = set()
+    for in_port in vertex.input_ids():
+        for arc in dp.arcs_into(in_port):
+            states.update(system.controlling_states(arc.name))
+    return frozenset(states)
+
+
+def use_states(system: DataControlSystem, register: str) -> frozenset[str]:
+    """States whose activity reads the register's current value.
+
+    Arcs from the register's output port read it directly; a transition
+    guarded by a port combinationally derived from the register reads it
+    while the transition's input places are marked.
+    """
+    dp = system.datapath
+    vertex = dp.vertex(register)
+    states: set[str] = set()
+    for out_port in vertex.output_ids():
+        for arc in dp.arcs_from(out_port):
+            states.update(system.controlling_states(arc.name))
+    for transition, ports in system.guards.items():
+        for port in ports:
+            if port.vertex == register or \
+                    register in sequential_sources(system, port):
+                states.update(system.net.preset(transition))
+                break
+    return frozenset(states)
+
+
+def live_places(system: DataControlSystem, register: str) -> frozenset[str]:
+    """Places where the register is live on entry (backward may-liveness).
+
+    ``live_in(p) = use(p) ∨ (¬def(p) ∧ ∨_{q ∈ succ(p)} live_in(q))`` —
+    within one state, reads observe the *old* value (latches commit at
+    departure), so a state that both uses and defines keeps the register
+    live on entry.
+    """
+    net = system.net
+    uses = use_states(system, register)
+    defs = def_states(system, register)
+    successors: dict[str, set[str]] = {p: set() for p in net.places}
+    for t in net.transitions:
+        for p in net.preset(t):
+            successors[p].update(net.postset(t))
+    live: set[str] = set(uses)
+    changed = True
+    while changed:
+        changed = False
+        for place in net.places:
+            if place in live or place in defs:
+                continue
+            if successors[place] & live:
+                live.add(place)
+                changed = True
+    return frozenset(live)
+
+
+@dataclass
+class InterferenceReport:
+    """Why two registers may or may not share storage."""
+
+    interferes: bool
+    reason: str = ""
+
+
+def registers_interfere(system: DataControlSystem, r_1: str, r_2: str
+                        ) -> InterferenceReport:
+    """Do the two registers' value lifetimes ever overlap?
+
+    Five conditions, any of which blocks sharing:
+
+    1. both live on entry to some place (two values needed at once);
+    2. a write to one kills the other's still-needed value — the classic
+       "defined where the other is live(-out)" interference;
+    3. the concurrent variant of 2: a write in a place coexistent with a
+       place where the other is live;
+    4. writes race: both written in the same or coexistent places (even
+       dead values must not double-latch one storage in a single step);
+    5. both reset values observable (live at the initial marking) but
+       different.
+    """
+    net = system.net
+    live_1 = live_places(system, r_1)
+    live_2 = live_places(system, r_2)
+    both = live_1 & live_2
+    if both:
+        return InterferenceReport(
+            True, f"both live on entry to {sorted(both)[:3]}")
+    pairs, complete = system.coexistence()
+    if not complete:
+        return InterferenceReport(True, "reachability budget exhausted — "
+                                        "assuming interference")
+    for pair in pairs:
+        members = sorted(pair)
+        p = members[0]
+        q = members[-1]
+        if (p in live_1 and q in live_2) or (p in live_2 and q in live_1):
+            return InterferenceReport(
+                True, f"live in coexistent places {p!r} / {q!r}")
+
+    successors: dict[str, set[str]] = {p: set() for p in net.places}
+    for t in net.transitions:
+        for p in net.preset(t):
+            successors[p].update(net.postset(t))
+
+    def live_out(live: frozenset[str], place: str) -> bool:
+        return bool(successors.get(place, set()) & live)
+
+    defs_1 = def_states(system, r_1)
+    defs_2 = def_states(system, r_2)
+    for defs, live, victim in ((defs_1, live_2, r_2), (defs_2, live_1, r_1)):
+        for place in defs:
+            if live_out(live, place):
+                return InterferenceReport(
+                    True, f"write at {place!r} would destroy the live "
+                          f"value of {victim!r}")
+            for pair in pairs:
+                if place in pair:
+                    other = next(iter(pair - {place}), place)
+                    if other in live:
+                        return InterferenceReport(
+                            True, f"write at {place!r} coexists with "
+                                  f"{other!r} where {victim!r} is live")
+    if defs_1 & defs_2:
+        return InterferenceReport(
+            True, f"written in the same state {sorted(defs_1 & defs_2)[:2]}")
+    for p in defs_1:
+        for q in defs_2:
+            if frozenset((p, q)) in pairs:
+                return InterferenceReport(
+                    True, f"written in coexistent states {p!r} / {q!r}")
+    # initial values: a register live at an initially marked place
+    # carries its reset value into the merged storage
+    initial_places = {p for p, n in system.net.initial.items() if n > 0}
+    init_live_1 = bool(live_1 & initial_places)
+    init_live_2 = bool(live_2 & initial_places)
+    if init_live_1 and init_live_2:
+        dp = system.datapath
+        v_1, v_2 = dp.vertex(r_1), dp.vertex(r_2)
+        i_1 = v_1.initial_value(v_1.out_ports[0])
+        i_2 = v_2.initial_value(v_2.out_ports[0])
+        if i_1 is UNDEF or i_2 is UNDEF or i_1 != i_2:
+            return InterferenceReport(
+                True, "both reset values are observable and differ")
+    return InterferenceReport(False)
+
+
+@dataclass
+class RegisterMerger(Transformation):
+    """Merge register ``r_1`` into ``r_2`` when their lifetimes never
+    overlap.
+
+    The rewrite is structurally identical to the Definition 4.6 vertex
+    merger (arc names preserved, ``C`` untouched, guards remapped); only
+    the *legality* differs — lifetime disjointness replaces operation
+    interchangeability.
+    """
+
+    r_1: str
+    r_2: str
+
+    preserves = "behavioural"
+
+    def describe(self) -> str:
+        return f"share_register({self.r_1} -> {self.r_2})"
+
+    def is_legal(self, system: DataControlSystem) -> Legality:
+        registers = _plain_registers(system)
+        if self.r_1 == self.r_2:
+            return Legality(False, "cannot merge a register with itself")
+        for name in (self.r_1, self.r_2):
+            if name not in registers:
+                return Legality(False,
+                                f"{name!r} is not a plain register")
+        report = registers_interfere(system, self.r_1, self.r_2)
+        if report.interferes:
+            return Legality(False, f"lifetimes interfere: {report.reason}")
+        # the merged register keeps r_2's reset value; if r_1's reset
+        # value is the observable one, carry it over instead -> handled
+        # in _rewrite by choosing the live one; require not both (checked
+        # by registers_interfere already).
+        return Legality(True)
+
+    def _rewrite(self, system: DataControlSystem) -> DataControlSystem:
+        result = system.copy()
+        result._relations = system._relations
+        result._coexistence = system._coexistence
+        dp = result.datapath
+
+        # pick the surviving reset value: the one whose register is live
+        # at the initial marking (at most one is, per legality)
+        initial_places = {p for p, n in result.net.initial.items() if n > 0}
+        v_1 = dp.vertex(self.r_1)
+        keep_init_from_1 = bool(live_places(result, self.r_1)
+                                & initial_places)
+        if keep_init_from_1:
+            v_2 = dp.vertex(self.r_2)
+            dp.vertices[self.r_2] = type(v_2)(
+                v_2.name, v_2.in_ports, v_2.out_ports, dict(v_2.ops),
+                {v_2.out_ports[0]: v_1.initial_value(v_1.out_ports[0])},
+            )
+
+        def remap(port: PortId) -> PortId:
+            if port.vertex == self.r_1:
+                return PortId(self.r_2, port.port)
+            return port
+
+        for arc in list(dp.arcs.values()):
+            if arc.source.vertex == self.r_1 or arc.target.vertex == self.r_1:
+                dp.remove_arc(arc.name)
+                dp.connect(remap(arc.source), remap(arc.target), name=arc.name)
+        for transition, ports in list(result.guards.items()):
+            result.guards[transition] = {remap(p) for p in ports}
+        dp.remove_vertex(self.r_1)
+        return result
+
+
+@dataclass
+class RegisterSharingReport:
+    """Outcome of the greedy register-sharing pass."""
+
+    merges: list[tuple[str, str]] = field(default_factory=list)
+    registers_before: int = 0
+    registers_after: int = 0
+
+    def summary(self) -> str:
+        return (f"shared {len(self.merges)} register(s): "
+                f"{self.registers_before} -> {self.registers_after}")
+
+
+def share_registers(system: DataControlSystem, *, verify: bool = True
+                    ) -> tuple[DataControlSystem, RegisterSharingReport]:
+    """Greedy register binning by interference (first-fit).
+
+    Like functional-unit allocation this is first-fit on a graph whose
+    optimal colouring is NP-hard; first-fit matches period practice.
+    """
+    report = RegisterSharingReport(
+        registers_before=len(_plain_registers(system)))
+    current = system
+    bins: list[str] = []
+    for name in _plain_registers(system):
+        merged = False
+        for representative in bins:
+            transform = RegisterMerger(name, representative)
+            if transform.is_legal(current):
+                current = transform.apply(current, verify=verify)
+                report.merges.append((name, representative))
+                merged = True
+                break
+        if not merged:
+            bins.append(name)
+    report.registers_after = len(_plain_registers(current))
+    return current, report

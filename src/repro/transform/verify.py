@@ -1,0 +1,76 @@
+"""Transformation verification utilities.
+
+Structural checkers live next to their definitions in
+:mod:`repro.core.equivalence`; this module layers the *behavioural*
+verification on top: simulate both systems against the same environments
+(and several firing policies) and compare external event structures —
+the executable statement of Theorems 4.1 and 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.equivalence import EquivalenceVerdict
+from ..core.system import DataControlSystem
+from ..semantics.environment import Environment
+from ..semantics.event_structure import default_policy_sweep, extract_event_structure
+
+
+@dataclass
+class BehaviouralReport:
+    """Result of a behavioural equivalence sweep."""
+
+    equivalent: bool
+    environments_checked: int = 0
+    policies_checked: int = 0
+    failure: str = ""
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def behaviourally_equivalent(before: DataControlSystem,
+                             after: DataControlSystem,
+                             environments: Sequence[Environment], *,
+                             policies=None,
+                             max_steps: int = 10_000) -> BehaviouralReport:
+    """Compare event structures across environments × firing policies.
+
+    Both systems consume forked copies of every environment, and the
+    *after* system is additionally exercised under the whole policy
+    battery (the *before* system under the default maximal-step policy —
+    if ``before`` is properly designed its structure is policy-invariant,
+    and comparing each ``after``-policy against it covers both systems).
+    """
+    battery = list(policies) if policies is not None else default_policy_sweep()
+    checked_policies = 0
+    for env_index, environment in enumerate(environments):
+        reference = extract_event_structure(before, environment.fork(),
+                                            max_steps=max_steps)
+        for policy in battery:
+            candidate = extract_event_structure(after, environment.fork(),
+                                                policy=policy,
+                                                max_steps=max_steps)
+            checked_policies += 1
+            if not reference.semantically_equal(candidate):
+                difference = reference.explain_difference(candidate)
+                return BehaviouralReport(
+                    False, env_index + 1, checked_policies,
+                    f"environment #{env_index}: {difference}",
+                )
+    return BehaviouralReport(True, len(environments), checked_policies)
+
+
+def assert_behaviourally_equivalent(before: DataControlSystem,
+                                    after: DataControlSystem,
+                                    environments: Sequence[Environment], *,
+                                    max_steps: int = 10_000) -> None:
+    """Raise :class:`AssertionError` with the diff if the sweep fails."""
+    report = behaviourally_equivalent(before, after, environments,
+                                      max_steps=max_steps)
+    if not report:
+        raise AssertionError(
+            f"systems are not behaviourally equivalent: {report.failure}"
+        )

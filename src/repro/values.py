@@ -1,0 +1,102 @@
+"""The value domain of the implicit algebraic structure.
+
+The paper deliberately leaves the algebraic structure abstract
+(Section 2: "We assume that there exists an implicit interpretation of the
+underlying algebraic structure which supports the computation rules").
+This module supplies the default interpretation used by the simulator:
+
+* values are Python integers / booleans (hardware words, width-agnostic);
+* a distinguished bottom element :data:`UNDEF` models the *undefined*
+  values of Definition 3.1(10) — an input port whose pending arcs are all
+  inactive, or a combinational output depending on an undefined input;
+* :func:`strict` lifts an ordinary function to one that propagates
+  :data:`UNDEF` (combinational strictness), which is exactly rule 3.1(10)
+  for non-sequential operations.
+
+Truthiness of guard values follows Definition 3.1(4): only a defined,
+non-zero value counts as TRUE — an undefined guard can never fire a
+transition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class _Undefined:
+    """Singleton bottom element of the value domain.
+
+    Compares equal only to itself, is falsy, and survives copying /
+    pickling as the same identity (``__reduce__`` returns the module
+    accessor) so simulator snapshots stay comparable.
+    """
+
+    _instance: "_Undefined | None" = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEF"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):  # pragma: no cover - pickling support
+        return (_get_undef, ())
+
+
+def _get_undef() -> "_Undefined":  # pragma: no cover - pickling support
+    return UNDEF
+
+
+#: The undefined value ⊥ (Definition 3.1(10)).
+UNDEF = _Undefined()
+
+#: A data value: an int/bool word or ⊥.
+Value = Any
+
+
+def is_defined(value: Value) -> bool:
+    """True iff ``value`` is not :data:`UNDEF`."""
+    return value is not UNDEF
+
+
+def truthy(value: Value) -> bool:
+    """Guard truth (Definition 3.1(4)): defined and non-zero."""
+    return value is not UNDEF and bool(value)
+
+
+def strict(func: Callable[..., Value]) -> Callable[..., Value]:
+    """Lift ``func`` to propagate :data:`UNDEF` (combinational strictness).
+
+    If any argument is undefined the result is undefined, mirroring
+    Definition 3.1(10) for combinational operations.
+    """
+
+    def lifted(*args: Value) -> Value:
+        for arg in args:
+            if arg is UNDEF:
+                return UNDEF
+        return func(*args)
+
+    lifted.__name__ = getattr(func, "__name__", "lifted")
+    return lifted
+
+
+def as_word(value: Value) -> Value:
+    """Normalise booleans to 0/1 words; pass ints and UNDEF through.
+
+    The simulator stores everything as integers so that equality of
+    observed event values is well defined across operations that mix
+    comparison results with arithmetic.
+    """
+    if value is UNDEF:
+        return UNDEF
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"unsupported data value {value!r} (expected int/bool)")

@@ -1,0 +1,102 @@
+"""Unit tests for the CCS-style interleaving baseline (experiment E1)."""
+
+import pytest
+
+from repro.analysis import (
+    Agent,
+    composition_growth,
+    cycle_agent,
+    interleaving_count,
+    petri_representation,
+    sequence_agent,
+    shuffle_product,
+)
+from repro.errors import DefinitionError
+from repro.petri import run_to_completion
+
+
+class TestAgents:
+    def test_cycle_agent_shape(self):
+        agent = cycle_agent("A", 3)
+        assert len(agent.states) == 3
+        assert len(agent.transitions) == 3
+        assert agent.initial == "A_q0"
+        assert agent.successors("A_q2") == [("A_a2", "A_q0")]
+
+    def test_sequence_agent_terminates(self):
+        agent = sequence_agent("B", ["x", "y"])
+        assert len(agent.states) == 3
+        assert agent.successors("B_q2") == []
+
+    def test_invalid_agents_rejected(self):
+        with pytest.raises(DefinitionError):
+            cycle_agent("A", 0)
+        with pytest.raises(DefinitionError):
+            Agent("A", ("s",), (), "ghost")
+        with pytest.raises(DefinitionError):
+            Agent("A", ("s",), (("s", "a", "ghost"),), "s")
+
+
+class TestShuffleProduct:
+    def test_product_of_independent_cycles_is_exponential(self):
+        for n in (1, 2, 3, 4):
+            agents = [cycle_agent(f"A{i}", 3) for i in range(n)]
+            product = shuffle_product(agents)
+            assert product.complete
+            assert product.num_states == 3 ** n
+
+    def test_terminating_agents_product(self):
+        agents = [sequence_agent("A", ["a"]), sequence_agent("B", ["b"])]
+        product = shuffle_product(agents)
+        assert product.num_states == 4  # 2 × 2
+
+    def test_budget_truncation(self):
+        agents = [cycle_agent(f"A{i}", 3) for i in range(5)]
+        product = shuffle_product(agents, max_states=10)
+        assert not product.complete
+        assert product.num_states == 10
+
+
+class TestInterleavingCount:
+    def test_two_singletons(self):
+        assert interleaving_count([1, 1]) == 2
+
+    def test_multinomial(self):
+        assert interleaving_count([2, 2]) == 6
+        assert interleaving_count([3, 3, 3]) == 1680
+
+    def test_single_sequence(self):
+        assert interleaving_count([5]) == 1
+
+
+class TestPetriRepresentation:
+    def test_linear_size(self):
+        agents = [cycle_agent(f"A{i}", 4) for i in range(6)]
+        net = petri_representation(agents)
+        assert len(net.places) == 24
+        assert len(net.transitions) == 24
+
+    def test_net_actually_runs_all_agents(self):
+        agents = [sequence_agent("A", ["a1", "a2"]),
+                  sequence_agent("B", ["b1"])]
+        net = petri_representation(agents)
+        final, history = run_to_completion(net)
+        # both agents reach their final states
+        assert final.marked_places() == frozenset({"A_q2", "B_q1"})
+
+    def test_initial_marking_one_token_per_agent(self):
+        agents = [cycle_agent(f"A{i}", 3) for i in range(3)]
+        net = petri_representation(agents)
+        assert net.initial_marking().total_tokens == 3
+
+
+class TestGrowthSweep:
+    def test_rows_shape_and_monotonicity(self):
+        rows = composition_growth(5, agent_size=2)
+        assert [row["agents"] for row in rows] == [1, 2, 3, 4, 5]
+        product_sizes = [row["product_states"] for row in rows]
+        petri_sizes = [row["petri_places"] for row in rows]
+        assert product_sizes == [2 ** n for n in range(1, 6)]
+        assert petri_sizes == [2 * n for n in range(1, 6)]
+        # the explosion: exponential vs linear
+        assert product_sizes[-1] > petri_sizes[-1]

@@ -1,0 +1,84 @@
+"""Unit tests for the total-order (regex) baseline (experiment E9)."""
+
+import pytest
+
+from repro.analysis import (
+    chains_linearisations,
+    count_linear_extensions,
+    overconstraint_report,
+)
+from repro.core import ExternalEvent, build_event_structure
+
+
+def make_chain_structure(chains):
+    """Event structure of N independent chains; chain i emits on arc i."""
+    events = []
+    time = 0
+    per_chain_times = {}
+    for index, length in enumerate(chains):
+        for occurrence in range(length):
+            start = occurrence * 2
+            events.append(ExternalEvent(
+                arc=f"arc{index}", value=occurrence, index=occurrence,
+                state=f"chain{index}", activation=len(events) + 1,
+                start=start, end=start + 1,
+            ))
+    # states precede themselves only (loop within one chain)
+    def precedes(a, b):
+        return a == b
+    return build_event_structure(events, state_precedes=precedes)
+
+
+class TestLinearExtensions:
+    def test_total_order_has_one_extension(self):
+        structure = make_chain_structure([4])
+        assert count_linear_extensions(structure) == 1
+
+    def test_independent_chains_multinomial(self):
+        structure = make_chain_structure([2, 2])
+        assert count_linear_extensions(structure) == 6
+        structure = make_chain_structure([3, 2])
+        assert count_linear_extensions(structure) == 10
+
+    def test_matches_closed_form(self):
+        for shape in ([1, 1], [2, 1], [2, 2, 2]):
+            structure = make_chain_structure(shape)
+            assert count_linear_extensions(structure) == \
+                chains_linearisations(shape)
+
+    def test_empty_structure(self):
+        structure = make_chain_structure([])
+        assert count_linear_extensions(structure) == 1
+
+    def test_size_limit_enforced(self):
+        structure = make_chain_structure([13, 13])
+        with pytest.raises(ValueError):
+            count_linear_extensions(structure)
+
+    def test_count_limit_enforced(self):
+        structure = make_chain_structure([6, 6])
+        with pytest.raises(ValueError):
+            count_linear_extensions(structure, limit=10)
+
+
+class TestClosedForm:
+    def test_chains_linearisations(self):
+        assert chains_linearisations([1, 1]) == 2
+        assert chains_linearisations([5]) == 1
+        assert chains_linearisations([2, 2]) == 6
+        assert chains_linearisations([10, 10]) == 184756
+
+
+class TestReport:
+    def test_report_fields(self):
+        structure = make_chain_structure([2, 2])
+        report = overconstraint_report(structure)
+        assert report["events"] == 4
+        assert report["linear_extensions"] == 6
+        assert report["casual_pairs"] == 4  # 2×2 cross pairs
+        assert report["precedence_pairs"] == 2  # one per chain
+
+    def test_report_handles_oversized_structures(self):
+        structure = make_chain_structure([13, 13])
+        report = overconstraint_report(structure)
+        assert report["linear_extensions"] == -1

@@ -1,0 +1,33 @@
+"""Unit tests for state-space statistics."""
+
+from repro.analysis import state_space_stats
+from repro.synthesis import compile_source
+
+from tests.util import relay_system
+
+
+class TestStats:
+    def test_relay_stats(self):
+        stats = state_space_stats(relay_system())
+        assert stats.places == 2
+        assert stats.complete
+        assert stats.max_concurrency == 1
+        assert "net 2P" in stats.summary()
+
+    def test_par_design_concurrency_width(self):
+        system = compile_source("""
+            design p { output o; var a, b, c;
+              par { { a = 1; } { b = 2; } { c = 3; } }
+              write(o, a + b + c); }
+        """)
+        stats = state_space_stats(system)
+        assert stats.max_concurrency == 3
+        # the marking graph is larger than the net: the interleaved view
+        # expands what the net represents compactly
+        assert stats.markings > stats.max_concurrency
+
+    def test_datapath_figures(self):
+        system = relay_system()
+        stats = state_space_stats(system)
+        assert stats.datapath_vertices == 3
+        assert stats.datapath_arcs == 2

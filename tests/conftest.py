@@ -1,0 +1,26 @@
+"""Shared fixtures.
+
+Zoo systems are compiled once per session; tests must treat them as
+read-only (all library transformations are pure, so this is safe).  The
+``fresh_*`` fixtures below rebuild on every use for tests that mutate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import all_designs
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """name -> (Design, compiled read-only system)."""
+    return {design.name: (design, design.build()) for design in all_designs()}
+
+
+def pytest_collection_modifyitems(items):
+    # keep deterministic test order: pytest default (file order) is fine,
+    # hook retained as an extension point for marking slow tests
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(pytest.mark.timeout(600))

@@ -1,0 +1,133 @@
+"""Unit tests for external events and event structures (Defs 3.3-3.6)."""
+
+from repro.core import EventStructure, ExternalEvent, build_event_structure
+
+
+def event(arc, value, index, state, activation, start, end):
+    return ExternalEvent(arc=arc, value=value, index=index, state=state,
+                         activation=activation, start=start, end=end)
+
+
+def precedes_from(pairs):
+    return lambda a, b: (a, b) in pairs
+
+
+class TestBuild:
+    def test_precedence_requires_order_and_reachability(self):
+        e1 = event("a", 1, 0, "s1", 1, 0, 1)
+        e2 = event("b", 2, 0, "s2", 2, 2, 3)
+        structure = build_event_structure(
+            [e1, e2], state_precedes=precedes_from({("s1", "s2")}))
+        assert (e1.key, e2.key) in structure.precedence
+        assert not structure.concurrency
+
+    def test_no_precedence_without_state_reachability(self):
+        e1 = event("a", 1, 0, "s1", 1, 0, 1)
+        e2 = event("b", 2, 0, "s2", 2, 2, 3)
+        structure = build_event_structure([e1, e2],
+                                          state_precedes=lambda a, b: False)
+        assert not structure.precedence
+        assert frozenset((e1.key, e2.key)) in structure.casual_pairs()
+
+    def test_simultaneous_loop_states_not_ordered(self):
+        # both ⇒ each other (a loop) and identical intervals: strict
+        # "occurs before" keeps them unordered (casual)
+        e1 = event("a", 1, 0, "s1", 1, 2, 5)
+        e2 = event("b", 2, 0, "s2", 2, 2, 5)
+        structure = build_event_structure(
+            [e1, e2],
+            state_precedes=precedes_from({("s1", "s2"), ("s2", "s1")}))
+        assert not structure.precedence
+
+    def test_same_activation_is_concurrent(self):
+        e1 = event("a", 1, 0, "s", 7, 2, 5)
+        e2 = event("b", 2, 0, "s", 7, 2, 5)
+        structure = build_event_structure([e1, e2],
+                                          state_precedes=lambda a, b: True)
+        assert frozenset((e1.key, e2.key)) in structure.concurrency
+        assert not structure.precedence
+
+    def test_mapping_form_of_state_precedes(self):
+        e1 = event("a", 1, 0, "s1", 1, 0, 1)
+        e2 = event("b", 2, 0, "s2", 2, 2, 3)
+        structure = build_event_structure(
+            [e1, e2], {"s1": frozenset({"s2"})})
+        assert (e1.key, e2.key) in structure.precedence
+
+
+class TestStructureQueries:
+    def _simple(self):
+        e1 = event("a", 1, 0, "s1", 1, 0, 1)
+        e2 = event("a", 5, 1, "s1", 2, 2, 3)
+        e3 = event("b", 9, 0, "s2", 3, 4, 5)
+        return build_event_structure(
+            [e1, e2, e3],
+            state_precedes=precedes_from({("s1", "s1"), ("s1", "s2")}))
+
+    def test_value_sequences(self):
+        structure = self._simple()
+        assert structure.value_sequences() == {"a": (1, 5), "b": (9,)}
+
+    def test_loop_occurrences_are_ordered(self):
+        structure = self._simple()
+        assert (("a", 0), ("a", 1)) in structure.precedence
+
+    def test_len_and_keys(self):
+        structure = self._simple()
+        assert len(structure) == 3
+        assert ("a", 1) in structure.keys()
+
+
+class TestEquality:
+    def _pair(self, value=5):
+        e1 = event("a", 1, 0, "s1", 1, 0, 1)
+        e2 = event("b", value, 0, "s2", 2, 2, 3)
+        return build_event_structure(
+            [e1, e2], state_precedes=precedes_from({("s1", "s2")}))
+
+    def test_equal_ignores_internal_labels(self):
+        left = self._pair()
+        # same observable content, different state names/activations
+        e1 = event("a", 1, 0, "x9", 4, 10, 11)
+        e2 = event("b", 5, 0, "y7", 5, 12, 13)
+        right = build_event_structure(
+            [e1, e2], state_precedes=precedes_from({("x9", "y7")}))
+        assert left.semantically_equal(right)
+        assert left.explain_difference(right) is None
+
+    def test_value_difference_detected(self):
+        left, right = self._pair(5), self._pair(6)
+        assert not left.semantically_equal(right)
+        assert "value sequence differs" in left.explain_difference(right)
+
+    def test_missing_arc_detected(self):
+        left = self._pair()
+        only_one = build_event_structure(
+            [event("a", 1, 0, "s1", 1, 0, 1)],
+            state_precedes=lambda a, b: False)
+        assert not left.semantically_equal(only_one)
+        assert "different external arcs" in left.explain_difference(only_one)
+
+    def test_precedence_difference_detected(self):
+        left = self._pair()
+        e1 = event("a", 1, 0, "s1", 1, 0, 1)
+        e2 = event("b", 5, 0, "s2", 2, 2, 3)
+        unordered = build_event_structure([e1, e2],
+                                          state_precedes=lambda a, b: False)
+        assert not left.semantically_equal(unordered)
+        assert "precedence differs" in left.explain_difference(unordered)
+
+    def test_concurrency_difference_detected(self):
+        e1 = event("a", 1, 0, "s", 1, 0, 1)
+        e2 = event("b", 5, 0, "s", 1, 0, 1)
+        together = build_event_structure([e1, e2],
+                                         state_precedes=lambda a, b: False)
+        e2b = event("b", 5, 0, "s2", 2, 0, 1)
+        apart = build_event_structure([e1, e2b],
+                                      state_precedes=lambda a, b: False)
+        assert not together.semantically_equal(apart)
+        assert "concurrency differs" in together.explain_difference(apart)
+
+    def test_casual_pairs_exclude_related(self):
+        structure = self._pair()
+        assert structure.casual_pairs() == frozenset()

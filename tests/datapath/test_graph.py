@@ -1,0 +1,147 @@
+"""Unit tests for the DataPath graph (Definition 2.1 structure)."""
+
+import pytest
+
+from repro.datapath import (
+    DataPath,
+    PortId,
+    adder,
+    constant,
+    input_pad,
+    output_pad,
+    register,
+)
+from repro.errors import DefinitionError
+
+
+def small_path() -> DataPath:
+    dp = DataPath(name="small")
+    dp.add_vertex(input_pad("x"))
+    dp.add_vertex(register("r"))
+    dp.add_vertex(adder("a"))
+    dp.add_vertex(constant("k", 3))
+    dp.add_vertex(output_pad("y"))
+    dp.connect("x.out", "r.d", name="in")
+    dp.connect("r.q", "a.l", name="rl")
+    dp.connect("k.o", "a.r", name="kr")
+    dp.connect("a.o", "y.in", name="out")
+    return dp
+
+
+class TestConstruction:
+    def test_duplicate_vertex_rejected(self):
+        dp = DataPath()
+        dp.add_vertex(adder("a"))
+        with pytest.raises(DefinitionError):
+            dp.add_vertex(adder("a"))
+
+    def test_connect_validates_directions(self):
+        dp = small_path()
+        with pytest.raises(DefinitionError):
+            dp.connect("r.d", "a.l")      # input port as source
+        with pytest.raises(DefinitionError):
+            dp.connect("r.q", "a.o")      # output port as target
+        with pytest.raises(DefinitionError):
+            dp.connect("ghost.q", "a.l")  # unknown vertex
+
+    def test_sink_port_cannot_drive(self):
+        dp = small_path()
+        with pytest.raises(DefinitionError):
+            dp.connect("y.snk", "r.d")
+
+    def test_duplicate_arc_name_rejected(self):
+        dp = small_path()
+        with pytest.raises(DefinitionError):
+            dp.connect("r.q", "a.r", name="in")
+
+    def test_auto_arc_names_unique(self):
+        dp = small_path()
+        arc1 = dp.connect("r.q", "a.r")
+        assert arc1.name not in ("in", "rl", "kr", "out")
+        assert arc1.name in dp.arcs
+
+    def test_remove_arc(self):
+        dp = small_path()
+        dp.remove_arc("out")
+        assert "out" not in dp.arcs
+        with pytest.raises(DefinitionError):
+            dp.remove_arc("out")
+
+    def test_remove_vertex_requires_detached(self):
+        dp = small_path()
+        with pytest.raises(DefinitionError):
+            dp.remove_vertex("a")
+        for name in ("rl", "kr", "out"):
+            dp.remove_arc(name)
+        dp.remove_vertex("a")
+        assert "a" not in dp.vertices
+
+
+class TestQueries:
+    def test_arcs_into_and_from(self):
+        dp = small_path()
+        into = dp.arcs_into(PortId("a", "l"))
+        assert [a.name for a in into] == ["rl"]
+        from_q = dp.arcs_from(PortId("r", "q"))
+        assert [a.name for a in from_q] == ["rl"]
+
+    def test_vertex_arc_listings(self):
+        dp = small_path()
+        assert {a.name for a in dp.vertex_in_arcs("a")} == {"rl", "kr"}
+        assert {a.name for a in dp.vertex_out_arcs("a")} == {"out"}
+
+    def test_operation_of(self):
+        dp = small_path()
+        assert dp.operation_of(PortId("a", "o")).name == "add"
+
+    def test_external_structure(self):
+        dp = small_path()
+        assert [v.name for v in dp.input_vertices()] == ["x"]
+        assert [v.name for v in dp.output_vertices()] == ["y"]
+        assert {a.name for a in dp.external_arcs()} == {"in", "out"}
+        assert dp.is_external_arc("in")
+        assert not dp.is_external_arc("rl")
+
+    def test_classified_listings(self):
+        dp = small_path()
+        sequential = {v.name for v in dp.sequential_vertices()}
+        combinational = {v.name for v in dp.combinational_vertices()}
+        assert "r" in sequential
+        assert {"a", "k"} <= combinational
+
+    def test_unknown_lookups(self):
+        dp = small_path()
+        with pytest.raises(DefinitionError):
+            dp.vertex("nope")
+        with pytest.raises(DefinitionError):
+            dp.arc("nope")
+
+
+class TestCopyEquality:
+    def test_copy_independent(self):
+        dp = small_path()
+        clone = dp.copy()
+        assert dp.structure_equal(clone)
+        clone.connect("r.q", "a.r")
+        assert not dp.structure_equal(clone)
+        assert dp.num_arcs == 4
+
+    def test_copy_fresh_auto_names_do_not_collide(self):
+        dp = small_path()
+        dp.connect("r.q", "a.r")  # creates a0 (auto)
+        clone = dp.copy()
+        arc = clone.connect("k.o", "y.in")
+        assert arc.name not in dp.arcs
+
+    def test_structure_equal_detects_vertex_difference(self):
+        dp = small_path()
+        other = small_path()
+        for name in ("rl", "kr", "out"):
+            other.remove_arc(name)
+        other.remove_vertex("a")
+        from repro.datapath import subtractor
+        other.add_vertex(subtractor("a"))
+        other.connect("r.q", "a.l", name="rl")
+        other.connect("k.o", "a.r", name="kr")
+        other.connect("a.o", "y.in", name="out")
+        assert not dp.structure_equal(other)

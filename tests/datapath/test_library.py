@@ -1,0 +1,76 @@
+"""Unit tests for the module library."""
+
+import pytest
+
+from repro.datapath import (
+    CONSTRUCTORS,
+    accumulator,
+    adder,
+    comparator,
+    constant,
+    divider,
+    inverter,
+    multiplier,
+    mux,
+    operator,
+    register,
+    subtractor,
+    vertex_area,
+    vertex_delay,
+)
+from repro.errors import DefinitionError
+
+
+class TestConstructors:
+    def test_binary_port_convention(self):
+        for build in (adder, subtractor, multiplier, divider):
+            vertex = build("v")
+            assert vertex.in_ports == ("l", "r")
+            assert vertex.out_ports == ("o",)
+
+    def test_unary_port_convention(self):
+        assert inverter("n").in_ports == ("i",)
+
+    def test_mux_port_convention(self):
+        assert mux("m").in_ports == ("sel", "a", "b")
+
+    def test_register_port_convention(self):
+        vertex = register("r", 7)
+        assert vertex.in_ports == ("d",)
+        assert vertex.out_ports == ("q",)
+        assert vertex.initial_value("q") == 7
+
+    def test_accumulator_defaults_to_zero(self):
+        assert accumulator("acc").initial_value("q") == 0
+
+    def test_comparator_relations(self):
+        for relation in ("eq", "ne", "lt", "le", "gt", "ge"):
+            assert comparator("c", relation).operation("o").name == relation
+        with pytest.raises(DefinitionError):
+            comparator("c", "almost")
+
+    def test_constant_zero_inputs(self):
+        vertex = constant("k", 9)
+        assert vertex.in_ports == ()
+        assert vertex.operation("o").evaluate() == 9
+
+    def test_operator_rejects_sequential_ops(self):
+        with pytest.raises(DefinitionError):
+            operator("v", "reg")
+
+    def test_operator_rejects_unknown(self):
+        with pytest.raises(DefinitionError):
+            operator("v", "nope")
+
+    def test_constructor_registry(self):
+        assert "adder" in CONSTRUCTORS
+        assert CONSTRUCTORS["adder"]("a").operation("o").name == "add"
+
+
+class TestCostHelpers:
+    def test_vertex_area_sums_operations(self):
+        assert vertex_area(multiplier("m")) > vertex_area(adder("a"))
+
+    def test_vertex_delay_is_max(self):
+        assert vertex_delay(multiplier("m")) == 4.0
+        assert vertex_delay(constant("k", 1)) == 0.0

@@ -1,0 +1,146 @@
+"""Unit tests for the operation algebra (SEQ/COM, strictness, costs)."""
+
+import pytest
+
+from repro.datapath import OpKind, constant_op, get_operation, standard_operations
+from repro.errors import DefinitionError
+from repro.values import UNDEF
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("name,args,expected", [
+        ("add", (3, 4), 7),
+        ("sub", (3, 4), -1),
+        ("mul", (3, 4), 12),
+        ("neg", (5,), -5),
+        ("abs", (-5,), 5),
+        ("min", (3, 4), 3),
+        ("max", (3, 4), 4),
+        ("shl", (3, 2), 12),
+        ("shr", (12, 2), 3),
+    ])
+    def test_binary_and_unary(self, name, args, expected):
+        assert get_operation(name).evaluate(*args) == expected
+
+    def test_division_truncates_toward_zero(self):
+        div = get_operation("div")
+        assert div.evaluate(7, 2) == 3
+        assert div.evaluate(-7, 2) == -3
+        assert div.evaluate(7, -2) == -3
+
+    def test_modulo_matches_truncated_division(self):
+        mod = get_operation("mod")
+        div = get_operation("div")
+        for a in (-7, -1, 0, 1, 7):
+            for b in (-3, -2, 2, 3):
+                assert a == div.evaluate(a, b) * b + mod.evaluate(a, b)
+
+    def test_division_by_zero_is_undefined(self):
+        assert get_operation("div").evaluate(1, 0) is UNDEF
+        assert get_operation("mod").evaluate(1, 0) is UNDEF
+
+    def test_negative_shift_is_undefined(self):
+        assert get_operation("shl").evaluate(1, -1) is UNDEF
+        assert get_operation("shr").evaluate(1, -1) is UNDEF
+
+
+class TestComparisonsAndLogic:
+    @pytest.mark.parametrize("name,args,expected", [
+        ("eq", (3, 3), 1), ("eq", (3, 4), 0),
+        ("ne", (3, 4), 1), ("ne", (3, 3), 0),
+        ("lt", (3, 4), 1), ("lt", (4, 3), 0),
+        ("le", (3, 3), 1), ("gt", (4, 3), 1), ("ge", (3, 3), 1),
+        ("and", (1, 0), 0), ("and", (2, 3), 1),
+        ("or", (0, 0), 0), ("or", (0, 5), 1),
+        ("not", (0,), 1), ("not", (7,), 0),
+        ("xor", (1, 0), 1), ("xor", (2, 3), 0),
+        ("band", (6, 3), 2), ("bor", (6, 3), 7), ("bxor", (6, 3), 5),
+    ])
+    def test_results_are_words(self, name, args, expected):
+        result = get_operation(name).evaluate(*args)
+        assert result == expected
+        assert isinstance(result, int) and not isinstance(result, bool)
+
+    def test_mux_selects(self):
+        mux = get_operation("mux")
+        assert mux.evaluate(1, 10, 20) == 10
+        assert mux.evaluate(0, 10, 20) == 20
+
+    def test_identity(self):
+        assert get_operation("id").evaluate(42) == 42
+
+
+class TestStrictness:
+    @pytest.mark.parametrize("name,arity", [
+        ("add", 2), ("mul", 2), ("lt", 2), ("and", 2), ("not", 1),
+        ("mux", 3),
+    ])
+    def test_undef_propagates(self, name, arity):
+        op = get_operation(name)
+        for position in range(arity):
+            args = [1] * arity
+            args[position] = UNDEF
+            assert op.evaluate(*args) is UNDEF
+
+
+class TestRegistryAndKinds:
+    def test_kinds(self):
+        assert get_operation("add").kind is OpKind.COM
+        assert get_operation("reg").kind is OpKind.SEQ
+        assert get_operation("acc").kind is OpKind.SEQ
+        assert get_operation("ext_in").kind is OpKind.INPUT
+        assert get_operation("ext_out").kind is OpKind.OUTPUT
+
+    def test_is_flags(self):
+        assert get_operation("add").is_combinational
+        assert not get_operation("add").is_sequential
+        assert get_operation("reg").is_sequential
+
+    def test_unknown_operation(self):
+        with pytest.raises(DefinitionError):
+            get_operation("frobnicate")
+
+    def test_arity_enforced(self):
+        with pytest.raises(DefinitionError):
+            get_operation("add").evaluate(1)
+
+    def test_register_has_no_function(self):
+        with pytest.raises(DefinitionError):
+            get_operation("reg").evaluate(1)
+
+    def test_standard_operations_copy(self):
+        table = standard_operations()
+        table.clear()
+        assert standard_operations()  # registry unaffected
+
+    def test_costs_positive(self):
+        for op in standard_operations().values():
+            assert op.area >= 0.0
+            assert op.delay >= 0.0
+        assert get_operation("mul").area > get_operation("add").area
+
+
+class TestConstants:
+    def test_constant_value_and_name(self):
+        op = constant_op(42)
+        assert op.evaluate() == 42
+        assert op.name == "const[42]"
+        assert op.arity == 0
+
+    def test_negative_constant(self):
+        assert constant_op(-3).evaluate() == -3
+
+    def test_constant_lookup_round_trip(self):
+        op = get_operation("const[-17]")
+        assert op.evaluate() == -17
+
+    def test_distinct_values_distinct_names(self):
+        assert constant_op(1).name != constant_op(2).name
+
+    def test_boolean_normalised(self):
+        assert constant_op(True).evaluate() == 1
+
+    def test_accumulator_semantics(self):
+        acc = get_operation("acc")
+        assert acc.evaluate(10, 5) == 15
+        assert acc.evaluate(10, UNDEF) is UNDEF  # simulator keeps old value

@@ -1,0 +1,128 @@
+"""Unit tests for data-path validation and combinational-loop detection."""
+
+import pytest
+
+from repro.datapath import (
+    DataPath,
+    adder,
+    assert_valid,
+    combinational_cycle,
+    constant,
+    input_pad,
+    output_pad,
+    register,
+    topological_com_order,
+    validate_datapath,
+)
+from repro.errors import ValidationError
+
+
+def valid_path() -> DataPath:
+    dp = DataPath()
+    dp.add_vertex(input_pad("x"))
+    dp.add_vertex(register("r"))
+    dp.add_vertex(output_pad("y"))
+    dp.connect("x.out", "r.d", name="a_in")
+    dp.connect("r.q", "y.in", name="a_out")
+    return dp
+
+
+class TestValidation:
+    def test_valid_path_has_no_problems(self):
+        assert validate_datapath(valid_path()) == []
+        assert_valid(valid_path())
+
+    def test_dangling_input_pad_reported(self):
+        dp = DataPath()
+        dp.add_vertex(input_pad("x"))
+        problems = validate_datapath(dp)
+        assert any("drives no arc" in p for p in problems)
+
+    def test_dangling_output_pad_reported(self):
+        dp = DataPath()
+        dp.add_vertex(output_pad("y"))
+        problems = validate_datapath(dp)
+        assert any("receives no arc" in p for p in problems)
+
+    def test_assert_valid_raises(self):
+        dp = DataPath()
+        dp.add_vertex(output_pad("y"))
+        with pytest.raises(ValidationError):
+            assert_valid(dp)
+
+
+class TestCombinationalCycles:
+    def _feedback_path(self) -> tuple[DataPath, list[str]]:
+        """a1 and a2 feed each other combinationally (illegal if both
+        arcs are active); constants fill the second operands."""
+        dp = DataPath()
+        dp.add_vertex(adder("a1"))
+        dp.add_vertex(adder("a2"))
+        dp.add_vertex(constant("k", 1))
+        names = [
+            dp.connect("a1.o", "a2.l", name="fwd").name,
+            dp.connect("a2.o", "a1.l", name="bwd").name,
+            dp.connect("k.o", "a1.r", name="k1").name,
+            dp.connect("k.o", "a2.r", name="k2").name,
+        ]
+        return dp, names
+
+    def test_cycle_detected(self):
+        dp, names = self._feedback_path()
+        cycle = combinational_cycle(dp, names)
+        assert cycle is not None
+        assert set(cycle) <= {"a1", "a2"}
+
+    def test_cycle_broken_by_inactive_arc(self):
+        dp, _names = self._feedback_path()
+        # only the forward arc active: no loop
+        assert combinational_cycle(dp, ["fwd", "k1", "k2"]) is None
+
+    def test_register_breaks_cycle(self):
+        dp = DataPath()
+        dp.add_vertex(adder("a1"))
+        dp.add_vertex(register("r"))
+        dp.add_vertex(constant("k", 1))
+        arcs = [
+            dp.connect("a1.o", "r.d", name="to_r").name,
+            dp.connect("r.q", "a1.l", name="from_r").name,
+            dp.connect("k.o", "a1.r", name="k").name,
+        ]
+        assert combinational_cycle(dp, arcs) is None
+
+    def test_self_loop_detected(self):
+        dp = DataPath()
+        dp.add_vertex(adder("a1"))
+        arcs = [dp.connect("a1.o", "a1.l", name="self").name]
+        cycle = combinational_cycle(dp, arcs)
+        assert cycle is not None
+
+
+class TestTopologicalOrder:
+    def test_order_respects_active_dependencies(self):
+        dp = DataPath()
+        dp.add_vertex(constant("k", 1))
+        dp.add_vertex(adder("first"))
+        dp.add_vertex(adder("second"))
+        arcs = [
+            dp.connect("k.o", "first.l", name="a1").name,
+            dp.connect("k.o", "first.r", name="a2").name,
+            dp.connect("first.o", "second.l", name="a3").name,
+            dp.connect("k.o", "second.r", name="a4").name,
+        ]
+        order = topological_com_order(dp, arcs)
+        assert order.index("first") < order.index("second")
+        assert "k" in order  # constants are combinational too
+
+    def test_inactive_vertices_still_listed(self):
+        dp = DataPath()
+        dp.add_vertex(adder("lonely"))
+        order = topological_com_order(dp, [])
+        assert order == ["lonely"]
+
+    def test_loop_raises(self):
+        dp = DataPath()
+        dp.add_vertex(adder("a1"))
+        arcs = [dp.connect("a1.o", "a1.l", name="self").name]
+        with pytest.raises(ValidationError):
+            topological_com_order(dp, arcs)

@@ -1,0 +1,109 @@
+"""Unit tests for vertices, ports and the Definition 4.6 signature."""
+
+import pytest
+
+from repro.datapath import PortId, Vertex, adder, get_operation, input_pad, output_pad, register
+from repro.errors import DefinitionError
+from repro.values import UNDEF
+
+
+class TestPortId:
+    def test_str_and_parse_round_trip(self):
+        port = PortId("v", "p")
+        assert str(port) == "v.p"
+        assert PortId.parse("v.p") == port
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            PortId.parse("noport")
+        with pytest.raises(ValueError):
+            PortId.parse(".p")
+
+    def test_hashable(self):
+        assert len({PortId("a", "b"), PortId("a", "b")}) == 1
+
+
+class TestVertexConstruction:
+    def test_duplicate_input_ports_rejected(self):
+        with pytest.raises(DefinitionError):
+            Vertex("v", ("a", "a"), ("o",), {"o": get_operation("id")})
+
+    def test_duplicate_output_ports_rejected(self):
+        with pytest.raises(DefinitionError):
+            Vertex("v", ("a",), ("o", "o"), {"o": get_operation("id")})
+
+    def test_in_out_overlap_rejected(self):
+        with pytest.raises(DefinitionError):
+            Vertex("v", ("p",), ("p",), {"p": get_operation("id")})
+
+    def test_unmapped_output_rejected(self):
+        with pytest.raises(DefinitionError):
+            Vertex("v", ("a",), ("o",), {})
+
+    def test_operation_on_unknown_port_rejected(self):
+        with pytest.raises(DefinitionError):
+            Vertex("v", (), ("o",), {"o": get_operation("id"),
+                                     "ghost": get_operation("id")})
+
+    def test_init_on_unknown_port_rejected(self):
+        with pytest.raises(DefinitionError):
+            Vertex("v", ("d",), ("q",), {"q": get_operation("reg")},
+                   {"ghost": 0})
+
+
+class TestClassification:
+    def test_adder_is_combinational(self):
+        vertex = adder("a1")
+        assert vertex.is_combinational
+        assert not vertex.is_sequential
+        assert not vertex.is_external
+
+    def test_register_is_sequential(self):
+        vertex = register("r", 5)
+        assert vertex.is_sequential
+        assert not vertex.is_combinational
+        assert vertex.initial_value("q") == 5
+
+    def test_register_default_init_undef(self):
+        assert register("r").initial_value("q") is UNDEF
+
+    def test_pads_are_external_and_sequential(self):
+        source = input_pad("x")
+        sink = output_pad("y")
+        assert source.is_input_vertex and source.is_external
+        assert sink.is_output_vertex and sink.is_external
+        # pads hold state between activations -> count as sequential
+        # for Definition 3.2(5)
+        assert source.is_sequential and sink.is_sequential
+
+    def test_port_ids(self):
+        vertex = adder("a1")
+        assert vertex.input_ids() == [PortId("a1", "l"), PortId("a1", "r")]
+        assert vertex.output_ids() == [PortId("a1", "o")]
+        with pytest.raises(DefinitionError):
+            vertex.port_id("ghost")
+
+    def test_operation_lookup(self):
+        vertex = adder("a1")
+        assert vertex.operation("o").name == "add"
+        with pytest.raises(DefinitionError):
+            vertex.operation("l")  # input port carries no operation
+
+
+class TestSignature:
+    def test_same_module_same_signature(self):
+        assert adder("a1").signature() == adder("a2").signature()
+
+    def test_different_operation_different_signature(self):
+        from repro.datapath import subtractor
+        assert adder("a").signature() != subtractor("s").signature()
+
+    def test_register_init_in_signature(self):
+        assert register("r1", 0).signature() != register("r2", 1).signature()
+        assert register("r1", 0).signature() == register("r3", 0).signature()
+
+    def test_renamed_keeps_signature(self):
+        vertex = adder("a1")
+        clone = vertex.renamed("a9")
+        assert clone.name == "a9"
+        assert clone.signature() == vertex.signature()

@@ -1,0 +1,87 @@
+"""Design-zoo validation: every design compiles, verifies, and matches
+its pure-Python reference model — under several environments."""
+
+import pytest
+
+from repro.core import check_properly_designed
+from repro.designs import ZOO, all_designs, get_design, pad_inputs, pad_outputs
+from repro.semantics import Environment, policy_invariant_structure, simulate
+
+DESIGN_NAMES = sorted(ZOO)
+
+#: extra input sets per design (beyond the default) for reference checks
+EXTRA_INPUTS = {
+    "gcd": [{"a_in": [13], "b_in": [13]}, {"a_in": [100], "b_in": [75]}],
+    "diffeq": [{"a_in": [2]}, {"a_in": [5], "u_in": [2]}],
+    "fir4": [{"x_in": [0, 0, 0, 0]}, {"x_in": [9, 8, 7, 6]}],
+    "fir8": [{"x_in": [1, 0, 1, 0, 1, 0, 1, 0]}],
+    "ewf": [{"x_in": [2, 5, 3]}, {"x_in": [0]}],
+    "traffic": [{"cycles_in": [1]}, {"cycles_in": [6]}],
+    "parsum": [{"x_in": [10, 20, 30, 40]}],
+    "counter": [{"limit_in": [0]}, {"limit_in": [9]}],
+    "isqrt": [{"n_in": [1]}, {"n_in": [4]}, {"n_in": [99]}, {"n_in": [10000]}],
+    "sort4": [{"x_in": [1, 2, 3, 4]}, {"x_in": [4, 3, 2, 1]},
+              {"x_in": [5, 5, 5, 5]}, {"x_in": [0, -3, 8, -3]}],
+    "shiftmul": [{"a_in": [0], "b_in": [9]}, {"a_in": [9], "b_in": [0]},
+                 {"a_in": [1], "b_in": [1]}, {"a_in": [255], "b_in": [255]}],
+}
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+class TestEveryDesign:
+    def test_well_formed(self, name, zoo):
+        _design, system = zoo[name]
+        assert system.validate() == []
+
+    def test_properly_designed(self, name, zoo):
+        _design, system = zoo[name]
+        report = check_properly_designed(system)
+        assert report.ok, report.summary()
+
+    def test_matches_reference_default(self, name, zoo):
+        design, system = zoo[name]
+        trace = simulate(system, design.environment(), max_steps=100_000)
+        assert pad_outputs(system, trace) == design.expected()
+
+    def test_matches_reference_extra_inputs(self, name, zoo):
+        design, system = zoo[name]
+        for overrides in EXTRA_INPUTS.get(name, []):
+            trace = simulate(system, design.environment(overrides),
+                             max_steps=200_000)
+            assert pad_outputs(system, trace) == design.expected(overrides), \
+                f"inputs {overrides}"
+
+    def test_policy_invariant(self, name, zoo):
+        design, system = zoo[name]
+        structure = policy_invariant_structure(system, design.environment(),
+                                               max_steps=200_000)
+        assert len(structure) >= 1
+
+    def test_inputs_consumed_in_order(self, name, zoo):
+        design, system = zoo[name]
+        env = design.environment()
+        trace = simulate(system, env, max_steps=100_000)
+        observed = pad_inputs(system, trace)
+        for vertex, values in observed.items():
+            provided = design.default_inputs[vertex]
+            assert values == provided[:len(values)]
+
+
+class TestRegistry:
+    def test_get_design(self):
+        assert get_design("gcd").name == "gcd"
+        with pytest.raises(KeyError):
+            get_design("nonexistent")
+
+    def test_all_designs_order_stable(self):
+        names = [d.name for d in all_designs()]
+        assert names[0] == "gcd"
+        assert len(names) == len(set(names))
+
+    def test_source_and_program_consistent(self):
+        for design in all_designs():
+            program = design.program()
+            assert program.name == design.name
+
+    def test_descriptions_present(self):
+        assert all(d.description for d in all_designs())

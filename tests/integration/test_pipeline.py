@@ -1,0 +1,102 @@
+"""End-to-end synthesis pipeline across the design zoo.
+
+compile → verify → compact → share → optimize, checking at every stage
+that the design (a) remains properly designed and (b) computes the
+reference model's outputs.
+"""
+
+import pytest
+
+from repro.core import check_properly_designed
+from repro.designs import ZOO, pad_outputs
+from repro.semantics import Environment, simulate
+from repro.synthesis import (
+    Objective,
+    compact,
+    critical_path,
+    optimize,
+    share_all,
+    system_cost,
+)
+
+DESIGN_NAMES = sorted(ZOO)
+
+
+def assert_computes_reference(design, system, max_steps=200_000):
+    trace = simulate(system, design.environment(), max_steps=max_steps)
+    assert pad_outputs(system, trace) == design.expected()
+    return trace
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+class TestFullPipeline:
+    def test_compact_then_share(self, name, zoo):
+        design, system = zoo[name]
+        compacted, comp = compact(system)
+        assert check_properly_designed(compacted).ok
+        assert_computes_reference(design, compacted)
+
+        shared, share = share_all(compacted)
+        assert check_properly_designed(shared).ok
+        assert_computes_reference(design, shared)
+
+        # compaction never lengthens the schedule; sharing never raises
+        # the functional area
+        assert critical_path(compacted).steps <= critical_path(system).steps
+        assert system_cost(shared).functional_area <= \
+            system_cost(compacted).functional_area
+
+    def test_share_then_compact(self, name, zoo):
+        """The opposite phase order must also be sound (sharing first
+        constrains which states may later run in parallel)."""
+        design, system = zoo[name]
+        shared, _ = share_all(system)
+        compacted, _ = compact(shared)
+        assert check_properly_designed(compacted).ok
+        assert_computes_reference(design, compacted)
+
+    def test_optimizer_end_to_end(self, name, zoo):
+        design, system = zoo[name]
+        env = design.environment()
+        result = optimize(
+            system,
+            Objective(w_time=1.0, w_area=1.0, environment=env,
+                      max_steps=200_000),
+            max_moves=24,
+        )
+        assert result.final_objective <= result.initial_objective
+        assert check_properly_designed(result.system).ok
+        assert_computes_reference(design, result.system)
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+def test_serialisation_of_synthesised_designs(name, zoo):
+    """Optimised systems survive a JSON round trip."""
+    from repro.io import dumps, loads
+
+    design, system = zoo[name]
+    compacted, _ = compact(system)
+    shared, _ = share_all(compacted)
+    restored = loads(dumps(shared))
+    assert_computes_reference(design, restored)
+
+
+def test_speedup_and_saving_shape():
+    """The headline Section 5 claim in one assertion: parallelization
+    buys time, sharing buys area, on the scheduling-friendly designs."""
+    for name in ("fir4", "fir8", "parsum"):
+        design = ZOO[name]
+        system = design.build()
+        env = design.environment()
+        compacted, _ = compact(system)
+        steps_before = simulate(system, env.fork()).step_count
+        steps_after = simulate(compacted, env.fork()).step_count
+        assert steps_after < steps_before, name
+
+    for name in ("fir4", "fir8"):
+        # parsum's multipliers live in *parallel* branches, so it cannot
+        # share them — the FIRs' serial multiplies can
+        design = ZOO[name]
+        system = design.build()
+        shared, _ = share_all(system)
+        assert system_cost(shared).total < system_cost(system).total, name

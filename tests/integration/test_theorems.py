@@ -1,0 +1,134 @@
+"""Integration tests for Theorems 4.1 and 4.2.
+
+These are the executable statements of the paper's two theorems: any
+legal data-invariant transformation (Thm 4.1) and any legal vertex merger
+(Thm 4.2) leaves the external event structure unchanged — for every
+design in the zoo, every applicable transformation instance, and several
+environments × firing policies.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    check_properly_designed,
+    data_invariant_equivalent,
+    merger_legal,
+    ordered_dependent_pairs,
+)
+from repro.designs import ZOO
+from repro.synthesis import compact, linear_blocks, list_schedule, merger_candidates, share_all
+from repro.transform import (
+    ParallelizeStates,
+    SerializeStates,
+    VertexMerger,
+    behaviourally_equivalent,
+)
+
+DESIGN_NAMES = sorted(ZOO)
+
+
+def environments(design):
+    envs = [design.environment()]
+    return envs
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+class TestTheorem41:
+    """Data-invariant transformations preserve semantics."""
+
+    def test_every_legal_pairwise_parallelization(self, name, zoo):
+        design, system = zoo[name]
+        attempted = 0
+        places = sorted(system.net.places)
+        for s1 in places:
+            for s2 in places:
+                if s1 == s2:
+                    continue
+                transform = ParallelizeStates(s1, s2)
+                if not transform.is_legal(system):
+                    continue
+                attempted += 1
+                variant = transform.apply(system)
+                assert data_invariant_equivalent(system, variant), (s1, s2)
+                verdict = behaviourally_equivalent(
+                    system, variant, environments(design), max_steps=200_000)
+                assert verdict, f"{name}: {transform.describe()} — " \
+                    f"{verdict.failure}"
+        # at least the straight-line designs must offer some parallelism
+        if name in ("fir4", "fir8", "parsum"):
+            assert attempted >= 1
+
+    def test_compaction_is_data_invariant(self, name, zoo):
+        design, system = zoo[name]
+        compacted, _report = compact(system)
+        assert data_invariant_equivalent(system, compacted)
+        assert ordered_dependent_pairs(system) == \
+            ordered_dependent_pairs(compacted)
+        verdict = behaviourally_equivalent(system, compacted,
+                                           environments(design),
+                                           max_steps=200_000)
+        assert verdict, f"{name}: {verdict.failure}"
+
+    def test_compaction_keeps_properly_designed(self, name, zoo):
+        _design, system = zoo[name]
+        compacted, _report = compact(system)
+        report = check_properly_designed(compacted)
+        assert report.ok, f"{name}:\n{report.summary()}"
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+class TestTheorem42:
+    """Vertex mergers preserve semantics."""
+
+    def test_every_legal_merger(self, name, zoo):
+        design, system = zoo[name]
+        for v_i, v_j in merger_candidates(system)[:10]:
+            assert merger_legal(system, v_i, v_j)
+            merged = VertexMerger(v_i, v_j).apply(system)
+            verdict = behaviourally_equivalent(
+                system, merged, environments(design), max_steps=200_000)
+            assert verdict, f"{name}: merge({v_i},{v_j}) — {verdict.failure}"
+
+    def test_greedy_sharing_preserves_semantics(self, name, zoo):
+        design, system = zoo[name]
+        shared, _report = share_all(system)
+        verdict = behaviourally_equivalent(system, shared,
+                                           environments(design),
+                                           max_steps=200_000)
+        assert verdict, f"{name}: {verdict.failure}"
+
+    def test_sharing_keeps_properly_designed(self, name, zoo):
+        _design, system = zoo[name]
+        shared, _report = share_all(system)
+        report = check_properly_designed(shared)
+        assert report.ok, f"{name}:\n{report.summary()}"
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+def test_random_transformation_sequences(name, zoo):
+    """Random interleavings of legal moves stay in the equivalence class."""
+    design, base = zoo[name]
+    rng = random.Random(hash(name) & 0xFFFF)
+    current = base
+    applied = []
+    for _round in range(6):
+        moves = []
+        for block in linear_blocks(current):
+            layers = list_schedule(current, block)
+            if len(layers) < len(block):
+                from repro.transform import RestructureBlock
+                moves.append(RestructureBlock(block, layers))
+        for v_i, v_j in merger_candidates(current)[:4]:
+            moves.append(VertexMerger(v_i, v_j))
+        moves = [m for m in moves if m.is_legal(current)]
+        if not moves:
+            break
+        move = rng.choice(moves)
+        current = move.apply(current)
+        applied.append(move.describe())
+    verdict = behaviourally_equivalent(base, current, environments(design),
+                                       max_steps=200_000)
+    assert verdict, f"{name} after {applied}: {verdict.failure}"
+    assert check_properly_designed(current).ok

@@ -1,0 +1,65 @@
+"""Unit tests for DOT export and report tables."""
+
+from repro.io import datapath_to_dot, format_records, format_table, petri_to_dot, system_to_dot
+
+from tests.util import guarded_choice_system, relay_system
+
+
+class TestDot:
+    def test_datapath_dot_mentions_elements(self):
+        system = relay_system()
+        text = datapath_to_dot(system.datapath)
+        assert text.startswith("digraph")
+        assert '"x"' in text and '"y"' in text
+        assert "a_in" in text
+        assert text.count("{") == text.count("}")
+
+    def test_petri_dot_marks_initial_place(self):
+        text = petri_to_dot(relay_system().net)
+        assert "doublecircle" in text
+        assert '"s_read"' in text
+
+    def test_system_dot_has_cross_edges(self):
+        text = system_to_dot(guarded_choice_system())
+        assert "cluster_control" in text
+        assert "cluster_datapath" in text
+        assert "color=blue" in text   # C edges
+        assert "color=red" in text    # G edges
+
+    def test_quoting_of_special_names(self):
+        from repro.petri import PetriNet
+        net = PetriNet()
+        net.add_place('we"ird')
+        text = petri_to_dot(net)
+        assert '\\"' in text
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].split()[-1] == "1"
+        assert lines[3].split()[-1] == "22"
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_bools_as_yes_no(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_title_rendered(self):
+        assert format_table(["a"], [[1]], title="T1").startswith("T1")
+
+    def test_format_records(self):
+        text = format_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "a" in text.splitlines()[0]
+
+    def test_format_records_empty(self):
+        assert format_records([], title="empty") == "empty"
+
+    def test_format_records_column_selection(self):
+        text = format_records([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]

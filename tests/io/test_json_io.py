@@ -1,0 +1,64 @@
+"""Unit tests for JSON serialisation round-trips."""
+
+import pytest
+
+from repro.core import check_properly_designed
+from repro.designs import all_designs, pad_outputs
+from repro.errors import DefinitionError
+from repro.io import dumps, loads, system_from_dict, system_to_dict
+from repro.semantics import simulate
+
+from tests.util import guarded_choice_system, relay_system
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [relay_system, guarded_choice_system])
+    def test_hand_built_round_trip(self, builder):
+        system = builder()
+        restored = loads(dumps(system))
+        assert restored.datapath.structure_equal(system.datapath)
+        assert restored.net.structure_equal(system.net)
+        assert {p: frozenset(a) for p, a in restored.control.items()} == \
+            {p: frozenset(a) for p, a in system.control.items()}
+        assert {t: frozenset(g) for t, g in restored.guards.items()} == \
+            {t: frozenset(g) for t, g in system.guards.items()}
+
+    def test_zoo_round_trip_behaviour(self, zoo):
+        for design, system in zoo.values():
+            restored = loads(dumps(system))
+            trace = simulate(restored, design.environment(),
+                             max_steps=200_000)
+            assert pad_outputs(restored, trace) == design.expected(), \
+                design.name
+
+    def test_register_initial_values_preserved(self):
+        system = loads(dumps(relay_system()))
+        assert check_properly_designed(system).ok
+
+    def test_labels_preserved(self):
+        from repro.designs import get_design
+        system = get_design("gcd").build()
+        restored = loads(dumps(system))
+        originals = {p.name: p.label for p in system.net.places.values()}
+        assert {p.name: p.label
+                for p in restored.net.places.values()} == originals
+
+
+class TestFormat:
+    def test_unknown_format_rejected(self):
+        data = system_to_dict(relay_system())
+        data["format"] = 999
+        with pytest.raises(DefinitionError):
+            system_from_dict(data)
+
+    def test_dict_is_json_compatible(self):
+        import json
+        text = json.dumps(system_to_dict(relay_system()))
+        assert "datapath" in text
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.io import load, save
+        path = tmp_path / "system.json"
+        save(relay_system(), str(path))
+        restored = load(str(path))
+        assert restored.net.structure_equal(relay_system().net)

@@ -1,0 +1,80 @@
+"""Unit tests for the structural netlist backend."""
+
+import pytest
+
+from repro.designs import ZOO
+from repro.io import lower, to_verilog
+from repro.synthesis import compile_source, register_count, share_all, system_cost
+
+
+class TestStructure:
+    def test_module_ports(self, zoo):
+        _design, gcd = zoo["gcd"]
+        netlist = lower(gcd)
+        assert "a_in_in" in netlist.module_inputs
+        assert "result_out" in netlist.module_outputs
+        assert "result_valid" in netlist.module_outputs
+
+    def test_one_hot_controller_matches_net(self, zoo):
+        _design, gcd = zoo["gcd"]
+        netlist = lower(gcd)
+        assert len(netlist.state_flops) == len(gcd.net.places)
+        assert set(netlist.fire_signals) == set(gcd.net.transitions)
+
+    def test_guards_appear_in_fire_signals(self, zoo):
+        _design, gcd = zoo["gcd"]
+        netlist = lower(gcd)
+        guarded = [t for t in gcd.net.transitions if gcd.guard_ports(t)]
+        for transition in guarded:
+            assert "|" in netlist.fire_signals[transition]
+
+    def test_registers_and_operators_counted(self, zoo):
+        _design, gcd = zoo["gcd"]
+        netlist = lower(gcd)
+        assert len(netlist.registers) == register_count(gcd)
+        com = [v for v in gcd.datapath.vertices.values()
+               if v.is_combinational]
+        assert len(netlist.operators) == len(com)
+
+    def test_register_enable_is_or_of_controlling_states(self):
+        system = compile_source("""
+            design e { input i; output o; var x;
+              x = read(i);
+              x = x + 1;
+              write(o, x); }
+        """)
+        netlist = lower(system)
+        enable = netlist.enables["reg_x"]
+        # two states write reg_x -> two terms OR-ed
+        assert enable.count("st_") == 2 and "|" in enable
+
+    def test_mux_count_matches_cost_model(self, zoo):
+        for name in ("gcd", "fir4", "fir8", "diffeq"):
+            _design, system = zoo[name]
+            shared, _ = share_all(system, min_area=0.0)
+            netlist = lower(shared)
+            assert netlist.mux_input_count == \
+                system_cost(shared).mux_inputs, name
+
+    def test_reset_state_is_initial_marking(self, zoo):
+        _design, gcd = zoo["gcd"]
+        netlist = lower(gcd)
+        marked = next(p for p, n in gcd.net.initial.items() if n)
+        assert f"st_{marked} <= 1'b1;" in netlist.text
+
+
+class TestText:
+    def test_verilog_flavoured_output(self, zoo):
+        _design, counter = zoo["counter"]
+        text = to_verilog(counter)
+        assert text.startswith("module counter (")
+        assert text.rstrip().endswith("endmodule")
+        assert "always @(posedge clk)" in text
+        assert "if (rst)" in text
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_every_zoo_design_lowers(self, name, zoo):
+        _design, system = zoo[name]
+        netlist = lower(system)
+        assert netlist.text
+        assert netlist.state_flops

@@ -1,0 +1,110 @@
+"""Unit tests for incidence matrices and P/T-invariants."""
+
+import numpy as np
+
+from repro.petri import (
+    Marking,
+    PetriNet,
+    apply_state_equation,
+    incidence_matrix,
+    invariant_token_sum,
+    p_invariants,
+    positive_p_invariants,
+    structurally_safe_places,
+    t_invariants,
+)
+
+from tests.util import fork_join_net, loop_net
+
+
+class TestIncidenceMatrix:
+    def test_loop_matrix(self):
+        net = loop_net()
+        matrix = incidence_matrix(net)
+        places = net.place_names()
+        transitions = net.transition_names()
+        p0, p1 = places.index("p0"), places.index("p1")
+        t1, t2 = transitions.index("t1"), transitions.index("t2")
+        assert matrix[p0, t1] == -1
+        assert matrix[p1, t1] == 1
+        assert matrix[p0, t2] == 1
+        assert matrix[p1, t2] == -1
+
+    def test_fork_join_column_sums(self):
+        net = fork_join_net()
+        matrix = incidence_matrix(net)
+        transitions = net.transition_names()
+        fork_col = matrix[:, transitions.index("t_fork")]
+        # fork consumes one token and produces two: net +1
+        assert fork_col.sum() == 1
+
+    def test_self_loop_cancels(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        matrix = incidence_matrix(net)
+        assert (matrix == 0).all()
+
+
+class TestStateEquation:
+    def test_firing_matches_state_equation(self):
+        net = loop_net()
+        marking = net.initial_marking()
+        predicted = apply_state_equation(net, marking, {"t1": 1})
+        assert predicted == {"p0": 0, "p1": 1}
+
+    def test_t_invariant_reproduces_marking(self):
+        net = loop_net()
+        marking = net.initial_marking()
+        predicted = apply_state_equation(net, marking, {"t1": 1, "t2": 1})
+        assert predicted == {"p0": 1, "p1": 0}
+
+
+class TestPInvariants:
+    def test_loop_token_conservation(self):
+        net = loop_net()
+        invariants = positive_p_invariants(net)
+        assert invariants, "loop must have a semi-positive P-invariant"
+        invariant = invariants[0]
+        assert invariant.get("p0") == invariant.get("p1") == 1
+
+    def test_invariant_annihilates_incidence(self):
+        net = loop_net()
+        matrix = incidence_matrix(net)
+        places = net.place_names()
+        for invariant in p_invariants(net):
+            weights = np.array([invariant.get(p, 0) for p in places])
+            assert (weights @ matrix == 0).all()
+
+    def test_invariant_token_sum_constant(self):
+        net = loop_net()
+        invariant = positive_p_invariants(net)[0]
+        start = invariant_token_sum(invariant, net.initial_marking())
+        after = invariant_token_sum(invariant, Marking({"p1": 1}))
+        assert start == after == 1
+
+    def test_structurally_safe_places_loop(self):
+        assert structurally_safe_places(loop_net()) == frozenset({"p0", "p1"})
+
+    def test_fork_join_not_fully_invariant_covered(self):
+        # the fork doubles the token count, so the simple {0,1} invariant
+        # cannot assign weight 1 everywhere; p1 and p2 get weight 1 while
+        # p0/p3 get weight... check the actual cone
+        covered = structurally_safe_places(fork_join_net())
+        # every place IS safe behaviourally; the structural argument with
+        # y^T M0 <= 1 still covers all of them via weighted invariants
+        assert "p0" in covered
+
+
+class TestTInvariants:
+    def test_loop_t_invariant(self):
+        net = loop_net()
+        invariants = t_invariants(net)
+        assert any(set(inv) == {"t1", "t2"}
+                   and inv["t1"] == inv["t2"] for inv in invariants)
+
+    def test_acyclic_net_has_no_t_invariant(self):
+        net = fork_join_net()
+        assert all(not inv for inv in t_invariants(net)) or not t_invariants(net)

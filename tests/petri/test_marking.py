@@ -1,0 +1,83 @@
+"""Unit tests for the immutable Marking type."""
+
+import pytest
+
+from repro.petri import Marking
+
+
+class TestBasics:
+    def test_zero_entries_dropped(self):
+        assert Marking({"a": 0, "b": 1}) == Marking({"b": 1})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"a": -1})
+
+    def test_mapping_interface(self):
+        marking = Marking({"a": 2, "b": 1})
+        assert marking["a"] == 2
+        assert marking["missing"] == 0
+        assert set(marking) == {"a", "b"}
+        assert len(marking) == 2
+        assert "a" in marking and "missing" not in marking
+
+    def test_equality_with_plain_mapping(self):
+        assert Marking({"a": 1}) == {"a": 1, "b": 0}
+
+    def test_hashable_and_equal_hash(self):
+        a = Marking({"x": 1, "y": 2})
+        b = Marking({"y": 2, "x": 1, "z": 0})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_is_sorted(self):
+        assert repr(Marking({"b": 1, "a": 2})) == "Marking({a:2, b:1})"
+
+
+class TestQueries:
+    def test_total_tokens(self):
+        assert Marking({"a": 2, "b": 3}).total_tokens == 5
+
+    def test_marked_places(self):
+        assert Marking({"a": 1, "b": 0}).marked_places() == frozenset({"a"})
+
+    def test_is_empty(self):
+        assert Marking().is_empty()
+        assert not Marking({"a": 1}).is_empty()
+
+    def test_is_safe(self):
+        assert Marking({"a": 1, "b": 1}).is_safe()
+        assert not Marking({"a": 2}).is_safe()
+
+    def test_covers(self):
+        marking = Marking({"a": 1, "b": 2})
+        assert marking.covers(["a", "b"])
+        assert not marking.covers(["a", "c"])
+        assert marking.covers([])
+
+
+class TestDerivation:
+    def test_after_firing_moves_tokens(self):
+        before = Marking({"a": 1})
+        after = before.after_firing(["a"], ["b", "c"])
+        assert after == Marking({"b": 1, "c": 1})
+        # original untouched (immutability)
+        assert before == Marking({"a": 1})
+
+    def test_after_firing_multiset_consumption(self):
+        before = Marking({"a": 2})
+        after = before.after_firing(["a", "a"], [])
+        assert after.is_empty()
+
+    def test_after_firing_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"a": 1}).after_firing(["a", "a"], [])
+
+    def test_after_firing_empty_place_rejected(self):
+        with pytest.raises(ValueError):
+            Marking().after_firing(["a"], [])
+
+    def test_with_tokens_override(self):
+        marking = Marking({"a": 1}).with_tokens(b=2, a=0)
+        assert marking == Marking({"b": 2})

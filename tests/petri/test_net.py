@@ -1,0 +1,190 @@
+"""Unit tests for PetriNet construction and queries."""
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.petri import Marking, PetriNet, chain
+
+from tests.util import fork_join_net, loop_net
+
+
+class TestConstruction:
+    def test_add_place_and_transition(self):
+        net = PetriNet()
+        net.add_place("p", label="a place")
+        net.add_transition("t", label="a transition")
+        assert net.is_place("p")
+        assert net.is_transition("t")
+        assert net.places["p"].label == "a place"
+        assert net.transitions["t"].label == "a transition"
+
+    def test_marked_shorthand(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        assert net.initial == {"p": 1}
+
+    def test_tokens_argument(self):
+        net = PetriNet()
+        net.add_place("p", tokens=3)
+        assert net.initial_marking()["p"] == 3
+
+    def test_negative_tokens_rejected(self):
+        net = PetriNet()
+        with pytest.raises(DefinitionError):
+            net.add_place("p", tokens=-1)
+
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("x")
+        with pytest.raises(DefinitionError):
+            net.add_place("x")
+
+    def test_place_transition_name_collision_rejected(self):
+        net = PetriNet()
+        net.add_place("x")
+        with pytest.raises(DefinitionError):
+            net.add_transition("x")
+
+    def test_set_initial(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.set_initial("p", 2)
+        assert net.initial == {"p": 2}
+        net.set_initial("p", 0)
+        assert net.initial == {}
+
+    def test_set_initial_unknown_place(self):
+        net = PetriNet()
+        with pytest.raises(DefinitionError):
+            net.set_initial("ghost", 1)
+
+
+class TestFlowRelation:
+    def test_arc_connects_place_and_transition(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        assert net.postset("p") == {"t"}
+        assert net.preset("p") == {"t"}
+
+    def test_place_to_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        with pytest.raises(DefinitionError):
+            net.add_arc("p", "q")
+
+    def test_transition_to_transition_rejected(self):
+        net = PetriNet()
+        net.add_transition("t")
+        net.add_transition("u")
+        with pytest.raises(DefinitionError):
+            net.add_arc("t", "u")
+
+    def test_unknown_endpoint_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(DefinitionError):
+            net.add_arc("p", "ghost")
+        with pytest.raises(DefinitionError):
+            net.add_arc("ghost", "p")
+
+    def test_duplicate_arc_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        with pytest.raises(DefinitionError):
+            net.add_arc("p", "t")
+
+    def test_remove_arc(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.remove_arc("p", "t")
+        assert net.postset("p") == frozenset()
+        with pytest.raises(DefinitionError):
+            net.remove_arc("p", "t")
+
+    def test_remove_transition_detaches_arcs(self):
+        net = fork_join_net()
+        net.remove_transition("t_fork")
+        assert "t_fork" not in net.transitions
+        assert net.postset("p0") == frozenset()
+        assert net.preset("p1") == frozenset()
+
+    def test_remove_place_detaches_arcs_and_marking(self):
+        net = fork_join_net()
+        net.remove_place("p0")
+        assert "p0" not in net.places
+        assert net.initial == {}
+        assert net.preset("t_fork") == frozenset()
+
+    def test_arcs_iteration_sorted_and_counted(self):
+        net = fork_join_net()
+        arcs = list(net.arcs())
+        assert ("p0", "t_fork") in arcs
+        assert ("t_join", "p3") in arcs
+        assert net.num_arcs == len(arcs) == 6
+
+    def test_preset_of_unknown_element(self):
+        net = PetriNet()
+        with pytest.raises(DefinitionError):
+            net.preset("nope")
+
+
+class TestCopyAndEquality:
+    def test_copy_is_structurally_equal_and_independent(self):
+        net = fork_join_net()
+        clone = net.copy()
+        assert net.structure_equal(clone)
+        clone.add_place("extra")
+        assert "extra" not in net.places
+        assert not net.structure_equal(clone)
+
+    def test_structure_equal_detects_flow_difference(self):
+        a = loop_net()
+        b = loop_net()
+        assert a.structure_equal(b)
+        b.remove_arc("t2", "p0")
+        assert not a.structure_equal(b)
+
+    def test_structure_equal_detects_marking_difference(self):
+        a = loop_net()
+        b = loop_net()
+        b.set_initial("p0", 0)
+        b.set_initial("p1", 1)
+        assert not a.structure_equal(b)
+
+    def test_validate_passes_on_consistent_net(self):
+        fork_join_net().validate()
+
+
+class TestChainHelper:
+    def test_chain_builds_linear_sequence(self):
+        net = PetriNet()
+        for name in ("a", "b", "c"):
+            net.add_place(name)
+        created = chain(net, ["a", "b", "c"])
+        assert len(created) == 2
+        assert net.postset("a") == {created[0]}
+        assert net.preset("c") == {created[1]}
+
+    def test_chain_avoids_name_collisions(self):
+        net = PetriNet()
+        net.add_place("a")
+        net.add_place("b")
+        net.add_transition("t_a_b")
+        created = chain(net, ["a", "b"])
+        assert created[0] != "t_a_b"
+        assert created[0] in net.transitions
+
+    def test_initial_marking_object(self):
+        net = loop_net()
+        marking = net.initial_marking()
+        assert isinstance(marking, Marking)
+        assert marking["p0"] == 1
+        assert marking["p1"] == 0

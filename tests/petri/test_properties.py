@@ -1,0 +1,98 @@
+"""Unit tests for net-level property checks."""
+
+from repro.petri import (
+    PetriNet,
+    check_liveness,
+    check_safety,
+    is_marked_graph,
+    is_state_machine,
+    structural_conflicts,
+)
+
+from tests.util import fork_join_net, loop_net
+
+
+class TestSafetyCheck:
+    def test_structural_fast_path(self):
+        report = check_safety(loop_net())
+        assert report.safe and report.decided
+        assert report.method == "p-invariant"
+
+    def test_reachability_fallback_on_uncovered_net(self):
+        # a sink transition breaks full invariant coverage
+        net = loop_net()
+        net.add_place("escape")
+        net.add_transition("t_escape")
+        net.add_arc("p1", "t_escape")
+        net.add_arc("t_escape", "escape")
+        report = check_safety(net)
+        assert report.safe and report.decided
+
+    def test_unsafe_detected_with_witness(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        net.add_arc("t", "q")
+        report = check_safety(net)
+        assert not report.safe
+        assert report.decided
+        assert report.witness is not None
+        assert any(report.witness[place] > 1 for place in report.witness)
+
+
+class TestConflicts:
+    def test_no_conflicts_in_marked_graph(self):
+        assert structural_conflicts(fork_join_net()) == []
+
+    def test_shared_place_reported(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_transition("t1")
+        net.add_transition("t2")
+        net.add_arc("p", "t1")
+        net.add_arc("p", "t2")
+        assert structural_conflicts(net) == [("p", "t1", "t2")]
+
+
+class TestLiveness:
+    def test_loop_never_quiesces(self):
+        report = check_liveness(loop_net())
+        assert report.deadlock_free
+        assert not report.terminating
+
+    def test_terminating_net(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        report = check_liveness(net)
+        assert report.deadlock_free
+        assert report.terminating
+        assert report.terminal_markings
+
+    def test_deadlocked_net(self):
+        net = fork_join_net()
+        net.remove_transition("t_join")
+        report = check_liveness(net)
+        assert not report.deadlock_free
+        assert report.deadlock_markings
+
+
+class TestShapes:
+    def test_marked_graph_classification(self):
+        assert is_marked_graph(fork_join_net())
+        assert is_marked_graph(loop_net())
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t1")
+        net.add_transition("t2")
+        net.add_arc("p", "t1")
+        net.add_arc("p", "t2")
+        assert not is_marked_graph(net)
+
+    def test_state_machine_classification(self):
+        assert is_state_machine(loop_net())
+        assert not is_state_machine(fork_join_net())

@@ -1,0 +1,147 @@
+"""Unit tests for reachability exploration, safety, and coexistence."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.petri import Marking, PetriNet, explore, firing_sequences, is_safe, reachable_markings
+from repro.petri.reachability import coexistent_place_pairs
+
+from tests.util import fork_join_net, loop_net
+
+
+class TestExplore:
+    def test_fork_join_marking_graph(self):
+        graph = explore(fork_join_net())
+        assert graph.complete
+        # p0 / p1+p2 / p3 — and the terminal p3 marking deadlocks
+        markings = {tuple(sorted(m.marked_places())) for m in graph.markings}
+        assert ("p0",) in markings
+        assert ("p1", "p2") in markings
+        assert ("p3",) in markings
+        assert graph.bounded_by == 1
+
+    def test_loop_graph_is_finite(self):
+        graph = explore(loop_net())
+        assert graph.complete
+        assert graph.num_markings == 2
+        assert not graph.deadlocks
+        assert not graph.terminals
+
+    def test_terminal_empty_marking_detected(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        graph = explore(net)
+        assert graph.terminals  # the empty marking
+        assert not graph.deadlocks
+
+    def test_deadlock_detected(self):
+        net = fork_join_net()
+        net.remove_transition("t_join")
+        graph = explore(net)
+        deadlock_markings = [graph.markings[i] for i in graph.deadlocks]
+        assert Marking({"p1": 1, "p2": 1}) in deadlock_markings
+
+    def test_token_bound_stops_unbounded_net(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_transition("t")  # t: p -> p + p (token generator)
+        net.add_arc("p", "t")
+        net.add_place("q")
+        net.add_arc("t", "p")
+        net.add_arc("t", "q")
+        graph = explore(net, token_bound=3)
+        assert not graph.complete
+        assert graph.bounded_by > 3
+
+    def test_budget_exhaustion_flagged(self):
+        graph = explore(fork_join_net(), max_markings=2)
+        assert not graph.complete
+
+    def test_successors_query(self):
+        graph = explore(fork_join_net())
+        succs = graph.successors(0)
+        assert ("t_fork", 1) in succs
+
+
+class TestSafety:
+    def test_safe_net(self):
+        assert is_safe(fork_join_net())
+        assert is_safe(loop_net())
+
+    def test_unsafe_net(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        net.add_arc("t", "p")  # p -> p + q : q accumulates... p stays 1
+        # make it genuinely unsafe: a second producer into q
+        net.add_transition("u")
+        net.add_arc("p", "u")
+        net.add_arc("u", "q")
+        net.add_arc("u", "p")
+        # two firings deposit two tokens in q
+        assert not is_safe(net)
+
+    def test_budget_exhaustion_raises(self):
+        net = fork_join_net()
+        with pytest.raises(ExecutionError):
+            is_safe(net, max_markings=1)
+
+    def test_reachable_markings_requires_completion(self):
+        assert len(reachable_markings(fork_join_net())) == 3
+        with pytest.raises(ExecutionError):
+            reachable_markings(fork_join_net(), max_markings=1)
+
+
+class TestFiringSequences:
+    def test_single_path(self):
+        sequences = firing_sequences(fork_join_net(), max_depth=10)
+        assert sequences == [["t_fork", "t_join"]]
+
+    def test_interleavings_enumerated(self):
+        net = fork_join_net()
+        # split the join into two independent sinks so interleaving matters
+        net.remove_transition("t_join")
+        net.add_transition("u1")
+        net.add_transition("u2")
+        net.add_arc("p1", "u1")
+        net.add_arc("p2", "u2")
+        sequences = firing_sequences(net, max_depth=10)
+        assert sorted(sequences) == [["t_fork", "u1", "u2"],
+                                     ["t_fork", "u2", "u1"]]
+
+    def test_depth_cap(self):
+        sequences = firing_sequences(loop_net(), max_depth=3)
+        assert sequences == [["t1", "t2", "t1"]]
+
+
+class TestCoexistence:
+    def test_fork_branches_coexist(self):
+        pairs, complete = coexistent_place_pairs(fork_join_net())
+        assert complete
+        assert frozenset(("p1", "p2")) in pairs
+        assert frozenset(("p0", "p3")) not in pairs
+
+    def test_loop_places_never_coexist(self):
+        pairs, complete = coexistent_place_pairs(loop_net())
+        assert complete
+        assert frozenset(("p0", "p1")) not in pairs
+
+    def test_unsafe_place_coexists_with_itself(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        net.add_arc("t", "p")
+        net.add_transition("u")
+        net.add_arc("p", "u")
+        net.add_arc("u", "q")
+        net.add_arc("u", "p")
+        pairs, _complete = coexistent_place_pairs(net, max_markings=100)
+        assert frozenset(("q",)) in pairs

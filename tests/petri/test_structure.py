@@ -1,0 +1,128 @@
+"""Unit tests for structural net theory (siphons, traps, Commoner)."""
+
+import pytest
+
+from repro.petri import PetriNet
+from repro.petri.structure import (
+    commoner_holds,
+    is_free_choice,
+    is_siphon,
+    is_trap,
+    maximal_siphon_within,
+    maximal_trap_within,
+    minimal_siphons,
+    token_free_siphon,
+)
+
+from tests.util import fork_join_net, loop_net
+
+
+class TestSiphonsAndTraps:
+    def test_loop_places_form_siphon_and_trap(self):
+        net = loop_net()
+        assert is_siphon(net, {"p0", "p1"})
+        assert is_trap(net, {"p0", "p1"})
+
+    def test_single_loop_place_is_neither(self):
+        net = loop_net()
+        assert not is_siphon(net, {"p0"})
+        assert not is_trap(net, {"p0"})
+
+    def test_empty_set_is_neither(self):
+        net = loop_net()
+        assert not is_siphon(net, set())
+        assert not is_trap(net, set())
+
+    def test_source_fed_place_is_not_a_siphon(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t_src")  # no inputs: feeds p from nowhere
+        net.add_arc("t_src", "p")
+        assert not is_siphon(net, {"p"})
+        # but it IS a trap: nothing drains it
+        assert is_trap(net, {"p"})
+
+    def test_sink_drained_place_is_siphon(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_transition("t_sink")
+        net.add_arc("p", "t_sink")
+        assert is_siphon(net, {"p"})
+        assert not is_trap(net, {"p"})
+
+    def test_maximal_siphon_pruning(self):
+        net = fork_join_net()
+        # the full place set of the fork/join IS a siphon (every feeder
+        # also drains some member)
+        assert maximal_siphon_within(net, net.places) == \
+            frozenset(net.places)
+        # excluding p0, the remainder is not self-sustaining: t_fork
+        # feeds p1/p2 but only drains p0
+        remainder = maximal_siphon_within(net, {"p1", "p2", "p3"})
+        assert "p1" not in remainder and "p2" not in remainder
+
+    def test_maximal_trap_pruning(self):
+        net = fork_join_net()
+        assert maximal_trap_within(net, {"p3"}) == frozenset({"p3"})
+        assert maximal_trap_within(net, {"p0"}) == frozenset()
+
+
+class TestEnumerationAndCommoner:
+    def test_minimal_siphons_of_loop(self):
+        net = loop_net()
+        assert minimal_siphons(net) == [frozenset({"p0", "p1"})]
+
+    def test_minimality_filter(self):
+        net = loop_net()
+        net.add_place("solo", marked=True)
+        net.add_transition("t_solo")
+        net.add_arc("solo", "t_solo")
+        net.add_arc("t_solo", "solo")
+        siphons = minimal_siphons(net)
+        assert frozenset({"solo"}) in siphons
+        assert frozenset({"p0", "p1"}) in siphons
+        assert len(siphons) == 2
+
+    def test_free_choice_classification(self):
+        assert is_free_choice(loop_net())
+        assert is_free_choice(fork_join_net())
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_place("q", marked=True)
+        net.add_transition("t1")
+        net.add_transition("t2")
+        net.add_arc("p", "t1")
+        net.add_arc("p", "t2")
+        net.add_arc("q", "t2")  # t2 shares p with t1 but needs q too
+        assert not is_free_choice(net)
+
+    def test_commoner_on_live_loop(self):
+        assert commoner_holds(loop_net())
+
+    def test_commoner_fails_on_unmarked_loop(self):
+        net = loop_net()
+        net.set_initial("p0", 0)
+        assert not commoner_holds(net)
+
+    def test_compiled_designs_are_free_choice(self, zoo):
+        for name, (_design, system) in zoo.items():
+            assert is_free_choice(system.net), name
+
+
+class TestTokenFreeSiphon:
+    def test_clean_nets_have_none(self):
+        assert token_free_siphon(loop_net()) == frozenset()
+        assert token_free_siphon(fork_join_net()) == frozenset()
+
+    def test_starved_component_detected(self):
+        net = loop_net()
+        # a second, unmarked loop: structurally dead
+        net.add_place("q0")
+        net.add_place("q1")
+        net.add_transition("u1")
+        net.add_transition("u2")
+        net.add_arc("q0", "u1")
+        net.add_arc("u1", "q1")
+        net.add_arc("q1", "u2")
+        net.add_arc("u2", "q0")
+        assert token_free_siphon(net) == frozenset({"q0", "q1"})

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the Petri-net substrate.
+
+Random structured nets are generated as nested series/parallel blocks —
+marked graphs, safe and live by construction — and the classic invariants
+of net theory are checked on them:
+
+* the state equation ``m' = m + N·σ`` holds along every execution;
+* safety is decided correctly (these nets are all safe);
+* the coexistence relation is exactly "places of concurrent branches";
+* transitive closure is monotone, idempotent and transitive.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.petri import (
+    PetriNet,
+    apply_state_equation,
+    check_safety,
+    explore,
+    incidence_matrix,
+    is_safe,
+    maximal_step,
+    fire_step,
+    run_to_completion,
+    transitive_closure_bool,
+)
+from repro.petri.reachability import coexistent_place_pairs
+
+
+# ---------------------------------------------------------------------------
+# structured random nets: seq(block...) | par(block...) | leaf
+# ---------------------------------------------------------------------------
+_blocks = st.recursive(
+    st.just("leaf"),
+    lambda children: st.one_of(
+        st.tuples(st.just("seq"),
+                  st.lists(children, min_size=2, max_size=3)),
+        st.tuples(st.just("par"),
+                  st.lists(children, min_size=2, max_size=3)),
+    ),
+    max_leaves=10,
+)
+
+
+def build_net(block) -> PetriNet:
+    """Compile a series/parallel block tree to a net with entry marking."""
+    net = PetriNet()
+    counter = {"p": 0, "t": 0}
+
+    def fresh_place() -> str:
+        counter["p"] += 1
+        name = f"p{counter['p']}"
+        net.add_place(name)
+        return name
+
+    def fresh_transition() -> str:
+        counter["t"] += 1
+        name = f"t{counter['t']}"
+        net.add_transition(name)
+        return name
+
+    def emit(node) -> tuple[str, str]:
+        """Returns (entry_place, exit_place)."""
+        if node == "leaf":
+            place = fresh_place()
+            return place, place
+        kind, children = node
+        if kind == "seq":
+            first_entry, previous_exit = emit(children[0])
+            for child in children[1:]:
+                entry, child_exit = emit(child)
+                t = fresh_transition()
+                net.add_arc(previous_exit, t)
+                net.add_arc(t, entry)
+                previous_exit = child_exit
+            return first_entry, previous_exit
+        # par
+        head, tail = fresh_place(), fresh_place()
+        fork, join = fresh_transition(), fresh_transition()
+        net.add_arc(head, fork)
+        net.add_arc(join, tail)
+        for child in children:
+            entry, child_exit = emit(child)
+            net.add_arc(fork, entry)
+            net.add_arc(child_exit, join)
+        return head, tail
+
+    entry, exit_place = emit(block)
+    net.set_initial(entry, 1)
+    t_end = fresh_transition()
+    net.add_arc(exit_place, t_end)
+    return net
+
+
+@settings(max_examples=40, deadline=None)
+@given(_blocks)
+def test_structured_nets_are_safe(block):
+    net = build_net(block)
+    assert is_safe(net)
+    report = check_safety(net)
+    assert report.safe and report.decided
+
+
+@settings(max_examples=40, deadline=None)
+@given(_blocks)
+def test_structured_nets_terminate_cleanly(block):
+    net = build_net(block)
+    final, history = run_to_completion(net, max_steps=10_000)
+    assert final.is_empty()
+    assert history  # at least the final sink transition fired
+
+
+@settings(max_examples=40, deadline=None)
+@given(_blocks)
+def test_state_equation_along_execution(block):
+    net = build_net(block)
+    marking = net.initial_marking()
+    counts: dict[str, int] = {}
+    for _ in range(10_000):
+        step = maximal_step(net, marking)
+        if not step:
+            break
+        marking = fire_step(net, marking, step)
+        for t in step:
+            counts[t] = counts.get(t, 0) + 1
+    predicted = apply_state_equation(net, net.initial_marking(), counts)
+    assert {p: c for p, c in predicted.items() if c} == dict(marking)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_blocks)
+def test_coexistence_is_irreflexive_for_safe_nets(block):
+    net = build_net(block)
+    pairs, complete = coexistent_place_pairs(net)
+    assert complete
+    # safe: no single-place (self) pair
+    assert all(len(pair) == 2 for pair in pairs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_blocks)
+def test_marking_graph_has_single_terminal(block):
+    net = build_net(block)
+    graph = explore(net)
+    assert graph.complete
+    assert len(graph.terminals) == 1  # the empty marking
+    assert not graph.deadlocks
+
+
+# ---------------------------------------------------------------------------
+# transitive closure algebra
+# ---------------------------------------------------------------------------
+@st.composite
+def bool_matrices(draw):
+    n = draw(st.integers(min_value=0, max_value=8))
+    bits = draw(st.lists(st.booleans(), min_size=n * n, max_size=n * n))
+    return np.array(bits, dtype=bool).reshape(n, n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bool_matrices())
+def test_closure_contains_input_and_is_transitive(matrix):
+    closure = transitive_closure_bool(matrix)
+    assert (closure | matrix == closure).all()          # contains input
+    assert np.array_equal(transitive_closure_bool(closure), closure)  # idempotent
+    composed = closure @ closure
+    assert (closure | composed == closure).all()         # transitive
+
+
+@settings(max_examples=30, deadline=None)
+@given(bool_matrices())
+def test_closure_matches_repeated_multiplication(matrix):
+    n = matrix.shape[0]
+    expected = matrix.copy()
+    power = matrix.copy()
+    for _ in range(max(n - 1, 0)):
+        power = power @ matrix
+        expected |= power
+    assert np.array_equal(transitive_closure_bool(matrix), expected)

@@ -1,0 +1,290 @@
+"""Property-based end-to-end tests: random programs, compiled vs interpreted.
+
+Hypothesis generates random behavioural programs (straight-line code,
+bounded loops, branches, reads/writes); an independent AST interpreter
+computes the expected output streams; then
+
+* the compiled data/control flow system must produce exactly those
+  streams (compiler + simulator correctness);
+* compaction and sharing must not change them (Theorems 4.1/4.2 again,
+  now over a *random* design family rather than the curated zoo);
+* the maximal-step and fully sequential firing policies must agree
+  (properly-designed determinism).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import check_properly_designed, data_invariant_equivalent
+from repro.designs import pad_outputs
+from repro.semantics import Environment, SequentialPolicy, Simulator, simulate
+from repro.synthesis import compact, compile_program, share_all
+from repro.synthesis.frontend.ast import (
+    Assign,
+    BinOp,
+    Const,
+    If,
+    Par,
+    Program,
+    Read,
+    Var,
+    While,
+    Write,
+)
+
+VARS = ("v0", "v1", "v2", "v3")
+SAFE_BINOPS = ("add", "sub", "mul", "eq", "ne", "lt", "le", "gt", "ge",
+               "and", "or")
+
+
+# ---------------------------------------------------------------------------
+# program generator
+# ---------------------------------------------------------------------------
+def expressions(depth: int = 2):
+    leaf = st.one_of(
+        st.integers(min_value=-5, max_value=5).map(Const),
+        st.sampled_from(VARS).map(Var),
+    )
+    if depth == 0:
+        return leaf
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(SAFE_BINOPS),
+                  expressions(depth - 1), expressions(depth - 1))
+        .map(lambda t: BinOp(*t)),
+    )
+
+
+def simple_statements():
+    return st.one_of(
+        st.tuples(st.sampled_from(VARS), expressions()).map(
+            lambda t: Assign(*t)),
+        st.sampled_from(VARS).map(lambda v: Read(v, "i")),
+        expressions().map(lambda e: Write("o", e)),
+    )
+
+
+def _own_var_expr(draw, variable: str, depth: int = 1):
+    """Expression over one variable and constants (for par branches)."""
+    leaf = st.one_of(
+        st.integers(min_value=-5, max_value=5).map(Const),
+        st.just(Var(variable)),
+    )
+    if depth == 0 or draw(st.booleans()):
+        return draw(leaf)
+    op = draw(st.sampled_from(("add", "sub", "mul")))
+    return BinOp(op, _own_var_expr(draw, variable, depth - 1),
+                 _own_var_expr(draw, variable, depth - 1))
+
+
+@st.composite
+def statements(draw, depth: int = 1):
+    kind = draw(st.integers(min_value=0, max_value=6))
+    if depth > 0 and kind == 6:
+        # par: each branch touches only its own variable, so branches are
+        # independent and the sequential reference interpretation is
+        # exactly the parallel semantics
+        chosen = draw(st.permutations(VARS))
+        branches = []
+        for variable in chosen[:draw(st.integers(min_value=2, max_value=3))]:
+            body = tuple(
+                Assign(variable, _own_var_expr(draw, variable))
+                for _ in range(draw(st.integers(min_value=1, max_value=2)))
+            )
+            branches.append(body)
+        return [Par(tuple(branches))]
+    if depth > 0 and kind == 0:
+        # bounded loop: fresh counter guarantees termination
+        counter = draw(st.sampled_from(VARS))
+        bound = draw(st.integers(min_value=0, max_value=3))
+        groups = draw(st.lists(statements(depth - 1), min_size=1, max_size=2))
+        body = [s for group in groups for s in group
+                if not (isinstance(s, (Assign, Read)) and s.target == counter)]
+        body.append(Assign(counter, BinOp("add", Var(counter), Const(1))))
+        return [Assign(counter, Const(0)),
+                While(BinOp("lt", Var(counter), Const(bound)), tuple(body))]
+    if depth > 0 and kind == 1:
+        cond = draw(expressions(1))
+        then = draw(st.lists(statements(depth - 1), min_size=1, max_size=2))
+        orelse = draw(st.lists(statements(depth - 1), min_size=0, max_size=2))
+        flat_then = tuple(s for group in then for s in group)
+        flat_orelse = tuple(s for group in orelse for s in group)
+        return [If(cond, flat_then, flat_orelse)]
+    return [draw(simple_statements())]
+
+
+@st.composite
+def programs(draw):
+    blocks = draw(st.lists(statements(), min_size=2, max_size=6))
+    body = [s for block in blocks for s in
+            (block if isinstance(block, list) else [block])]
+    body.append(Write("o", Var(draw(st.sampled_from(VARS)))))
+    inits = {v: draw(st.integers(min_value=-3, max_value=3)) for v in VARS}
+    program = Program("rand", ("i",), ("o",), inits, tuple(body))
+    program.validate()
+    return program
+
+
+# ---------------------------------------------------------------------------
+# the reference interpreter
+# ---------------------------------------------------------------------------
+def evaluate(expr, env):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, BinOp):
+        a, b = evaluate(expr.left, env), evaluate(expr.right, env)
+        return {
+            "add": lambda: a + b, "sub": lambda: a - b,
+            "mul": lambda: a * b,
+            "eq": lambda: int(a == b), "ne": lambda: int(a != b),
+            "lt": lambda: int(a < b), "le": lambda: int(a <= b),
+            "gt": lambda: int(a > b), "ge": lambda: int(a >= b),
+            "and": lambda: int(bool(a) and bool(b)),
+            "or": lambda: int(bool(a) or bool(b)),
+        }[expr.op]()
+    raise AssertionError(f"unexpected expression {expr!r}")
+
+
+def interpret(program, input_stream):
+    env = dict(program.variables)
+    cursor = {"i": 0}
+    outputs = []
+
+    def run_block(block):
+        for statement in block:
+            if isinstance(statement, Assign):
+                env[statement.target] = evaluate(statement.expr, env)
+            elif isinstance(statement, Read):
+                env[statement.target] = input_stream[cursor["i"]]
+                cursor["i"] += 1
+            elif isinstance(statement, Write):
+                outputs.append(evaluate(statement.expr, env))
+            elif isinstance(statement, If):
+                run_block(statement.then if evaluate(statement.cond, env)
+                          else statement.orelse)
+            elif isinstance(statement, While):
+                while evaluate(statement.cond, env):
+                    run_block(statement.body)
+            elif isinstance(statement, Par):
+                # branches are write-disjoint by construction: running
+                # them in order equals running them in parallel
+                for branch in statement.branches:
+                    run_block(branch)
+            else:
+                raise AssertionError(statement)
+
+    run_block(program.body)
+    return outputs, cursor["i"]
+
+
+INPUT_STREAM = st.lists(st.integers(min_value=-4, max_value=4),
+                        min_size=40, max_size=40)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@SETTINGS
+@given(programs(), INPUT_STREAM)
+def test_compiled_matches_interpreter(program, stream):
+    expected, consumed = interpret(program, stream)
+    system = compile_program(program)
+    assert check_properly_designed(system).ok
+    trace = simulate(system, Environment.of(i=stream), max_steps=100_000)
+    assert pad_outputs(system, trace)["o"] == expected
+    assert trace.terminated
+
+
+@SETTINGS
+@given(programs(), INPUT_STREAM)
+def test_compaction_preserves_random_programs(program, stream):
+    expected, _ = interpret(program, stream)
+    system = compile_program(program)
+    compacted, _report = compact(system)
+    assert data_invariant_equivalent(system, compacted)
+    trace = simulate(compacted, Environment.of(i=stream), max_steps=100_000)
+    assert pad_outputs(compacted, trace)["o"] == expected
+
+
+@SETTINGS
+@given(programs(), INPUT_STREAM)
+def test_sharing_preserves_random_programs(program, stream):
+    expected, _ = interpret(program, stream)
+    system = compile_program(program)
+    shared, _report = share_all(system, min_area=0.0)
+    trace = simulate(shared, Environment.of(i=stream), max_steps=100_000)
+    assert pad_outputs(shared, trace)["o"] == expected
+
+
+@SETTINGS
+@given(programs(), INPUT_STREAM)
+def test_policy_invariance_on_random_programs(program, stream):
+    system = compile_program(program)
+    maximal = simulate(system, Environment.of(i=stream), max_steps=100_000)
+    sequential = Simulator(system, Environment.of(i=stream),
+                           SequentialPolicy()).run(max_steps=400_000)
+    assert pad_outputs(system, maximal) == pad_outputs(system, sequential)
+
+
+@SETTINGS
+@given(programs())
+def test_unparse_parse_round_trip(program):
+    """The pretty-printer inverts the parser on random programs."""
+    from repro.synthesis.frontend import parse, unparse
+
+    text = unparse(program)
+    assert parse(text) == program
+
+
+@SETTINGS
+@given(programs(), INPUT_STREAM)
+def test_register_sharing_preserves_random_programs(program, stream):
+    """Lifetime-analysis register sharing on random programs."""
+    from repro.transform import share_registers
+
+    expected, _ = interpret(program, stream)
+    system = compile_program(program)
+    shared, _report = share_registers(system)
+    trace = simulate(shared, Environment.of(i=stream), max_steps=100_000)
+    assert pad_outputs(shared, trace)["o"] == expected
+
+
+@SETTINGS
+@given(programs(), INPUT_STREAM)
+def test_state_fusion_preserves_random_programs(program, stream):
+    """Greedy MergeStates over every legal chain pair (extension)."""
+    from repro.transform import MergeStates
+
+    expected, _ = interpret(program, stream)
+    system = compile_program(program)
+    # greedy fusion sweep to a fixpoint
+    changed = True
+    while changed:
+        changed = False
+        for place in list(system.net.places):
+            post = system.net.postset(place)
+            if len(post) != 1:
+                continue
+            (t,) = post
+            succs = system.net.postset(t)
+            if len(succs) != 1:
+                continue
+            (succ,) = succs
+            transform = MergeStates(place, succ)
+            if transform.is_legal(system):
+                system = transform.apply(system)
+                changed = True
+                break
+    trace = simulate(system, Environment.of(i=stream), max_steps=100_000)
+    assert pad_outputs(system, trace)["o"] == expected
+
+
+@SETTINGS
+@given(programs(), INPUT_STREAM)
+def test_rtl_cosimulation_matches_on_random_programs(program, stream):
+    """The one-hot FSM (netlist) interpretation agrees with the model
+    on random programs — the lowering scheme, property-tested."""
+    from repro.io.rtl_sim import crosscheck
+
+    system = compile_program(program)
+    crosscheck(system, Environment.of(i=stream), max_cycles=200_000)

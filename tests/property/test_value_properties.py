@@ -1,0 +1,82 @@
+"""Property-based tests for the operation algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datapath import get_operation
+from repro.values import UNDEF, as_word, truthy
+
+words = st.integers(min_value=-2**31, max_value=2**31 - 1)
+
+
+@settings(max_examples=100)
+@given(words, words)
+def test_add_commutative_and_sub_inverse(a, b):
+    add = get_operation("add")
+    sub = get_operation("sub")
+    assert add.evaluate(a, b) == add.evaluate(b, a)
+    assert sub.evaluate(add.evaluate(a, b), b) == a
+
+
+@settings(max_examples=100)
+@given(words, words)
+def test_mul_commutative(a, b):
+    mul = get_operation("mul")
+    assert mul.evaluate(a, b) == mul.evaluate(b, a)
+
+
+@settings(max_examples=100)
+@given(words, words.filter(lambda b: b != 0))
+def test_div_mod_law(a, b):
+    div = get_operation("div")
+    mod = get_operation("mod")
+    q, r = div.evaluate(a, b), mod.evaluate(a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    # truncation toward zero: remainder has the dividend's sign (or is 0)
+    assert r == 0 or (r > 0) == (a > 0)
+
+
+@settings(max_examples=100)
+@given(words, words)
+def test_comparisons_total_order(a, b):
+    lt = get_operation("lt").evaluate
+    gt = get_operation("gt").evaluate
+    eq = get_operation("eq").evaluate
+    assert lt(a, b) + gt(a, b) + eq(a, b) == 1
+    assert get_operation("le").evaluate(a, b) == 1 - gt(a, b)
+    assert get_operation("ge").evaluate(a, b) == 1 - lt(a, b)
+    assert get_operation("ne").evaluate(a, b) == 1 - eq(a, b)
+
+
+@settings(max_examples=100)
+@given(words, words)
+def test_logic_de_morgan(a, b):
+    and_op = get_operation("and").evaluate
+    or_op = get_operation("or").evaluate
+    not_op = get_operation("not").evaluate
+    assert not_op(and_op(a, b)) == or_op(not_op(a), not_op(b))
+    assert not_op(or_op(a, b)) == and_op(not_op(a), not_op(b))
+
+
+@settings(max_examples=60)
+@given(st.sampled_from(["add", "sub", "mul", "lt", "and", "or",
+                        "band", "min", "max"]),
+       words)
+def test_binary_strictness(name, a):
+    op = get_operation(name)
+    assert op.evaluate(UNDEF, a) is UNDEF
+    assert op.evaluate(a, UNDEF) is UNDEF
+
+
+@settings(max_examples=60)
+@given(words)
+def test_as_word_idempotent_and_truthy_consistent(a):
+    assert as_word(as_word(a)) == as_word(a)
+    assert truthy(a) == (a != 0)
+
+
+@settings(max_examples=60)
+@given(words, words)
+def test_mux_behaves_like_python_conditional(sel, a):
+    mux = get_operation("mux")
+    assert mux.evaluate(sel, a, a + 1) == (a if sel else a + 1)

@@ -1,0 +1,73 @@
+"""Unit tests for the environment (input sequences)."""
+
+import pytest
+
+from repro.errors import DefinitionError, EnvironmentExhausted
+from repro.semantics import Environment
+from repro.values import UNDEF
+
+
+class TestDraw:
+    def test_sequential_consumption(self):
+        env = Environment.of(x=[1, 2, 3])
+        assert [env.draw("x") for _ in range(3)] == [1, 2, 3]
+        assert env.consumed("x") == 3
+
+    def test_exhaustion_raises_by_default(self):
+        env = Environment.of(x=[1])
+        env.draw("x")
+        with pytest.raises(EnvironmentExhausted):
+            env.draw("x")
+
+    def test_unknown_vertex_raises_immediately(self):
+        env = Environment()
+        with pytest.raises(EnvironmentExhausted):
+            env.draw("nope")
+
+    def test_hold_policy(self):
+        env = Environment.of(x=[7, 9], exhausted_policy="hold")
+        assert [env.draw("x") for _ in range(4)] == [7, 9, 9, 9]
+
+    def test_cycle_policy(self):
+        env = Environment.of(x=[1, 2], exhausted_policy="cycle")
+        assert [env.draw("x") for _ in range(5)] == [1, 2, 1, 2, 1]
+
+    def test_undef_policy(self):
+        env = Environment.of(x=[1], exhausted_policy="undef")
+        assert env.draw("x") == 1
+        assert env.draw("x") is UNDEF
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DefinitionError):
+            Environment.of(x=[1], exhausted_policy="wish")
+
+    def test_bool_values_normalised(self):
+        env = Environment.of(flags=[True, False])
+        assert env.draw("flags") == 1
+        assert env.draw("flags") == 0
+
+
+class TestForkAndProvide:
+    def test_fork_resets_cursor(self):
+        env = Environment.of(x=[1, 2])
+        env.draw("x")
+        child = env.fork()
+        assert child.draw("x") == 1
+        assert env.consumed("x") == 1  # parent unaffected
+
+    def test_fork_is_deep(self):
+        env = Environment.of(x=[1])
+        child = env.fork()
+        child.provide("x", [99])
+        assert env.draw("x") == 1
+
+    def test_provide_replaces_and_resets(self):
+        env = Environment.of(x=[1])
+        env.draw("x")
+        env.provide("x", [5, 6])
+        assert env.draw("x") == 5
+
+    def test_contains(self):
+        env = Environment.of(x=[1])
+        assert "x" in env
+        assert "y" not in env

@@ -1,0 +1,86 @@
+"""Unit tests for event-structure extraction and the policy sweep."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.semantics import (
+    Environment,
+    FixedOrderPolicy,
+    extract_event_structure,
+    observed_conflicts,
+    policy_invariant_structure,
+)
+
+from tests.util import guarded_choice_system, independent_pair_system, relay_system
+
+
+class TestExtraction:
+    def test_relay_structure(self):
+        structure = extract_event_structure(relay_system(),
+                                            Environment.of(x=[5]))
+        assert structure.value_sequences() == {"a_in": (5,), "a_out": (5,)}
+        assert ((("a_in", 0), ("a_out", 0))) in structure.precedence
+
+    def test_branching_structures_differ_by_input(self):
+        system = guarded_choice_system()
+        positive = extract_event_structure(system, Environment.of(x=[5]))
+        zero = extract_event_structure(system, Environment.of(x=[0]))
+        assert not positive.semantically_equal(zero)
+
+    def test_same_environment_same_structure(self):
+        system = relay_system()
+        env = Environment.of(x=[42])
+        first = extract_event_structure(system, env.fork())
+        second = extract_event_structure(system, env.fork())
+        assert first.semantically_equal(second)
+
+
+class TestPolicySweep:
+    def test_properly_designed_systems_are_policy_invariant(self):
+        for builder in (relay_system, independent_pair_system,
+                        guarded_choice_system):
+            system = builder()
+            env = Environment.of(x=[5])
+            structure = policy_invariant_structure(system, env)
+            assert len(structure) >= 1
+
+    def test_requires_at_least_one_policy(self):
+        with pytest.raises(ValueError):
+            policy_invariant_structure(relay_system(),
+                                       Environment.of(x=[1]), policies=[])
+
+    def test_improper_system_detected(self):
+        # two states racing to latch the same register with different
+        # values: firing order becomes observable
+        system = independent_pair_system()
+        # s_b also writes ra, with a DIFFERENT value (9 instead of 5)
+        system.datapath.connect("k2.o", "ra.d", name="a_race")
+        system.set_control("s_b", ["a_kb", "a_race"])
+        net = system.net
+        # make s_a and s_b parallel so the double-latch order matters
+        t_mid = next(iter(net.postset("s_a")))
+        net.remove_transition(t_mid)
+        for feeder in sorted(net.preset("s_a")):
+            net.add_arc(feeder, "s_b")
+        net.add_arc("s_a", next(iter(net.postset("s_b"))))
+        system.invalidate()
+        env = Environment.of(x=[1])
+        with pytest.raises(ExecutionError):
+            policy_invariant_structure(
+                system, env,
+                policies=[FixedOrderPolicy([]),  # name order: s_a first
+                          FixedOrderPolicy(list(reversed(
+                              sorted(net.transitions))))],
+            )
+
+
+class TestConflictSweep:
+    def test_clean_system_has_no_conflicts(self):
+        assert observed_conflicts(relay_system(),
+                                  Environment.of(x=[1])) == []
+
+    def test_guard_conflict_observed(self):
+        system = guarded_choice_system()
+        system.set_guard("t_zero", ["isnz.o"])
+        conflicts = observed_conflicts(system, Environment.of(x=[5]))
+        assert any(c.kind == "choice" for c in conflicts)

@@ -1,0 +1,208 @@
+"""Unit tests for the two-phase execution semantics (Definition 3.1)."""
+
+import pytest
+
+from repro.core import DataControlSystem
+from repro.datapath import (
+    DataPath,
+    accumulator,
+    adder,
+    constant,
+    input_pad,
+    output_pad,
+    register,
+)
+from repro.errors import ExecutionError
+from repro.petri import PetriNet, chain
+from repro.semantics import Environment, SequentialPolicy, Simulator, simulate
+from repro.values import UNDEF
+
+from tests.util import guarded_choice_system, relay_system
+
+
+class TestBasicExecution:
+    def test_relay_moves_value(self):
+        trace = simulate(relay_system(), Environment.of(x=[5]))
+        assert [e.value for e in trace.events] == [5, 5]
+        assert trace.terminated  # t_end drains the final token
+
+    def test_events_carry_metadata(self):
+        trace = simulate(relay_system(), Environment.of(x=[5]))
+        read_event = trace.events_on("a_in")[0]
+        assert read_event.state == "s_read"
+        assert read_event.index == 0
+        assert read_event.start <= read_event.end
+
+    def test_terminating_net_flag(self):
+        system = relay_system()
+        # t_end already drains s_write -> token disappears -> terminated
+        trace = simulate(system, Environment.of(x=[5]))
+        # relay_system has t_end: execution ends with zero tokens
+        assert trace.terminated or trace.deadlocked
+
+    def test_max_steps_raises(self):
+        system = relay_system()
+        with pytest.raises(ExecutionError):
+            simulate(system, Environment.of(x=[1]), max_steps=0)
+
+    def test_max_steps_return_mode(self):
+        trace = simulate(relay_system(), Environment.of(x=[1]),
+                         max_steps=1, on_limit="return")
+        assert not trace.terminated
+        assert trace.step_count == 1
+
+    def test_trace_summary_strings(self):
+        trace = simulate(relay_system(), Environment.of(x=[5]))
+        assert "external events" in trace.summary()
+
+
+class TestLatchSemantics:
+    def _reg_chain(self):
+        """in -> r1 -> r2 -> out over four chained states."""
+        dp = DataPath()
+        dp.add_vertex(input_pad("x"))
+        dp.add_vertex(register("r1"))
+        dp.add_vertex(register("r2", init=77))
+        dp.add_vertex(output_pad("y"))
+        dp.connect("x.out", "r1.d", name="a1")
+        dp.connect("r1.q", "r2.d", name="a2")
+        dp.connect("r2.q", "y.in", name="a3")
+        net = PetriNet()
+        for i, name in enumerate(["s1", "s2", "s3"]):
+            net.add_place(name, marked=(i == 0))
+        chain(net, ["s1", "s2", "s3"])
+        net.add_transition("t_end")
+        net.add_arc("s3", "t_end")
+        system = DataControlSystem(dp, net)
+        system.set_control("s1", ["a1"])
+        system.set_control("s2", ["a2"])
+        system.set_control("s3", ["a3"])
+        return system
+
+    def test_registers_latch_on_departure(self):
+        system = self._reg_chain()
+        trace = simulate(system, Environment.of(x=[5]))
+        # r2 initially 77; s2 latches r1 (5) into r2; s3 outputs 5
+        assert trace.output_values("a3") == [5]
+        latched = {(str(l.port), l.new) for l in trace.latches}
+        assert ("r1.q", 5) in latched
+        assert ("r2.q", 5) in latched
+
+    def test_initial_value_visible_before_latch(self):
+        system = self._reg_chain()
+        # activate output BEFORE the pipeline moves: make s3 first
+        net = system.net
+        for t in list(net.transitions):
+            net.remove_transition(t)
+        chain(net, ["s1", "s3", "s2"])  # output r2 in second state
+        system.invalidate()
+        # s3 now runs before s2's latch: sees the initial 77
+        trace = simulate(system, Environment.of(x=[5]),
+                         max_steps=100, on_limit="return")
+        assert trace.output_values("a3") == [77]
+
+    def test_undefined_input_keeps_register(self):
+        system = self._reg_chain()
+        # remove the arc feeding r1 from its control set: r1.d undefined
+        system.set_control("s1", [])
+        trace = simulate(system, Environment())
+        # r2 latches r1 (UNDEF -> keeps its own 77? no: r1 value UNDEF ->
+        # r2 keeps 77); output is 77
+        assert trace.output_values("a3") == [77]
+
+    def test_accumulator_adds_on_each_activation(self):
+        dp = DataPath()
+        dp.add_vertex(constant("k", 5))
+        dp.add_vertex(accumulator("acc", init=10))
+        dp.add_vertex(output_pad("y"))
+        dp.connect("k.o", "acc.d", name="a_in")
+        dp.connect("acc.q", "y.in", name="a_out")
+        net = PetriNet()
+        net.add_place("s1", marked=True)
+        net.add_place("s2")
+        net.add_place("s3")
+        chain(net, ["s1", "s2", "s3"])
+        net.add_transition("t_end")
+        net.add_arc("s3", "t_end")
+        system = DataControlSystem(dp, net)
+        system.set_control("s1", ["a_in"])
+        system.set_control("s2", ["a_in"])
+        system.set_control("s3", ["a_out"])
+        trace = simulate(system, Environment())
+        assert trace.output_values("a_out") == [20]  # 10 + 5 + 5
+
+
+class TestGuards:
+    def test_guarded_branch_true(self):
+        system = guarded_choice_system()
+        trace = simulate(system, Environment.of(x=[5]))
+        assert trace.output_values("a_one") == [1]
+        assert trace.output_values("a_zero") == []
+
+    def test_guarded_branch_false(self):
+        system = guarded_choice_system()
+        trace = simulate(system, Environment.of(x=[0]))
+        assert trace.output_values("a_zero") == [0]
+        assert trace.output_values("a_one") == []
+
+    def test_undefined_guard_blocks(self):
+        system = guarded_choice_system()
+        # cond expression arcs never open: guard stays UNDEF -> deadlock
+        system.set_control("s_decide", ["a_latch"])
+        trace = simulate(system, Environment.of(x=[5]))
+        assert trace.deadlocked
+        assert not trace.terminated
+
+
+class TestConflictDetection:
+    def _double_drive(self) -> DataControlSystem:
+        dp = DataPath()
+        dp.add_vertex(constant("k1", 1))
+        dp.add_vertex(constant("k2", 2))
+        dp.add_vertex(register("r"))
+        dp.connect("k1.o", "r.d", name="a1")
+        dp.connect("k2.o", "r.d", name="a2")
+        net = PetriNet()
+        net.add_place("s", marked=True)
+        net.add_transition("t")
+        net.add_arc("s", "t")
+        system = DataControlSystem(dp, net)
+        system.set_control("s", ["a1", "a2"])
+        return system
+
+    def test_drive_conflict_strict_raises(self):
+        with pytest.raises(ExecutionError):
+            simulate(self._double_drive(), Environment())
+
+    def test_drive_conflict_lenient_records(self):
+        trace = simulate(self._double_drive(), Environment(), strict=False)
+        assert any(c.kind == "drive" for c in trace.conflicts)
+        # the conflicted port reads UNDEF, so the register keeps UNDEF
+        final = {str(k): v for k, v in trace.final_state.items()}
+        assert final["r.q"] is UNDEF
+
+    def test_choice_conflict_detected(self):
+        system = guarded_choice_system()
+        # same guard on both: a genuine dynamic conflict
+        system.set_guard("t_zero", ["isnz.o"])
+        with pytest.raises(ExecutionError):
+            simulate(system, Environment.of(x=[5]))
+        trace = simulate(system, Environment.of(x=[5]), strict=False,
+                         max_steps=100, on_limit="return")
+        assert any(c.kind == "choice" for c in trace.conflicts)
+
+
+class TestPolicies:
+    def test_sequential_policy_single_firings(self):
+        system = relay_system()
+        trace = Simulator(system, Environment.of(x=[1]),
+                          SequentialPolicy()).run()
+        assert all(len(step) == 1 for step in trace.steps)
+
+    def test_policy_equivalent_results(self):
+        system = relay_system()
+        default = simulate(system, Environment.of(x=[9]))
+        sequential = Simulator(system, Environment.of(x=[9]),
+                               SequentialPolicy()).run()
+        assert default.output_values("a_out") == \
+            sequential.output_values("a_out")

@@ -1,0 +1,49 @@
+"""Unit tests for the Trace record type and its query helpers."""
+
+from repro.semantics import Environment, simulate
+
+from tests.util import guarded_choice_system, relay_system
+
+
+class TestTraceQueries:
+    def test_events_on_sorted_by_occurrence(self):
+        trace = simulate(relay_system(), Environment.of(x=[5]))
+        events = trace.events_on("a_in")
+        assert [e.index for e in events] == [0]
+        assert trace.events_on("nonexistent") == []
+
+    def test_output_values(self):
+        trace = simulate(relay_system(), Environment.of(x=[7]))
+        assert trace.output_values("a_out") == [7]
+        assert trace.output_values("a_in") == [7]
+
+    def test_outputs_by_vertex_groups_all_arcs(self):
+        trace = simulate(relay_system(), Environment.of(x=[3]))
+        grouped = trace.outputs_by_vertex()
+        assert grouped == {"a_in": [3], "a_out": [3]}
+
+    def test_num_firings_counts_step_members(self):
+        trace = simulate(relay_system(), Environment.of(x=[1]))
+        assert trace.num_firings == sum(len(s) for s in trace.steps)
+        assert trace.num_firings >= len(trace.steps)
+
+    def test_summary_reflects_status(self):
+        trace = simulate(relay_system(), Environment.of(x=[1]))
+        assert "terminated" in trace.summary()
+
+    def test_final_state_snapshot(self):
+        trace = simulate(relay_system(), Environment.of(x=[9]))
+        values = {str(k): v for k, v in trace.final_state.items()}
+        assert values["r.q"] == 9
+
+    def test_latch_records_carry_old_and_new(self):
+        trace = simulate(relay_system(), Environment.of(x=[4]))
+        record = next(l for l in trace.latches if str(l.port) == "r.q")
+        assert record.new == 4
+        assert record.state == "s_read"
+
+    def test_guarded_run_steps_recorded(self):
+        trace = simulate(guarded_choice_system(), Environment.of(x=[5]))
+        fired = [t for step in trace.steps for t in step]
+        assert "t_pos" in fired
+        assert "t_zero" not in fired

@@ -1,0 +1,64 @@
+"""Unit tests for the value domain and UNDEF."""
+
+import pickle
+
+import pytest
+
+from repro.values import UNDEF, as_word, is_defined, strict, truthy
+
+
+class TestUndef:
+    def test_singleton(self):
+        assert type(UNDEF)() is UNDEF
+
+    def test_falsy(self):
+        assert not UNDEF
+
+    def test_repr(self):
+        assert repr(UNDEF) == "UNDEF"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(UNDEF)) is UNDEF
+
+    def test_is_defined(self):
+        assert not is_defined(UNDEF)
+        assert is_defined(0)
+        assert is_defined(-1)
+
+
+class TestTruthy:
+    def test_guard_semantics(self):
+        assert truthy(1)
+        assert truthy(-3)
+        assert not truthy(0)
+        assert not truthy(UNDEF)  # an undefined guard can never fire
+
+
+class TestStrict:
+    def test_propagates_undef(self):
+        add = strict(lambda a, b: a + b)
+        assert add(UNDEF, 1) is UNDEF
+        assert add(1, UNDEF) is UNDEF
+        assert add(1, 2) == 3
+
+    def test_preserves_name(self):
+        def special(a):
+            return a
+        assert strict(special).__name__ == "special"
+
+
+class TestAsWord:
+    def test_bool_normalised(self):
+        assert as_word(True) == 1
+        assert as_word(False) == 0
+        assert not isinstance(as_word(True), bool)
+
+    def test_int_passthrough(self):
+        assert as_word(-42) == -42
+
+    def test_undef_passthrough(self):
+        assert as_word(UNDEF) is UNDEF
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_word(3.14)

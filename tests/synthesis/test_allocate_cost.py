@@ -1,0 +1,132 @@
+"""Unit tests for resource sharing and the cost model."""
+
+import pytest
+
+from repro.core import check_properly_designed
+from repro.semantics import Environment
+from repro.synthesis import (
+    compact,
+    compatibility_classes,
+    compile_source,
+    functional_unit_count,
+    merger_candidates,
+    register_count,
+    share_all,
+    system_cost,
+)
+from repro.transform import behaviourally_equivalent
+
+SOURCE = """
+design s {
+  input i; output o;
+  var a, b, p, q, y;
+  a = read(i);
+  b = read(i);
+  p = a * 2;
+  q = b * 3;
+  y = p + q;
+  write(o, y);
+}
+"""
+
+
+class TestCompatibility:
+    def test_classes_group_by_signature(self):
+        system = compile_source(SOURCE)
+        classes = compatibility_classes(system)
+        shapes = {tuple(sorted(
+            system.datapath.vertex(v).operation("o").name for v in group))
+            for group in classes}
+        assert ("mul", "mul") in shapes
+
+    def test_min_area_filters_cheap_units(self):
+        system = compile_source("""
+            design n { input i; output o; var a, b, x, y;
+              a = read(i); b = read(i);
+              x = !a; y = !b;
+              write(o, x + y); }
+        """)
+        cheap = compatibility_classes(system, min_area=0.0)
+        pricey = compatibility_classes(system, min_area=1.0)
+        assert any("not" in str(g) for g in
+                   [[system.datapath.vertex(v).operation("o").name
+                     for v in group] for group in cheap])
+        assert all("not" not in [
+            system.datapath.vertex(v).operation("o").name for v in group]
+            for group in pricey)
+
+    def test_candidates_ordered_and_legal(self):
+        system = compile_source(SOURCE)
+        candidates = merger_candidates(system)
+        assert candidates
+        # multipliers (area 8) come before adders (area 1) if both present
+        first_pair = candidates[0]
+        op = system.datapath.vertex(first_pair[0]).operation("o").name
+        assert op == "mul"
+
+
+class TestShareAll:
+    def test_sharing_reduces_units(self):
+        system = compile_source(SOURCE)
+        shared, report = share_all(system)
+        assert report.units_saved >= 1
+        assert functional_unit_count(shared) < functional_unit_count(system)
+        assert "shared" in report.summary()
+
+    def test_sharing_preserves_behaviour_and_properness(self):
+        system = compile_source(SOURCE)
+        shared, _report = share_all(system)
+        env = Environment.of(i=[3, 4])
+        assert behaviourally_equivalent(system, shared, [env])
+        assert check_properly_designed(shared).ok
+
+    def test_sharing_blocked_after_full_parallelization(self):
+        system = compile_source(SOURCE)
+        compacted, _ = compact(system)
+        shared, report = share_all(compacted)
+        # the two multiplies land in different steps (reads serialise),
+        # so at least one merge may still be possible; but merges must
+        # never co-locate coexistent states
+        env = Environment.of(i=[3, 4])
+        assert behaviourally_equivalent(system, shared, [env])
+
+    def test_sharing_idempotent(self):
+        system = compile_source(SOURCE)
+        shared, _ = share_all(system)
+        again, report = share_all(shared)
+        assert report.units_saved == 0
+
+
+class TestCostModel:
+    def test_cost_breakdown_adds_up(self):
+        system = compile_source(SOURCE)
+        report = system_cost(system)
+        assert report.total == pytest.approx(
+            report.functional_area + report.storage_area + report.pad_area
+            + report.mux_area + report.wiring_area)
+        assert report.resource_counts["mul"] == 2
+        assert report.mux_area == 0.0  # no sharing yet
+
+    def test_sharing_buys_muxes(self):
+        system = compile_source(SOURCE)
+        shared, _ = share_all(system)
+        before = system_cost(system)
+        after = system_cost(shared)
+        assert after.mux_area > 0.0
+        assert after.functional_area < before.functional_area
+        assert after.total < before.total
+        assert after.mux_inputs >= 1
+
+    def test_wiring_cost_scales_with_arcs(self):
+        system = compile_source(SOURCE)
+        report = system_cost(system)
+        assert report.wiring_area == pytest.approx(
+            0.05 * len(system.datapath.arcs))
+
+    def test_register_count(self):
+        system = compile_source(SOURCE)
+        # a, b, p, q, y + condition registers (none here)
+        assert register_count(system) == 5
+
+    def test_summary_text(self):
+        assert "area" in system_cost(compile_source(SOURCE)).summary()

@@ -1,0 +1,189 @@
+"""Unit tests for the behavioural compiler (AST → Γ)."""
+
+import pytest
+
+from repro.core import check_properly_designed
+from repro.designs import pad_outputs
+from repro.semantics import Environment, simulate
+from repro.synthesis import compile_source
+
+
+def run(source, env=None, max_steps=20_000):
+    system = compile_source(source)
+    trace = simulate(system, env or Environment(), max_steps=max_steps)
+    return system, trace
+
+
+class TestStraightLine:
+    def test_assignment_and_write(self):
+        system, trace = run("""
+            design s { output o; var x;
+              x = 2 + 3 * 4;
+              write(o, x); }
+        """)
+        assert pad_outputs(system, trace) == {"o": [14]}
+        assert trace.terminated
+
+    def test_variable_initialisation(self):
+        system, trace = run("""
+            design s { output o; var x = 7;
+              write(o, x); }
+        """)
+        assert pad_outputs(system, trace) == {"o": [7]}
+
+    def test_reads_consume_in_program_order(self):
+        system, trace = run("""
+            design s { input i; output o; var a, b;
+              a = read(i);
+              b = read(i);
+              write(o, a - b); }
+        """, Environment.of(i=[10, 4]))
+        assert pad_outputs(system, trace) == {"o": [6]}
+
+    def test_constants_shared_in_datapath(self):
+        system = compile_source("""
+            design s { output o; var x, y;
+              x = 5 + 5;
+              y = x + 5;
+              write(o, y); }
+        """)
+        const_vertices = [v for v in system.datapath.vertices
+                          if v.startswith("c5")]
+        assert const_vertices == ["c5"]
+
+    def test_operator_per_occurrence(self):
+        system = compile_source("""
+            design s { output o; var x, y;
+              x = 1 + 2;
+              y = 3 + 4;
+              write(o, x + y); }
+        """)
+        adders = [v for v, vx in system.datapath.vertices.items()
+                  if any(op.name == "add" for op in vx.ops.values())]
+        assert len(adders) == 3
+
+    def test_one_place_per_statement(self):
+        system = compile_source("""
+            design s { output o; var x, y;
+              x = 1;
+              y = 2;
+              write(o, x + y); }
+        """)
+        # entry + 3 statements
+        assert len(system.net.places) == 4
+
+
+class TestControlFlow:
+    def test_if_else_both_arms(self):
+        source = """
+            design c { input i; output o; var x, r;
+              x = read(i);
+              if (x > 10) { r = 1; } else { r = 2; }
+              write(o, r); }
+        """
+        system, trace = run(source, Environment.of(i=[20]))
+        assert pad_outputs(system, trace) == {"o": [1]}
+        system, trace = run(source, Environment.of(i=[5]))
+        assert pad_outputs(system, trace) == {"o": [2]}
+
+    def test_if_without_else(self):
+        source = """
+            design c { input i; output o; var x, r = 9;
+              x = read(i);
+              if (x > 10) { r = 1; }
+              write(o, r); }
+        """
+        system, trace = run(source, Environment.of(i=[5]))
+        assert pad_outputs(system, trace) == {"o": [9]}
+
+    def test_while_loop_iterations(self):
+        system, trace = run("""
+            design w { output o; var i = 0, acc = 0;
+              while (i < 4) {
+                acc = acc + i;
+                i = i + 1;
+              }
+              write(o, acc); }
+        """)
+        assert pad_outputs(system, trace) == {"o": [6]}
+
+    def test_while_zero_iterations(self):
+        system, trace = run("""
+            design w { output o; var i = 9, acc = 5;
+              while (i < 4) { acc = 0; }
+              write(o, acc); }
+        """)
+        assert pad_outputs(system, trace) == {"o": [5]}
+
+    def test_nested_loops(self):
+        system, trace = run("""
+            design n { output o; var i = 0, j, total = 0;
+              while (i < 3) {
+                j = 0;
+                while (j < 2) {
+                  total = total + 1;
+                  j = j + 1;
+                }
+                i = i + 1;
+              }
+              write(o, total); }
+        """)
+        assert pad_outputs(system, trace) == {"o": [6]}
+
+    def test_empty_branch_compiles(self):
+        system, trace = run("""
+            design e { input i; output o; var x;
+              x = read(i);
+              if (x > 0) { } else { x = 0 - x; }
+              write(o, x); }
+        """, Environment.of(i=[-5]))
+        assert pad_outputs(system, trace) == {"o": [5]}
+
+    def test_par_branches_run_concurrently(self):
+        system, trace = run("""
+            design p { output o; var x, y;
+              par { { x = 3; } { y = 4; } }
+              write(o, x + y); }
+        """)
+        assert pad_outputs(system, trace) == {"o": [7]}
+        x_place = next(p for p in system.net.places if "assign_x" in p)
+        y_place = next(p for p in system.net.places if "assign_y" in p)
+        assert system.relations.parallel(x_place, y_place)
+        assert system.may_coexist(x_place, y_place)
+
+
+class TestProperDesignByConstruction:
+    @pytest.mark.parametrize("source", [
+        "design a { output o; var x; x = 1; write(o, x); }",
+        """design b { input i; output o; var x;
+           x = read(i); if (x > 0) { x = 1; } write(o, x); }""",
+        """design c { output o; var i = 0;
+           while (i < 3) { i = i + 1; } write(o, i); }""",
+        """design d { output o; var x, y;
+           par { { x = 1; } { y = 2; } } write(o, x + y); }""",
+    ])
+    def test_compiled_systems_properly_designed(self, source):
+        system = compile_source(source)
+        report = check_properly_designed(system)
+        assert report.ok, report.summary()
+        assert system.validate() == []
+
+    def test_guards_are_complementary(self):
+        system = compile_source("""
+            design g { input i; output o; var x;
+              x = read(i);
+              if (x > 0) { x = 1; } else { x = 2; }
+              write(o, x); }
+        """)
+        guarded = [t for t in system.net.transitions if system.guard_ports(t)]
+        assert len(guarded) == 2
+
+    def test_condition_state_latches_register(self):
+        system = compile_source("""
+            design g { output o; var x = 1;
+              if (x > 0) { x = 2; }
+              write(o, x); }
+        """)
+        cond_place = next(p for p in system.net.places if "_if" in p)
+        vertices = system.associated_vertices(cond_place)
+        assert any(v.startswith("creg") for v in vertices)

@@ -1,0 +1,91 @@
+"""Unit tests for critical-path analysis."""
+
+import pytest
+
+from repro.synthesis import (
+    clock_period,
+    compact,
+    compile_source,
+    critical_path,
+    place_delay,
+    schedule_length,
+)
+
+SOURCE = """
+design cp {
+  input i; output o;
+  var a, p, q, y;
+  a = read(i);
+  p = a * 2;
+  q = a + 1;
+  y = p + q;
+  write(o, y);
+}
+"""
+
+
+class TestPlaceDelay:
+    def test_multiply_state_slower_than_add_state(self):
+        system = compile_source(SOURCE)
+        p_state = next(s for s in system.net.places if "assign_p" in s)
+        q_state = next(s for s in system.net.places if "assign_q" in s)
+        assert place_delay(system, p_state) > place_delay(system, q_state)
+
+    def test_empty_state_zero_delay(self):
+        system = compile_source(SOURCE)
+        entry = next(s for s in system.net.places if "entry" in s)
+        assert place_delay(system, entry) == 0.0
+
+    def test_chained_expression_accumulates(self):
+        deep = compile_source("""
+            design d { output o; var x;
+              x = ((1 + 2) + 3) + 4;
+              write(o, x); }
+        """)
+        shallow = compile_source("""
+            design s { output o; var x;
+              x = 1 + 2;
+              write(o, x); }
+        """)
+        deep_state = next(s for s in deep.net.places if "assign_x" in s)
+        shallow_state = next(s for s in shallow.net.places if "assign_x" in s)
+        assert place_delay(deep, deep_state) > \
+            place_delay(shallow, shallow_state)
+
+    def test_clock_period_is_worst_state(self):
+        system = compile_source(SOURCE)
+        assert clock_period(system) == max(
+            place_delay(system, s) for s in system.net.places)
+
+
+class TestCriticalPath:
+    def test_serial_path_covers_all_statements(self):
+        system = compile_source(SOURCE)
+        path = critical_path(system)
+        assert path.steps == len(system.net.places)
+        assert path.delay > 0
+        assert "critical path" in path.summary()
+
+    def test_compaction_shortens_path(self):
+        system = compile_source(SOURCE)
+        compacted, _ = compact(system)
+        assert schedule_length(compacted) < schedule_length(system)
+
+    def test_loop_back_edges_cut(self):
+        system = compile_source("""
+            design l { output o; var i = 0;
+              while (i < 3) { i = i + 1; }
+              write(o, i); }
+        """)
+        path = critical_path(system)
+        # the path visits each place at most once
+        assert len(path.places) == len(set(path.places))
+
+    def test_empty_system(self):
+        from repro.core import DataControlSystem
+        from repro.datapath import DataPath
+        from repro.petri import PetriNet
+        empty = DataControlSystem(DataPath(), PetriNet())
+        path = critical_path(empty)
+        assert path.steps == 0
+        assert path.delay == 0.0

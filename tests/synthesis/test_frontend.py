@@ -1,0 +1,293 @@
+"""Unit tests for the lexer, parser and eDSL builder."""
+
+import pytest
+
+from repro.errors import DefinitionError, ParseError
+from repro.synthesis.frontend import (
+    Assign,
+    BinOp,
+    Const,
+    If,
+    Par,
+    ProgramBuilder,
+    Read,
+    UnOp,
+    Var,
+    While,
+    Write,
+    add,
+    and_,
+    c,
+    eq,
+    gt,
+    ne,
+    not_,
+    parse,
+    sub,
+    tokenize,
+    v,
+)
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("design d { var x = 3; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "op", "keyword", "ident",
+                         "op", "int", "op", "op", "eof"]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a # comment\nb // another\nc")
+        assert [t.text for t in tokens if t.kind == "ident"] == ["a", "b", "c"]
+
+    def test_multi_char_operators_greedy(self):
+        tokens = tokenize("a <= b << 2 != c")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<=", "<<", "!="]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_full_program_shape(self):
+        program = parse("""
+            design demo {
+              input a_in;
+              output r;
+              var x = 1, y = -2, z;
+              x = read(a_in);
+              y = x + 2 * 3;
+              write(r, y);
+            }
+        """)
+        assert program.name == "demo"
+        assert program.inputs == ("a_in",)
+        assert program.variables == {"x": 1, "y": -2, "z": 0}
+        assert isinstance(program.body[0], Read)
+        assign = program.body[1]
+        assert isinstance(assign, Assign)
+        # precedence: x + (2 * 3)
+        assert assign.expr == BinOp("add", Var("x"),
+                                    BinOp("mul", Const(2), Const(3)))
+
+    def test_parentheses_override_precedence(self):
+        program = parse("""
+            design p { output o; var x;
+              x = (1 + 2) * 3;
+              write(o, x); }
+        """)
+        assert program.body[0].expr == BinOp(
+            "mul", BinOp("add", Const(1), Const(2)), Const(3))
+
+    def test_unary_operators(self):
+        program = parse("""
+            design u { output o; var x, y;
+              x = -y;
+              y = !x;
+              write(o, -3); }
+        """)
+        assert program.body[0].expr == UnOp("neg", Var("y"))
+        assert program.body[1].expr == UnOp("not", Var("x"))
+        # literal folding: -3 is a constant
+        assert program.body[2].expr == Const(-3)
+
+    def test_if_else_and_while(self):
+        program = parse("""
+            design c { output o; var x;
+              while (x < 5) {
+                if (x == 2) { x = x + 2; } else { x = x + 1; }
+              }
+              write(o, x); }
+        """)
+        loop = program.body[0]
+        assert isinstance(loop, While)
+        branch = loop.body[0]
+        assert isinstance(branch, If)
+        assert branch.orelse
+
+    def test_if_without_else(self):
+        program = parse("""
+            design c { output o; var x;
+              if (x > 1) { x = 0; }
+              write(o, x); }
+        """)
+        assert program.body[0].orelse == ()
+
+    def test_par_blocks(self):
+        program = parse("""
+            design p { output o; var x, y;
+              par { { x = 1; } { y = 2; } }
+              write(o, x + y); }
+        """)
+        statement = program.body[0]
+        assert isinstance(statement, Par)
+        assert len(statement.branches) == 2
+
+    def test_par_single_branch_rejected(self):
+        with pytest.raises(ParseError):
+            parse("design p { var x; par { { x = 1; } } }")
+
+    @pytest.mark.parametrize("source,fragment", [
+        ("design d { var x; x = ; }", "expression"),
+        ("design d { var x; x = 1 }", "';'"),
+        ("design d { x = 1; }", "undeclared variable"),
+        ("design d { var x; x = read(nope); }", "undeclared input"),
+        ("design d { write(nope, 1); }", "undeclared output"),
+        ("design d { var x; if x { } }", "'('"),
+        ("design d { var x; x = 1;", "end of input"),
+        ("notdesign d { }", "'design'"),
+    ])
+    def test_errors_are_reported(self, source, fragment):
+        with pytest.raises((ParseError, DefinitionError)) as excinfo:
+            parse(source)
+        assert fragment in str(excinfo.value)
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(DefinitionError):
+            parse("design d { input x; var x; }")
+
+    def test_statement_count(self):
+        program = parse("""
+            design c { output o; var x;
+              while (x < 5) { x = x + 1; }
+              write(o, x); }
+        """)
+        assert program.statement_count() == 3
+
+
+class TestBuilder:
+    def test_equivalent_to_parsed(self):
+        source = parse("""
+            design gcd {
+              input a_in, b_in;
+              output result;
+              var a, b;
+              a = read(a_in);
+              b = read(b_in);
+              while (a != b) {
+                if (a > b) { a = a - b; } else { b = b - a; }
+              }
+              write(result, a);
+            }
+        """)
+        builder = ProgramBuilder("gcd", inputs=["a_in", "b_in"],
+                                 outputs=["result"])
+        builder.vars(a=0, b=0)
+        builder.read("a", "a_in")
+        builder.read("b", "b_in")
+        with builder.while_(ne("a", "b")):
+            with builder.if_(gt("a", "b")):
+                builder.assign("a", sub("a", "b"))
+            with builder.else_():
+                builder.assign("b", sub("b", "a"))
+        builder.write("result", "a")
+        assert builder.build() == source
+
+    def test_coercion(self):
+        assert add("x", 1) == BinOp("add", Var("x"), Const(1))
+        assert and_(True, v("y")) == BinOp("and", Const(1), Var("y"))
+        assert not_(0) == UnOp("not", Const(0))
+        with pytest.raises(DefinitionError):
+            add("x", 1.5)
+
+    def test_else_requires_preceding_if(self):
+        builder = ProgramBuilder("b")
+        with pytest.raises(DefinitionError):
+            with builder.else_():
+                pass
+
+    def test_else_must_directly_follow_if(self):
+        builder = ProgramBuilder("b")
+        builder.vars(x=0)
+        with builder.if_(eq("x", 0)):
+            builder.assign("x", 1)
+        builder.assign("x", 2)
+        with pytest.raises(DefinitionError):
+            with builder.else_():
+                pass
+
+    def test_par_builder(self):
+        builder = ProgramBuilder("p", outputs=["o"])
+        builder.vars(x=0, y=0)
+        with builder.par() as par:
+            with par.branch():
+                builder.assign("x", 1)
+            with par.branch():
+                builder.assign("y", 2)
+        builder.write("o", add("x", "y"))
+        program = builder.build()
+        assert isinstance(program.body[0], Par)
+
+    def test_par_needs_two_branches(self):
+        builder = ProgramBuilder("p")
+        builder.vars(x=0)
+        with pytest.raises(DefinitionError):
+            with builder.par() as par:
+                with par.branch():
+                    builder.assign("x", 1)
+
+    def test_nested_structures(self):
+        builder = ProgramBuilder("n", outputs=["o"])
+        builder.vars(i=0, acc=0)
+        with builder.while_(c(1)):
+            with builder.if_(eq("i", 5)):
+                builder.assign("acc", add("acc", "i"))
+            builder.assign("i", add("i", 1))
+        builder.write("o", v("acc"))
+        program = builder.build()
+        loop = program.body[0]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body[0], If)
+        assert isinstance(loop.body[1], Assign)
+
+
+class TestForLoopSugar:
+    def test_desugars_to_init_plus_while(self):
+        program = parse("""
+            design f { output o; var i, acc;
+              for (i = 0; i < 3; i = i + 1) { acc = acc + i; }
+              write(o, acc); }
+        """)
+        init, loop, write = program.body
+        assert isinstance(init, Assign) and init.target == "i"
+        assert isinstance(loop, While)
+        assert isinstance(loop.body[-1], Assign)
+        assert loop.body[-1].target == "i"
+        assert isinstance(write, Write)
+
+    def test_executes_correctly(self):
+        from repro.designs import pad_outputs
+        from repro.semantics import Environment, simulate
+        from repro.synthesis import compile_source
+        system = compile_source("""
+            design f { output o; var i, acc = 0;
+              for (i = 1; i <= 4; i = i + 1) { acc = acc + i * i; }
+              write(o, acc); }
+        """)
+        trace = simulate(system, Environment())
+        assert pad_outputs(system, trace) == {"o": [30]}
+
+    def test_nested_for(self):
+        from repro.designs import pad_outputs
+        from repro.semantics import Environment, simulate
+        from repro.synthesis import compile_source
+        system = compile_source("""
+            design n { output o; var i, j, c = 0;
+              for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 2; j = j + 1) { c = c + 1; }
+              }
+              write(o, c); }
+        """)
+        trace = simulate(system, Environment(), max_steps=50_000)
+        assert pad_outputs(system, trace) == {"o": [6]}
+
+    def test_malformed_for_rejected(self):
+        with pytest.raises(ParseError):
+            parse("design f { var i; for (i < 3) { } }")

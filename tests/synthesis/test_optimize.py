@@ -1,0 +1,140 @@
+"""Unit tests for the CAMAD-style optimization loop."""
+
+import pytest
+
+from repro.core import check_properly_designed
+from repro.semantics import Environment, simulate
+from repro.synthesis import Objective, compile_source, optimize, system_cost
+from repro.transform import behaviourally_equivalent
+
+SOURCE = """
+design opt {
+  input i; output o;
+  var a, b, p, q, y;
+  a = read(i);
+  b = read(i);
+  p = a * 2;
+  q = b * 3;
+  y = p + q;
+  write(o, y);
+}
+"""
+
+ENV = Environment.of(i=[4, 5])
+
+
+class TestObjective:
+    def test_static_latency_is_critical_path(self):
+        system = compile_source(SOURCE)
+        objective = Objective(w_time=1.0, w_area=0.0)
+        assert objective.evaluate(system) == pytest.approx(
+            objective.latency(system))
+
+    def test_measured_latency_uses_simulation(self):
+        system = compile_source(SOURCE)
+        objective = Objective(w_time=1.0, w_area=0.0, environment=ENV)
+        trace = simulate(system, ENV.fork())
+        assert objective.latency(system) == pytest.approx(
+            trace.step_count * max(
+                __import__("repro.synthesis", fromlist=["clock_period"])
+                .clock_period(system), 1e-9))
+
+    def test_area_matches_cost_model(self):
+        system = compile_source(SOURCE)
+        assert Objective().area(system) == pytest.approx(
+            system_cost(system).total)
+
+
+class TestOptimize:
+    def test_improves_objective(self):
+        system = compile_source(SOURCE)
+        result = optimize(system, Objective(w_time=2.0, w_area=1.0,
+                                            environment=ENV))
+        assert result.final_objective < result.initial_objective
+        assert result.moves
+        assert result.improvement > 0
+        assert "objective" in result.summary()
+
+    def test_result_equivalent_and_proper(self):
+        system = compile_source(SOURCE)
+        result = optimize(system, Objective(w_time=2.0, w_area=1.0,
+                                            environment=ENV))
+        assert behaviourally_equivalent(system, result.system, [ENV])
+        assert check_properly_designed(result.system).ok
+
+    def test_time_only_objective_prefers_parallel(self):
+        system = compile_source(SOURCE)
+        result = optimize(system, Objective(w_time=1.0, w_area=0.0,
+                                            environment=ENV))
+        kinds = {move.kind for move in result.moves}
+        assert "compaction" in kinds
+        before = simulate(system, ENV.fork()).step_count
+        after = simulate(result.system, ENV.fork()).step_count
+        assert after < before
+
+    def test_area_only_objective_prefers_sharing(self):
+        system = compile_source(SOURCE)
+        result = optimize(system, Objective(w_time=0.0, w_area=1.0))
+        kinds = {move.kind for move in result.moves}
+        assert kinds <= {"sharing", "register-sharing"}
+        assert "sharing" in kinds
+        assert system_cost(result.system).total < system_cost(system).total
+
+    def test_move_budget_respected(self):
+        system = compile_source(SOURCE)
+        result = optimize(system, Objective(w_time=2.0, w_area=1.0),
+                          max_moves=1)
+        assert len(result.moves) <= 1
+
+    def test_fixed_point_without_candidates(self):
+        system = compile_source(
+            "design t { output o; var x; x = 1; write(o, x); }")
+        result = optimize(system, Objective())
+        assert result.moves == []
+        assert result.final_objective == result.initial_objective
+
+    def test_resource_limits_respected(self):
+        system = compile_source(SOURCE)
+        from repro.synthesis import linear_blocks, list_schedule, place_resources
+        result = optimize(system, Objective(w_time=1.0, w_area=0.0,
+                                            limits={"mul": 1}))
+        # no layer of the optimized control uses two multipliers at once
+        pairs, complete = result.system.coexistence()
+        assert complete
+        for pair in pairs:
+            if len(pair) != 2:
+                continue
+            total = sum(place_resources(result.system, p)["mul"]
+                        for p in pair)
+            assert total <= 1
+
+
+class TestPortfolioAndRandom:
+    def test_random_walker_preserves_semantics(self):
+        from repro.synthesis import optimize_random
+        system = compile_source(SOURCE)
+        result = optimize_random(system, Objective(w_time=1.0, w_area=1.0,
+                                                   environment=ENV),
+                                 max_moves=10, seed=7)
+        assert behaviourally_equivalent(system, result.system, [ENV])
+        assert check_properly_designed(result.system).ok
+
+    def test_random_walker_deterministic_per_seed(self):
+        from repro.synthesis import optimize_random
+        system = compile_source(SOURCE)
+        objective = Objective(w_time=1.0, w_area=1.0)
+        first = optimize_random(system, objective, max_moves=6, seed=5)
+        second = optimize_random(system, objective, max_moves=6, seed=5)
+        assert [m.description for m in first.moves] == \
+            [m.description for m in second.moves]
+
+    def test_portfolio_never_worse_than_greedy(self):
+        from repro.synthesis import optimize_portfolio
+        system = compile_source(SOURCE)
+        objective = Objective(w_time=2.0, w_area=1.0, environment=ENV)
+        greedy = optimize(system, objective, max_moves=12)
+        portfolio = optimize_portfolio(system, objective, max_moves=12,
+                                       seeds=(1,))
+        assert portfolio.final_objective <= greedy.final_objective + 1e-9
+        assert behaviourally_equivalent(system, portfolio.system, [ENV])
+        assert portfolio.moves[0].kind == "portfolio"

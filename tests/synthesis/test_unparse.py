@@ -1,0 +1,69 @@
+"""Unit tests for the pretty-printer (parse ∘ unparse = identity)."""
+
+import pytest
+
+from repro.designs import all_designs
+from repro.synthesis.frontend import parse, unparse
+from repro.synthesis.frontend.ast import BinOp, Const, UnOp, Var
+from repro.synthesis.frontend.unparse import unparse_expr
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("text", [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "1 - 2 - 3",
+        "1 - (2 - 3)",
+        "-x + 1",
+        "!(a && b)",
+        "a < b == c",
+        "x << 1 + y",
+        "a % b / c",
+    ])
+    def test_round_trip_preserves_tree(self, text):
+        source = f"design t {{ output o; var a, b, c, x, y; " \
+                 f"x = {text}; write(o, x); }}"
+        program = parse(source)
+        reparsed = parse(unparse(program))
+        assert reparsed == program
+
+    def test_minimal_parentheses(self):
+        expr = BinOp("add", Var("a"), BinOp("mul", Var("b"), Var("c")))
+        assert unparse_expr(expr) == "a + b * c"
+        expr2 = BinOp("mul", BinOp("add", Var("a"), Var("b")), Var("c"))
+        assert unparse_expr(expr2) == "(a + b) * c"
+
+    def test_negative_constant(self):
+        assert unparse_expr(Const(-3)) == "-3"
+        program = parse("design t { output o; var x; x = -3; write(o, x); }")
+        assert parse(unparse(program)) == program
+
+    def test_unary_rendering(self):
+        assert unparse_expr(UnOp("not", Var("p"))) == "!p"
+        assert unparse_expr(UnOp("neg", BinOp("add", Var("a"), Var("b")))) \
+            == "-(a + b)"
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("design", all_designs(),
+                             ids=lambda d: d.name)
+    def test_zoo_round_trip(self, design):
+        program = design.program()
+        assert parse(unparse(program)) == program
+
+    def test_declarations_with_initials(self):
+        program = parse("""
+            design d { input i; output o; var a = 3, b, c = -1;
+              a = read(i); write(o, a + b + c); }
+        """)
+        text = unparse(program)
+        assert "a = 3" in text
+        assert "c = -1" in text
+        assert parse(text) == program
+
+    def test_output_is_reasonably_formatted(self):
+        design = all_designs()[0]
+        text = unparse(design.program())
+        assert text.startswith(f"design {design.name} {{")
+        assert text.endswith("}\n")
+        assert "  " in text  # indented

@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface (in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.designs import get_design
+
+
+class TestList:
+    def test_lists_zoo(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcd" in out and "diffeq" in out
+
+
+class TestCheck:
+    def test_clean_design(self, capsys):
+        assert main(["check", "gcd"]) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_source_file(self, tmp_path, capsys):
+        path = tmp_path / "d.pdl"
+        path.write_text("design d { output o; var x; x = 1; write(o, x); }")
+        assert main(["check", str(path)]) == 0
+
+    def test_broken_design_fails(self, tmp_path, capsys):
+        from repro.io import save
+        system = get_design("gcd").build()
+        system.net.add_place("extra", marked=True)
+        system.net.add_transition("t_extra")
+        system.net.add_arc("extra", "t_extra")
+        victim = sorted(system.control)[0]
+        system.net.add_arc("t_extra", victim)
+        path = tmp_path / "broken.json"
+        save(system, str(path))
+        assert main(["check", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.pdl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_zoo_design_with_default_env(self, capsys):
+        assert main(["simulate", "gcd"]) == 0
+        out = capsys.readouterr().out
+        assert "result = [12]" in out
+
+    def test_explicit_inputs(self, capsys):
+        assert main(["simulate", "gcd",
+                     "--input", "a_in=21", "--input", "b_in=14"]) == 0
+        assert "result = [7]" in capsys.readouterr().out
+
+    def test_malformed_input_rejected(self, capsys):
+        assert main(["simulate", "gcd", "--input", "oops"]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+
+class TestSynthesize:
+    def test_optimizes_and_reports(self, capsys):
+        assert main(["synthesize", "fir4"]) == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+        assert "before" in out and "after" in out
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["synthesize", "fir4", "--output", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["name"] == "fir4"
+
+    def test_resource_limits(self, capsys):
+        assert main(["synthesize", "fir8", "--limit", "mul=1"]) == 0
+
+
+class TestDotAndExport:
+    @pytest.mark.parametrize("view", ["datapath", "petri", "system"])
+    def test_dot_views(self, view, capsys):
+        assert main(["dot", "counter", "--view", view]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_export_round_trips(self, capsys, tmp_path):
+        assert main(["export", "counter"]) == 0
+        text = capsys.readouterr().out
+        from repro.io import loads
+        system = loads(text)
+        assert system.name == "counter"
+
+    def test_json_design_loadable(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        from repro.io import save
+        save(get_design("counter").build(), str(path))
+        assert main(["simulate", str(path),
+                     "--input", "limit_in=3"]) == 0
+        assert "count = [0, 1, 2]" in capsys.readouterr().out
+
+
+class TestNetlist:
+    def test_netlist_emitted(self, capsys):
+        from repro.cli import main
+        assert main(["netlist", "gcd"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("module gcd")
+        assert "endmodule" in out
+
+    def test_cosim_reports_agreement(self, capsys):
+        from repro.cli import main
+        assert main(["cosim", "gcd"]) == 0
+        out = capsys.readouterr().out
+        assert "RTL == model" in out
+        assert "result = [12]" in out

@@ -1,0 +1,88 @@
+"""Unit tests for the transformation framework itself."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform import (
+    Legality,
+    ParallelizeStates,
+    TransformLog,
+    Transformation,
+    apply_sequence,
+)
+
+from tests.util import independent_pair_system
+
+
+class Identity(Transformation):
+    """A do-nothing transformation for framework tests."""
+
+    preserves = "behavioural"
+
+    def is_legal(self, system):
+        return Legality(True)
+
+    def _rewrite(self, system):
+        return system.copy()
+
+
+class AlwaysIllegal(Transformation):
+    preserves = "behavioural"
+
+    def is_legal(self, system):
+        return Legality(False, "never legal")
+
+    def _rewrite(self, system):  # pragma: no cover - unreachable
+        raise AssertionError
+
+
+class BrokenVerify(Identity):
+    def _verify(self, before, after):
+        raise TransformError("verification exploded")
+
+
+class TestFramework:
+    def test_legality_truthiness(self):
+        assert Legality(True)
+        assert not Legality(False, "nope")
+
+    def test_apply_checks_legality_first(self):
+        with pytest.raises(TransformError, match="never legal"):
+            AlwaysIllegal().apply(independent_pair_system())
+
+    def test_apply_runs_verify_by_default(self):
+        with pytest.raises(TransformError, match="exploded"):
+            BrokenVerify().apply(independent_pair_system())
+
+    def test_verify_can_be_skipped(self):
+        result = BrokenVerify().apply(independent_pair_system(),
+                                      verify=False)
+        assert result is not None
+
+    def test_default_describe_is_class_name(self):
+        assert Identity().describe() == "Identity"
+        assert str(Identity()) == "Identity"
+
+    def test_purity(self):
+        system = independent_pair_system()
+        before = set(system.net.transitions)
+        ParallelizeStates("s_a", "s_b").apply(system)
+        assert set(system.net.transitions) == before
+
+
+class TestLog:
+    def test_counts_and_summary(self):
+        log = TransformLog()
+        log.record(Identity())
+        log.record(AlwaysIllegal(), legal=False, reason="never legal")
+        assert log.applied == 1
+        assert log.rejected == 1
+        text = log.summary()
+        assert "2 transformation attempt(s)" in text
+        assert "never legal" in text
+        assert " + " in text and " - " in text
+
+    def test_apply_sequence_empty(self):
+        system = independent_pair_system()
+        result = apply_sequence(system, [])
+        assert result is system

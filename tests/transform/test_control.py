@@ -1,0 +1,173 @@
+"""Unit tests for the data-invariant control transformations."""
+
+import pytest
+
+from repro.core import data_invariant_equivalent
+from repro.errors import TransformError
+from repro.semantics import Environment
+from repro.transform import (
+    ParallelizeStates,
+    RestructureBlock,
+    SerializeStates,
+    apply_sequence,
+    behaviourally_equivalent,
+)
+
+from tests.util import independent_pair_system, relay_system
+
+
+ENV = Environment.of(x=[3])
+
+
+class TestParallelize:
+    def test_legal_application(self):
+        system = independent_pair_system()
+        transform = ParallelizeStates("s_a", "s_b")
+        assert transform.is_legal(system)
+        result = transform.apply(system)
+        assert result.relations.parallel("s_a", "s_b")
+        assert behaviourally_equivalent(system, result, [ENV])
+
+    def test_input_untouched(self):
+        system = independent_pair_system()
+        ParallelizeStates("s_a", "s_b").apply(system)
+        assert not system.relations.parallel("s_a", "s_b")
+
+    def test_unknown_place_rejected(self):
+        legality = ParallelizeStates("ghost", "s_b").is_legal(
+            independent_pair_system())
+        assert "unknown place" in legality.reason
+
+    def test_dependent_pair_rejected(self):
+        system = independent_pair_system()
+        legality = ParallelizeStates("s_b", "s_out").is_legal(system)
+        assert not legality
+        assert "data dependent" in legality.reason
+
+    def test_io_ordered_pair_rejected(self):
+        # both states of the relay control external arcs: clause (e)
+        system = relay_system()
+        legality = ParallelizeStates("s_read", "s_write").is_legal(system)
+        assert not legality
+
+    def test_non_chain_pattern_rejected(self):
+        system = independent_pair_system()
+        legality = ParallelizeStates("s_a", "s_out").is_legal(system)
+        assert "no simple chain" in legality.reason
+
+    def test_initially_marked_place_rejected(self):
+        system = independent_pair_system()
+        legality = ParallelizeStates("s_entry", "s_a").is_legal(system)
+        assert not legality
+
+    def test_guarded_middle_transition_rejected(self):
+        system = independent_pair_system()
+        t_mid = next(iter(system.net.postset("s_a")))
+        system.set_guard(t_mid, ["sum.o"])
+        legality = ParallelizeStates("s_a", "s_b").is_legal(system)
+        assert "guarded" in legality.reason
+
+    def test_shared_resource_rejected(self):
+        system = independent_pair_system()
+        # make s_b drive ra as well: parallelizing would share the register
+        system.datapath.connect("k2.o", "ra.d", name="extra")
+        system.set_control("s_b", ["a_kb", "extra"])
+        legality = ParallelizeStates("s_a", "s_b").is_legal(system)
+        assert not legality
+
+    def test_apply_on_illegal_raises(self):
+        with pytest.raises(TransformError):
+            ParallelizeStates("s_b", "s_out").apply(independent_pair_system())
+
+
+class TestSerialize:
+    def test_round_trip(self):
+        system = independent_pair_system()
+        parallel = ParallelizeStates("s_a", "s_b").apply(system)
+        transform = SerializeStates("s_b", "s_a")  # reversed order!
+        assert transform.is_legal(parallel)
+        reordered = transform.apply(parallel)
+        assert reordered.relations.precedes("s_b", "s_a")
+        # reordering independent states preserves behaviour
+        assert behaviourally_equivalent(system, reordered, [ENV])
+        assert data_invariant_equivalent(system, reordered)
+
+    def test_non_parallel_rejected(self):
+        system = independent_pair_system()
+        legality = SerializeStates("s_a", "s_b").is_legal(system)
+        assert "not parallel" in legality.reason
+
+    def test_describes_itself(self):
+        assert "serialize" in SerializeStates("a", "b").describe()
+
+
+class TestRestructure:
+    def test_single_layer_collapse(self):
+        system = independent_pair_system()
+        transform = RestructureBlock(["s_a", "s_b"], [["s_a", "s_b"]])
+        assert transform.is_legal(system)
+        result = transform.apply(system)
+        assert result.relations.parallel("s_a", "s_b")
+        assert behaviourally_equivalent(system, result, [ENV])
+
+    def test_reordering_layers(self):
+        system = independent_pair_system()
+        transform = RestructureBlock(["s_a", "s_b"], [["s_b"], ["s_a"]])
+        result = transform.apply(system)
+        assert result.relations.precedes("s_b", "s_a")
+        assert behaviourally_equivalent(system, result, [ENV])
+
+    def test_dependence_violating_layering_rejected(self):
+        system = independent_pair_system()
+        transform = RestructureBlock(["s_a", "s_b", "s_out"],
+                                     [["s_a", "s_b", "s_out"]])
+        legality = transform.is_legal(system)
+        assert not legality
+        assert "↔" in legality.reason or "layer" in legality.reason
+
+    def test_partition_must_cover_chain(self):
+        system = independent_pair_system()
+        legality = RestructureBlock(["s_a", "s_b"],
+                                    [["s_a"]]).is_legal(system)
+        assert "partition" in legality.reason
+
+    def test_marked_place_rejected(self):
+        system = independent_pair_system()
+        legality = RestructureBlock(
+            ["s_entry", "s_a"], [["s_entry", "s_a"]]).is_legal(system)
+        assert not legality
+
+    def test_short_chain_rejected(self):
+        system = independent_pair_system()
+        legality = RestructureBlock(["s_a"], [["s_a"]]).is_legal(system)
+        assert "two places" in legality.reason
+
+
+class TestApplySequence:
+    def test_sequence_applies_in_order(self):
+        system = independent_pair_system()
+        result = apply_sequence(system, [
+            ParallelizeStates("s_a", "s_b"),
+            SerializeStates("s_b", "s_a"),
+        ])
+        assert result.relations.precedes("s_b", "s_a")
+
+    def test_illegal_raises_by_default(self):
+        with pytest.raises(TransformError):
+            apply_sequence(independent_pair_system(),
+                           [ParallelizeStates("s_b", "s_out")])
+
+    def test_skip_illegal_records_in_log(self):
+        from repro.transform import TransformLog
+        log = TransformLog()
+        system = independent_pair_system()
+        result = apply_sequence(
+            system,
+            [ParallelizeStates("s_b", "s_out"),
+             ParallelizeStates("s_a", "s_b")],
+            skip_illegal=True, log=log,
+        )
+        assert result.relations.parallel("s_a", "s_b")
+        assert log.applied == 1
+        assert log.rejected == 1
+        assert "parallelize" in log.summary()

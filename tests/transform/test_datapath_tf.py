@@ -1,0 +1,123 @@
+"""Unit tests for the control-invariant data-path transformations."""
+
+import pytest
+
+from repro.datapath import adder
+from repro.errors import TransformError
+from repro.semantics import Environment
+from repro.transform import VertexMerger, VertexSplitter, behaviourally_equivalent
+
+from tests.util import independent_pair_system
+
+
+ENV = Environment.of(x=[3])
+
+
+def shareable_system():
+    """independent_pair_system plus a second adder in its own state.
+
+    A fresh state ``s_c`` (between ``s_b`` and ``s_out``) computes
+    ``rc = ra + rb`` on the second adder ``sum2`` — sequentially ordered
+    with ``s_out``'s use of ``sum``, so the two adders are mergeable.
+    """
+    from repro.datapath import register
+
+    system = independent_pair_system()
+    dp = system.datapath
+    dp.add_vertex(adder("sum2"))
+    dp.add_vertex(register("rc"))
+    dp.connect("ra.q", "sum2.l", name="b_ra")
+    dp.connect("rb.q", "sum2.r", name="b_rb")
+    dp.connect("sum2.o", "rc.d", name="b_out")
+    net = system.net
+    t_mid = next(iter(net.postset("s_b")))  # s_b -> t_mid -> s_out
+    net.remove_arc(t_mid, "s_out")
+    net.add_place("s_c")
+    net.add_arc(t_mid, "s_c")
+    net.add_transition("t_c")
+    net.add_arc("s_c", "t_c")
+    net.add_arc("t_c", "s_out")
+    system.invalidate()
+    system.set_control("s_c", ["b_ra", "b_rb", "b_out"])
+    return system
+
+
+class TestVertexMerger:
+    def test_merge_removes_vertex_and_remaps_arcs(self):
+        system = shareable_system()
+        merged = VertexMerger("sum2", "sum").apply(system)
+        assert "sum2" not in merged.datapath.vertices
+        # arc names preserved (C is untouched, per Definition 4.6)
+        assert set(merged.datapath.arcs) == set(system.datapath.arcs)
+        arc = merged.datapath.arc("b_ra")
+        assert arc.target.vertex == "sum"
+        assert merged.control == system.control
+
+    def test_merge_preserves_behaviour(self):
+        system = shareable_system()
+        merged = VertexMerger("sum2", "sum").apply(system)
+        assert behaviourally_equivalent(system, merged, [ENV])
+
+    def test_merge_remaps_guards(self):
+        system = shareable_system()
+        t_mid = next(iter(system.net.postset("s_c")))
+        system.set_guard(t_mid, ["sum2.o"])
+        merged = VertexMerger("sum2", "sum").apply(system)
+        ports = {str(p) for p in merged.guard_ports(t_mid)}
+        assert ports == {"sum.o"}
+
+    def test_illegal_merge_raises(self):
+        with pytest.raises(TransformError):
+            VertexMerger("ra", "rb").apply(independent_pair_system())
+
+    def test_describe(self):
+        assert "merge" in VertexMerger("a", "b").describe()
+
+
+class TestVertexSplitter:
+    def test_split_then_merge_round_trip(self):
+        system = shareable_system()
+        merged = VertexMerger("sum2", "sum").apply(system)
+        splitter = VertexSplitter("sum", "sum_b", ["s_c"])
+        assert splitter.is_legal(merged)
+        split = splitter.apply(merged)
+        assert "sum_b" in split.datapath.vertices
+        # the s_c arcs moved onto the clone
+        assert split.datapath.arc("b_ra").target.vertex == "sum_b"
+        assert split.datapath.arc("a_ra").target.vertex == "sum"
+        assert behaviourally_equivalent(system, split, [ENV])
+
+    def test_split_unknown_vertex_rejected(self):
+        legality = VertexSplitter("ghost", "g2", ["s_a"]).is_legal(
+            independent_pair_system())
+        assert "unknown vertex" in legality.reason
+
+    def test_split_sequential_vertex_rejected(self):
+        legality = VertexSplitter("ra", "ra2", ["s_a"]).is_legal(
+            independent_pair_system())
+        assert "state-holding" in legality.reason
+
+    def test_split_clone_name_collision_rejected(self):
+        legality = VertexSplitter("sum", "ra", ["s_out"]).is_legal(
+            independent_pair_system())
+        assert "already in use" in legality.reason
+
+    def test_split_guard_vertex_rejected(self):
+        system = shareable_system()
+        t_mid = next(iter(system.net.postset("s_c")))
+        system.set_guard(t_mid, ["sum2.o"])
+        legality = VertexSplitter("sum2", "sum_x", ["s_c"]).is_legal(system)
+        assert "guard" in legality.reason
+
+    def test_split_nothing_to_move_rejected(self):
+        system = shareable_system()
+        legality = VertexSplitter("sum", "sum_x", ["s_a"]).is_legal(system)
+        assert "nothing to split" in legality.reason
+
+    def test_split_straddling_arc_rejected(self):
+        system = shareable_system()
+        merged = VertexMerger("sum2", "sum").apply(system)
+        # an arc of 'sum' controlled by BOTH s_c and s_out
+        merged.add_control("s_out", "b_ra")
+        legality = VertexSplitter("sum", "sum_x", ["s_c"]).is_legal(merged)
+        assert not legality

@@ -1,0 +1,149 @@
+"""Unit tests for the extended (beyond-paper) transformations."""
+
+import pytest
+
+from repro.core import check_properly_designed
+from repro.errors import TransformError
+from repro.semantics import Environment, simulate
+from repro.transform import (
+    EliminateDeadVertices,
+    MergeStates,
+    SplitState,
+    behaviourally_equivalent,
+    removed_area,
+)
+
+from tests.util import independent_pair_system, relay_system
+
+ENV = Environment.of(x=[3])
+
+
+class TestMergeStates:
+    def test_fuse_independent_neighbours(self):
+        system = independent_pair_system()
+        transform = MergeStates("s_a", "s_b")
+        assert transform.is_legal(system)
+        fused = transform.apply(system)
+        assert "s_b" not in fused.net.places
+        assert fused.control_arcs("s_a") == frozenset({"a_ka", "a_kb"})
+        assert behaviourally_equivalent(system, fused, [ENV])
+        assert check_properly_designed(fused).ok
+        # one control step saved
+        before = simulate(system, ENV.fork()).step_count
+        after = simulate(fused, ENV.fork()).step_count
+        assert after == before - 1
+
+    def test_dependent_pair_rejected(self):
+        system = independent_pair_system()
+        legality = MergeStates("s_b", "s_out").is_legal(system)
+        # rejected either for the dependence (s_out reads rb) or, as it
+        # happens, already for s_out's external write arc
+        assert not legality
+
+    def test_external_states_rejected(self):
+        system = relay_system()
+        legality = MergeStates("s_read", "s_write").is_legal(system)
+        assert "external" in legality.reason
+
+    def test_self_fusion_rejected(self):
+        legality = MergeStates("s_a", "s_a").is_legal(
+            independent_pair_system())
+        assert "itself" in legality.reason
+
+    def test_shared_resource_rejected(self):
+        from repro.datapath import adder
+        system = independent_pair_system()
+        dp = system.datapath
+        # both states use the SAME adder (but touch disjoint registers,
+        # so they are not data dependent)
+        dp.add_vertex(adder("shr"))
+        dp.connect("k1.o", "shr.l", name="x1")
+        dp.connect("k1.o", "shr.r", name="x2")
+        dp.connect("shr.o", "ra.d", name="x3")
+        dp.connect("k2.o", "shr.l", name="y1")
+        dp.connect("k2.o", "shr.r", name="y2")
+        dp.connect("shr.o", "rb.d", name="y3")
+        system.set_control("s_a", ["x1", "x2", "x3"])
+        system.set_control("s_b", ["y1", "y2", "y3"])
+        legality = MergeStates("s_a", "s_b").is_legal(system)
+        assert "share" in legality.reason
+
+    def test_write_write_dependence_rejected(self):
+        system = independent_pair_system()
+        system.datapath.connect("k2.o", "ra.d", name="extra")
+        system.set_control("s_b", ["a_kb", "extra"])
+        legality = MergeStates("s_a", "s_b").is_legal(system)
+        assert "stale" in legality.reason
+
+
+class TestSplitState:
+    def test_split_then_behaviour_preserved(self):
+        system = independent_pair_system()
+        fused = MergeStates("s_a", "s_b").apply(system)
+        transform = SplitState("s_a", ("a_ka",), "s_a2")
+        assert transform.is_legal(fused)
+        split = transform.apply(fused)
+        assert split.control_arcs("s_a") == frozenset({"a_ka"})
+        assert split.control_arcs("s_a2") == frozenset({"a_kb"})
+        assert behaviourally_equivalent(system, split, [ENV])
+        assert check_properly_designed(split).ok
+
+    def test_split_requires_strict_subset(self):
+        system = independent_pair_system()
+        legality = SplitState("s_out", ("a_ra", "a_rb", "a_y"),
+                              "s_new").is_legal(system)
+        assert "strict subset" in legality.reason
+
+    def test_split_keeps_rule5_in_both_halves(self):
+        system = independent_pair_system()
+        # splitting s_out so one half holds only combinational feed arcs
+        legality = SplitState("s_out", ("a_ra",), "s_new").is_legal(system)
+        assert not legality
+
+    def test_split_external_rejected(self):
+        system = relay_system()
+        system.add_control("s_read", "a_out")
+        legality = SplitState("s_read", ("a_in",), "s_new").is_legal(system)
+        assert "external" in legality.reason or "observable" in legality.reason
+
+    def test_split_read_after_write_hazard_rejected(self):
+        system = independent_pair_system()
+        # make s_out latch into ra as well, then try to split so the
+        # second half reads ra written by the first
+        system.datapath.connect("sum.o", "ra.d", name="loopback")
+        system.add_control("s_out", "loopback")
+        legality = SplitState("s_out", ("a_ra", "a_rb", "loopback"),
+                              "s_new").is_legal(system)
+        assert not legality
+
+    def test_name_collision_rejected(self):
+        system = independent_pair_system()
+        legality = SplitState("s_out", ("a_ra",), "s_a").is_legal(system)
+        assert "already in use" in legality.reason
+
+
+class TestEliminateDeadVertices:
+    def test_no_dead_vertices_initially(self):
+        system = independent_pair_system()
+        legality = EliminateDeadVertices().is_legal(system)
+        assert "no dead vertices" in legality.reason
+        assert removed_area(system) == 0.0
+
+    def test_dead_vertex_removed(self):
+        from repro.datapath import adder
+        system = independent_pair_system()
+        system.datapath.add_vertex(adder("orphan"))
+        assert removed_area(system) > 0.0
+        cleaned = EliminateDeadVertices().apply(system)
+        assert "orphan" not in cleaned.datapath.vertices
+        assert behaviourally_equivalent(system, cleaned, [ENV])
+
+    def test_guard_vertices_kept(self):
+        from tests.util import guarded_choice_system
+        system = guarded_choice_system()
+        # the inverter drives no arc... actually it does (none) — its
+        # output is only a guard; it must survive elimination
+        legality = EliminateDeadVertices().is_legal(system)
+        if legality:
+            cleaned = EliminateDeadVertices().apply(system)
+            assert "inv" in cleaned.datapath.vertices

@@ -1,0 +1,160 @@
+"""Shared builders for the test suite: small hand-made systems."""
+
+from __future__ import annotations
+
+from repro.core import DataControlSystem
+from repro.datapath import (
+    DataPath,
+    adder,
+    constant,
+    input_pad,
+    inverter,
+    output_pad,
+    register,
+)
+from repro.petri import PetriNet, chain
+
+
+def relay_system() -> DataControlSystem:
+    """in → register → out over three chained states (read, hold, write).
+
+    The smallest complete system: one input pad, one register, one output
+    pad; state ``s_read`` latches the input, ``s_write`` exposes it.
+    """
+    dp = DataPath(name="relay")
+    dp.add_vertex(input_pad("x"))
+    dp.add_vertex(register("r"))
+    dp.add_vertex(output_pad("y"))
+    dp.connect("x.out", "r.d", name="a_in")
+    dp.connect("r.q", "y.in", name="a_out")
+    net = PetriNet(name="relay")
+    net.add_place("s_read", marked=True)
+    net.add_place("s_write")
+    chain(net, ["s_read", "s_write"])
+    net.add_transition("t_end")
+    net.add_arc("s_write", "t_end")
+    system = DataControlSystem(dp, net, name="relay")
+    system.set_control("s_read", ["a_in"])
+    system.set_control("s_write", ["a_out"])
+    return system
+
+
+def independent_pair_system() -> DataControlSystem:
+    """Entry state, two independent register loads, then an output state.
+
+    The canonical parallelization example: ``s_a`` and ``s_b`` write
+    different registers from different sources and can be reordered or
+    parallelized; ``s_out`` reads one of them.
+    """
+    dp = DataPath(name="pair")
+    dp.add_vertex(input_pad("x"))
+    dp.add_vertex(register("start"))
+    dp.add_vertex(register("ra"))
+    dp.add_vertex(register("rb"))
+    dp.add_vertex(constant("k1", 5))
+    dp.add_vertex(constant("k2", 9))
+    dp.add_vertex(adder("sum"))
+    dp.add_vertex(output_pad("y"))
+    dp.connect("x.out", "start.d", name="a_start")
+    dp.connect("k1.o", "ra.d", name="a_ka")
+    dp.connect("k2.o", "rb.d", name="a_kb")
+    dp.connect("ra.q", "sum.l", name="a_ra")
+    dp.connect("rb.q", "sum.r", name="a_rb")
+    dp.connect("sum.o", "y.in", name="a_y")
+    net = PetriNet(name="pair")
+    net.add_place("s_entry", marked=True)
+    net.add_place("s_a")
+    net.add_place("s_b")
+    net.add_place("s_out")
+    chain(net, ["s_entry", "s_a", "s_b", "s_out"])
+    net.add_transition("t_end")
+    net.add_arc("s_out", "t_end")
+    system = DataControlSystem(dp, net, name="pair")
+    system.set_control("s_entry", ["a_start"])
+    system.set_control("s_a", ["a_ka"])
+    system.set_control("s_b", ["a_kb"])
+    system.set_control("s_out", ["a_ra", "a_rb", "a_y"])
+    return system
+
+
+def guarded_choice_system() -> DataControlSystem:
+    """A conflict place resolved by complementary guards.
+
+    ``s_decide`` evaluates ``x != 0`` (latching it); ``t_pos`` is guarded
+    by the comparison output, ``t_zero`` by its inversion; the branches
+    write the constants 1 and 0 to the output.
+    """
+    from repro.datapath import comparator
+
+    dp = DataPath(name="choice")
+    dp.add_vertex(input_pad("x"))
+    dp.add_vertex(register("rx"))
+    dp.add_vertex(constant("zero", 0))
+    dp.add_vertex(constant("one", 1))
+    dp.add_vertex(comparator("isnz", "ne"))
+    dp.add_vertex(inverter("inv"))
+    dp.add_vertex(register("cond"))
+    dp.add_vertex(output_pad("y"))
+    dp.connect("x.out", "rx.d", name="a_read")
+    dp.connect("rx.q", "isnz.l", name="a_cmp_l")
+    dp.connect("zero.o", "isnz.r", name="a_cmp_r")
+    dp.connect("isnz.o", "inv.i", name="a_inv")
+    dp.connect("isnz.o", "cond.d", name="a_latch")
+    dp.connect("one.o", "y.in", name="a_one")
+    dp.connect("zero.o", "y.in", name="a_zero")
+    net = PetriNet(name="choice")
+    net.add_place("s_read", marked=True)
+    net.add_place("s_decide")
+    net.add_place("s_pos")
+    net.add_place("s_zero")
+    chain(net, ["s_read", "s_decide"])
+    net.add_transition("t_pos")
+    net.add_transition("t_zero")
+    net.add_arc("s_decide", "t_pos")
+    net.add_arc("s_decide", "t_zero")
+    net.add_arc("t_pos", "s_pos")
+    net.add_arc("t_zero", "s_zero")
+    net.add_transition("t_end_pos")
+    net.add_transition("t_end_zero")
+    net.add_arc("s_pos", "t_end_pos")
+    net.add_arc("s_zero", "t_end_zero")
+    system = DataControlSystem(dp, net, name="choice")
+    system.set_control("s_read", ["a_read"])
+    system.set_control("s_decide", ["a_cmp_l", "a_cmp_r", "a_inv", "a_latch"])
+    system.set_control("s_pos", ["a_one"])
+    system.set_control("s_zero", ["a_zero"])
+    system.set_guard("t_pos", ["isnz.o"])
+    system.set_guard("t_zero", ["inv.o"])
+    return system
+
+
+def fork_join_net() -> PetriNet:
+    """Plain net: fork into two parallel places, then join."""
+    net = PetriNet(name="forkjoin")
+    net.add_place("p0", marked=True)
+    net.add_place("p1")
+    net.add_place("p2")
+    net.add_place("p3")
+    net.add_transition("t_fork")
+    net.add_transition("t_join")
+    net.add_arc("p0", "t_fork")
+    net.add_arc("t_fork", "p1")
+    net.add_arc("t_fork", "p2")
+    net.add_arc("p1", "t_join")
+    net.add_arc("p2", "t_join")
+    net.add_arc("t_join", "p3")
+    return net
+
+
+def loop_net() -> PetriNet:
+    """Plain net: p0 → t1 → p1 → t2 → p0 (a two-place cycle)."""
+    net = PetriNet(name="loop")
+    net.add_place("p0", marked=True)
+    net.add_place("p1")
+    net.add_transition("t1")
+    net.add_transition("t2")
+    net.add_arc("p0", "t1")
+    net.add_arc("t1", "p1")
+    net.add_arc("p1", "t2")
+    net.add_arc("t2", "p0")
+    return net
