@@ -5,8 +5,12 @@ Commands
 
 ``check DESIGN``
     Compile and run the Definition 3.2 properly-designed verification.
-``simulate DESIGN [--input name=v1,v2,…]… [--max-steps N]``
-    Execute against an environment and print the external events.
+``simulate DESIGN [--input name=v1,v2,…]… [--max-steps N] [--profile]
+[--profile-json PATH] [--naive]``
+    Execute against an environment and print the external events;
+    ``--profile`` adds step/evaluation/cache metrics (``--profile-json``
+    emits them machine-readable, ``--naive`` disables the incremental
+    fast path).
 ``synthesize DESIGN [--w-time F] [--w-area F] [--limit op=N]… ``
     Run the CAMAD-style optimizer and report the before/after metrics.
 ``dot DESIGN [--view datapath|petri|system]``
@@ -101,7 +105,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     system, env = _load(args.design)
     if args.input:
         env = _parse_inputs(args.input)
-    trace = simulate(system, env, max_steps=args.max_steps)
+    trace = simulate(system, env, max_steps=args.max_steps,
+                     fast=not args.naive)
     print(trace.summary())
     for event in trace.events:
         print(f"  step {event.end:4d}  {event}")
@@ -110,6 +115,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("outputs:")
         for pad, values in sorted(outputs.items()):
             print(f"  {pad} = {values}")
+    if args.profile and trace.metrics is not None:
+        print(trace.metrics.summary())
+    if args.profile_json and trace.metrics is not None:
+        payload = trace.metrics.to_json(indent=2)
+        if args.profile_json == "-":
+            print(payload)
+        else:
+            with open(args.profile_json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"profile written to {args.profile_json}")
     return 0
 
 
@@ -210,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=V1,V2,…",
                        help="input stream (repeatable)")
     p_sim.add_argument("--max-steps", type=int, default=100_000)
+    p_sim.add_argument("--profile", action="store_true",
+                       help="print step/evaluation/cache metrics")
+    p_sim.add_argument("--profile-json", metavar="PATH",
+                       help="write the metrics as JSON ('-' for stdout)")
+    p_sim.add_argument("--naive", action="store_true",
+                       help="disable the incremental fast path "
+                            "(reference evaluator)")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_syn = sub.add_parser("synthesize", help="run the optimizer")

@@ -9,10 +9,13 @@ an independent second semantics:
   (⋁ guards)`` — the *hardware* reading of the token game (maximal step
   by construction, no arbitration: exactly why the model must be
   conflict-free before lowering);
-* registers latch on **every** cycle their enable (the OR of their
-  controlling places' flip-flops) is high — not only at token departure;
-  for properly designed systems the latched value is stable across a
-  holding window, so the final value agrees with the model;
+* registers latch on the cycle their activation **completes**: the
+  enable is the OR, over controlling places, of ``place ∧ drained`` — a
+  one-cycle pulse at token departure.  A plain level enable (latch on
+  every cycle the place flip-flop is set) would re-apply
+  self-referencing updates (``x ← x + 1``) once per cycle while a place
+  holds its token waiting at a join, where the model latches exactly
+  once per activation (Definition 3.1(9));
 * an input pad presents a stream value that advances on the *rising
   edge* of any place reading it; an output pad's value is sampled on the
   cycle its controlling place's token departs (``valid ∧ drained``).
@@ -162,14 +165,19 @@ def simulate_rtl(system: DataControlSystem, environment: Environment, *,
         # outputs sampled at token departure
         flush_outputs(values, fired_drains, final=False)
 
-        # register latches: every cycle the enable is high
+        # register latches: on the cycle the controlling place's token
+        # departs (enable = place flip-flop ∧ drained), the same instant
+        # the model commits an activation's latches — a level enable held
+        # over a multi-cycle window would re-apply self-referencing
+        # updates (x ← x + 1) once per cycle while the place waits at a
+        # join, diverging from Definition 3.1(9)'s one-latch-per-activation
         updates: dict[PortId, Value] = {}
         for vertex in dp.vertices.values():
             if not vertex.is_sequential or vertex.is_external:
                 continue
             in_port = PortId(vertex.name, vertex.in_ports[0])
             enabled = any(
-                state[place]
+                state[place] and fired_drains[place]
                 for arc in dp.arcs_into(in_port)
                 for place in system.controlling_states(arc.name)
             )

@@ -17,6 +17,7 @@ Public surface:
 """
 
 from .execution import (
+    TokenGameCache,
     always_true,
     enabled_transitions,
     fire,
@@ -82,6 +83,7 @@ __all__ = [
     "fire_step",
     "maximal_step",
     "run_to_completion",
+    "TokenGameCache",
     "StructuralRelations",
     "transitive_closure_bool",
     "dominators",

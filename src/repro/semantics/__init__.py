@@ -6,6 +6,9 @@
 * :class:`~repro.semantics.simulator.Simulator` — the two-phase
   interpreter of Definition 3.1;
 * :mod:`~repro.semantics.policies` — firing-choice strategies;
+* :mod:`~repro.semantics.profile` — :class:`~repro.semantics.profile.
+  SimMetrics` step-level observability and the naive-vs-fast-path
+  comparison harness;
 * :mod:`~repro.semantics.event_structure` — extraction of ``S(Γ)``.
 """
 
@@ -25,6 +28,12 @@ from .policies import (
     ScriptedPolicy,
     SequentialPolicy,
 )
+from .profile import (
+    SimMetrics,
+    compare_paths,
+    profile_simulation,
+    traces_equivalent,
+)
 from .simulator import Simulator, simulate
 from .trace import ConflictRecord, LatchRecord, Trace
 from .values import UNDEF, Value, as_word, is_defined, strict, truthy
@@ -39,6 +48,10 @@ __all__ = [
     "Environment",
     "Simulator",
     "simulate",
+    "SimMetrics",
+    "profile_simulation",
+    "compare_paths",
+    "traces_equivalent",
     "Trace",
     "LatchRecord",
     "ConflictRecord",

@@ -28,11 +28,32 @@ Execution terminates when no tokens remain (Definition 3.1(6)); a
 quiescent marking with tokens remaining is reported as a deadlock.
 Activations still open at quiescence are flushed so their events are
 observed (a terminal output state's event must not be lost).
+
+The incremental fast path
+-------------------------
+
+With ``fast=True`` (the default) the engine memoizes everything the
+marking determines — the open-arc set, the restricted topological COM
+order with its consumer adjacency, and the drive-conflict analysis, all
+keyed by the frozen set of marked places — and replaces the full
+combinational pass with **dirty-set propagation**: only vertices
+downstream of arcs whose open/closed status changed, or of state ports
+whose value changed (latches, environment draws), are re-evaluated, in
+the cached topological order.  The first visit to an open-arc set (a
+topology-cache miss) falls back to a full pass, which re-bases the
+persistent value map; a control state revisited inside a loop therefore
+costs a few dict lookups plus the genuinely changed cone of logic.  The
+fast path is observationally a drop-in: it produces the same
+:class:`~repro.semantics.trace.Trace` as ``fast=False`` (the naive
+full-recompute evaluator, kept as the reference).  Either way the trace
+carries a :class:`~repro.semantics.profile.SimMetrics` record of what
+the run cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..core.events import ExternalEvent
 from ..core.system import DataControlSystem
@@ -40,12 +61,16 @@ from ..datapath.operations import OpKind
 from ..datapath.ports import PortId
 from ..datapath.validate import topological_com_order
 from ..errors import ExecutionError
-from ..petri.execution import fire_step, is_enabled
+from ..petri.execution import TokenGameCache, fire_step, is_enabled
 from ..petri.marking import Marking
 from .environment import Environment
 from .policies import FiringPolicy, MaximalStepPolicy
+from .profile import SimMetrics
 from .trace import ConflictRecord, LatchRecord, Trace
 from .values import UNDEF, Value, truthy
+
+#: One conflict-analysis entry: (conflicted input port, record detail).
+_ConflictEntry = tuple[PortId, str]
 
 
 @dataclass
@@ -76,12 +101,23 @@ class Simulator:
         When False they are recorded in the trace and the affected value
         becomes UNDEF, which lets the analysis tooling *observe* improper
         designs instead of dying on them.
+    fast:
+        When True (default), use the incremental fast path: per-marking
+        caches plus dirty-set combinational propagation (see the module
+        docstring).  When False, recompute everything from scratch each
+        step — the naive reference evaluator.  Both produce identical
+        traces.
     """
 
     system: DataControlSystem
     environment: Environment = field(default_factory=Environment)
     policy: FiringPolicy = field(default_factory=MaximalStepPolicy)
     strict: bool = True
+    fast: bool = True
+
+    #: Soft bound on each memo table (markings are typically few; this
+    #: only guards against pathological unbounded-marking nets).
+    _CACHE_LIMIT = 1 << 16
 
     def __post_init__(self) -> None:
         self._dp = self.system.datapath
@@ -97,43 +133,124 @@ class Simulator:
         self._event_index: dict[str, int] = {}
         self._activation_counter = 0
         self._external = self.system.external_arc_names()
+        # guard-port dependencies are marking-independent: freeze them once
+        self._guard_ports = {t: self.system.guard_ports(t)
+                             for t in self._net.transitions}
+        self._engine = TokenGameCache(self._net)
+        if self.fast:
+            bind = getattr(self.policy, "bind", None)
+            if callable(bind):
+                bind(self._engine)
+        # fast-path memo tables, keyed by frozen marked-place / open-arc sets
+        self._arcs_cache: dict[frozenset[str], frozenset[str]] = {}
+        self._topo_cache: dict[
+            frozenset[str],
+            tuple[tuple[str, ...], dict[PortId, tuple[str, ...]]]] = {}
+        self._conflict_cache: dict[
+            frozenset[str],
+            tuple[tuple[_ConflictEntry, ...], frozenset[PortId]]] = {}
+        # incremental-evaluation state (valid between consecutive steps)
+        self._out_values: dict[PortId, Value] = {}
+        self._prev_active: frozenset[str] | None = None
+        self._prev_conflicted: frozenset[PortId] = frozenset()
+        self._dirty_state: set[PortId] = set()
+        self._reset_run_stats()
+
+    def _reset_run_stats(self) -> None:
+        self._hits = {"active_arcs": 0, "com_order": 0, "conflicts": 0}
+        self._misses = {"active_arcs": 0, "com_order": 0, "conflicts": 0}
+        self._port_evals = 0
+        self._dirty_evals = 0
+        self._full_passes = 0
+        self._incremental_passes = 0
 
     # ------------------------------------------------------------------
     # combinational phase
     # ------------------------------------------------------------------
-    def _active_arcs(self, marking: Marking) -> set[str]:
+    def _active_arcs(self, marked: frozenset[str]) -> frozenset[str]:
+        """Open arcs (``C(S)`` for every marked ``S``), memoized."""
+        if self.fast:
+            cached = self._arcs_cache.get(marked)
+            if cached is not None:
+                self._hits["active_arcs"] += 1
+                return cached
+            self._misses["active_arcs"] += 1
         active: set[str] = set()
-        for place in marking.marked_places():
+        for place in marked:
             active.update(self.system.control_arcs(place))
-        return active
+        result = frozenset(active)
+        if self.fast and len(self._arcs_cache) < self._CACHE_LIMIT:
+            self._arcs_cache[marked] = result
+        return result
 
-    def _drive_conflicts(self, active: set[str], step: int,
-                         trace: Trace) -> set[PortId]:
+    def _conflict_analysis(self, active: frozenset[str]
+                           ) -> tuple[tuple[_ConflictEntry, ...],
+                                      frozenset[PortId]]:
         """Input ports driven by more than one distinct active source."""
         drivers: dict[PortId, set[PortId]] = {}
         for name in active:
             arc = self._dp.arc(name)
             drivers.setdefault(arc.target, set()).add(arc.source)
-        conflicted: set[PortId] = set()
-        for port, sources in drivers.items():
-            if len(sources) > 1:
-                conflicted.add(port)
-                record = ConflictRecord(
-                    step, "drive",
-                    f"input port {port} driven by {sorted(map(str, sources))}",
-                )
-                trace.conflicts.append(record)
-                if self.strict:
-                    raise ExecutionError(record.detail)
+        entries = tuple(
+            (port, f"input port {port} driven by {sorted(map(str, sources))}")
+            for port, sources in sorted(drivers.items(),
+                                        key=lambda item: str(item[0]))
+            if len(sources) > 1
+        )
+        return entries, frozenset(port for port, _ in entries)
+
+    def _drive_conflicts(self, active: frozenset[str], step: int,
+                         trace: Trace) -> frozenset[PortId]:
+        """Record this step's drive conflicts; return the conflicted ports."""
+        if self.fast:
+            cached = self._conflict_cache.get(active)
+            if cached is None:
+                self._misses["conflicts"] += 1
+                cached = self._conflict_analysis(active)
+                if len(self._conflict_cache) < self._CACHE_LIMIT:
+                    self._conflict_cache[active] = cached
+            else:
+                self._hits["conflicts"] += 1
+        else:
+            cached = self._conflict_analysis(active)
+        entries, conflicted = cached
+        for _port, detail in entries:
+            record = ConflictRecord(step, "drive", detail)
+            trace.conflicts.append(record)
+            if self.strict:
+                raise ExecutionError(record.detail)
         return conflicted
 
-    def _evaluate(self, active: set[str], conflicted: set[PortId]
-                  ) -> tuple[dict[PortId, Value], dict[PortId, Value]]:
-        """Compute the combinational fixpoint.
+    def _com_topology(self, active: frozenset[str]
+                      ) -> tuple[tuple[tuple[str, ...],
+                                       dict[PortId, tuple[str, ...]]], bool]:
+        """Restricted topological COM order + consumer adjacency, memoized.
 
-        Returns ``(out_values, in_values)``: the value present at every
-        output port and at every input port under the current marking.
+        Returns ``((order, consumers), cache_hit)``.  ``consumers`` maps a
+        source port to the COM vertices it feeds through *active* arcs —
+        the edge relation dirty-set propagation walks.
         """
+        cached = self._topo_cache.get(active)
+        if cached is not None:
+            self._hits["com_order"] += 1
+            return cached, True
+        self._misses["com_order"] += 1
+        order = tuple(topological_com_order(self._dp, active))
+        com = set(order)
+        fanout: dict[PortId, list[str]] = {}
+        for name in active:
+            arc = self._dp.arc(name)
+            if arc.target.vertex in com:
+                fanout.setdefault(arc.source, []).append(arc.target.vertex)
+        result = (order, {src: tuple(dsts) for src, dsts in fanout.items()})
+        if len(self._topo_cache) < self._CACHE_LIMIT:
+            self._topo_cache[active] = result
+        return result, False
+
+    def _full_pass(self, active: frozenset[str], conflicted: frozenset[PortId],
+                   order: tuple[str, ...] | list[str]
+                   ) -> tuple[dict[PortId, Value], dict[PortId, Value]]:
+        """Evaluate every COM vertex from scratch (the reference pass)."""
         out_values: dict[PortId, Value] = dict(self._state)
         in_values: dict[PortId, Value] = {}
 
@@ -151,19 +268,108 @@ class Simulator:
             in_values[port] = value
             return value
 
-        for name in topological_com_order(self._dp, active):
+        for name in order:
             vertex = self._dp.vertex(name)
             args = [resolve(p) for p in vertex.input_ids()]
             for port in vertex.out_ports:
+                self._port_evals += 1
                 out_values[PortId(name, port)] = vertex.operation(port).evaluate(*args)
+        return out_values, in_values
+
+    def _incremental_pass(self, active: frozenset[str],
+                          conflicted: frozenset[PortId],
+                          order: tuple[str, ...],
+                          consumers: dict[PortId, tuple[str, ...]]
+                          ) -> tuple[dict[PortId, Value], dict[PortId, Value]]:
+        """Re-evaluate only the dirty cone of the persistent value map.
+
+        A vertex is dirty when (a) a state port it consumes changed value
+        since the last step, (b) an arc into it flipped open/closed, or
+        (c) its drive-conflict status flipped; dirtiness then propagates
+        along active arcs, which the cached topological order visits in
+        dependency order.  Every untouched port keeps its value from the
+        previous fixpoint — by construction that value is exactly what a
+        full pass would recompute.
+        """
+        out_values = self._out_values
+        assert self._prev_active is not None
+        dirty: set[str] = set()
+        for port in self._dirty_state:
+            out_values[port] = self._state[port]
+            dirty.update(consumers.get(port, ()))
+        for name in active.symmetric_difference(self._prev_active):
+            target = self._dp.arc(name).target.vertex
+            if self._dp.vertex(target).is_combinational:
+                dirty.add(target)
+        for port in conflicted.symmetric_difference(self._prev_conflicted):
+            if self._dp.vertex(port.vertex).is_combinational:
+                dirty.add(port.vertex)
+        in_values: dict[PortId, Value] = {}
+
+        def resolve(port: PortId) -> Value:
+            if port in in_values:
+                return in_values[port]
+            if port in conflicted:
+                in_values[port] = UNDEF
+                return UNDEF
+            value: Value = UNDEF
+            for arc in self._dp.arcs_into(port):
+                if arc.name in active:
+                    value = out_values.get(arc.source, UNDEF)
+                    break
+            in_values[port] = value
+            return value
+
+        for name in order:
+            if name not in dirty:
+                continue
+            vertex = self._dp.vertex(name)
+            args = [resolve(p) for p in vertex.input_ids()]
+            for port in vertex.out_ports:
+                self._port_evals += 1
+                self._dirty_evals += 1
+                pid = PortId(name, port)
+                new = vertex.operation(port).evaluate(*args)
+                if out_values.get(pid, _UNSET) != new:
+                    out_values[pid] = new
+                    dirty.update(consumers.get(pid, ()))
+        return out_values, in_values
+
+    def _evaluate(self, active: frozenset[str], conflicted: frozenset[PortId]
+                  ) -> tuple[dict[PortId, Value], dict[PortId, Value]]:
+        """Compute the combinational fixpoint.
+
+        Returns ``(out_values, in_values)``: the value present at every
+        output port and at every input port under the current marking.
+        """
+        if not self.fast:
+            self._full_passes += 1
+            return self._full_pass(active, conflicted,
+                                   topological_com_order(self._dp, active))
+        (order, consumers), topo_hit = self._com_topology(active)
+        if topo_hit and self._prev_active is not None:
+            self._incremental_passes += 1
+            out_values, in_values = self._incremental_pass(
+                active, conflicted, order, consumers)
+        else:
+            # cache miss (or first step): fall back to the full pass,
+            # re-basing the persistent value map from the state dict
+            self._full_passes += 1
+            out_values, in_values = self._full_pass(active, conflicted, order)
+            self._out_values = out_values
+        self._prev_active = active
+        self._prev_conflicted = conflicted
+        self._dirty_state.clear()
         return out_values, in_values
 
     # ------------------------------------------------------------------
     # control phase helpers
     # ------------------------------------------------------------------
     def _guard_eval(self, out_values: dict[PortId, Value]):
+        guard_ports = self._guard_ports
+
         def evaluate(transition: str) -> bool:
-            ports = self.system.guard_ports(transition)
+            ports = guard_ports[transition]
             if not ports:
                 return True
             return any(truthy(out_values.get(p, UNDEF)) for p in ports)
@@ -172,12 +378,20 @@ class Simulator:
     def _record_choice_conflicts(self, marking: Marking, guard_eval,
                                  step: int, trace: Trace) -> None:
         """Dynamic Definition 3.2(3) check: competing fireable transitions."""
+        if self.fast:
+            enabled_set = set(self._engine.enabled(marking))
+
+            def enabled(t: str) -> bool:
+                return t in enabled_set
+        else:
+            def enabled(t: str) -> bool:
+                return is_enabled(self._net, marking, t)
         for place in marking.marked_places():
             if marking[place] >= 2:
                 continue
             fireable = [
                 t for t in self._net.postset(place)
-                if is_enabled(self._net, marking, t) and guard_eval(t)
+                if enabled(t) and guard_eval(t)
             ]
             if len(fireable) > 1:
                 trace.conflicts.append(ConflictRecord(
@@ -199,7 +413,10 @@ class Simulator:
                     draw.add(source.vertex)
         for vertex in sorted(draw):
             port = PortId(vertex, self._dp.vertex(vertex).out_ports[0])
-            self._state[port] = self.environment.draw(vertex)
+            value = self.environment.draw(vertex)
+            if self.fast and self._state.get(port, UNDEF) != value:
+                self._dirty_state.add(port)
+            self._state[port] = value
 
     def _complete_activation(self, place: str, step: int,
                              activation: _Activation,
@@ -267,8 +484,20 @@ class Simulator:
         ``on_limit`` — ``"raise"`` (default) raises
         :class:`~repro.errors.ExecutionError` when ``max_steps`` is
         reached; ``"return"`` returns the partial trace instead (with
-        neither ``terminated`` nor ``deadlocked`` set).
+        neither ``terminated`` nor ``deadlocked`` set).  The returned
+        trace carries a fresh :class:`~repro.semantics.profile.SimMetrics`
+        for this run.
         """
+        self._reset_run_stats()
+        # force a full-pass re-base on the first step of every run
+        self._prev_active = None
+        self._dirty_state.clear()
+        engine_hits0, engine_misses0 = self._engine.hits, self._engine.misses
+        wall_start = perf_counter()
+        comb_seconds = 0.0
+        ctrl_seconds = 0.0
+        peak_marked = 0
+
         trace = Trace()
         marking = self._net.initial_marking()
         activations: dict[str, _Activation] = {}
@@ -279,9 +508,15 @@ class Simulator:
             if marking.is_empty():
                 trace.terminated = True
                 break
-            active = self._active_arcs(marking)
+            marked = marking.marked_places()
+            if len(marked) > peak_marked:
+                peak_marked = len(marked)
+            phase_start = perf_counter()
+            active = self._active_arcs(marked)
             conflicted = self._drive_conflicts(active, step, trace)
             out_values, in_values = self._evaluate(active, conflicted)
+            comb_seconds += perf_counter() - phase_start
+            phase_start = perf_counter()
 
             def resolve(port: PortId, _iv=in_values, _act=active,
                         _ov=out_values, _cf=conflicted) -> Value:
@@ -313,6 +548,7 @@ class Simulator:
                             None, trace,
                         )
                 trace.deadlocked = True
+                ctrl_seconds += perf_counter() - phase_start
                 break
 
             consumed: list[str] = []
@@ -328,6 +564,8 @@ class Simulator:
                 self._complete_activation(place, step, activation, out_values,
                                           resolve, latch_plan, trace)
             for port, (value, _state) in latch_plan.items():
+                if self.fast and self._state.get(port, UNDEF) != value:
+                    self._dirty_state.add(port)
                 self._state[port] = value
 
             marking = fire_step(self._net, marking, chosen, guard_eval)
@@ -336,6 +574,7 @@ class Simulator:
                 p for p in marking.marked_places() if p not in activations
             )
             self._start_activations(produced, step + 1, activations)
+            ctrl_seconds += perf_counter() - phase_start
             step += 1
         else:
             if on_limit == "raise":
@@ -346,7 +585,36 @@ class Simulator:
         trace.step_count = step
         trace.final_marking = marking
         trace.final_state = dict(self._state)
+        trace.metrics = SimMetrics(
+            fast_path=self.fast,
+            steps=step,
+            firings=trace.num_firings,
+            port_evaluations=self._port_evals,
+            dirty_evaluations=self._dirty_evals,
+            full_passes=self._full_passes,
+            incremental_passes=self._incremental_passes,
+            peak_marked_places=peak_marked,
+            combinational_seconds=comb_seconds,
+            control_seconds=ctrl_seconds,
+            wall_seconds=perf_counter() - wall_start,
+            cache_hits=dict(self._hits,
+                            token_game=self._engine.hits - engine_hits0),
+            cache_misses=dict(self._misses,
+                              token_game=self._engine.misses - engine_misses0),
+        )
         return trace
+
+
+class _Unset:
+    """Sentinel distinct from every value, including UNDEF."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
 
 
 def simulate(system: DataControlSystem,
@@ -354,6 +622,7 @@ def simulate(system: DataControlSystem,
              policy: FiringPolicy | None = None,
              max_steps: int = 10_000,
              strict: bool = True,
+             fast: bool = True,
              on_limit: str = "raise") -> Trace:
     """One-shot convenience wrapper around :class:`Simulator`."""
     return Simulator(
@@ -361,4 +630,5 @@ def simulate(system: DataControlSystem,
         environment if environment is not None else Environment(),
         policy if policy is not None else MaximalStepPolicy(),
         strict,
+        fast,
     ).run(max_steps=max_steps, on_limit=on_limit)

@@ -13,6 +13,7 @@ from typing import Mapping
 from ..core.events import ExternalEvent
 from ..datapath.ports import PortId
 from ..petri.marking import Marking
+from .profile import SimMetrics
 from .values import Value
 
 
@@ -55,6 +56,9 @@ class Trace:
     terminated: bool = False   # True iff no tokens remained (Def. 3.1(6))
     deadlocked: bool = False   # True iff tokens remained but nothing fired
     step_count: int = 0
+    # what the run cost (never part of trace equality: two runs are the
+    # same run even when one hit caches the other had to populate)
+    metrics: SimMetrics | None = field(default=None, compare=False)
 
     @property
     def num_firings(self) -> int:

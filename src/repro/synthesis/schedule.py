@@ -29,6 +29,8 @@ from typing import Mapping, Sequence
 
 from ..core.dependence import DataDependence
 from ..core.system import DataControlSystem
+from ..errors import TransformError
+from ..petri.relations import dominators
 from ..transform.base import TransformLog
 from ..transform.control import RestructureBlock
 
@@ -185,6 +187,22 @@ def list_schedule(system: DataControlSystem, block: Sequence[str],
     tail_drains = system.net.postset(block[-1])
     if any(system.guard_ports(t) for t in tail_drains):
         pinned_tail = block[-1]
+    # symmetrically, a block *entered* through guarded transitions only
+    # admits companions of the head into the first layer when every such
+    # feeder already dominates them — restructuring forks every feeder
+    # into the whole first layer, and a non-dominating guarded feeder
+    # becoming adjacent to a state would mint a new Definition 4.3(d)
+    # dependence (see RestructureBlock.is_legal)
+    guarded_feeds = [t for t in system.net.preset(block[0])
+                     if system.guard_ports(t)]
+    if guarded_feeds:
+        dom_sets = dominators(system.net)
+        head_safe = {
+            p for p in block
+            if all(t in dom_sets.get(p, frozenset()) for t in guarded_feeds)
+        } | {block[0]}
+    else:
+        head_safe = set(block)
     scheduled: dict[str, int] = {}
     remaining = [p for p in block if p != pinned_tail]
     layers: list[list[str]] = []
@@ -194,6 +212,8 @@ def list_schedule(system: DataControlSystem, block: Sequence[str],
         layer_arcs: set[str] = set()
         layer_vertices: set[str] = set()
         for place in list(remaining):
+            if not layers and place not in head_safe:
+                continue  # guarded feeders would not dominate it (above)
             if any(p not in scheduled for p in deps[place]):
                 continue  # a dependence is still unscheduled
             if any(scheduled.get(p) == len(layers) for p in deps[place]):
@@ -267,7 +287,15 @@ def compact(system: DataControlSystem,
         if not legality:
             report.log.record(transform, legal=False, reason=legality.reason)
             continue
-        current = transform.apply(current, verify=verify)
+        try:
+            current = transform.apply(current, verify=verify)
+        except TransformError as error:
+            # the post-hoc Definition 4.5 check rejected a move the static
+            # pre-check accepted: skip it — compaction must never turn a
+            # legal program into a crash, only into a (possibly slower)
+            # equivalent one
+            report.log.record(transform, legal=False, reason=str(error))
+            continue
         report.log.record(transform)
         report.restructured += 1
     return current, report

@@ -45,6 +45,32 @@ def _fresh_transition(system: DataControlSystem, stem: str) -> str:
     return name
 
 
+def _unsafe_guarded_feeders(system: DataControlSystem, head: str,
+                            companions: Sequence[str]) -> set[str]:
+    """Guarded feeders of ``head`` that do not dominate every companion.
+
+    A rewrite that forks the feeders of ``head`` into additional places
+    makes each feeder *adjacent* to those places, so their markings become
+    directly dependent (Definition 4.3(d)) on whatever the feeder's guard
+    reads.  If the feeder already **dominated** a companion, that
+    dependence existed before (clause (d) counts dominating transitions
+    too) and the fork changes nothing; otherwise the fork would mint a
+    dependence pair the original system does not have, breaking
+    Definition 4.5.
+    """
+    from ..petri.relations import dominators
+
+    net = system.net
+    guarded = [t for t in net.preset(head) if system.guard_ports(t)]
+    if not guarded or not companions:
+        return set()
+    dom_sets = dominators(net)
+    return {
+        t for t in guarded
+        if any(t not in dom_sets.get(p, frozenset()) for p in companions)
+    }
+
+
 def _ass_overlap(system: DataControlSystem, s_1: str, s_2: str) -> bool:
     """Would the two states violate Definition 3.2(1) if made parallel?
 
@@ -125,6 +151,16 @@ class ParallelizeStates(_ControlTransform):
                 f"{self.s2!r} drains through guarded transition(s) "
                 f"{sorted(guarded_drains)} — joining {self.s1!r} into them "
                 "would move the guard decision point",
+            )
+        unsafe_feeds = _unsafe_guarded_feeders(system, self.s1, [self.s2])
+        if unsafe_feeds:
+            return Legality(
+                False,
+                f"{self.s1!r} is fed by guarded transition(s) "
+                f"{sorted(unsafe_feeds)} that do not dominate {self.s2!r} — "
+                f"forking {self.s2!r} out of them would make M({self.s2}) "
+                "newly depend on the guard decision "
+                "(a new Definition 4.3(d) pair)",
             )
         if not net.preset(self.s1):
             return Legality(False,
@@ -330,6 +366,24 @@ class RestructureBlock(_ControlTransform):
                     f"{sorted(net_last_drains)}; {chain[-1]!r} must remain "
                     "alone in the final layer",
                 )
+        # guarded entries constrain the first layer symmetrically: the
+        # rewrite forks every feeding transition into the whole first
+        # layer, making each guarded feeder *adjacent* to every first-layer
+        # place.  That is harmless when the feeder already dominated the
+        # place (its guard sources are already in the place's Definition
+        # 4.3(d) set — the loop-back transition of a while body dominates
+        # the whole body, so body compaction stays legal), but a
+        # non-dominating guarded feeder (one arm of an if) would create a
+        # brand-new dependence pair the original system does not have.
+        unsafe = _unsafe_guarded_feeders(
+            system, chain[0], [p for p in self.layers[0] if p != chain[0]])
+        if unsafe:
+            return Legality(
+                False,
+                f"the chain is entered through guarded transition(s) "
+                f"{sorted(unsafe)} that do not dominate the whole first "
+                f"layer; {chain[0]!r} must remain alone in it",
+            )
         # states sharing data-path resources must not land in one layer
         # (Definition 3.2(1) — e.g. after a functional unit was merged)
         for layer in self.layers:

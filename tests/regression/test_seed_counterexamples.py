@@ -1,0 +1,90 @@
+"""Pinned Hypothesis counterexamples — deterministic, no Hypothesis.
+
+Both programs below are the shrunk falsifying examples from the two
+seed property-test failures.  They are frozen here as plain regression
+tests so the bugs stay fixed even when the random generators drift.
+
+1. ``compact()`` crashed with ``TransformError``: restructuring forked a
+   guarded if-arm transition into a whole first layer, minting a new
+   Definition 4.3(d) dependence pair that the post-hoc Definition 4.5
+   check rejected.  The scheduler now keeps non-dominated states out of
+   a guarded-entry first layer, and ``compact`` skips (never crashes on)
+   any move the verifier still rejects.
+
+2. The RTL one-hot FSM lowering latched registers on a *level* enable,
+   re-applying a self-referencing update (``v2 = 1 + v2``) on every
+   cycle a place held its token waiting at a ``par`` join — RTL ``[2]``
+   vs model ``[1]``.  Registers now latch on the departure pulse
+   (``place ∧ drained``), once per activation (Definition 3.1(9)).
+"""
+
+from repro.core import data_invariant_equivalent
+from repro.designs import pad_outputs
+from repro.io.rtl_sim import crosscheck
+from repro.semantics import Environment, simulate
+from repro.synthesis import compact, compile_program
+from repro.synthesis.frontend.ast import (
+    Assign,
+    BinOp,
+    Const,
+    If,
+    Par,
+    Program,
+    Var,
+    While,
+    Write,
+)
+
+ZERO_INITS = {"v0": 0, "v1": 0, "v2": 0, "v3": 0}
+STREAM = [0] * 40
+
+
+def test_compaction_counterexample_guarded_if_arm():
+    """Seed failure 1: compaction must neither crash nor change outputs.
+
+    The if-arm transition guarding ``v0 = 0`` does not dominate the
+    states after the join; forking it across the first layer of the
+    tail block would make those states control-dependent on the branch
+    condition.
+    """
+    program = Program("rand", ("i",), ("o",), dict(ZERO_INITS), (
+        If(Var("v0"), (Assign("v0", Const(0)),), ()),
+        Assign("v0", Const(0)),
+        Write("o", Var("v1")),
+    ))
+    program.validate()
+    system = compile_program(program)
+    compacted, report = compact(system)  # must not raise TransformError
+    assert data_invariant_equivalent(system, compacted)
+    trace = simulate(compacted, Environment.of(i=list(STREAM)),
+                     max_steps=100_000)
+    assert pad_outputs(compacted, trace)["o"] == [0]
+    assert trace.terminated
+    # every applied move passed verification; rejected moves were skipped
+    assert report.restructured <= report.blocks
+
+
+def test_rtl_cosimulation_counterexample_par_join_latch():
+    """Seed failure 2: one latch per activation at the par join.
+
+    The short ``par`` branch computes ``v2 = 1 + v2`` and then waits for
+    the long branch at the join; a level-enabled register would re-apply
+    the increment per waiting cycle (RTL ``[2]`` vs model ``[1]``).
+    """
+    program = Program("rand", ("i",), ("o",), dict(ZERO_INITS), (
+        Assign("v0", Const(0)),
+        While(BinOp("lt", Var("v0"), Const(0)),
+              (Assign("v0", BinOp("add", Var("v0"), Const(1))),)),
+        Par((
+            (Assign("v0", Var("v0")), Assign("v0", Const(0))),
+            (Assign("v2", BinOp("add", Const(1), Var("v2"))),),
+        )),
+        Write("o", Var("v2")),
+    ))
+    program.validate()
+    system = compile_program(program)
+    trace = simulate(system, Environment.of(i=list(STREAM)),
+                     max_steps=100_000)
+    assert pad_outputs(system, trace)["o"] == [1]
+    # crosscheck raises AssertionError on any RTL/model divergence
+    crosscheck(system, Environment.of(i=list(STREAM)), max_cycles=200_000)

@@ -58,6 +58,36 @@ class TestSimulate:
         assert main(["simulate", "gcd", "--input", "oops"]) == 2
         assert "malformed" in capsys.readouterr().err
 
+    def test_profile_prints_metrics(self, capsys):
+        assert main(["simulate", "counter", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental fast path" in out
+        assert "cache hit rate" in out
+
+    def test_naive_profile(self, capsys):
+        assert main(["simulate", "counter", "--naive", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "naive full pass" in out
+
+    def test_profile_json_stdout(self, capsys):
+        import json
+
+        assert main(["simulate", "counter", "--profile-json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["fast_path"] is True
+        assert payload["steps"] > 0
+
+    def test_profile_json_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["simulate", "counter",
+                     "--profile-json", str(target)]) == 0
+        assert f"profile written to {target}" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["cache_hits"]["com_order"] >= 0
+
 
 class TestSynthesize:
     def test_optimizes_and_reports(self, capsys):
