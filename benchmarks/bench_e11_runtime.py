@@ -1,0 +1,139 @@
+"""E11 — the batch engine: throughput, determinism, fault isolation.
+
+The runtime subsystem claims parallel batch execution is a pure
+throughput optimisation: same payload bytes, warm-cache reruns with
+zero dispatch, and a fleet that survives killed and wedged workers.
+This experiment measures all three.
+
+* **E11a** — a zoo-wide synthesis sweep run serially and on a 4-worker
+  fleet; payloads must be byte-identical, and on a multi-core machine
+  the fleet must be at least 2x faster.  (On a single-core machine the
+  speedup row is reported but not asserted — there is nothing to win.)
+* **E11b** — the same sweep re-run against a warm content-addressed
+  cache: 100% hits, zero worker dispatch.
+* **E11c** — fault injection: one job SIGKILLs its worker mid-run and
+  one sleeps past its deadline, surrounded by innocent real jobs.  Only
+  the injected jobs may fail, and the engine must stay healthy enough
+  to run a follow-up batch.
+"""
+
+import os
+import time
+
+from repro.io import format_table
+from repro.runtime import (
+    ExecutionEngine,
+    ResultCache,
+    check_job,
+    probe_job,
+    simulate_job,
+    synthesize_job,
+)
+
+from conftest import emit
+
+FLEET = 4
+
+
+def sweep_jobs(zoo):
+    """A mixed zoo-wide batch: synthesis points plus sim/check jobs."""
+    jobs = []
+    for name in ("fir4", "fir8", "parsum", "diffeq"):
+        _, system = zoo[name]
+        for seed in (1, 2):
+            jobs.append(synthesize_job(system, algorithm="random+greedy",
+                                       seed=seed, label=f"{name}:s{seed}"))
+    for name in ("gcd", "counter", "isqrt", "traffic"):
+        design, system = zoo[name]
+        jobs.append(simulate_job(system, design.environment(), label=name))
+        jobs.append(check_job(system, label=name))
+    return jobs
+
+
+def test_e11a_parallel_matches_serial(zoo):
+    jobs = sweep_jobs(zoo)
+
+    started = time.perf_counter()
+    serial = ExecutionEngine(workers=0).run(jobs)
+    serial_s = time.perf_counter() - started
+
+    with ExecutionEngine(workers=FLEET) as engine:
+        started = time.perf_counter()
+        parallel = engine.run(jobs)
+        parallel_s = time.perf_counter() - started
+
+    assert serial.ok and parallel.ok
+    identical = [a.payload_bytes() == b.payload_bytes()
+                 for a, b in zip(serial, parallel)]
+    assert all(identical), "parallel execution changed a payload"
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    cores = os.cpu_count() or 1
+    emit(format_table(
+        ["backend", "jobs", "wall (s)", "jobs/s", "byte-identical"],
+        [["serial", len(serial), f"{serial_s:.2f}",
+          f"{serial.metrics.jobs_per_second:.1f}", "-"],
+         [f"{FLEET} workers", len(parallel), f"{parallel_s:.2f}",
+          f"{parallel.metrics.jobs_per_second:.1f}",
+          f"{sum(identical)}/{len(identical)}"],
+         ["speedup", "-", f"{speedup:.2f}x", "-",
+          f"({cores} core(s) available)"]],
+        title="E11a: serial vs 4-worker fleet on a zoo-wide sweep"))
+    if cores >= 2:
+        assert speedup >= 2.0, f"expected >=2x on {cores} cores, got {speedup:.2f}x"
+
+
+def test_e11b_warm_cache_skips_dispatch(zoo, tmp_path):
+    jobs = sweep_jobs(zoo)
+    cache = ResultCache(tmp_path / "cache")
+
+    cold = ExecutionEngine(cache=cache).run(jobs)
+    started = time.perf_counter()
+    warm = ExecutionEngine(cache=cache).run(jobs)
+    warm_s = time.perf_counter() - started
+
+    assert cold.ok and warm.ok
+    assert warm.metrics.cache_hit_rate == 1.0
+    assert warm.metrics.dispatched == 0
+    assert [r.payload for r in warm] == [r.payload for r in cold]
+
+    emit(format_table(
+        ["run", "jobs", "cached", "dispatched", "hit rate", "wall (s)"],
+        [["cold", cold.metrics.jobs, cold.metrics.cached,
+          cold.metrics.dispatched, f"{cold.metrics.cache_hit_rate:.0%}",
+          f"{cold.metrics.wall_seconds:.2f}"],
+         ["warm", warm.metrics.jobs, warm.metrics.cached,
+          warm.metrics.dispatched, f"{warm.metrics.cache_hit_rate:.0%}",
+          f"{warm_s:.3f}"]],
+        title="E11b: content-addressed cache on a repeated sweep"))
+
+
+def test_e11c_fault_injection(zoo):
+    design, system = zoo["gcd"]
+    innocents = [simulate_job(system, design.environment(), label="sim"),
+                 check_job(system, label="chk"),
+                 probe_job("ok", label="ok")]
+    jobs = ([probe_job("crash", label="crash")]
+            + innocents
+            + [probe_job("sleep", seconds=30.0, label="wedge")])
+
+    with ExecutionEngine(workers=2, timeout=1.5, retries=1,
+                         backoff=0) as engine:
+        batch = engine.run(jobs)
+        followup = engine.run([probe_job("ok")])
+
+    by_label = {r.spec.label: r for r in batch}
+    assert not by_label["crash"].ok
+    assert "died" in by_label["crash"].error
+    assert not by_label["wedge"].ok
+    assert by_label["wedge"].timed_out
+    for job in innocents:
+        assert by_label[job.label].ok, f"innocent {job.label} was harmed"
+    assert followup.ok, "engine unhealthy after fault injection"
+
+    emit(format_table(
+        ["job", "status", "attempts", "error"],
+        [[r.spec.label, r.status, r.attempts, r.error or "-"]
+         for r in batch],
+        title=f"E11c: fault injection "
+              f"({batch.metrics.pool_resets} pool reset(s))"))

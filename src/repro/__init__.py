@@ -40,6 +40,8 @@ Sub-packages:
 :mod:`repro.analysis`   CCS/regex baselines and state-space statistics
 :mod:`repro.designs`    the benchmark design zoo
 :mod:`repro.io`         DOT export, JSON round-trips, report tables
+:mod:`repro.runtime`    parallel batch-execution engine with a
+                        content-addressed result cache
 =====================  ====================================================
 """
 
@@ -86,6 +88,22 @@ from .synthesis import (
     share_all,
     system_cost,
 )
+from .runtime import (
+    BatchResult,
+    ExecutionEngine,
+    FleetMetrics,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    check_job,
+    equivalence_job,
+    load_job_file,
+    probe_job,
+    reachability_job,
+    simulate_job,
+    synthesize_job,
+    write_job_file,
+)
 from .transform import (
     ParallelizeStates,
     RestructureBlock,
@@ -97,7 +115,12 @@ from .transform import (
 )
 from .values import UNDEF
 
-__version__ = "1.0.0"
+try:  # single-sourced from the installed package metadata (pyproject.toml)
+    from importlib.metadata import PackageNotFoundError, version as _version
+
+    __version__ = _version("repro")
+except PackageNotFoundError:  # running from a source tree without install
+    __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
@@ -121,6 +144,11 @@ __all__ = [
     "optimize", "Objective",
     # designs
     "ZOO", "all_designs", "get_design", "pad_outputs", "pad_inputs",
+    # batch runtime
+    "ExecutionEngine", "BatchResult", "JobSpec", "JobResult", "ResultCache",
+    "FleetMetrics", "simulate_job", "check_job", "reachability_job",
+    "equivalence_job", "synthesize_job", "probe_job", "load_job_file",
+    "write_job_file",
     # errors
     "ReproError", "DefinitionError", "ValidationError", "ExecutionError",
     "EnvironmentExhausted", "TransformError", "ParseError",

@@ -21,11 +21,22 @@ Commands
     Emit a structural RTL-flavoured netlist (one-hot FSM + datapath).
 ``cosim DESIGN [--input …]``
     Co-simulate the netlist interpretation against the model semantics.
+``batch JOBFILE [--workers N] [--cache DIR] [--timeout S] [--retries N]``
+    Run a job file (see :mod:`repro.runtime.jobs`) through the batch
+    engine and report per-job outcomes plus fleet metrics.
+``sweep DESIGN [--w-time F,F,…] [--w-area F,F,…] [--seeds N,N,…]``
+    Fan a synthesis sweep over the objective-weight × seed grid through
+    the batch engine (``--emit-jobs PATH`` writes the job file instead
+    of running it).
 ``list``
     List the built-in design zoo.
 
 ``DESIGN`` is either a zoo name (``gcd``, ``diffeq``, …) or a path to a
 behavioural source file (``.pdl``) / serialised system (``.json``).
+
+``repro --version`` prints the package version.  Library errors exit
+with status 2 and a one-line categorised message (``validation error:``,
+``execution error:``, ``transform error:``, …) instead of a traceback.
 """
 
 from __future__ import annotations
@@ -34,10 +45,18 @@ import argparse
 import sys
 from typing import Sequence
 
+from . import __version__
 from .core import check_properly_designed
 from .core.system import DataControlSystem
 from .designs import ZOO, pad_outputs
-from .errors import ReproError
+from .errors import (
+    DefinitionError,
+    ExecutionError,
+    ParseError,
+    ReproError,
+    TransformError,
+    ValidationError,
+)
 from .io import dumps, format_table
 from .io.dot import datapath_to_dot, petri_to_dot, system_to_dot
 from .semantics import Environment, simulate
@@ -46,6 +65,7 @@ from .synthesis import (
     compile_source,
     critical_path,
     optimize,
+    optimize_portfolio,
     system_cost,
 )
 
@@ -72,6 +92,16 @@ def _parse_inputs(pairs: Sequence[str]) -> Environment:
                              "(expected name=v1,v2,…)")
         streams[name] = [int(v) for v in values.split(",") if v]
     return Environment(streams)
+
+
+def _environment_for(args: argparse.Namespace,
+                     default: Environment) -> Environment:
+    """The run's environment: ``--input`` overrides, else the default.
+
+    Shared by every command that accepts ``--input`` (simulate, cosim,
+    synthesize, sweep) so the parsing and precedence live in one place.
+    """
+    return _parse_inputs(args.input) if args.input else default
 
 
 def _parse_limits(pairs: Sequence[str]) -> dict[str, int]:
@@ -103,8 +133,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     system, env = _load(args.design)
-    if args.input:
-        env = _parse_inputs(args.input)
+    env = _environment_for(args, env)
     trace = simulate(system, env, max_steps=args.max_steps,
                      fast=not args.naive)
     print(trace.summary())
@@ -130,8 +159,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
     system, env = _load(args.design)
-    if args.input:
-        env = _parse_inputs(args.input)
+    env = _environment_for(args, env)
     objective = Objective(
         w_time=args.w_time, w_area=args.w_area,
         limits=_parse_limits(args.limit) or None,
@@ -139,7 +167,12 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         else None,
         max_steps=args.max_steps,
     )
-    result = optimize(system, objective, max_moves=args.max_moves)
+    if args.portfolio:
+        result = optimize_portfolio(system, objective,
+                                    max_moves=args.max_moves,
+                                    workers=args.workers)
+    else:
+        result = optimize(system, objective, max_moves=args.max_moves)
     print(result.summary())
     rows = [
         ["critical path (steps)", critical_path(system).steps,
@@ -188,8 +221,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 def cmd_cosim(args: argparse.Namespace) -> int:
     system, env = _load(args.design)
-    if args.input:
-        env = _parse_inputs(args.input)
+    env = _environment_for(args, env)
     from .io.rtl_sim import crosscheck
 
     try:
@@ -203,12 +235,151 @@ def cmd_cosim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace):
+    """Build an ExecutionEngine (and optional cache) from CLI options."""
+    from .runtime import ExecutionEngine, ResultCache
+
+    cache = ResultCache(args.cache) if args.cache else None
+    return ExecutionEngine(workers=args.workers, timeout=args.timeout,
+                           retries=args.retries, cache=cache)
+
+
+def _report_batch(batch, *, metrics_json: str | None = None,
+                  results_json: str | None = None) -> int:
+    """Print a per-job table plus fleet metrics; nonzero if any job failed."""
+    rows = []
+    for result in batch:
+        rows.append([
+            result.key[:10],
+            result.spec.kind,
+            result.spec.label or "-",
+            result.status,
+            result.attempts,
+            f"{result.run_seconds * 1e3:.1f}",
+            result.error or "-",
+        ])
+    print(format_table(
+        ["key", "kind", "label", "status", "attempts", "run_ms", "error"],
+        rows, title=f"batch of {len(batch)} job(s)"))
+    print(batch.metrics.summary())
+    if metrics_json:
+        _write_json(metrics_json, batch.metrics.to_json(indent=2),
+                    "fleet metrics")
+    if results_json:
+        import json as _json
+
+        payload = _json.dumps([r.as_dict() for r in batch], indent=2,
+                              sort_keys=True)
+        _write_json(results_json, payload, "job results")
+    return 0 if batch.ok else 1
+
+
+def _write_json(target: str, payload: str, what: str) -> None:
+    if target == "-":
+        print(payload)
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(payload + "\n")
+    print(f"{what} written to {target}")
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from .runtime import load_job_file
+
+    jobs = load_job_file(args.jobfile)
+    with _make_engine(args) as engine:
+        batch = engine.run(jobs)
+    return _report_batch(batch, metrics_json=args.metrics_json,
+                         results_json=args.results_json)
+
+
+def _parse_floats(text: str) -> list[float]:
+    return [float(v) for v in text.split(",") if v]
+
+
+def _parse_ints(text: str) -> list[int]:
+    return [int(v) for v in text.split(",") if v]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .runtime import synthesize_job, write_job_file
+
+    system, env = _load(args.design)
+    env = _environment_for(args, env)
+    environment = (env if env.sequences
+                   or not system.datapath.input_vertices() else None)
+    w_times = _parse_floats(args.w_time)
+    w_areas = _parse_floats(args.w_area)
+    seeds = _parse_ints(args.seeds) if args.seeds else []
+    jobs = []
+    for w_time in w_times:
+        for w_area in w_areas:
+            objective = Objective(w_time=w_time, w_area=w_area,
+                                  limits=_parse_limits(args.limit) or None,
+                                  environment=environment,
+                                  max_steps=args.max_steps)
+            point = f"{args.design}:w_time={w_time:g},w_area={w_area:g}"
+            if seeds:
+                jobs.extend(
+                    synthesize_job(system, objective,
+                                   algorithm="random+greedy", seed=seed,
+                                   max_moves=args.max_moves,
+                                   label=f"{point},seed={seed}")
+                    for seed in seeds)
+            else:
+                jobs.append(synthesize_job(system, objective,
+                                           algorithm="greedy",
+                                           max_moves=args.max_moves,
+                                           label=point))
+    if args.emit_jobs:
+        write_job_file(args.emit_jobs, jobs)
+        print(f"{len(jobs)} job(s) written to {args.emit_jobs}")
+        return 0
+    with _make_engine(args) as engine:
+        batch = engine.run(jobs)
+    rows = []
+    for result in batch:
+        payload = result.payload or {}
+        rows.append([
+            result.spec.label,
+            result.status,
+            f"{payload.get('initial_objective', float('nan')):.2f}"
+            if payload else "-",
+            f"{payload.get('final_objective', float('nan')):.2f}"
+            if payload else "-",
+            len(payload.get("moves", [])) if payload else "-",
+        ])
+    print(format_table(
+        ["sweep point", "status", "initial", "final", "moves"],
+        rows, title=f"synthesis sweep over {len(batch)} point(s)"))
+    print(batch.metrics.summary())
+    if args.metrics_json:
+        _write_json(args.metrics_json, batch.metrics.to_json(indent=2),
+                    "fleet metrics")
+    return 0 if batch.ok else 1
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool size (0 = serial in-process)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in seconds (pool backend)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts after a failed/crashed job")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="content-addressed result cache directory")
+    parser.add_argument("--metrics-json", metavar="PATH",
+                        help="write fleet metrics as JSON ('-' for stdout)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Data/control flow hardware synthesis "
                     "(Peng, ICPP 1988 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the built-in design zoo") \
@@ -246,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.add_argument("--max-moves", type=int, default=32)
     p_syn.add_argument("--max-steps", type=int, default=100_000)
     p_syn.add_argument("--output", help="write optimized system as JSON")
+    p_syn.add_argument("--portfolio", action="store_true",
+                       help="multi-start portfolio search instead of one "
+                            "greedy descent")
+    p_syn.add_argument("--workers", type=int, default=0,
+                       help="fan portfolio starts over N worker processes")
     p_syn.set_defaults(func=cmd_synthesize)
 
     p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
@@ -271,7 +447,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_cosim.add_argument("--max-steps", type=int, default=100_000)
     p_cosim.set_defaults(func=cmd_cosim)
 
+    p_batch = sub.add_parser(
+        "batch", help="run a job file through the batch engine")
+    p_batch.add_argument("jobfile", help="JSON job file "
+                                         "(repro.runtime.write_job_file)")
+    _add_engine_options(p_batch)
+    p_batch.add_argument("--results-json", metavar="PATH",
+                         help="write per-job results as JSON "
+                              "('-' for stdout)")
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="fan a synthesis sweep through the batch engine")
+    p_sweep.add_argument("design")
+    p_sweep.add_argument("--w-time", default="1.0",
+                         metavar="F[,F…]", help="objective time weights")
+    p_sweep.add_argument("--w-area", default="1.0",
+                         metavar="F[,F…]", help="objective area weights")
+    p_sweep.add_argument("--seeds", default="",
+                         metavar="N[,N…]",
+                         help="random-walk seeds (empty = one greedy "
+                              "descent per weight point)")
+    p_sweep.add_argument("--limit", action="append", default=[],
+                         metavar="OP=N", help="resource limit (repeatable)")
+    p_sweep.add_argument("--input", action="append", default=[],
+                         metavar="NAME=V1,V2,…",
+                         help="environment for measured latency")
+    p_sweep.add_argument("--max-moves", type=int, default=32)
+    p_sweep.add_argument("--max-steps", type=int, default=100_000)
+    p_sweep.add_argument("--emit-jobs", metavar="PATH",
+                         help="write the job file instead of running it")
+    _add_engine_options(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
     return parser
+
+
+#: Most specific classes first — the first match labels the message.
+_ERROR_LABELS: tuple[tuple[type, str], ...] = (
+    (ValidationError, "validation error"),
+    (ExecutionError, "execution error"),
+    (TransformError, "transform error"),
+    (ParseError, "parse error"),
+    (DefinitionError, "definition error"),
+    (ReproError, "error"),
+)
+
+
+def _error_label(error: ReproError) -> str:
+    for kind, label in _ERROR_LABELS:
+        if isinstance(error, kind):
+            return label
+    return "error"  # pragma: no cover - table covers the hierarchy
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -280,7 +507,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return args.func(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(f"{_error_label(error)}: {error}", file=sys.stderr)
         return 2
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -59,7 +59,11 @@ def system_to_dict(system: DataControlSystem) -> dict[str, Any]:
                        for p in net.places.values()],
             "transitions": [{"name": t.name, "label": t.label}
                             for t in net.transitions.values()],
-            "flow": [[source, target] for source, target in net.arcs()],
+            # sorted: net.arcs() yields in insertion order, which a
+            # save/load cycle changes; keys hashed from this dict must
+            # be stable across round trips
+            "flow": sorted([source, target]
+                           for source, target in net.arcs()),
         },
         "control": {place: sorted(arcs)
                     for place, arcs in sorted(system.control.items())},

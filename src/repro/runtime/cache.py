@@ -1,0 +1,112 @@
+"""On-disk content-addressed result store.
+
+Each entry is one file named after the job's content-addressed key
+(sharded by the first two hex digits to keep directories small) holding
+the canonical JSON of the job's deterministic payload plus a small
+self-describing envelope.  Because the key hashes the *inputs* (engine
+version, kind, canonical system, params) and the payload is a pure
+function of those inputs, a hit can be returned without re-execution:
+re-running a sweep with one changed design re-executes only that design.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+worker can never leave a torn entry, and corrupt or mismatched entries
+are treated as misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+from .jobs import ENGINE_VERSION, canonical_json
+
+_ENTRY_FORMAT = 1
+
+
+class ResultCache:
+    """Content-addressed payload store rooted at ``root``."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` (counted as a miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (entry.get("format") != _ENTRY_FORMAT
+                or entry.get("engine") != ENGINE_VERSION
+                or entry.get("key") != key):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, kind: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        entry = canonical_json({
+            "format": _ENTRY_FORMAT,
+            "engine": ENGINE_VERSION,
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+        })
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as handle:
+                handle.write(entry)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0

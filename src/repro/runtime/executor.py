@@ -1,0 +1,440 @@
+"""The batch engine: a process-pool fleet with fault isolation.
+
+:class:`ExecutionEngine` runs :class:`~repro.runtime.jobs.JobSpec`
+batches either serially in-process (``workers=0``, also the graceful
+degradation path when a pool cannot be started) or on a
+``ProcessPoolExecutor`` fleet.  The parallel path provides:
+
+* **per-job timeout** — the in-flight window never exceeds the worker
+  count, so a job starts (essentially) when submitted and its deadline
+  is measured from that point; an expired job is charged an attempt and
+  the pool is rebuilt to reclaim the stuck worker;
+* **bounded retry with exponential backoff** — a failed attempt requeues
+  the job with a ``backoff · 2^(attempt-1)`` delay until the attempt
+  budget (``retries + 1``) is spent;
+* **crash isolation** — a killed worker breaks the whole
+  ``ProcessPoolExecutor``, which cannot tell the engine *which* job was
+  guilty.  The engine therefore voids the interrupted attempts, rebuilds
+  the pool, and re-runs the suspects one at a time: a job that crashes
+  alone is definitively guilty and is charged (and eventually failed),
+  while the innocent bystanders complete normally.  Every pool reset
+  either finalises or charges at least one job out of a finite attempt
+  budget, so the loop terminates — the engine never deadlocks;
+* **content-addressed caching** — with a
+  :class:`~repro.runtime.cache.ResultCache` attached, jobs whose key is
+  already stored are answered without any worker dispatch, and fresh
+  successes are written back.
+
+Results come back in submission order as :class:`JobResult` records
+inside a :class:`BatchResult`, alongside the batch's aggregated
+:class:`~repro.runtime.metrics.FleetMetrics`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
+from concurrent.futures.process import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import monotonic, sleep
+from typing import Any, Iterator, Sequence
+
+from .cache import ResultCache
+from .jobs import JobSpec, canonical_json, execute_job
+from .metrics import FleetMetrics
+
+_TICK_SECONDS = 0.05
+
+
+def _worker_run(spec_dict: dict) -> dict:
+    """Top-level worker entry point (importable, hence spawn-safe).
+
+    Converts exceptions into error records so an ordinary job failure
+    travels back as data instead of breaking the pool; only a genuine
+    worker death (SIGKILL, segfault) surfaces as a broken executor.
+    """
+    try:
+        out = execute_job(spec_dict)
+        return {"status": "ok", "payload": out["payload"],
+                "sim_metrics": out.get("sim_metrics")}
+    except Exception as error:
+        return {"status": "error",
+                "error": f"{type(error).__name__}: {error}"}
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: ``ok``, ``cached``, or ``failed``."""
+
+    spec: JobSpec
+    status: str
+    payload: dict[str, Any] | None = None
+    error: str = ""
+    attempts: int = 0
+    timed_out: bool = False
+    queue_seconds: float = 0.0
+    run_seconds: float = 0.0
+    sim_metrics: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    def payload_bytes(self) -> bytes:
+        """Canonical byte encoding of the deterministic payload."""
+        return canonical_json(self.payload).encode("ascii")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "kind": self.spec.kind,
+            "label": self.spec.label,
+            "status": self.status,
+            "error": self.error,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+            "payload": self.payload,
+        }
+
+
+@dataclass
+class BatchResult:
+    """All job results of one batch, in submission order, plus metrics."""
+
+    results: list[JobResult]
+    metrics: FleetMetrics
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> list[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[JobResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> JobResult:
+        return self.results[index]
+
+
+@dataclass
+class _Task:
+    """Engine-internal mutable state of one not-yet-finished job."""
+
+    index: int
+    spec: JobSpec
+    attempts: int = 0
+    timed_out: bool = False
+    error: str = ""
+    not_before: float = 0.0      # backoff gate (monotonic time)
+    ready_since: float = 0.0     # for queue-time accounting
+    queue_seconds: float = 0.0
+    run_seconds: float = 0.0
+
+
+class ExecutionEngine:
+    """Batch runner over serial or process-pool backends.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``0`` selects serial in-process execution.
+    timeout:
+        Per-job wall-time limit in seconds (enforced on the pool backend;
+        serial execution cannot preempt a running job and ignores it).
+    retries:
+        Additional attempts granted after a failed/timed-out/crashed
+        attempt (total attempt budget is ``retries + 1``).
+    backoff:
+        Base delay before a retry; attempt ``n`` waits ``backoff·2^(n-1)``.
+    cache:
+        Optional :class:`ResultCache`; hits skip dispatch entirely and
+        fresh successes are stored back.
+    """
+
+    def __init__(self, *, workers: int = 0, timeout: float | None = None,
+                 retries: int = 1, backoff: float = 0.05,
+                 cache: ResultCache | None = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.cache = cache
+        self.metrics: FleetMetrics | None = None  # last batch's aggregate
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down, terminating any lingering workers."""
+        self._teardown_pool()
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> BatchResult:
+        """Execute a batch; results come back in submission order."""
+        started = monotonic()
+        metrics = FleetMetrics(workers=self.workers)
+        results: list[JobResult | None] = [None] * len(specs)
+        pending: deque[_Task] = deque()
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                payload = self.cache.get(spec.key)
+                if payload is not None:
+                    results[index] = JobResult(spec, "cached", payload)
+                    continue
+            pending.append(_Task(index, spec, ready_since=started))
+
+        if pending:
+            if self.workers == 0:
+                self._run_serial(pending, results)
+            elif self._ensure_pool() is None:
+                metrics.degraded_to_serial = True
+                self._run_serial(pending, results)
+            else:
+                self._run_parallel(pending, results, metrics)
+
+        finished: list[JobResult] = [r for r in results if r is not None]
+        assert len(finished) == len(specs), "engine lost a job"
+        for result in finished:
+            metrics.record(result)
+        metrics.wall_seconds = monotonic() - started
+        self.metrics = metrics
+        return BatchResult(finished, metrics)
+
+    # ------------------------------------------------------------------
+    # serial backend (workers=0, or degradation when the pool won't start)
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: deque[_Task],
+                    results: list[JobResult | None]) -> None:
+        for task in pending:
+            while True:
+                task.attempts += 1
+                if (task.spec.kind == "probe"
+                        and task.spec.params.get("action") == "crash"):
+                    # in-process, this would kill the engine itself
+                    out = {"status": "error",
+                           "error": "ExecutionError: crash probe requires "
+                                    "a process-pool backend (workers > 0)"}
+                else:
+                    attempt_started = monotonic()
+                    out = _worker_run(task.spec.to_dict())
+                    task.run_seconds += monotonic() - attempt_started
+                if out["status"] == "ok":
+                    results[task.index] = self._success(task, out)
+                    break
+                task.error = out["error"]
+                if task.attempts > self.retries:
+                    results[task.index] = self._failure(task)
+                    break
+                sleep(self.backoff * (2 ** (task.attempts - 1)))
+
+    # ------------------------------------------------------------------
+    # process-pool backend
+    # ------------------------------------------------------------------
+    def _run_parallel(self, pending: deque[_Task],
+                      results: list[JobResult | None],
+                      metrics: FleetMetrics) -> None:
+        inflight: dict[Future, tuple[_Task, float]] = {}
+        suspects: deque[_Task] = deque()  # post-crash isolation queue
+        pool_dead = False
+
+        def submit(task: _Task) -> bool:
+            pool = self._ensure_pool()
+            if pool is None:
+                return False
+            now = monotonic()
+            task.attempts += 1
+            task.queue_seconds += max(now - max(task.ready_since,
+                                                task.not_before), 0.0)
+            inflight[pool.submit(_worker_run, task.spec.to_dict())] = (task,
+                                                                       now)
+            return True
+
+        def requeue(task: _Task, *, delay: float = 0.0,
+                    suspect: bool = False) -> None:
+            now = monotonic()
+            task.ready_since = now
+            task.not_before = now + delay
+            (suspects if suspect else pending).append(task)
+
+        def settle_failure(task: _Task, error: str, *, timed_out: bool = False,
+                           suspect: bool = False) -> None:
+            """Charge one failed attempt; retry with backoff or finalise."""
+            task.error = error
+            task.timed_out = task.timed_out or timed_out
+            if task.attempts > self.retries:
+                results[task.index] = self._failure(task)
+            else:
+                requeue(task, delay=self.backoff * (2 ** (task.attempts - 1)),
+                        suspect=suspect)
+
+        def reset_pool(interrupted: list[_Task], *, crashed: bool) -> None:
+            """Rebuild the pool after a crash or a timeout expiry."""
+            metrics.pool_resets += 1
+            self._teardown_pool()
+            if crashed and len(interrupted) == 1:
+                # a job that dies alone is definitively guilty; keep it in
+                # isolation for any retry it has left
+                settle_failure(interrupted[0], "worker process died",
+                               suspect=True)
+            elif crashed:
+                # guilt unknown: void the interrupted attempts and re-run
+                # the suspects one at a time so the culprit self-identifies
+                for task in interrupted:
+                    task.attempts -= 1
+                    requeue(task, suspect=True)
+            else:
+                for task in interrupted:  # innocent bystanders of a timeout
+                    task.attempts -= 1
+                    requeue(task)
+
+        while (pending or suspects or inflight) and not pool_dead:
+            now = monotonic()
+            # top up the window; suspects run strictly isolated
+            if suspects:
+                if not inflight:
+                    if suspects[0].not_before <= now:
+                        task = suspects.popleft()
+                        if not submit(task):
+                            suspects.appendleft(task)
+                            pool_dead = True
+                            continue
+                    else:
+                        sleep(_TICK_SECONDS)
+                        continue
+                # else: drain the in-flight window before isolating suspects
+            else:
+                while pending and len(inflight) < self.workers:
+                    task = self._pop_ready(pending, now)
+                    if task is None:
+                        break
+                    if not submit(task):
+                        pending.appendleft(task)
+                        pool_dead = True
+                        break
+                if pool_dead:
+                    continue
+                if not inflight:
+                    sleep(_TICK_SECONDS)  # every pending job is backing off
+                    continue
+
+            done, _ = wait(set(inflight), timeout=_TICK_SECONDS,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                if future not in inflight:
+                    continue
+                task, submitted_at = inflight.pop(future)
+                try:
+                    out = future.result()
+                except BrokenExecutor:
+                    inflight[future] = (task, submitted_at)  # keep for reset
+                    broken = True
+                    break
+                except Exception as error:  # unpicklable result, …
+                    task.run_seconds += monotonic() - submitted_at
+                    settle_failure(task, f"{type(error).__name__}: {error}")
+                    continue
+                task.run_seconds += monotonic() - submitted_at
+                if out["status"] == "ok":
+                    results[task.index] = self._success(task, out)
+                else:
+                    settle_failure(task, out["error"])
+            if broken:
+                interrupted = [task for task, _ in inflight.values()]
+                inflight.clear()
+                reset_pool(interrupted, crashed=True)
+                continue
+
+            if self.timeout is not None and inflight:
+                now = monotonic()
+                expired = [(future, task, submitted_at)
+                           for future, (task, submitted_at) in inflight.items()
+                           if now - submitted_at > self.timeout]
+                if expired:
+                    expired_futures = {future for future, _, _ in expired}
+                    bystanders = [task for future, (task, _)
+                                  in inflight.items()
+                                  if future not in expired_futures]
+                    for _, task, submitted_at in expired:
+                        task.run_seconds += now - submitted_at
+                        settle_failure(task,
+                                       f"timed out after {self.timeout:g}s",
+                                       timed_out=True)
+                    inflight.clear()
+                    reset_pool(bystanders, crashed=False)
+
+        # the pool could not be rebuilt: drain the remainder serially
+        leftovers: deque[_Task] = deque()
+        leftovers.extend(suspects)
+        leftovers.extend(sorted(pending, key=lambda t: t.index))
+        if leftovers:
+            metrics.degraded_to_serial = True
+            self._run_serial(leftovers, results)
+
+    @staticmethod
+    def _pop_ready(queue: deque[_Task], now: float) -> _Task | None:
+        """Remove and return the first task whose backoff gate is open."""
+        for _ in range(len(queue)):
+            task = queue.popleft()
+            if task.not_before <= now:
+                return task
+            queue.append(task)
+        return None
+
+    # ------------------------------------------------------------------
+    def _success(self, task: _Task, out: dict) -> JobResult:
+        payload = out["payload"]
+        if self.cache is not None:
+            self.cache.put(task.spec.key, task.spec.kind, payload)
+        return JobResult(task.spec, "ok", payload,
+                         attempts=task.attempts, timed_out=task.timed_out,
+                         queue_seconds=task.queue_seconds,
+                         run_seconds=task.run_seconds,
+                         sim_metrics=out.get("sim_metrics"))
+
+    @staticmethod
+    def _failure(task: _Task) -> JobResult:
+        return JobResult(task.spec, "failed", None, error=task.error,
+                         attempts=task.attempts, timed_out=task.timed_out,
+                         queue_seconds=task.queue_seconds,
+                         run_seconds=task.run_seconds)
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except Exception:
+                self._pool = None
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            with contextlib.suppress(Exception):
+                process.terminate()
+        with contextlib.suppress(Exception):
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,442 @@
+"""Declarative job specifications and the deterministic job interpreter.
+
+A :class:`JobSpec` is a JSON-serializable description of one expensive
+operation: a *kind* (one of :data:`JOB_KINDS`), the canonical dict form
+of the system under analysis (:func:`repro.io.json_io.system_to_dict`),
+and a JSON-safe parameter dict.  Each spec has a **content-addressed
+key**: the SHA-256 of the canonical JSON of ``(engine version, kind,
+system, params)``.  Two specs with the same key denote the same
+computation, which is what lets the on-disk cache
+(:mod:`repro.runtime.cache`) skip re-execution and lets the engine prove
+serial and parallel runs byte-identical.
+
+:func:`execute_job` is the interpreter the worker processes run.  It is
+deliberately a **pure function of the spec dict**: everything it needs
+travels inside the spec (no ambient state), its ``payload`` result is
+deterministic and JSON-safe, and any wall-clock observability
+(:class:`~repro.semantics.profile.SimMetrics`) is returned *beside* the
+payload so cached and fresh results stay byte-comparable.
+
+The extra ``probe`` kind is a fault-injection aid for tests and
+benchmarks: it can succeed, fail, fail transiently, sleep past a
+timeout, or kill its own worker process outright.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..errors import DefinitionError, ExecutionError
+
+#: The workload kinds the engine understands.  ``probe`` is the
+#: fault-injection aid; the other five are the library's real workloads.
+JOB_KINDS = ("simulate", "check", "reachability", "equivalence",
+             "synthesize", "probe")
+
+#: Bumped whenever the payload format of any kind changes, so stale
+#: cache entries from an older engine can never be confused for current
+#: results (the version participates in every job key).
+ENGINE_VERSION = 1
+
+JOB_FILE_FORMAT = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical (sorted-key, compact, ASCII) JSON encoding.
+
+    The byte-identity contract of the engine rests on this: equal
+    payloads encode to equal bytes regardless of dict insertion order.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def job_key(kind: str, system: Mapping[str, Any] | None,
+            params: Mapping[str, Any]) -> str:
+    """Content-addressed key of one job."""
+    material = canonical_json({
+        "engine": ENGINE_VERSION,
+        "kind": kind,
+        "system": system,
+        "params": params,
+    })
+    return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True, eq=True)
+class JobSpec:
+    """One unit of work for the batch engine (JSON-serializable)."""
+
+    kind: str
+    system: dict[str, Any] | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise DefinitionError(
+                f"unknown job kind {self.kind!r}; choose one of {JOB_KINDS}")
+        try:
+            canonical_json(self.params)
+        except (TypeError, ValueError) as error:
+            raise DefinitionError(
+                f"job params are not JSON-serializable: {error}") from None
+
+    @property
+    def key(self) -> str:
+        """Content-addressed identity of this job."""
+        return job_key(self.kind, self.system, self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "system": self.system,
+                "params": self.params, "label": self.label}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        return cls(kind=data["kind"], system=data.get("system"),
+                   params=dict(data.get("params", {})),
+                   label=data.get("label", ""))
+
+
+# ---------------------------------------------------------------------------
+# serialisation helpers shared by the constructors and the interpreter
+# ---------------------------------------------------------------------------
+def _environment_to_dict(environment) -> dict[str, Any] | None:
+    if environment is None:
+        return None
+    return {
+        "sequences": {vertex: [_json_value(v) for v in values]
+                      for vertex, values in sorted(environment.sequences.items())},
+        "exhausted_policy": environment.exhausted_policy,
+    }
+
+
+def _environment_from_dict(data: Mapping[str, Any] | None):
+    from ..semantics.environment import Environment
+
+    if data is None:
+        return Environment()
+    return Environment({k: list(v) for k, v in data["sequences"].items()},
+                       exhausted_policy=data.get("exhausted_policy", "raise"))
+
+
+def _objective_to_dict(objective) -> dict[str, Any]:
+    return {
+        "w_time": objective.w_time,
+        "w_area": objective.w_area,
+        "limits": dict(objective.limits) if objective.limits else None,
+        "environment": _environment_to_dict(objective.environment),
+        "max_steps": objective.max_steps,
+    }
+
+
+def _objective_from_dict(data: Mapping[str, Any]):
+    from ..synthesis.optimize import Objective
+
+    environment = data.get("environment")
+    return Objective(
+        w_time=data.get("w_time", 1.0),
+        w_area=data.get("w_area", 1.0),
+        limits=data.get("limits"),
+        environment=_environment_from_dict(environment)
+        if environment is not None else None,
+        max_steps=data.get("max_steps", 20_000),
+    )
+
+
+def _json_value(value) -> int | str:
+    """JSON-safe encoding of a simulation value (UNDEF becomes a string)."""
+    return value if isinstance(value, int) else str(value)
+
+
+def _system_dict(system) -> dict[str, Any]:
+    from ..io.json_io import system_to_dict
+
+    return system_to_dict(system)
+
+
+# ---------------------------------------------------------------------------
+# spec constructors — the public way to build jobs from model objects
+# ---------------------------------------------------------------------------
+def simulate_job(system, environment=None, *, max_steps: int = 10_000,
+                 fast: bool = True, strict: bool = True,
+                 on_limit: str = "raise", label: str = "") -> JobSpec:
+    """Simulate ``system`` against ``environment`` and record the trace."""
+    return JobSpec("simulate", _system_dict(system), {
+        "environment": _environment_to_dict(environment),
+        "max_steps": max_steps,
+        "fast": fast,
+        "strict": strict,
+        "on_limit": on_limit,
+    }, label=label)
+
+
+def check_job(system, *, label: str = "") -> JobSpec:
+    """Run the Definition 3.2 properly-designed verification."""
+    return JobSpec("check", _system_dict(system), {}, label=label)
+
+
+def reachability_job(system, *, max_markings: int = 100_000,
+                     token_bound: int = 8, label: str = "") -> JobSpec:
+    """Explore the control net's reachable marking graph."""
+    return JobSpec("reachability", _system_dict(system), {
+        "max_markings": max_markings,
+        "token_bound": token_bound,
+    }, label=label)
+
+
+def equivalence_job(system, other, environment=None, *,
+                    max_steps: int = 10_000, label: str = "") -> JobSpec:
+    """Bounded semantic-equivalence check of two systems (Def. 4.1)."""
+    return JobSpec("equivalence", _system_dict(system), {
+        "other": _system_dict(other),
+        "environment": _environment_to_dict(environment),
+        "max_steps": max_steps,
+    }, label=label)
+
+
+def synthesize_job(system, objective=None, *, algorithm: str = "greedy",
+                   seed: int | None = None, max_moves: int = 64,
+                   verify: bool = True, label: str = "") -> JobSpec:
+    """Run one optimizer start (greedy / random / random+greedy / portfolio)."""
+    from ..synthesis.optimize import Objective
+
+    if algorithm not in ("greedy", "random", "random+greedy", "portfolio"):
+        raise DefinitionError(f"unknown synthesis algorithm {algorithm!r}")
+    return JobSpec("synthesize", _system_dict(system), {
+        "objective": _objective_to_dict(objective if objective is not None
+                                        else Objective()),
+        "algorithm": algorithm,
+        "seed": seed,
+        "max_moves": max_moves,
+        "verify": verify,
+    }, label=label)
+
+
+def probe_job(action: str, *, seconds: float = 0.0, marker: str = "",
+              failures: int = 0, payload: Any = None,
+              label: str = "") -> JobSpec:
+    """Fault-injection job: ``ok``/``pid``/``fail``/``flaky``/``sleep``/``crash``.
+
+    ``flaky`` fails its first ``failures`` attempts (counted through the
+    ``marker`` file, so the count survives worker crashes and process
+    boundaries) and then succeeds — the deterministic way to exercise the
+    engine's retry path.  ``crash`` SIGKILLs its own worker process.
+    """
+    if action not in ("ok", "pid", "fail", "flaky", "sleep", "crash"):
+        raise DefinitionError(f"unknown probe action {action!r}")
+    return JobSpec("probe", None, {
+        "action": action,
+        "seconds": seconds,
+        "marker": marker,
+        "failures": failures,
+        "payload": payload,
+    }, label=label)
+
+
+# ---------------------------------------------------------------------------
+# the interpreter — runs inside worker processes
+# ---------------------------------------------------------------------------
+def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Execute one job spec dict; return ``{"payload", "sim_metrics"}``.
+
+    ``payload`` is deterministic and JSON-safe (the part that is cached
+    and compared byte-for-byte); ``sim_metrics`` carries wall-clock
+    observability and is never part of the content-addressed result.
+    Raises on failure — the engine's worker wrapper converts exceptions
+    into retryable error records.
+    """
+    kind = spec["kind"]
+    params = spec.get("params", {})
+    if kind == "probe":
+        return {"payload": _run_probe(params), "sim_metrics": None}
+
+    from ..io.json_io import system_from_dict
+
+    system = system_from_dict(spec["system"])
+    if kind == "simulate":
+        return _run_simulate(system, params)
+    if kind == "check":
+        return _run_check(system)
+    if kind == "reachability":
+        return _run_reachability(system, params)
+    if kind == "equivalence":
+        return _run_equivalence(system, params)
+    if kind == "synthesize":
+        return _run_synthesize(system, params)
+    raise DefinitionError(f"unknown job kind {kind!r}")
+
+
+def _run_simulate(system, params) -> dict[str, Any]:
+    from ..designs.base import pad_outputs
+    from ..semantics.simulator import simulate
+
+    trace = simulate(
+        system,
+        _environment_from_dict(params.get("environment")),
+        max_steps=params.get("max_steps", 10_000),
+        strict=params.get("strict", True),
+        fast=params.get("fast", True),
+        on_limit=params.get("on_limit", "raise"),
+    )
+    payload = {
+        "step_count": trace.step_count,
+        "firings": trace.num_firings,
+        "terminated": trace.terminated,
+        "deadlocked": trace.deadlocked,
+        "num_conflicts": len(trace.conflicts),
+        "events": [[e.arc, e.index, _json_value(e.value), e.state]
+                   for e in sorted(trace.events,
+                                   key=lambda e: (e.end, e.start, e.arc,
+                                                  e.index))],
+        "outputs": {pad: [_json_value(v) for v in values]
+                    for pad, values in sorted(pad_outputs(system,
+                                                          trace).items())},
+    }
+    metrics = trace.metrics.as_dict() if trace.metrics is not None else None
+    return {"payload": payload, "sim_metrics": metrics}
+
+
+def _run_check(system) -> dict[str, Any]:
+    from ..core.properly_designed import check_properly_designed
+
+    report = check_properly_designed(system)
+    return {"payload": {
+        "ok": report.ok,
+        "checks": [{"rule": c.rule, "ok": c.ok, "details": list(c.details)}
+                   for c in report.checks],
+    }, "sim_metrics": None}
+
+
+def _run_reachability(system, params) -> dict[str, Any]:
+    from ..petri.reachability import explore
+
+    graph = explore(system.net,
+                    max_markings=params.get("max_markings", 100_000),
+                    token_bound=params.get("token_bound", 8))
+    return {"payload": {
+        "num_markings": graph.num_markings,
+        "num_edges": len(graph.edges),
+        "complete": graph.complete,
+        "bounded_by": graph.bounded_by,
+        "is_safe": graph.is_safe,
+        "num_deadlocks": len(graph.deadlocks),
+        "num_terminals": len(graph.terminals),
+    }, "sim_metrics": None}
+
+
+def _run_equivalence(system, params) -> dict[str, Any]:
+    from ..core.equivalence import semantically_equivalent
+    from ..io.json_io import system_from_dict
+
+    other = system_from_dict(params["other"])
+    verdict = semantically_equivalent(
+        system, other,
+        _environment_from_dict(params.get("environment")),
+        max_steps=params.get("max_steps", 10_000),
+    )
+    return {"payload": {
+        "equivalent": verdict.equivalent,
+        "relation": verdict.relation,
+        "reason": verdict.reason,
+    }, "sim_metrics": None}
+
+
+def _run_synthesize(system, params) -> dict[str, Any]:
+    from ..io.json_io import system_to_dict
+    from ..synthesis.optimize import (
+        optimize,
+        optimize_portfolio,
+        optimize_random,
+    )
+
+    objective = _objective_from_dict(params.get("objective", {}))
+    algorithm = params.get("algorithm", "greedy")
+    seed = params.get("seed")
+    max_moves = params.get("max_moves", 64)
+    verify = params.get("verify", True)
+    if algorithm == "greedy":
+        result = optimize(system, objective, max_moves=max_moves,
+                          verify=verify)
+    elif algorithm == "random":
+        result = optimize_random(system, objective, max_moves=max_moves,
+                                 seed=seed or 0, verify=verify)
+    elif algorithm == "random+greedy":
+        walk = optimize_random(system, objective, max_moves=max_moves,
+                               seed=seed or 0, verify=verify)
+        result = optimize(walk.system, objective, max_moves=max_moves,
+                          verify=verify)
+        result.moves = walk.moves + result.moves
+        result.initial_objective = walk.initial_objective
+    else:  # portfolio — always serial inside a worker (no nested engines)
+        result = optimize_portfolio(system, objective, max_moves=max_moves,
+                                    verify=verify)
+    return {"payload": {
+        "algorithm": algorithm,
+        "seed": seed,
+        "initial_objective": result.initial_objective,
+        "final_objective": result.final_objective,
+        "moves": [{"kind": m.kind, "description": m.description,
+                   "before": m.objective_before, "after": m.objective_after}
+                  for m in result.moves],
+        "system": system_to_dict(result.system),
+    }, "sim_metrics": None}
+
+
+def _run_probe(params) -> dict[str, Any]:
+    action = params.get("action", "ok")
+    if action == "ok":
+        return {"echo": params.get("payload")}
+    if action == "pid":
+        return {"pid": os.getpid()}
+    if action == "fail":
+        raise ExecutionError("injected probe failure")
+    if action == "flaky":
+        marker = params["marker"]
+        with open(marker, "a", encoding="ascii") as handle:
+            handle.write("x")
+        attempts = os.path.getsize(marker)
+        if attempts <= params.get("failures", 0):
+            raise ExecutionError(f"injected transient failure #{attempts}")
+        return {"echo": params.get("payload"), "attempts": attempts}
+    if action == "sleep":
+        import time
+
+        time.sleep(params.get("seconds", 0.0))
+        return {"slept": params.get("seconds", 0.0)}
+    if action == "crash":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise ExecutionError("unreachable")  # pragma: no cover
+    raise DefinitionError(f"unknown probe action {action!r}")
+
+
+# ---------------------------------------------------------------------------
+# job files — the on-disk batch format (`repro batch <jobfile>`)
+# ---------------------------------------------------------------------------
+def write_job_file(path: str, jobs: Sequence[JobSpec]) -> None:
+    """Write a batch of job specs as one JSON document."""
+    document = {"format": JOB_FILE_FORMAT,
+                "jobs": [job.to_dict() for job in jobs]}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_job_file(path: str) -> list[JobSpec]:
+    """Read a batch of job specs written by :func:`write_job_file`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, list):  # bare list of specs is accepted too
+        entries = document
+    else:
+        if document.get("format") != JOB_FILE_FORMAT:
+            raise DefinitionError(
+                f"unsupported job file format {document.get('format')!r}")
+        entries = document["jobs"]
+    return [JobSpec.from_dict(entry) for entry in entries]

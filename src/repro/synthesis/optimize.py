@@ -136,7 +136,9 @@ def optimize_portfolio(system: DataControlSystem,
                        objective: Objective | None = None, *,
                        max_moves: int = 64,
                        seeds: tuple[int, ...] = (1, 2, 3),
-                       verify: bool = True) -> OptimizationResult:
+                       verify: bool = True,
+                       engine=None,
+                       workers: int | None = None) -> OptimizationResult:
     """Iterated greedy: descent from several starts; best result wins.
 
     Pure steepest descent has a measurable phase-order trap (the E6b
@@ -154,23 +156,45 @@ def optimize_portfolio(system: DataControlSystem,
     keeping the best final objective.  Every path consists solely of
     verified transformations, so the winner is still provably equivalent
     to the input.
+
+    The starts are independent, so they fan out through the batch engine
+    when one is supplied: pass ``engine`` (an
+    :class:`~repro.runtime.executor.ExecutionEngine`) to reuse a running
+    fleet, or ``workers=N`` to spin a private one up for this call.
+    Serial and fanned-out portfolios explore the identical start set and
+    pick the winner by the same objective, so the result is the same
+    design either way.
     """
     from .allocate import share_all
     from .schedule import compact
 
     objective = objective if objective is not None else Objective()
+    if engine is None and workers:
+        from ..runtime.executor import ExecutionEngine
+
+        with ExecutionEngine(workers=workers) as private_engine:
+            return optimize_portfolio(system, objective, max_moves=max_moves,
+                                      seeds=seeds, verify=verify,
+                                      engine=private_engine)
+
     starts: list[tuple[str, DataControlSystem]] = [("as-is", system)]
     shared, _ = share_all(system, verify=verify)
     starts.append(("share-first", shared))
     compacted, _ = compact(system, objective.limits, verify=verify)
     starts.append(("compact-first", compacted))
+
+    initial = objective.evaluate(system)
+    if engine is not None:
+        return _portfolio_fanout(system, objective, starts, initial,
+                                 max_moves=max_moves, seeds=seeds,
+                                 verify=verify, engine=engine)
+
     for seed in seeds:
         walk = optimize_random(system, objective, max_moves=max_moves,
                                seed=seed, verify=verify)
         starts.append((f"random-walk[{seed}]", walk.system))
 
     best: OptimizationResult | None = None
-    initial = objective.evaluate(system)
     for label, start in starts:
         candidate = optimize(start, objective, max_moves=max_moves,
                              verify=verify)
@@ -181,6 +205,49 @@ def optimize_portfolio(system: DataControlSystem,
     assert best is not None
     best.initial_objective = initial
     return best
+
+
+def _portfolio_fanout(system: DataControlSystem, objective: Objective,
+                      starts: list[tuple[str, DataControlSystem]],
+                      initial: float, *, max_moves: int,
+                      seeds: tuple[int, ...], verify: bool,
+                      engine) -> OptimizationResult:
+    """Run the portfolio's independent starts as batch-engine jobs.
+
+    Each deterministic start becomes one ``synthesize`` job (greedy
+    descent), each seed one ``random+greedy`` job (walk plus polish —
+    exactly what the serial portfolio computes), so the job set explores
+    the same design space as the in-process loop.
+    """
+    from ..errors import ExecutionError
+    from ..io.json_io import system_from_dict
+    from ..runtime.jobs import synthesize_job
+
+    jobs = [synthesize_job(start, objective, algorithm="greedy",
+                           max_moves=max_moves, verify=verify,
+                           label=f"portfolio:{label}")
+            for label, start in starts]
+    jobs.extend(synthesize_job(system, objective, algorithm="random+greedy",
+                               seed=seed, max_moves=max_moves, verify=verify,
+                               label=f"portfolio:random-walk[{seed}]")
+                for seed in seeds)
+    batch = engine.run(jobs)
+    winners = [result for result in batch if result.ok]
+    if not winners:
+        first = batch.failures()[0]
+        raise ExecutionError(
+            f"every portfolio start failed; first error: {first.error}")
+    best = min(winners, key=lambda r: r.payload["final_objective"])
+    moves = [Move(f"start: {best.spec.label.removeprefix('portfolio:')}",
+                  "portfolio", initial, best.payload["initial_objective"])]
+    moves.extend(Move(m["description"], m["kind"], m["before"], m["after"])
+                 for m in best.payload["moves"])
+    return OptimizationResult(
+        system_from_dict(best.payload["system"]),
+        moves=moves,
+        initial_objective=initial,
+        final_objective=best.payload["final_objective"],
+    )
 
 
 def optimize_random(system: DataControlSystem,

@@ -1,0 +1,80 @@
+"""The on-disk content-addressed result store."""
+
+from repro.runtime import ExecutionEngine, ResultCache, check_job, simulate_job
+from repro.runtime.cache import _ENTRY_FORMAT
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("ab" + "0" * 62, "probe", {"x": 1, "y": [2, 3]})
+        assert cache.get("ab" + "0" * 62) == {"x": 1, "y": [2, 3]}
+        assert cache.hits == 1 and cache.writes == 1
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "ab" + "0" * 62
+        cache.put(key, "probe", {"x": 1})
+        cache.path_for(key).write_text("not json{")
+        assert cache.get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        # an entry renamed/copied to the wrong key must not be served
+        cache = ResultCache(tmp_path / "c")
+        good, bad = "ab" + "0" * 62, "ab" + "1" * 62
+        cache.put(good, "probe", {"x": 1})
+        cache.path_for(bad).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(bad).write_text(cache.path_for(good).read_text())
+        assert cache.get(bad) is None
+
+    def test_contains_len_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = ["ab" + "0" * 62, "cd" + "0" * 62]
+        for key in keys:
+            cache.put(key, "probe", {})
+        assert all(key in cache for key in keys)
+        assert len(cache) == 2
+        assert sorted(cache.keys()) == sorted(keys)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_entry_format_pinned(self):
+        # bumping the entry format must be a conscious, key-invalidating act
+        assert _ENTRY_FORMAT == 1
+
+
+class TestEngineIntegration:
+    def test_warm_run_dispatches_nothing(self, tmp_path, zoo):
+        design, system = zoo["gcd"]
+        jobs = [simulate_job(system, design.environment()), check_job(system)]
+        cache = ResultCache(tmp_path / "c")
+        cold = ExecutionEngine(cache=cache).run(jobs)
+        warm = ExecutionEngine(cache=cache).run(jobs)
+        assert [r.status for r in cold] == ["ok", "ok"]
+        assert [r.status for r in warm] == ["cached", "cached"]
+        assert warm.metrics.dispatched == 0
+        assert warm.metrics.cache_hit_rate == 1.0
+        assert [r.payload for r in warm] == [r.payload for r in cold]
+
+    def test_changed_design_invalidates_only_itself(self, tmp_path, zoo):
+        design, _ = zoo["gcd"]
+        cache = ResultCache(tmp_path / "c")
+        jobs = [check_job(zoo[name][1], label=name)
+                for name in ("gcd", "counter", "parsum")]
+        ExecutionEngine(cache=cache).run(jobs)
+        # "change" one design by checking it under different content
+        changed = check_job(design.build(), label="gcd")
+        changed_params = [simulate_job(design.build(), design.environment(),
+                                       max_steps=777, label="gcd")]
+        rerun = ExecutionEngine(cache=cache).run(
+            changed_params + jobs[1:] + [changed])
+        statuses = {r.spec.label + ":" + r.spec.kind: r.status for r in rerun}
+        assert statuses["gcd:simulate"] == "ok"        # new content → executed
+        assert statuses["counter:check"] == "cached"   # untouched → cache hit
+        assert statuses["parsum:check"] == "cached"
+        assert statuses["gcd:check"] == "cached"       # same content → hit

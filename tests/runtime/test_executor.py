@@ -1,0 +1,169 @@
+"""The batch engine: serial/parallel parity, retries, fault isolation.
+
+The multiprocessing tests use ``workers=2`` with small probe jobs so
+they stay fast even on a single-core machine; the byte-identity test is
+the contract that parallel execution is a pure throughput optimisation.
+"""
+
+import pytest
+
+from repro.runtime import (
+    ExecutionEngine,
+    ResultCache,
+    check_job,
+    probe_job,
+    simulate_job,
+    synthesize_job,
+)
+
+
+def zoo_jobs(zoo):
+    jobs = []
+    for name in ("gcd", "counter", "parsum"):
+        design, system = zoo[name]
+        jobs.append(simulate_job(system, design.environment(), label=name))
+        jobs.append(check_job(system, label=name))
+    return jobs
+
+
+class TestSerial:
+    def test_batch_in_submission_order(self, zoo):
+        jobs = zoo_jobs(zoo)
+        batch = ExecutionEngine().run(jobs)
+        assert batch.ok
+        assert [r.spec for r in batch] == jobs
+        assert all(r.status == "ok" and r.attempts == 1 for r in batch)
+
+    def test_failed_job_does_not_stop_batch(self):
+        batch = ExecutionEngine(retries=0, backoff=0).run(
+            [probe_job("ok"), probe_job("fail"), probe_job("ok")])
+        assert [r.status for r in batch] == ["ok", "failed", "ok"]
+        assert not batch.ok
+        assert len(batch.failures()) == 1
+        assert "probe failure" in batch[1].error
+
+    def test_retry_budget_is_bounded(self):
+        batch = ExecutionEngine(retries=2, backoff=0).run([probe_job("fail")])
+        assert batch[0].status == "failed"
+        assert batch[0].attempts == 3  # retries + 1
+
+    def test_flaky_job_recovers(self, tmp_path):
+        marker = tmp_path / "flaky"
+        batch = ExecutionEngine(retries=2, backoff=0).run(
+            [probe_job("flaky", marker=str(marker), failures=2)])
+        assert batch[0].status == "ok"
+        assert batch[0].attempts == 3
+
+    def test_crash_probe_refused_in_process(self):
+        # running it would SIGKILL the engine itself
+        batch = ExecutionEngine(retries=0).run([probe_job("crash")])
+        assert batch[0].status == "failed"
+        assert "process-pool backend" in batch[0].error
+
+
+class TestParallel:
+    def test_byte_identical_to_serial(self, zoo):
+        jobs = zoo_jobs(zoo)
+        serial = ExecutionEngine(workers=0).run(jobs)
+        with ExecutionEngine(workers=2) as engine:
+            parallel = engine.run(jobs)
+        assert parallel.ok
+        assert [r.payload_bytes() for r in parallel] == \
+            [r.payload_bytes() for r in serial]
+
+    def test_synthesis_fanout_deterministic(self, zoo):
+        _, system = zoo["fir4"]
+        jobs = [synthesize_job(system, algorithm="random+greedy", seed=seed)
+                for seed in (1, 2)]
+        serial = ExecutionEngine(workers=0).run(jobs)
+        with ExecutionEngine(workers=2) as engine:
+            parallel = engine.run(jobs)
+        assert [r.payload_bytes() for r in parallel] == \
+            [r.payload_bytes() for r in serial]
+
+    def test_crash_isolation(self, zoo):
+        design, system = zoo["gcd"]
+        jobs = [simulate_job(system, design.environment()),
+                probe_job("crash"),
+                check_job(system),
+                probe_job("ok")]
+        with ExecutionEngine(workers=2, retries=1, backoff=0) as engine:
+            batch = engine.run(jobs)
+        statuses = [r.status for r in batch]
+        assert statuses == ["ok", "failed", "ok", "ok"]
+        assert "died" in batch[1].error
+        assert batch[1].attempts == 2
+        assert engine.metrics.pool_resets >= 1
+        # the engine is still healthy for the next batch
+        again = engine.run([probe_job("ok")])
+        assert again.ok
+
+    def test_timeout_charges_only_the_slow_job(self, zoo):
+        design, system = zoo["gcd"]
+        jobs = [probe_job("sleep", seconds=30.0),
+                simulate_job(system, design.environment()),
+                probe_job("ok")]
+        with ExecutionEngine(workers=2, timeout=1.0, retries=0,
+                             backoff=0) as engine:
+            batch = engine.run(jobs)
+        assert [r.status for r in batch] == ["failed", "ok", "ok"]
+        assert batch[0].timed_out
+        assert "timed out" in batch[0].error
+        assert engine.metrics.timeouts == 1
+        innocents = [r for r in batch if r.ok]
+        assert all(not r.timed_out for r in innocents)
+
+    def test_flaky_retry_across_processes(self, tmp_path):
+        marker = tmp_path / "flaky"
+        with ExecutionEngine(workers=2, retries=2, backoff=0) as engine:
+            batch = engine.run(
+                [probe_job("flaky", marker=str(marker), failures=1),
+                 probe_job("ok")])
+        assert batch.ok
+        assert batch[0].attempts == 2
+        assert engine.metrics.retries == 1
+
+    def test_pids_prove_out_of_process(self):
+        import os
+        with ExecutionEngine(workers=2) as engine:
+            batch = engine.run([probe_job("pid")])
+        assert batch[0].payload["pid"] != os.getpid()
+
+
+class TestDegradation:
+    def test_pool_failure_degrades_to_serial(self, zoo, monkeypatch):
+        design, system = zoo["gcd"]
+        engine = ExecutionEngine(workers=2)
+        monkeypatch.setattr(engine, "_ensure_pool", lambda: None)
+        batch = engine.run([simulate_job(system, design.environment()),
+                            check_job(system)])
+        assert batch.ok
+        assert engine.metrics.degraded_to_serial
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(workers=-1)
+        with pytest.raises(ValueError):
+            ExecutionEngine(retries=-1)
+
+
+class TestCachedBatches:
+    def test_mixed_hit_miss_batch(self, tmp_path, zoo):
+        design, system = zoo["gcd"]
+        cache = ResultCache(tmp_path / "c")
+        first = ExecutionEngine(cache=cache).run(
+            [simulate_job(system, design.environment())])
+        second = ExecutionEngine(cache=cache).run(
+            [simulate_job(system, design.environment()), check_job(system)])
+        assert [r.status for r in second] == ["cached", "ok"]
+        assert second[0].payload == first[0].payload
+        assert second.metrics.cached == 1
+        assert second.metrics.dispatched == 1
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        engine = ExecutionEngine(retries=0, backoff=0, cache=cache)
+        engine.run([probe_job("fail")])
+        assert len(cache) == 0
+        rerun = engine.run([probe_job("fail")])
+        assert rerun[0].status == "failed"  # re-executed, not served

@@ -1,0 +1,153 @@
+"""Job specs: content-addressed keys, serialisation, the interpreter."""
+
+import json
+
+import pytest
+
+from repro.designs import get_design
+from repro.errors import DefinitionError
+from repro.runtime import (
+    JobSpec,
+    canonical_json,
+    check_job,
+    equivalence_job,
+    execute_job,
+    load_job_file,
+    probe_job,
+    reachability_job,
+    simulate_job,
+    synthesize_job,
+    write_job_file,
+)
+from repro.semantics import simulate
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, zoo):
+        design, system = zoo["gcd"]
+        a = simulate_job(system, design.environment())
+        b = simulate_job(design.build(), design.environment())
+        assert a.key == b.key
+
+    def test_key_changes_with_params(self, zoo):
+        design, system = zoo["gcd"]
+        a = simulate_job(system, design.environment(), max_steps=100)
+        b = simulate_job(system, design.environment(), max_steps=200)
+        assert a.key != b.key
+
+    def test_key_changes_with_system(self, zoo):
+        _, gcd = zoo["gcd"]
+        _, counter = zoo["counter"]
+        assert check_job(gcd).key != check_job(counter).key
+
+    def test_key_changes_with_kind(self, zoo):
+        _, system = zoo["gcd"]
+        assert check_job(system).key != reachability_job(system).key
+
+    def test_label_does_not_affect_key(self, zoo):
+        _, system = zoo["gcd"]
+        assert check_job(system, label="a").key == \
+            check_job(system, label="b").key
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == \
+            canonical_json({"a": [2, 3], "b": 1})
+
+
+class TestSpecs:
+    def test_round_trip_preserves_key(self, zoo):
+        design, system = zoo["diffeq"]
+        spec = simulate_job(system, design.environment(), label="x")
+        clone = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.key == spec.key
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DefinitionError):
+            JobSpec("mystery")
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(DefinitionError):
+            JobSpec("probe", params={"bad": object()})
+
+    def test_unknown_probe_action_rejected(self):
+        with pytest.raises(DefinitionError):
+            probe_job("explode")
+
+    def test_unknown_algorithm_rejected(self, zoo):
+        _, system = zoo["gcd"]
+        with pytest.raises(DefinitionError):
+            synthesize_job(system, algorithm="anneal")
+
+
+class TestInterpreter:
+    def test_simulate_payload_matches_direct_run(self, zoo):
+        design, system = zoo["gcd"]
+        out = execute_job(simulate_job(system, design.environment()).to_dict())
+        trace = simulate(system, design.environment())
+        payload = out["payload"]
+        assert payload["step_count"] == trace.step_count
+        assert payload["terminated"] == trace.terminated
+        assert payload["outputs"] == design.expected()
+        assert out["sim_metrics"]["steps"] == trace.step_count
+
+    def test_check_payload(self, zoo):
+        _, system = zoo["counter"]
+        payload = execute_job(check_job(system).to_dict())["payload"]
+        assert payload["ok"] is True
+        assert len(payload["checks"]) >= 5
+
+    def test_reachability_payload(self, zoo):
+        _, system = zoo["counter"]
+        payload = execute_job(reachability_job(system).to_dict())["payload"]
+        assert payload["complete"] is True
+        assert payload["is_safe"] is True
+        assert payload["num_markings"] > 0
+
+    def test_equivalence_payload(self, zoo):
+        design, system = zoo["gcd"]
+        spec = equivalence_job(system, design.build(), design.environment())
+        payload = execute_job(spec.to_dict())["payload"]
+        assert payload["equivalent"] is True
+
+    def test_synthesize_payload_round_trips_system(self, zoo):
+        from repro.io import system_from_dict
+        from repro.core import semantically_equivalent
+
+        design, system = zoo["fir4"]
+        payload = execute_job(synthesize_job(system).to_dict())["payload"]
+        assert payload["final_objective"] <= payload["initial_objective"]
+        optimized = system_from_dict(payload["system"])
+        assert semantically_equivalent(system, optimized,
+                                       design.environment())
+
+    def test_interpreter_is_deterministic(self, zoo):
+        design, system = zoo["diffeq"]
+        spec = synthesize_job(system, algorithm="random+greedy", seed=7)
+        first = canonical_json(execute_job(spec.to_dict())["payload"])
+        second = canonical_json(execute_job(spec.to_dict())["payload"])
+        assert first == second
+
+
+class TestJobFiles:
+    def test_write_and_load(self, tmp_path, zoo):
+        design, system = zoo["gcd"]
+        jobs = [simulate_job(system, design.environment(), label="sim"),
+                check_job(system, label="chk")]
+        path = tmp_path / "jobs.json"
+        write_job_file(str(path), jobs)
+        loaded = load_job_file(str(path))
+        assert [job.key for job in loaded] == [job.key for job in jobs]
+        assert [job.label for job in loaded] == ["sim", "chk"]
+
+    def test_bare_list_accepted(self, tmp_path, zoo):
+        _, system = zoo["gcd"]
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([check_job(system).to_dict()]))
+        assert len(load_job_file(str(path))) == 1
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"format": 99, "jobs": []}))
+        with pytest.raises(DefinitionError):
+            load_job_file(str(path))

@@ -24,7 +24,7 @@ from repro.errors import (
 PACKAGES = [
     "repro", "repro.petri", "repro.datapath", "repro.core",
     "repro.semantics", "repro.transform", "repro.synthesis",
-    "repro.analysis", "repro.designs", "repro.io",
+    "repro.analysis", "repro.designs", "repro.io", "repro.runtime",
 ]
 
 

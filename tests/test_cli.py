@@ -128,6 +128,118 @@ class TestDotAndExport:
         assert "count = [0, 1, 2]" in capsys.readouterr().out
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+class TestErrorLabels:
+    def test_execution_error_is_labelled(self, capsys):
+        # a_in alone starves b_in -> EnvironmentExhausted at simulation time
+        assert main(["simulate", "gcd", "--input", "a_in=1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("execution error:")
+
+    def test_parse_error_is_labelled(self, tmp_path, capsys):
+        path = tmp_path / "bad.pdl"
+        path.write_text("design broken {")
+        assert main(["check", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("parse error:")
+
+
+class TestBatch:
+    def test_batch_from_job_file(self, tmp_path, capsys):
+        from repro.runtime import check_job, simulate_job, write_job_file
+
+        design = get_design("gcd")
+        system = design.build()
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [
+            simulate_job(system, design.environment(), label="sim"),
+            check_job(system, label="chk"),
+        ])
+        assert main(["batch", str(jobfile)]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 2 job(s)" in out
+        assert "fleet (serial):" in out
+
+    def test_batch_failure_sets_exit_code(self, tmp_path, capsys):
+        from repro.runtime import probe_job, write_job_file
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [probe_job("fail")])
+        assert main(["batch", str(jobfile), "--retries", "0"]) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_batch_parallel_with_cache(self, tmp_path, capsys):
+        from repro.runtime import check_job, write_job_file
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [
+            check_job(get_design(name).build(), label=name)
+            for name in ("gcd", "counter")])
+        cache = tmp_path / "cache"
+        assert main(["batch", str(jobfile), "--workers", "2",
+                     "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(jobfile), "--workers", "2",
+                     "--cache", str(cache),
+                     "--metrics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        blob = json.loads(out[out.index("{"):])
+        assert blob["cached"] == 2
+        assert blob["dispatched"] == 0
+
+    def test_batch_results_json(self, tmp_path, capsys):
+        from repro.runtime import probe_job, write_job_file
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [probe_job("ok", payload=7)])
+        target = tmp_path / "results.json"
+        assert main(["batch", str(jobfile),
+                     "--results-json", str(target)]) == 0
+        records = json.loads(target.read_text())
+        assert records[0]["status"] == "ok"
+        assert records[0]["payload"] == {"echo": 7}
+
+
+class TestSweep:
+    def test_emit_jobs(self, tmp_path, capsys):
+        from repro.runtime import load_job_file
+
+        target = tmp_path / "jobs.json"
+        assert main(["sweep", "fir4", "--w-time", "1,2", "--w-area", "0.5",
+                     "--emit-jobs", str(target)]) == 0
+        jobs = load_job_file(str(target))
+        assert len(jobs) == 2
+        assert all(job.kind == "synthesize" for job in jobs)
+        assert "2 job(s) written" in capsys.readouterr().out
+
+    def test_sweep_runs_serially(self, capsys):
+        assert main(["sweep", "fir4", "--w-time", "1", "--w-area", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesis sweep over 1 point(s)" in out
+        assert "final" in out
+
+    def test_seeded_sweep(self, tmp_path, capsys):
+        target = tmp_path / "jobs.json"
+        assert main(["sweep", "fir4", "--seeds", "1,2",
+                     "--emit-jobs", str(target)]) == 0
+        assert "2 job(s) written" in capsys.readouterr().out
+
+
+class TestPortfolio:
+    def test_portfolio_matches_serial_synthesize(self, capsys):
+        assert main(["synthesize", "fir4", "--portfolio"]) == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+
+
 class TestNetlist:
     def test_netlist_emitted(self, capsys):
         from repro.cli import main
