@@ -97,6 +97,7 @@ from .runtime import (
     ResultCache,
     check_job,
     equivalence_job,
+    lint_job,
     load_job_file,
     probe_job,
     reachability_job,
@@ -146,7 +147,7 @@ __all__ = [
     "ZOO", "all_designs", "get_design", "pad_outputs", "pad_inputs",
     # batch runtime
     "ExecutionEngine", "BatchResult", "JobSpec", "JobResult", "ResultCache",
-    "FleetMetrics", "simulate_job", "check_job", "reachability_job",
+    "FleetMetrics", "simulate_job", "check_job", "lint_job", "reachability_job",
     "equivalence_job", "synthesize_job", "probe_job", "load_job_file",
     "write_job_file",
     # errors

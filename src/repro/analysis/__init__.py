@@ -1,5 +1,10 @@
-"""Analysis tooling and the paper's comparison baselines.
+"""Analysis tooling: the structural lint engine and comparison baselines.
 
+* :mod:`~repro.analysis.lint` — rule-registry design-rule checker over
+  :class:`~repro.core.system.DataControlSystem` (structural, zero
+  reachability enumeration) producing :class:`~repro.diagnostics.Diagnostic`
+  findings;
+* :mod:`~repro.analysis.sarif` — SARIF 2.1.0 serialization of lint runs;
 * :mod:`~repro.analysis.interleaving` — CCS-style shuffle composition and
   the composition-explosion measurement (Section 1 comparison);
 * :mod:`~repro.analysis.regex_baseline` — McFarland-style total-order
@@ -23,9 +28,38 @@ from .regex_baseline import (
     order_relation,
     overconstraint_report,
 )
+from .lint import (
+    LintContext,
+    LintReport,
+    LintRule,
+    all_rules,
+    assert_lint_preserved,
+    baseline_document,
+    error_fingerprints,
+    get_rule,
+    lint_regressions,
+    lint_rule,
+    load_baseline,
+    run_lint,
+)
+from .sarif import sarif_dumps, sarif_log
 from .statespace import StateSpaceStats, state_space_stats
 
 __all__ = [
+    "LintRule",
+    "LintContext",
+    "LintReport",
+    "lint_rule",
+    "all_rules",
+    "get_rule",
+    "run_lint",
+    "baseline_document",
+    "load_baseline",
+    "error_fingerprints",
+    "lint_regressions",
+    "assert_lint_preserved",
+    "sarif_log",
+    "sarif_dumps",
     "Agent",
     "cycle_agent",
     "sequence_agent",

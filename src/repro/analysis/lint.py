@@ -1,0 +1,789 @@
+"""``repro.analysis.lint`` — the structural design-rule checker.
+
+A rule-registry-based static analyzer over
+:class:`~repro.core.system.DataControlSystem` producing structured
+:class:`~repro.diagnostics.Diagnostic` objects.  Every rule here is
+**structural**: it inspects the net's flow relation, P-invariants, the
+data path and the two extension mappings, and never enumerates reachable
+markings — the PRES+ equivalence-checking line avoids exactly that state
+explosion with path-based analysis, and so do we.  The behavioural,
+reachability-backed Definition 3.2 verdict remains available as
+:func:`repro.core.properly_designed.check_properly_designed`; the lint
+engine is its scalable over-approximation (plus a set of hygiene rules
+the paper's definition does not mention but every real design wants).
+
+Structural concurrency
+----------------------
+Several rules must know whether two control states can hold tokens at
+the same time.  Without reachability we answer in three grades:
+
+* **mutex** — both places carry weight ≥ 1 in a common semi-positive
+  P-invariant whose initial weighted token sum is ≤ 1 (the conservation
+  law proves they are never simultaneously marked), or the places are the
+  direct successors of two transitions that compete for a common input
+  place under provably exclusive guards (if/else branch heads).
+* **parallel** — the places are structurally concurrent (``∥`` of
+  Definition 2.3(5)): no flow path orders them.  Sharing resources here
+  is reported as an *error*.
+* **sequential** — flow-ordered but not provably exclusive (loops can
+  overlap iterations); sharing is reported as a *warning*.
+
+Rule table
+----------
+==== ======== ================================================= ==========
+id   severity title                                             Def. 3.2
+==== ======== ================================================= ==========
+PD001 error/  coexistence-capable states share active subgraph   3.2(1)
+      warning
+PD002 error/  control net not provably safe (P-invariant          3.2(2)
+      info    over-approximation; error when M0 itself is unsafe)
+PD003 error   competing transitions without exclusive guards      3.2(3)
+PD004 error   combinational loop within one control state         3.2(4)
+PD005 error   control state drives no sequential vertex           3.2(5)
+CN001 warning structurally dead place (unreachable in F)          —
+CN002 warning structurally dead transition (dead input place)     —
+CN003 error   source transition (empty preset floods the net)     —
+DP000 error   data-path well-formedness (Definition 3.3 shapes)   3.3
+DP001 warning arc never opened by any control state               —
+DP002 warning sequential vertex never driven by an opened arc     —
+DP003 error   guard port combinationally undriven where consulted —
+DP004 error/  drive conflict on an input port                     —
+      warning
+==== ======== ================================================= ==========
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from itertools import combinations
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..core.system import DataControlSystem
+from ..datapath.ports import PortId
+from ..diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    Location,
+    count_by_severity,
+    severity_at_least,
+    worst_severity,
+)
+from ..errors import DefinitionError, TransformError
+from ..petri.invariants import invariant_token_sum, positive_p_invariants
+from ..petri.properties import structural_conflicts, unsafe_witness_message
+from ..petri.relations import StructuralRelations
+
+#: Baseline file format marker (see :func:`load_baseline`).
+BASELINE_FORMAT = 1
+
+#: Lint report JSON format marker.
+REPORT_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# shared structural facts, computed once per linted system
+# ---------------------------------------------------------------------------
+class LintContext:
+    """Memoised structural facts shared by the rules.
+
+    Everything here is derived without marking enumeration: flow-graph
+    reachability, the Definition 2.3 relations (a boolean-matrix closure)
+    and the P-invariant cone of :mod:`repro.petri.invariants`.
+    """
+
+    def __init__(self, system: DataControlSystem) -> None:
+        self.system = system
+        self.net = system.net
+        self.datapath = system.datapath
+
+    @cached_property
+    def relations(self) -> StructuralRelations:
+        # reuse the system-level cache: the Definition 2.3 closure is the
+        # single most expensive structural artefact, and the checker,
+        # the transforms and the lint rules all want the same one
+        return self.system.relations
+
+    @cached_property
+    def flow_reachable(self) -> frozenset[str]:
+        """Net elements reachable from the initially marked places in F."""
+        seen: set[str] = set()
+        stack = [p for p in self.net.places if self.net.initial.get(p, 0) > 0]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.net.postset(node))
+        return frozenset(seen)
+
+    @cached_property
+    def safe_invariants(self) -> list[dict[str, int]]:
+        """Semi-positive P-invariants with initial weighted token sum ≤ 1."""
+        initial = self.net.initial_marking()
+        return [invariant for invariant in positive_p_invariants(self.net)
+                if invariant_token_sum(invariant, initial) <= 1]
+
+    @cached_property
+    def invariant_safe_places(self) -> frozenset[str]:
+        """Places proven 1-bounded by some safe invariant."""
+        safe: set[str] = set()
+        for invariant in self.safe_invariants:
+            safe.update(p for p, w in invariant.items() if w >= 1)
+        return frozenset(safe)
+
+    @cached_property
+    def _mutex_index(self) -> dict[str, frozenset[int]]:
+        index: dict[str, set[int]] = {}
+        for i, invariant in enumerate(self.safe_invariants):
+            for place, weight in invariant.items():
+                if weight >= 1:
+                    index.setdefault(place, set()).add(i)
+        return {p: frozenset(s) for p, s in index.items()}
+
+    @cached_property
+    def _branch_exclusive_pairs(self) -> frozenset[frozenset[str]]:
+        """Place pairs entered through guard-exclusive branch transitions."""
+        pairs: set[frozenset[str]] = set()
+        for place in self.net.places:
+            for t_1, t_2 in combinations(sorted(self.net.postset(place)), 2):
+                if not guards_exclusive(self.system, t_1, t_2):
+                    continue
+                for p in self.net.postset(t_1):
+                    for q in self.net.postset(t_2):
+                        if p != q:
+                            pairs.add(frozenset((p, q)))
+        return frozenset(pairs)
+
+    def proven_mutex(self, s_1: str, s_2: str) -> bool:
+        """True iff the places are structurally proven never co-marked."""
+        if s_1 == s_2:
+            return s_1 in self.invariant_safe_places
+        common = self._mutex_index.get(s_1, frozenset()) \
+            & self._mutex_index.get(s_2, frozenset())
+        if common:
+            return True
+        return frozenset((s_1, s_2)) in self._branch_exclusive_pairs
+
+    def concurrency_class(self, s_1: str, s_2: str) -> str:
+        """``"mutex"`` / ``"parallel"`` / ``"sequential"`` (see module doc)."""
+        if self.proven_mutex(s_1, s_2):
+            return "mutex"
+        if s_1 != s_2 and self.relations.parallel(s_1, s_2):
+            return "parallel"
+        return "sequential"
+
+    @cached_property
+    def ass_cache(self) -> dict[str, tuple[frozenset[str], frozenset[str]]]:
+        return {p: self.system.ass(p) for p in self.system.control}
+
+    @cached_property
+    def opening_states(self) -> dict[str, frozenset[str]]:
+        """Arc name → control states whose ``C`` set opens it."""
+        opened: dict[str, set[str]] = {}
+        for place, arcs in self.system.control.items():
+            for arc in arcs:
+                opened.setdefault(arc, set()).add(place)
+        return {a: frozenset(s) for a, s in opened.items()}
+
+
+# ---------------------------------------------------------------------------
+# the rule registry
+# ---------------------------------------------------------------------------
+RuleCheck = Callable[[DataControlSystem, LintContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered design rule."""
+
+    id: str
+    title: str
+    severity: str
+    clause: str
+    check: RuleCheck
+    structural: bool = True
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def lint_rule(rule_id: str, title: str, *, severity: str, clause: str = "—",
+              structural: bool = True) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a rule check function under a stable id."""
+    def decorate(check: RuleCheck) -> RuleCheck:
+        if rule_id in _REGISTRY:
+            raise DefinitionError(f"duplicate lint rule id {rule_id!r}")
+        _REGISTRY[rule_id] = LintRule(rule_id, title, severity, clause, check,
+                                      structural)
+        return check
+    return decorate
+
+
+def all_rules() -> list[LintRule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> LintRule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise DefinitionError(
+            f"unknown lint rule {rule_id!r}; known rules: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# PD — the Definition 3.2 clauses, structurally
+# ---------------------------------------------------------------------------
+@lint_rule("PD001", "coexistence-capable states share their active subgraph",
+           severity="error", clause="3.2(1)")
+def _pd001_disjoint_ass(system: DataControlSystem,
+                        ctx: LintContext) -> Iterable[Diagnostic]:
+    for s_1, s_2 in combinations(sorted(system.control), 2):
+        arcs_1, verts_1 = ctx.ass_cache[s_1]
+        arcs_2, verts_2 = ctx.ass_cache[s_2]
+        shared_arcs = arcs_1 & arcs_2
+        shared_verts = verts_1 & verts_2
+        if not shared_arcs and not shared_verts:
+            continue
+        grade = ctx.concurrency_class(s_1, s_2)
+        if grade == "mutex":
+            continue
+        what = []
+        if shared_arcs:
+            what.append(f"arcs {sorted(shared_arcs)}")
+        if shared_verts:
+            what.append(f"vertices {sorted(shared_verts)}")
+        if grade == "parallel":
+            severity, how = "error", "structurally concurrent"
+        else:
+            severity, how = "warning", "not provably exclusive"
+        locations = (Location("place", s_1), Location("place", s_2)) + tuple(
+            Location("arc", a) for a in sorted(shared_arcs)) + tuple(
+            Location("vertex", v) for v in sorted(shared_verts))
+        yield Diagnostic(
+            "PD001", severity,
+            f"states {s_1!r} and {s_2!r} are {how} yet share "
+            f"{', '.join(what)}",
+            locations,
+            hint="serialize the states or give each its own resources "
+                 "(Definition 3.2(1): ASS(S_i) ∩ ASS(S_j) = ∅)",
+        )
+
+
+@lint_rule("PD002", "control net is not provably safe",
+           severity="info", clause="3.2(2)")
+def _pd002_safety(system: DataControlSystem,
+                  ctx: LintContext) -> Iterable[Diagnostic]:
+    initial = system.net.initial_marking()
+    refuted = sorted(p for p in initial if initial[p] > 1)
+    for place in refuted:
+        yield Diagnostic(
+            "PD002", "error",
+            "initial marking is already unsafe: "
+            + unsafe_witness_message(place, initial),
+            (Location("place", place), Location("marking", repr(initial))),
+            hint="a properly designed net is 1-bounded (Definition 3.2(2)); "
+                 "start every place with at most one token",
+        )
+    unproven = sorted(set(system.net.places)
+                      - ctx.invariant_safe_places - set(refuted))
+    if unproven:
+        # Info, not warning: terminating designs drain their tokens
+        # through sink transitions, so their tail states are never
+        # invariant-covered — an exact verdict needs reachability.
+        yield Diagnostic(
+            "PD002", "info",
+            f"{len(unproven)} place(s) not covered by any P-invariant with "
+            f"initial token sum ≤ 1: {unproven} — safety cannot be proven "
+            "structurally",
+            tuple(Location("place", p) for p in unproven),
+            hint="run the reachability-based check_properly_designed for an "
+                 "exact verdict, or restructure so token flow is conserved",
+        )
+
+
+def is_complement(system: DataControlSystem, a: PortId, b: PortId) -> bool:
+    """True iff port ``b`` is the output of a NOT vertex driven from ``a``."""
+    vertex = system.datapath.vertex(b.vertex)
+    op = vertex.ops.get(b.port)
+    if op is None or op.name != "not":
+        return False
+    for in_port in vertex.input_ids():
+        for arc in system.datapath.arcs_into(in_port):
+            if arc.source == a:
+                return True
+    return False
+
+
+def guards_exclusive(system: DataControlSystem, t_1: str, t_2: str) -> bool:
+    """Static sufficient condition for mutually exclusive guards.
+
+    Each transition must be guarded by exactly one port, and one port must
+    be the logical complement of the other (a ``not`` vertex wired from
+    it).  This is exactly the branch pattern the frontend compiler emits;
+    hand-built systems with richer exclusivity should be verified with the
+    dynamic sweep instead.
+    """
+    g_1 = system.guard_ports(t_1)
+    g_2 = system.guard_ports(t_2)
+    if len(g_1) != 1 or len(g_2) != 1:
+        return False
+    (p_1,) = g_1
+    (p_2,) = g_2
+    return is_complement(system, p_1, p_2) or is_complement(system, p_2, p_1)
+
+
+def conflict_diagnostics(system: DataControlSystem) -> list[Diagnostic]:
+    """PD003 findings (shared with the Definition 3.2 checker)."""
+    found: list[Diagnostic] = []
+    for place, t_1, t_2 in structural_conflicts(system.net):
+        if guards_exclusive(system, t_1, t_2):
+            continue
+        found.append(Diagnostic(
+            "PD003", "error",
+            f"transitions {t_1!r} and {t_2!r} compete for place {place!r} "
+            "without provably exclusive guards",
+            (Location("place", place), Location("transition", t_1),
+             Location("transition", t_2)),
+            hint="guard one transition with a port and the other with its "
+                 "inversion (Definition 3.2(3))",
+        ))
+    return found
+
+
+@lint_rule("PD003", "competing transitions without exclusive guards",
+           severity="error", clause="3.2(3)")
+def _pd003_conflict_free(system: DataControlSystem,
+                         ctx: LintContext) -> Iterable[Diagnostic]:
+    return conflict_diagnostics(system)
+
+
+def combinational_loop_diagnostics(system: DataControlSystem
+                                   ) -> list[Diagnostic]:
+    """PD004 findings (shared with the Definition 3.2 checker)."""
+    from ..datapath.validate import combinational_cycle
+
+    found: list[Diagnostic] = []
+    for place in sorted(system.control):
+        cycle = combinational_cycle(system.datapath,
+                                    system.control_arcs(place))
+        if cycle is not None:
+            found.append(Diagnostic(
+                "PD004", "error",
+                f"state {place!r} activates combinational loop "
+                f"{' -> '.join(cycle)}",
+                (Location("place", place),)
+                + tuple(Location("vertex", v) for v in cycle),
+                hint="break the loop with a sequential vertex "
+                     "(Definition 3.2(4))",
+            ))
+    return found
+
+
+@lint_rule("PD004", "combinational loop within one control state",
+           severity="error", clause="3.2(4)")
+def _pd004_comb_loops(system: DataControlSystem,
+                      ctx: LintContext) -> Iterable[Diagnostic]:
+    return combinational_loop_diagnostics(system)
+
+
+def sequential_vertex_diagnostics(system: DataControlSystem
+                                  ) -> list[Diagnostic]:
+    """PD005 findings (shared with the Definition 3.2 checker)."""
+    found: list[Diagnostic] = []
+    for place in sorted(system.net.places):
+        if not system.control_arcs(place):
+            # A state controlling no arcs performs no operation; the rule
+            # only constrains states that are mapped by C.
+            continue
+        vertices = system.associated_vertices(place)
+        if not any(system.datapath.vertex(v).is_sequential
+                   for v in vertices):
+            found.append(Diagnostic(
+                "PD005", "error",
+                f"state {place!r} drives no sequential vertex",
+                (Location("place", place),),
+                hint="every operating state must latch a result "
+                     "(Definition 3.2(5)); route one controlled arc into a "
+                     "register or pad",
+            ))
+    return found
+
+
+@lint_rule("PD005", "control state drives no sequential vertex",
+           severity="error", clause="3.2(5)")
+def _pd005_sequential(system: DataControlSystem,
+                      ctx: LintContext) -> Iterable[Diagnostic]:
+    return sequential_vertex_diagnostics(system)
+
+
+# ---------------------------------------------------------------------------
+# CN — control-net hygiene
+# ---------------------------------------------------------------------------
+@lint_rule("CN001", "structurally dead place", severity="warning")
+def _cn001_dead_place(system: DataControlSystem,
+                      ctx: LintContext) -> Iterable[Diagnostic]:
+    for place in sorted(system.net.places):
+        if place in ctx.flow_reachable:
+            continue
+        yield Diagnostic(
+            "CN001", "warning",
+            f"place {place!r} is unreachable from the initial marking along "
+            "the flow relation (it can never hold a token)",
+            (Location("place", place),),
+            hint="remove the dead state or connect it to the live net",
+        )
+
+
+@lint_rule("CN002", "structurally dead transition", severity="warning")
+def _cn002_dead_transition(system: DataControlSystem,
+                           ctx: LintContext) -> Iterable[Diagnostic]:
+    for transition in sorted(system.net.transitions):
+        preset = system.net.preset(transition)
+        if not preset:
+            continue  # CN003's business
+        dead_inputs = sorted(p for p in preset
+                             if p not in ctx.flow_reachable)
+        if not dead_inputs:
+            continue
+        yield Diagnostic(
+            "CN002", "warning",
+            f"transition {transition!r} can never fire: input place(s) "
+            f"{dead_inputs} are unreachable from the initial marking",
+            (Location("transition", transition),)
+            + tuple(Location("place", p) for p in dead_inputs),
+            hint="remove the dead transition or mark/connect its inputs",
+        )
+
+
+@lint_rule("CN003", "source transition floods the net", severity="error")
+def _cn003_source_transition(system: DataControlSystem,
+                             ctx: LintContext) -> Iterable[Diagnostic]:
+    for transition in sorted(system.net.transitions):
+        if system.net.preset(transition):
+            continue
+        yield Diagnostic(
+            "CN003", "error",
+            f"transition {transition!r} has an empty preset: it is "
+            "permanently enabled and pumps unbounded tokens into "
+            f"{sorted(system.net.postset(transition))}",
+            (Location("transition", transition),),
+            hint="give the transition at least one input place; a safe net "
+                 "cannot contain token sources",
+        )
+
+
+# ---------------------------------------------------------------------------
+# DP — data-path rules
+# ---------------------------------------------------------------------------
+@lint_rule("DP000", "data-path well-formedness", severity="error",
+           clause="3.3")
+def _dp000_well_formed(system: DataControlSystem,
+                       ctx: LintContext) -> Iterable[Diagnostic]:
+    from ..datapath.validate import datapath_diagnostics
+
+    return datapath_diagnostics(system.datapath)
+
+
+@lint_rule("DP001", "arc never opened by any control state",
+           severity="warning")
+def _dp001_never_opened(system: DataControlSystem,
+                        ctx: LintContext) -> Iterable[Diagnostic]:
+    for arc in sorted(set(system.datapath.arcs) - set(ctx.opening_states)):
+        yield Diagnostic(
+            "DP001", "warning",
+            f"arc {arc!r} is controlled by no state (never opens)",
+            (Location("arc", arc),),
+            hint="add the arc to some state's C set or delete it",
+        )
+
+
+@lint_rule("DP002", "sequential vertex never driven", severity="warning")
+def _dp002_seq_never_driven(system: DataControlSystem,
+                            ctx: LintContext) -> Iterable[Diagnostic]:
+    for name in sorted(system.datapath.vertices):
+        vertex = system.datapath.vertex(name)
+        if not vertex.is_sequential or vertex.is_external:
+            continue
+        if not vertex.in_ports:
+            continue
+        driven = any(
+            arc.name in ctx.opening_states
+            for port in vertex.input_ids()
+            for arc in system.datapath.arcs_into(port)
+        )
+        if not driven:
+            yield Diagnostic(
+                "DP002", "warning",
+                f"sequential vertex {name!r} is never driven: no opened arc "
+                "targets any of its input ports, so its state can never "
+                "change",
+                (Location("vertex", name),),
+                hint="open an arc into the register from some state or "
+                     "replace it with a constant",
+            )
+
+
+def _undriven_combinational_inputs(system: DataControlSystem,
+                                   open_arcs: frozenset[str],
+                                   port: PortId,
+                                   visiting: frozenset[str]) -> list[PortId]:
+    """Input ports that keep ``port`` undefined under the given open arcs.
+
+    A value on an output port is combinationally available when its vertex
+    is sequential (it holds the last latched value), is an environment
+    pad, has no input ports (a constant), or has every input port fed by
+    an open arc whose source is itself available.  Cycles are cut by the
+    ``visiting`` set (a genuine loop is PD004's business).
+    """
+    vertex = system.datapath.vertex(port.vertex)
+    if vertex.is_sequential or vertex.is_external or not vertex.in_ports:
+        return []
+    if vertex.name in visiting:
+        return []
+    visiting = visiting | {vertex.name}
+    missing: list[PortId] = []
+    for in_port in vertex.input_ids():
+        feeding = [arc for arc in system.datapath.arcs_into(in_port)
+                   if arc.name in open_arcs]
+        if not feeding:
+            missing.append(in_port)
+            continue
+        for arc in feeding:
+            missing.extend(_undriven_combinational_inputs(
+                system, open_arcs, arc.source, visiting))
+    return missing
+
+
+@lint_rule("DP003", "guard port combinationally undriven where consulted",
+           severity="error")
+def _dp003_guard_undriven(system: DataControlSystem,
+                          ctx: LintContext) -> Iterable[Diagnostic]:
+    for transition in sorted(system.guards):
+        for place in sorted(p for p in system.net.preset(transition)
+                            if system.net.is_place(p)):
+            open_arcs = system.control_arcs(place)
+            for guard in sorted(system.guard_ports(transition), key=str):
+                missing = _undriven_combinational_inputs(
+                    system, open_arcs, guard, frozenset())
+                if not missing:
+                    continue
+                missing_names = sorted({str(p) for p in missing})
+                yield Diagnostic(
+                    "DP003", "error",
+                    f"guard {guard} of transition {transition!r} is "
+                    f"combinationally undriven in state {place!r}: input "
+                    f"port(s) {missing_names} receive no arc opened by "
+                    f"C({place})",
+                    (Location("transition", transition),
+                     Location("place", place),
+                     Location("port", str(guard)))
+                    + tuple(Location("port", n) for n in missing_names),
+                    hint="latch the guard value into a register or open its "
+                         "feeding arcs in the state that consults it",
+                )
+
+
+@lint_rule("DP004", "drive conflict on an input port", severity="error")
+def _dp004_drive_conflict(system: DataControlSystem,
+                          ctx: LintContext) -> Iterable[Diagnostic]:
+    by_port: dict[PortId, list[str]] = {}
+    for arc in system.datapath.arcs.values():
+        if arc.name in ctx.opening_states:
+            by_port.setdefault(arc.target, []).append(arc.name)
+    for port in sorted(by_port, key=str):
+        arcs = sorted(by_port[port])
+        if len(arcs) < 2:
+            continue
+        for a_1, a_2 in combinations(arcs, 2):
+            worst: str | None = None
+            culprits: list[tuple[str, str]] = []
+            for s_1 in sorted(ctx.opening_states[a_1]):
+                for s_2 in sorted(ctx.opening_states[a_2]):
+                    if s_1 == s_2:
+                        grade = "same-state"
+                    else:
+                        grade = ctx.concurrency_class(s_1, s_2)
+                    if grade == "mutex":
+                        continue
+                    severity = ("error" if grade in ("same-state", "parallel")
+                                else "warning")
+                    if worst is None or (severity == "error"
+                                         and worst == "warning"):
+                        worst = severity
+                    culprits.append((s_1, s_2))
+            if worst is None:
+                continue
+            shown = culprits[:3]
+            pairs = ", ".join(
+                f"{s_1!r}" if s_1 == s_2 else f"{s_1!r}+{s_2!r}"
+                for s_1, s_2 in shown)
+            more = f" (+{len(culprits) - len(shown)} more)" \
+                if len(culprits) > len(shown) else ""
+            yield Diagnostic(
+                "DP004", worst,
+                f"input port {port} is driven by arcs {a_1!r} and {a_2!r} "
+                f"simultaneously open under state(s) {pairs}{more}",
+                (Location("port", str(port)), Location("arc", a_1),
+                 Location("arc", a_2))
+                + tuple(Location("place", s)
+                        for s in sorted({s for pair in shown for s in pair})),
+                hint="route the sources through a multiplexer or make the "
+                     "driving states mutually exclusive",
+            )
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run over one system."""
+
+    system: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    rules_run: tuple[str, ...] = ()
+    suppressed: int = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return count_by_severity(self.diagnostics)
+
+    @property
+    def worst(self) -> str | None:
+        return worst_severity(self.diagnostics)
+
+    def ok(self, fail_on: str = "error") -> bool:
+        """True iff no diagnostic at/above the ``fail_on`` severity."""
+        if fail_on in ("never", "none"):
+            return True
+        return not any(severity_at_least(d.severity, fail_on)
+                       for d in self.diagnostics)
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def fingerprints(self) -> frozenset[str]:
+        return frozenset(d.fingerprint for d in self.diagnostics)
+
+    def with_baseline(self, fingerprints: Iterable[str]) -> "LintReport":
+        """A copy with baselined findings removed (counted as suppressed)."""
+        known = frozenset(fingerprints)
+        kept = [d for d in self.diagnostics if d.fingerprint not in known]
+        return LintReport(self.system, kept, self.rules_run,
+                          self.suppressed + len(self.diagnostics) - len(kept))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "counts": self.counts,
+            "suppressed": self.suppressed,
+            "rules_run": list(self.rules_run),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def to_text(self) -> str:
+        counts = self.counts
+        lines = [f"lint {self.system}: {counts['error']} error(s), "
+                 f"{counts['warning']} warning(s), {counts['info']} info"
+                 + (f", {self.suppressed} baselined" if self.suppressed
+                    else "")]
+        for diagnostic in self.diagnostics:
+            lines.append(f"  {diagnostic}")
+            if diagnostic.hint:
+                lines.append(f"      hint: {diagnostic.hint}")
+        return "\n".join(lines)
+
+
+def run_lint(system: DataControlSystem, *,
+             rules: Sequence[str] | None = None) -> LintReport:
+    """Run (a subset of) the registered rules over one system.
+
+    Purely structural: no reachable-marking enumeration happens, however
+    large the design.  Diagnostics come back most severe first.
+    """
+    selected = ([get_rule(rule_id) for rule_id in rules]
+                if rules is not None else all_rules())
+    ctx = LintContext(system)
+    diagnostics: list[Diagnostic] = []
+    for rule in selected:
+        for diagnostic in rule.check(system, ctx):
+            diagnostics.append(replace(diagnostic, system=system.name))
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return LintReport(system.name, diagnostics,
+                      tuple(rule.id for rule in selected))
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+def baseline_document(reports: Iterable[LintReport]) -> dict[str, Any]:
+    """The JSON document ``repro lint --write-baseline`` emits."""
+    fingerprints = sorted({fp for report in reports
+                           for fp in report.fingerprints()})
+    return {"format": BASELINE_FORMAT, "fingerprints": fingerprints}
+
+
+def load_baseline(path: str) -> frozenset[str]:
+    """Read a baseline: fingerprints to suppress.
+
+    Accepts the native baseline document, a bare JSON list of
+    fingerprints, or a ``repro lint --format json`` report (whose recorded
+    diagnostics become the baseline).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, list):
+        return frozenset(str(fp) for fp in document)
+    if "fingerprints" in document:
+        return frozenset(str(fp) for fp in document["fingerprints"])
+    reports = document.get("reports")
+    if reports is not None:
+        return frozenset(
+            str(d["fingerprint"])
+            for report in reports for d in report.get("diagnostics", ()))
+    raise DefinitionError(f"unrecognised baseline file {path!r}")
+
+
+# ---------------------------------------------------------------------------
+# transformation-pipeline hook
+# ---------------------------------------------------------------------------
+def error_fingerprints(system: DataControlSystem, *,
+                       rules: Sequence[str] | None = None) -> frozenset[str]:
+    """Fingerprints of the error-level findings of one system."""
+    return frozenset(d.fingerprint
+                     for d in run_lint(system, rules=rules).diagnostics
+                     if d.severity == "error")
+
+
+def lint_regressions(before: DataControlSystem | frozenset[str],
+                     after: DataControlSystem, *,
+                     rules: Sequence[str] | None = None) -> list[Diagnostic]:
+    """Error-level findings of ``after`` that ``before`` did not have.
+
+    ``before`` may be a system or a precomputed fingerprint set (from
+    :func:`error_fingerprints`) so pipelines probing many candidate moves
+    lint the starting point once.  Renaming an offending element changes
+    its fingerprint, so a transformation that merely renames a flawed
+    state re-reports the finding — conservative, never unsound.
+    """
+    known = (before if isinstance(before, frozenset)
+             else error_fingerprints(before, rules=rules))
+    return [d for d in run_lint(after, rules=rules).diagnostics
+            if d.severity == "error" and d.fingerprint not in known]
+
+
+def assert_lint_preserved(before: DataControlSystem | frozenset[str],
+                          after: DataControlSystem, *,
+                          rules: Sequence[str] | None = None) -> None:
+    """Raise :class:`~repro.errors.TransformError` on a lint regression."""
+    regressions = lint_regressions(before, after, rules=rules)
+    if regressions:
+        details = "; ".join(str(d) for d in regressions[:5])
+        raise TransformError(
+            f"transformation introduced {len(regressions)} lint error(s): "
+            + details)

@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 serialization of lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS standard
+CI systems ingest for code-scanning annotations.  We map each
+:class:`~repro.diagnostics.Diagnostic` to a SARIF ``result``:
+
+* ``ruleId`` — the stable lint rule id (``PD001``, …), with the full rule
+  metadata (title, Definition 3.2 clause, default severity) recorded once
+  under ``tool.driver.rules``;
+* ``level`` — ``error``/``warning`` pass through, ``info`` becomes SARIF's
+  ``note``;
+* ``logicalLocations`` — diagnostics anchor to model elements (places,
+  transitions, vertices, arcs, ports), not files, so they serialize as
+  logical locations with ``kind`` and ``fullyQualifiedName``
+  ``<system>/<kind>:<name>``;
+* ``partialFingerprints`` — the diagnostic's stable fingerprint, letting
+  SARIF viewers track a finding across runs exactly like our baseline
+  files do.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lint import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Our severities → SARIF result levels.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+#: Diagnostic location kinds → SARIF logicalLocation kinds (the standard
+#: has no Petri-net vocabulary; ``member``/``module`` are the closest
+#: well-known kinds and custom strings are permitted).
+_LOCATION_KINDS = {
+    "place": "place",
+    "transition": "transition",
+    "vertex": "vertex",
+    "arc": "arc",
+    "port": "port",
+    "marking": "marking",
+}
+
+
+def _rule_descriptor(rule: Any) -> dict[str, Any]:
+    description = rule.title
+    if rule.clause != "—":
+        description += f" (Definition {rule.clause})"
+    return {
+        "id": rule.id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": description},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        "properties": {"clause": rule.clause, "structural": rule.structural},
+    }
+
+
+def _result(diagnostic: Any) -> dict[str, Any]:
+    prefix = f"{diagnostic.system}/" if diagnostic.system else ""
+    locations = [{
+        "logicalLocations": [{
+            "kind": _LOCATION_KINDS.get(loc.kind, loc.kind),
+            "name": loc.name,
+            "fullyQualifiedName": f"{prefix}{loc.kind}:{loc.name}",
+        }]
+    } for loc in diagnostic.locations]
+    message = diagnostic.message
+    if diagnostic.hint:
+        message += f" — hint: {diagnostic.hint}"
+    result: dict[str, Any] = {
+        "ruleId": diagnostic.rule,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": message},
+        "partialFingerprints": {
+            "reproDiagnostic/v1": diagnostic.fingerprint,
+        },
+        "properties": {"system": diagnostic.system},
+    }
+    if locations:
+        result["locations"] = locations
+    return result
+
+
+def sarif_log(reports: Iterable["LintReport"], *,
+              tool_version: str | None = None) -> dict[str, Any]:
+    """Build one SARIF log document covering one run over many systems."""
+    from .. import __version__
+    from .lint import all_rules
+
+    report_list = list(reports)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "https://example.invalid/repro",
+                    "version": tool_version or __version__,
+                    "rules": [_rule_descriptor(r) for r in all_rules()],
+                }
+            },
+            "results": [_result(d) for report in report_list
+                        for d in report.diagnostics],
+            "properties": {
+                "systems": [report.system for report in report_list],
+                "suppressed": sum(r.suppressed for r in report_list),
+            },
+        }],
+    }
+
+
+def sarif_dumps(reports: Iterable["LintReport"], *, indent: int = 2) -> str:
+    """The SARIF log as a JSON string."""
+    return json.dumps(sarif_log(reports), indent=indent, sort_keys=False)

@@ -5,6 +5,11 @@ Commands
 
 ``check DESIGN``
     Compile and run the Definition 3.2 properly-designed verification.
+``lint DESIGN… [--all] [--format text|json|sarif] [--fail-on SEV]
+[--rules ID,…] [--baseline FILE] [--write-baseline FILE]``
+    Run the structural design-rule checker (:mod:`repro.analysis.lint`)
+    — no reachability enumeration — and report diagnostics with stable
+    rule ids; exits 1 when findings at/above ``--fail-on`` remain.
 ``simulate DESIGN [--input name=v1,v2,…]… [--max-steps N] [--profile]
 [--profile-json PATH] [--naive]``
     Execute against an environment and print the external events;
@@ -129,6 +134,53 @@ def cmd_check(args: argparse.Namespace) -> int:
     report = check_properly_designed(system)
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import (
+        baseline_document,
+        load_baseline,
+        run_lint,
+    )
+    from .analysis.sarif import sarif_dumps
+
+    designs = list(args.designs)
+    if args.all:
+        designs = list(ZOO)
+    if not designs:
+        raise ReproError("no designs given (name designs or pass --all)")
+    rules = [r for spec in args.rules for r in spec.split(",") if r] or None
+    known = load_baseline(args.baseline) if args.baseline else frozenset()
+    reports = []
+    for spec in designs:
+        system, _env = _load(spec)
+        reports.append(run_lint(system, rules=rules).with_baseline(known))
+    if args.write_baseline:
+        import json as _json
+
+        _write_json(args.write_baseline,
+                    _json.dumps(baseline_document(reports), indent=2),
+                    "lint baseline")
+        return 0
+    if args.format == "sarif":
+        _write_json(args.output or "-", sarif_dumps(reports).rstrip("\n"),
+                    "SARIF log")
+    elif args.format == "json":
+        import json as _json
+
+        payload = _json.dumps({"format": 1,
+                               "reports": [r.as_dict() for r in reports]},
+                              indent=2)
+        _write_json(args.output or "-", payload, "lint report")
+    else:
+        for report in reports:
+            print(report.to_text())
+    failed = [r.system for r in reports if not r.ok(args.fail_on)]
+    if failed:
+        print(f"lint failed at --fail-on {args.fail_on}: "
+              + ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -389,6 +441,32 @@ def build_parser() -> argparse.ArgumentParser:
                              help="verify Definition 3.2 (properly designed)")
     p_check.add_argument("design")
     p_check.set_defaults(func=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the structural design-rule checker")
+    p_lint.add_argument("designs", nargs="*",
+                        help="zoo names / .pdl / .json files")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every design in the zoo")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    p_lint.add_argument("--fail-on", default="error",
+                        choices=("info", "warning", "error", "never"),
+                        help="exit nonzero when a finding at/above this "
+                             "severity remains (default: error)")
+    p_lint.add_argument("--rules", action="append", default=[],
+                        metavar="ID[,ID…]",
+                        help="run only these rule ids (repeatable)")
+    p_lint.add_argument("--baseline", metavar="PATH",
+                        help="suppress findings whose fingerprints are "
+                             "recorded in this baseline file")
+    p_lint.add_argument("--write-baseline", metavar="PATH",
+                        help="record current findings as the baseline "
+                             "and exit 0")
+    p_lint.add_argument("--output", metavar="PATH",
+                        help="write json/sarif output here instead of "
+                             "stdout")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_sim = sub.add_parser("simulate", help="execute against an environment")
     p_sim.add_argument("design")

@@ -17,6 +17,14 @@ and transformation engine only promise correct results on properly
 designed systems, mirroring the paper ("From now on we only consider
 properly designed systems").
 
+Rules 1 and 2 are *behavioural* here — they enumerate reachable markings
+for an exact verdict.  Rules 3–5 are purely structural and are delegated
+to the lint engine (:mod:`repro.analysis.lint`), which also offers
+structural over-approximations of rules 1 and 2 (``PD001``/``PD002``)
+that need no enumeration at all.  Every rule reports its findings as
+:class:`~repro.diagnostics.Diagnostic` objects; :class:`CheckResult`
+keeps the legacy ``details`` string list as a view over them.
+
 Rule 3 is verified on two levels: a *static* sufficient condition —
 guards are literally complementary (one guard port is the output of a
 ``not`` vertex fed from the other guard port), the pattern the synthesis
@@ -31,19 +39,34 @@ from dataclasses import dataclass, field
 from itertools import combinations
 
 from ..datapath.ports import PortId
-from ..datapath.validate import combinational_cycle
+from ..diagnostics import Diagnostic, Location
 from ..errors import ValidationError
-from ..petri.properties import check_safety, structural_conflicts
+from ..petri.properties import check_safety, unsafe_witness_message
 from .system import DataControlSystem
 
 
 @dataclass
 class CheckResult:
-    """Outcome of one of the five rules."""
+    """Outcome of one of the five rules.
+
+    A thin wrapper over the rule's :class:`~repro.diagnostics.Diagnostic`
+    findings: ``details`` remains the legacy list of message strings (one
+    per diagnostic) so existing callers keep working, while
+    ``diagnostics`` carries the structured form (rule id, severity,
+    location anchors, hint).
+    """
 
     rule: str
     ok: bool
     details: list[str] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @classmethod
+    def from_diagnostics(cls, rule: str,
+                         diagnostics: list[Diagnostic]) -> "CheckResult":
+        """A result that passes iff the rule produced no diagnostics."""
+        return cls(rule, not diagnostics,
+                   [d.message for d in diagnostics], diagnostics)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.ok
@@ -61,6 +84,10 @@ class ProperDesignReport:
 
     def failures(self) -> list[CheckResult]:
         return [check for check in self.checks if not check.ok]
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """All findings across the five rules, in rule order."""
+        return [d for check in self.checks for d in check.diagnostics]
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.ok
@@ -89,7 +116,7 @@ def _check_parallel_disjoint(system: DataControlSystem) -> CheckResult:
     genuinely coexist).  Coexistence is exactly the "never active at the
     same time" condition the rule is meant to enforce.
     """
-    details: list[str] = []
+    found: list[Diagnostic] = []
     ass_cache = {p: system.ass(p) for p in system.control}
     places = sorted(system.control)
     for s_i, s_j in combinations(places, 2):
@@ -105,99 +132,89 @@ def _check_parallel_disjoint(system: DataControlSystem) -> CheckResult:
                 what.append(f"arcs {sorted(shared_arcs)}")
             if shared_verts:
                 what.append(f"vertices {sorted(shared_verts)}")
-            details.append(
+            found.append(Diagnostic(
+                "PD001", "error",
                 f"coexistent states {s_i!r} and {s_j!r} share "
-                f"{', '.join(what)}"
-            )
-    return CheckResult("1: parallel states have disjoint ASS", not details, details)
+                f"{', '.join(what)}",
+                (Location("place", s_i), Location("place", s_j))
+                + tuple(Location("arc", a) for a in sorted(shared_arcs))
+                + tuple(Location("vertex", v) for v in sorted(shared_verts)),
+                hint="serialize the states or give each its own resources "
+                     "(Definition 3.2(1): ASS(S_i) ∩ ASS(S_j) = ∅)",
+                system=system.name,
+            ))
+    return CheckResult.from_diagnostics(
+        "1: parallel states have disjoint ASS", found)
 
 
 def _check_safety(system: DataControlSystem, max_markings: int) -> CheckResult:
     """Rule 2: the control net is safe (1-bounded)."""
     report = check_safety(system.net, max_markings=max_markings)
-    details: list[str] = []
+    found: list[Diagnostic] = []
     if not report.safe:
-        details.append(
-            f"unsafe marking reachable"
-            + (f": {report.witness!r}" if report.witness is not None else "")
-        )
+        if report.violating_place is not None and report.witness is not None:
+            message = ("unsafe marking reachable: "
+                       + unsafe_witness_message(report.violating_place,
+                                                report.witness))
+            locations = (Location("place", report.violating_place),
+                         Location("marking", repr(report.witness)))
+        else:  # pragma: no cover - explorer always yields a witness
+            message = "unsafe marking reachable"
+            locations = ()
+        found.append(Diagnostic(
+            "PD002", "error", message, locations,
+            hint="a properly designed net is 1-bounded (Definition 3.2(2))",
+            system=system.name,
+        ))
     elif not report.decided:
-        details.append(
+        found.append(Diagnostic(
+            "PD002", "warning",
             "exploration budget exhausted before safety was proven "
-            f"({report.markings_explored} markings)"
-        )
-    return CheckResult("2: control net is safe", report.safe and report.decided, details)
+            f"({report.markings_explored} markings)",
+            hint="raise max_markings or restructure for invariant coverage",
+            system=system.name,
+        ))
+    return CheckResult.from_diagnostics("2: control net is safe", found)
 
 
 def _is_complement(system: DataControlSystem, a: PortId, b: PortId) -> bool:
-    """True iff port ``b`` is the output of a NOT vertex driven from ``a``."""
-    vertex = system.datapath.vertex(b.vertex)
-    op = vertex.ops.get(b.port)
-    if op is None or op.name != "not":
-        return False
-    for in_port in vertex.input_ids():
-        for arc in system.datapath.arcs_into(in_port):
-            if arc.source == a:
-                return True
-    return False
+    """Deprecated shim for :func:`repro.analysis.lint.is_complement`."""
+    from ..analysis.lint import is_complement
+
+    return is_complement(system, a, b)
 
 
 def _guards_exclusive(system: DataControlSystem, t_1: str, t_2: str) -> bool:
-    """Static sufficient condition for mutually exclusive guards.
+    """Deprecated shim for :func:`repro.analysis.lint.guards_exclusive`."""
+    from ..analysis.lint import guards_exclusive
 
-    Each transition must be guarded by exactly one port, and one port must
-    be the logical complement of the other (a ``not`` vertex wired from
-    it).  This is exactly the branch pattern the frontend compiler emits;
-    hand-built systems with richer exclusivity should be verified with the
-    dynamic sweep instead.
-    """
-    g_1 = system.guard_ports(t_1)
-    g_2 = system.guard_ports(t_2)
-    if len(g_1) != 1 or len(g_2) != 1:
-        return False
-    (p_1,) = g_1
-    (p_2,) = g_2
-    return _is_complement(system, p_1, p_2) or _is_complement(system, p_2, p_1)
+    return guards_exclusive(system, t_1, t_2)
 
 
 def _check_conflict_free(system: DataControlSystem) -> CheckResult:
     """Rule 3 (static): shared-place transitions carry exclusive guards."""
-    details: list[str] = []
-    for place, t_1, t_2 in structural_conflicts(system.net):
-        if not _guards_exclusive(system, t_1, t_2):
-            details.append(
-                f"transitions {t_1!r} and {t_2!r} compete for place {place!r} "
-                "without provably exclusive guards"
-            )
-    return CheckResult("3: net is conflict-free (static)", not details, details)
+    from ..analysis.lint import conflict_diagnostics
+
+    return CheckResult.from_diagnostics(
+        "3: net is conflict-free (static)", conflict_diagnostics(system))
 
 
 def _check_no_combinational_loops(system: DataControlSystem) -> CheckResult:
     """Rule 4: each state's active subgraph is combinational-loop-free."""
-    details: list[str] = []
-    for place in sorted(system.control):
-        cycle = combinational_cycle(system.datapath, system.control_arcs(place))
-        if cycle is not None:
-            details.append(
-                f"state {place!r} activates combinational loop "
-                f"{' -> '.join(cycle)}"
-            )
-    return CheckResult("4: no combinational loop within a state", not details, details)
+    from ..analysis.lint import combinational_loop_diagnostics
+
+    return CheckResult.from_diagnostics(
+        "4: no combinational loop within a state",
+        combinational_loop_diagnostics(system))
 
 
 def _check_sequential_vertex(system: DataControlSystem) -> CheckResult:
     """Rule 5: every controlling state drives at least one sequential vertex."""
-    details: list[str] = []
-    for place in sorted(system.net.places):
-        arcs = system.control_arcs(place)
-        if not arcs:
-            # A state controlling no arcs performs no operation; the rule
-            # only constrains states that are mapped by C.
-            continue
-        vertices = system.associated_vertices(place)
-        if not any(system.datapath.vertex(v).is_sequential for v in vertices):
-            details.append(f"state {place!r} drives no sequential vertex")
-    return CheckResult("5: every state includes a sequential vertex", not details, details)
+    from ..analysis.lint import sequential_vertex_diagnostics
+
+    return CheckResult.from_diagnostics(
+        "5: every state includes a sequential vertex",
+        sequential_vertex_diagnostics(system))
 
 
 def check_properly_designed(system: DataControlSystem, *,

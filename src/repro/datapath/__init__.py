@@ -47,6 +47,7 @@ from .validate import (
     assert_valid,
     combinational_cycle,
     topological_com_order,
+    datapath_diagnostics,
     validate_datapath,
 )
 from .vertex import Vertex
@@ -80,6 +81,7 @@ __all__ = [
     "CONSTRUCTORS",
     "vertex_area",
     "vertex_delay",
+    "datapath_diagnostics",
     "validate_datapath",
     "assert_valid",
     "combinational_cycle",

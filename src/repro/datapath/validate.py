@@ -18,15 +18,18 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..diagnostics import Diagnostic, Location
 from ..errors import ValidationError
 from .graph import DataPath
 from .operations import OpKind
 from .ports import PortId
 from .vertex import Vertex
 
+_HINT = "repair the data-path structure before any other analysis"
 
-def validate_datapath(dp: DataPath) -> list[str]:
-    """Return a list of problems (empty = valid).
+
+def datapath_diagnostics(dp: DataPath) -> list[Diagnostic]:
+    """Well-formedness findings as structured diagnostics (rule ``DP000``).
 
     Checks:
     1. external vertices have the exact port structure of Definition 3.3;
@@ -35,38 +38,58 @@ def validate_datapath(dp: DataPath) -> list[str]:
     4. input-vertex output ports and output-vertex input ports are
        connected (dangling pads are almost always a modelling error).
     """
-    problems: list[str] = []
+    def problem(message: str, *locations: Location) -> Diagnostic:
+        return Diagnostic("DP000", "error", message, locations, hint=_HINT)
+
+    problems: list[Diagnostic] = []
     for vertex in dp.vertices.values():
+        at_vertex = Location("vertex", vertex.name)
         if vertex.is_input_vertex:
             if vertex.in_ports or len(vertex.out_ports) != 1:
-                problems.append(
+                problems.append(problem(
                     f"input vertex {vertex.name!r} must have no input ports "
-                    "and exactly one output port (Definition 3.3)"
-                )
+                    "and exactly one output port (Definition 3.3)", at_vertex))
             if not dp.arcs_from(PortId(vertex.name, vertex.out_ports[0])):
-                problems.append(f"input vertex {vertex.name!r} drives no arc")
+                problems.append(problem(
+                    f"input vertex {vertex.name!r} drives no arc", at_vertex))
         if vertex.is_output_vertex:
             if len(vertex.in_ports) != 1:
-                problems.append(
+                problems.append(problem(
                     f"output vertex {vertex.name!r} must have exactly one "
-                    "input port (Definition 3.3)"
-                )
+                    "input port (Definition 3.3)", at_vertex))
             elif not dp.arcs_into(PortId(vertex.name, vertex.in_ports[0])):
-                problems.append(f"output vertex {vertex.name!r} receives no arc")
+                problems.append(problem(
+                    f"output vertex {vertex.name!r} receives no arc",
+                    at_vertex))
     for arc in dp.arcs.values():
+        at_arc = Location("arc", arc.name)
         src_vertex = dp.vertices.get(arc.source.vertex)
         dst_vertex = dp.vertices.get(arc.target.vertex)
         if src_vertex is None or arc.source.port not in src_vertex.out_ports:
-            problems.append(f"arc {arc.name!r} has dangling source {arc.source}")
+            problems.append(problem(
+                f"arc {arc.name!r} has dangling source {arc.source}",
+                at_arc, Location("port", str(arc.source))))
             continue
         if dst_vertex is None or arc.target.port not in dst_vertex.in_ports:
-            problems.append(f"arc {arc.name!r} has dangling target {arc.target}")
+            problems.append(problem(
+                f"arc {arc.name!r} has dangling target {arc.target}",
+                at_arc, Location("port", str(arc.target))))
             continue
         if src_vertex.operation(arc.source.port).kind is OpKind.OUTPUT:
-            problems.append(
-                f"arc {arc.name!r} is driven by environment sink {arc.source}"
-            )
+            problems.append(problem(
+                f"arc {arc.name!r} is driven by environment sink {arc.source}",
+                at_arc, Location("port", str(arc.source))))
     return problems
+
+
+def validate_datapath(dp: DataPath) -> list[str]:
+    """Return a list of problems (empty = valid).
+
+    Deprecated shim kept for source compatibility: the messages of
+    :func:`datapath_diagnostics`, which callers should prefer for
+    structured rule ids, severities and location anchors.
+    """
+    return [d.message for d in datapath_diagnostics(dp)]
 
 
 def assert_valid(dp: DataPath) -> None:

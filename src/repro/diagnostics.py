@@ -1,0 +1,170 @@
+"""Structured diagnostics — the unified result type of all static checks.
+
+Every static analysis in the library (the Definition 3.2 properly-designed
+checker, the data-path well-formedness validator, and the structural lint
+rules of :mod:`repro.analysis.lint`) reports its findings as
+:class:`Diagnostic` objects: a stable rule id (``PD001``, ``DP003``,
+``CN002``, …), a severity, location anchors naming the offending net
+elements or data-path objects, a human-readable message and a fix hint.
+
+This module sits at the package root (next to :mod:`repro.errors` and
+:mod:`repro.values`) so the low-level layers can build diagnostics without
+importing the analysis engine: ``datapath`` and ``core`` produce them,
+``analysis.lint`` aggregates them, and the CLI/CI layer renders them as
+text, JSON or SARIF.
+
+Fingerprints
+------------
+Each diagnostic has a deterministic :attr:`~Diagnostic.fingerprint` over
+``(system, rule, locations)`` — deliberately *excluding* the message, so
+rewording a message does not invalidate recorded baselines.  Fingerprints
+drive two features: baseline files (suppress known findings; see
+``repro lint --baseline``) and the transformation pipeline's
+lint-preservation assertion (a rewrite must not introduce findings whose
+fingerprints were absent before it ran).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+#: Recognised severities, weakest first.  Order matters: ``--fail-on``
+#: thresholds and report sorting both use this ranking.
+SEVERITIES = ("info", "warning", "error")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (info=0 < warning=1 < error=2)."""
+    try:
+        return _SEVERITY_RANK[severity]
+    except KeyError:
+        raise ValueError(
+            f"unknown severity {severity!r}; choose one of {SEVERITIES}"
+        ) from None
+
+
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """True iff ``severity`` is at least as severe as ``threshold``."""
+    return severity_rank(severity) >= severity_rank(threshold)
+
+
+#: Location kinds a diagnostic may anchor to.
+LOCATION_KINDS = ("place", "transition", "vertex", "arc", "port", "marking")
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """One anchor of a diagnostic: a named model element.
+
+    ``kind`` says which namespace the name lives in (a control place, a
+    net transition, a data-path vertex/arc/port, or a marking rendered as
+    a string witness).
+    """
+
+    kind: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in LOCATION_KINDS:
+            raise ValueError(
+                f"unknown location kind {self.kind!r}; "
+                f"choose one of {LOCATION_KINDS}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static check.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule id (``PD001``, ``CN002``, ``DP003``, …).
+    severity:
+        One of :data:`SEVERITIES`.
+    message:
+        Human-readable statement of the problem.
+    locations:
+        The offending elements, most specific first.
+    hint:
+        A short fix suggestion (may be empty).
+    system:
+        Name of the analysed system (filled by the lint engine).
+    """
+
+    rule: str
+    severity: str
+    message: str
+    locations: tuple[Location, ...] = ()
+    hint: str = ""
+    system: str = ""
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validates eagerly
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity over (system, rule, locations) — not message."""
+        material = "\x1f".join(
+            [self.system, self.rule]
+            + [f"{loc.kind}\x1e{loc.name}" for loc in self.locations]
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self) -> tuple:
+        """Most severe first, then rule id, then locations."""
+        return (-severity_rank(self.severity), self.rule, self.locations,
+                self.message)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "locations": [{"kind": loc.kind, "name": loc.name}
+                          for loc in self.locations],
+            "hint": self.hint,
+            "system": self.system,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            rule=data["rule"],
+            severity=data["severity"],
+            message=data["message"],
+            locations=tuple(Location(loc["kind"], loc["name"])
+                            for loc in data.get("locations", ())),
+            hint=data.get("hint", ""),
+            system=data.get("system", ""),
+        )
+
+    def __str__(self) -> str:
+        anchors = ", ".join(str(loc) for loc in self.locations)
+        suffix = f" [{anchors}]" if anchors else ""
+        return f"{self.rule} {self.severity}: {self.message}{suffix}"
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> str | None:
+    """The most severe severity present, or ``None`` when empty."""
+    worst: str | None = None
+    for diagnostic in diagnostics:
+        if worst is None or severity_rank(diagnostic.severity) > severity_rank(worst):
+            worst = diagnostic.severity
+    return worst
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """``{"error": n, "warning": n, "info": n}`` (always all three keys)."""
+    counts = {name: 0 for name in SEVERITIES}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+    return counts

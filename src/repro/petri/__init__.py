@@ -47,6 +47,7 @@ from .properties import (
     is_marked_graph,
     is_state_machine,
     structural_conflicts,
+    unsafe_witness_message,
 )
 from .reachability import (
     ReachabilityGraph,
@@ -113,6 +114,7 @@ __all__ = [
     "check_safety",
     "check_liveness",
     "structural_conflicts",
+    "unsafe_witness_message",
     "is_marked_graph",
     "is_state_machine",
 ]

@@ -30,6 +30,9 @@ import numpy as np
 from .marking import Marking
 from .net import PetriNet
 
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
 
 def incidence_matrix(net: PetriNet) -> np.ndarray:
     """The |S| × |T| incidence matrix with integer entries.
@@ -69,37 +72,62 @@ def apply_state_equation(net: PetriNet, marking: Marking, counts: dict[str, int]
 
 
 def _rational_nullspace(matrix: np.ndarray) -> list[list[Fraction]]:
-    """Exact basis of the (right) null space of ``matrix`` over ℚ."""
-    rows, cols = matrix.shape
-    work = [[Fraction(int(matrix[i, j])) for j in range(cols)] for i in range(rows)]
-    pivot_cols: list[int] = []
-    rank = 0
-    for col in range(cols):
-        pivot_row = None
-        for row in range(rank, rows):
-            if work[row][col] != 0:
-                pivot_row = row
-                break
-        if pivot_row is None:
+    """Exact basis of the (right) null space of ``matrix`` over ℚ.
+
+    Rows are kept as sparse ``{col: Fraction}`` dicts: Petri-net
+    incidence matrices have only a handful of nonzeros per row (a
+    transition touches its pre- and postset, nothing else), so sparse
+    elimination is near-linear where a dense sweep is cubic.  The
+    elimination keeps every pivot row at 1 on its own pivot column and
+    0 on all other pivot columns; the free-column construction below
+    only needs that property, not leftmost-pivot echelon form.
+    """
+    rows_n, cols = matrix.shape
+    pivot_rows: dict[int, dict[int, Fraction]] = {}
+    for i in range(rows_n):
+        row = {j: Fraction(int(matrix[i, j])) for j in range(cols)
+               if matrix[i, j]}
+        # eliminate existing pivot columns; the subtractions only ever
+        # introduce entries on free columns, so one pass suffices
+        for col in sorted(c for c in row if c in pivot_rows):
+            factor = row.pop(col)
+            for k, v in pivot_rows[col].items():
+                if k == col:
+                    continue
+                value = row.get(k, _ZERO) - factor * v
+                if value:
+                    row[k] = value
+                else:
+                    row.pop(k, None)
+        if not row:
             continue
-        work[rank], work[pivot_row] = work[pivot_row], work[rank]
-        pivot = work[rank][col]
-        work[rank] = [value / pivot for value in work[rank]]
-        for row in range(rows):
-            if row != rank and work[row][col] != 0:
-                factor = work[row][col]
-                work[row] = [a - factor * b for a, b in zip(work[row], work[rank])]
-        pivot_cols.append(col)
-        rank += 1
-        if rank == rows:
-            break
-    free_cols = [c for c in range(cols) if c not in pivot_cols]
+        col = min(row)
+        pivot = row.pop(col)
+        row = {k: v / pivot for k, v in row.items()}
+        row[col] = _ONE
+        for prow in pivot_rows.values():
+            factor = prow.pop(col, None)
+            if factor is None:
+                continue
+            for k, v in row.items():
+                if k == col:
+                    continue
+                value = prow.get(k, _ZERO) - factor * v
+                if value:
+                    prow[k] = value
+                else:
+                    prow.pop(k, None)
+        pivot_rows[col] = row
     basis: list[list[Fraction]] = []
-    for free in free_cols:
-        vector = [Fraction(0)] * cols
-        vector[free] = Fraction(1)
-        for row, col in enumerate(pivot_cols):
-            vector[col] = -work[row][free]
+    for free in range(cols):
+        if free in pivot_rows:
+            continue
+        vector = [_ZERO] * cols
+        vector[free] = _ONE
+        for col, prow in pivot_rows.items():
+            weight = prow.get(free)
+            if weight:
+                vector[col] = -weight
         basis.append(vector)
     return basis
 

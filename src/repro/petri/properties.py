@@ -17,16 +17,28 @@ from .reachability import ReachabilityGraph, explore
 
 @dataclass
 class SafetyReport:
-    """Outcome of a safety (1-boundedness) analysis."""
+    """Outcome of a safety (1-boundedness) analysis.
+
+    When the net is unsafe, ``witness`` is a reachable marking with more
+    than one token on some place and ``violating_place`` names that place
+    (the first over-tokened place of the first such marking found).
+    """
 
     safe: bool
     decided: bool
     method: str
     witness: Marking | None = None
+    violating_place: str | None = None
     markings_explored: int = 0
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.safe and self.decided
+
+
+def unsafe_witness_message(place: str, marking: Marking) -> str:
+    """Human-readable unsafety witness, shared by checker and lint rule."""
+    return (f"place {place!r} holds {marking[place]} tokens "
+            f"at marking {marking!r}")
 
 
 def check_safety(net: PetriNet, *, max_markings: int = 100_000) -> SafetyReport:
@@ -42,12 +54,17 @@ def check_safety(net: PetriNet, *, max_markings: int = 100_000) -> SafetyReport:
         return SafetyReport(safe=True, decided=True, method="p-invariant")
     graph = explore(net, max_markings=max_markings, token_bound=1)
     if graph.bounded_by > 1:
-        witness = next(
-            (m for m in graph.markings if any(m[p] > 1 for p in m)), None
-        )
+        witness = None
+        violating_place = None
+        for m in graph.markings:
+            over = sorted(p for p in m if m[p] > 1)
+            if over:
+                witness, violating_place = m, over[0]
+                break
         return SafetyReport(
             safe=False, decided=True, method="reachability",
-            witness=witness, markings_explored=graph.num_markings,
+            witness=witness, violating_place=violating_place,
+            markings_explored=graph.num_markings,
         )
     return SafetyReport(
         safe=True, decided=graph.complete, method="reachability",

@@ -46,6 +46,7 @@ from .jobs import (
     JobSpec,
     canonical_json,
     check_job,
+    lint_job,
     equivalence_job,
     execute_job,
     job_key,
@@ -72,6 +73,7 @@ __all__ = [
     "execute_job",
     "simulate_job",
     "check_job",
+    "lint_job",
     "reachability_job",
     "equivalence_job",
     "synthesize_job",

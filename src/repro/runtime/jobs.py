@@ -33,9 +33,9 @@ from typing import Any, Mapping, Sequence
 from ..errors import DefinitionError, ExecutionError
 
 #: The workload kinds the engine understands.  ``probe`` is the
-#: fault-injection aid; the other five are the library's real workloads.
+#: fault-injection aid; the other six are the library's real workloads.
 JOB_KINDS = ("simulate", "check", "reachability", "equivalence",
-             "synthesize", "probe")
+             "synthesize", "lint", "probe")
 
 #: Bumped whenever the payload format of any kind changes, so stale
 #: cache entries from an older engine can never be confused for current
@@ -180,6 +180,25 @@ def check_job(system, *, label: str = "") -> JobSpec:
     return JobSpec("check", _system_dict(system), {}, label=label)
 
 
+def lint_job(system, *, rules: Sequence[str] | None = None,
+             fail_on: str = "error", label: str = "") -> JobSpec:
+    """Run the structural lint rules (no reachability enumeration)."""
+    from ..analysis.lint import get_rule
+    from ..diagnostics import severity_rank
+
+    if fail_on not in ("never", "none"):
+        try:
+            severity_rank(fail_on)
+        except ValueError as exc:
+            raise DefinitionError(str(exc)) from None
+    if rules is not None:
+        rules = [get_rule(rule_id).id for rule_id in rules]
+    return JobSpec("lint", _system_dict(system), {
+        "rules": list(rules) if rules is not None else None,
+        "fail_on": fail_on,
+    }, label=label)
+
+
 def reachability_job(system, *, max_markings: int = 100_000,
                      token_bound: int = 8, label: str = "") -> JobSpec:
     """Explore the control net's reachable marking graph."""
@@ -262,6 +281,8 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
         return _run_simulate(system, params)
     if kind == "check":
         return _run_check(system)
+    if kind == "lint":
+        return _run_lint(system, params)
     if kind == "reachability":
         return _run_reachability(system, params)
     if kind == "equivalence":
@@ -309,6 +330,19 @@ def _run_check(system) -> dict[str, Any]:
         "ok": report.ok,
         "checks": [{"rule": c.rule, "ok": c.ok, "details": list(c.details)}
                    for c in report.checks],
+    }, "sim_metrics": None}
+
+
+def _run_lint(system, params) -> dict[str, Any]:
+    from ..analysis.lint import run_lint
+
+    fail_on = params.get("fail_on", "error")
+    report = run_lint(system, rules=params.get("rules"))
+    return {"payload": {
+        "ok": report.ok(fail_on),
+        "fail_on": fail_on,
+        "counts": report.counts,
+        "diagnostics": [d.as_dict() for d in report.diagnostics],
     }, "sim_metrics": None}
 
 

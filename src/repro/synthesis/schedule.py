@@ -266,15 +266,30 @@ class CompactionReport:
 
 def compact(system: DataControlSystem,
             limits: Mapping[str, int] | None = None, *,
-            verify: bool = True) -> tuple[DataControlSystem, CompactionReport]:
+            verify: bool = True,
+            lint: bool | None = None
+            ) -> tuple[DataControlSystem, CompactionReport]:
     """Schedule every linear block and restructure the control net.
 
     Returns the transformed system (the input is untouched) and a report.
     Blocks whose schedule is already serial-optimal (one layer per state
     with no parallelism gained) are left alone.
+
+    With ``lint`` enabled (default: follows ``verify``) each accepted move
+    must also preserve lint-cleanliness: a restructuring that introduces a
+    new error-level structural finding (:mod:`repro.analysis.lint`) is
+    skipped like a failed equivalence check.  The comparison is
+    regression-only — pre-existing findings of the input system are
+    tolerated — and the baseline is recomputed after every accepted move
+    so renamed elements do not accumulate false regressions.
     """
+    from ..analysis.lint import error_fingerprints, lint_regressions
+
+    if lint is None:
+        lint = verify
     report = CompactionReport()
     current = system
+    baseline = error_fingerprints(current) if lint else frozenset()
     for block in linear_blocks(current):
         report.blocks += 1
         layers = list_schedule(current, block, limits)
@@ -288,7 +303,7 @@ def compact(system: DataControlSystem,
             report.log.record(transform, legal=False, reason=legality.reason)
             continue
         try:
-            current = transform.apply(current, verify=verify)
+            candidate = transform.apply(current, verify=verify)
         except TransformError as error:
             # the post-hoc Definition 4.5 check rejected a move the static
             # pre-check accepted: skip it — compaction must never turn a
@@ -296,6 +311,16 @@ def compact(system: DataControlSystem,
             # equivalent one
             report.log.record(transform, legal=False, reason=str(error))
             continue
+        if lint:
+            regressions = lint_regressions(baseline, candidate)
+            if regressions:
+                report.log.record(
+                    transform, legal=False,
+                    reason="lint regression: "
+                           + "; ".join(str(d) for d in regressions[:3]))
+                continue
+            baseline = error_fingerprints(candidate)
+        current = candidate
         report.log.record(transform)
         report.restructured += 1
     return current, report

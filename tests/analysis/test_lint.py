@@ -1,0 +1,450 @@
+"""The structural lint engine: rules, reports, baselines, SARIF, hooks."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    LintContext,
+    all_rules,
+    assert_lint_preserved,
+    baseline_document,
+    error_fingerprints,
+    get_rule,
+    lint_regressions,
+    load_baseline,
+    run_lint,
+)
+from repro.analysis.sarif import sarif_dumps, sarif_log
+from repro.core import DataControlSystem, check_properly_designed
+from repro.datapath import DataPath, adder, constant, input_pad, register
+from repro.designs import all_designs
+from repro.diagnostics import Diagnostic, Location
+from repro.errors import DefinitionError, TransformError
+from repro.petri import PetriNet
+
+from ..util import (
+    guarded_choice_system,
+    independent_pair_system,
+    relay_system,
+)
+
+
+# ---------------------------------------------------------------------------
+# intentionally broken fixtures, one per rule
+# ---------------------------------------------------------------------------
+def minimal_system(*, marked: bool = True) -> DataControlSystem:
+    """const → register over one state; the smallest lint-clean core."""
+    dp = DataPath(name="mini")
+    dp.add_vertex(constant("k", 7))
+    dp.add_vertex(register("r"))
+    dp.connect("k.o", "r.d", name="a_k")
+    net = PetriNet(name="mini")
+    net.add_place("s0", marked=marked)
+    net.add_transition("t_end")
+    net.add_arc("s0", "t_end")
+    system = DataControlSystem(dp, net, name="mini")
+    system.set_control("s0", ["a_k"])
+    return system
+
+
+def broken_pd001() -> DataControlSystem:
+    """Fork into two concurrent places that share the same register."""
+    system = minimal_system()
+    net = system.net
+    net.remove_arc("s0", "t_end")
+    net.add_place("pa")
+    net.add_place("pb")
+    net.add_transition("t_fork")
+    net.add_arc("s0", "t_fork")
+    net.add_arc("t_fork", "pa")
+    net.add_arc("t_fork", "pb")
+    net.add_arc("pa", "t_end")
+    system.set_control("s0", [])
+    system.set_control("pa", ["a_k"])
+    system.set_control("pb", ["a_k"])
+    return system
+
+
+def broken_pd002() -> DataControlSystem:
+    """Initial marking already unsafe: two tokens on one place."""
+    system = minimal_system(marked=False)
+    system.net.set_initial("s0", 2)
+    return system
+
+
+def broken_pd003() -> DataControlSystem:
+    """Two unguarded transitions competing for the same place."""
+    system = minimal_system()
+    system.net.add_transition("t_other")
+    system.net.add_arc("s0", "t_other")
+    return system
+
+
+def broken_pd004() -> DataControlSystem:
+    """A state opening a two-adder combinational cycle."""
+    system = minimal_system()
+    dp = system.datapath
+    dp.add_vertex(adder("u"))
+    dp.add_vertex(adder("v"))
+    dp.connect("u.o", "v.l", name="a_uv")
+    dp.connect("v.o", "u.l", name="a_vu")
+    dp.connect("k.o", "u.r", name="a_ku")
+    dp.connect("k.o", "v.r", name="a_kv")
+    system.add_control("s0", "a_uv", "a_vu", "a_ku", "a_kv")
+    return system
+
+
+def broken_pd005() -> DataControlSystem:
+    """A state whose controlled arcs reach no sequential vertex."""
+    system = minimal_system()
+    dp = system.datapath
+    dp.add_vertex(adder("sum"))
+    dp.connect("k.o", "sum.l", name="a_com")
+    net = system.net
+    net.add_place("s1")
+    net.add_transition("t_mid")
+    net.remove_arc("s0", "t_end")
+    net.add_arc("s0", "t_mid")
+    net.add_arc("t_mid", "s1")
+    net.add_arc("s1", "t_end")
+    system.set_control("s1", ["a_com"])
+    return system
+
+
+def broken_cn001() -> DataControlSystem:
+    """A place unreachable from the initial marking."""
+    system = minimal_system()
+    system.net.add_place("limbo")
+    return system
+
+
+def broken_cn002() -> DataControlSystem:
+    """A transition fed only by an unreachable place."""
+    system = broken_cn001()
+    system.net.add_transition("t_limbo")
+    system.net.add_arc("limbo", "t_limbo")
+    return system
+
+
+def broken_cn003() -> DataControlSystem:
+    """A source transition with an empty preset."""
+    system = minimal_system()
+    system.net.add_transition("t_source")
+    system.net.add_arc("t_source", "s0")
+    return system
+
+
+def broken_dp000() -> DataControlSystem:
+    """An input pad that drives no arc (Definition 3.3 violation)."""
+    system = minimal_system()
+    system.datapath.add_vertex(input_pad("dangling"))
+    return system
+
+
+def broken_dp001() -> DataControlSystem:
+    """An arc opened by no control state."""
+    system = minimal_system()
+    system.datapath.add_vertex(register("r2"))
+    system.datapath.connect("k.o", "r2.d", name="a_orphan")
+    return system
+
+
+def broken_dp002() -> DataControlSystem:
+    """A register whose input port receives no arc at all."""
+    system = minimal_system()
+    system.datapath.add_vertex(register("idle"))
+    return system
+
+
+def broken_dp003() -> DataControlSystem:
+    """A guard consulted in a state that does not drive its inputs."""
+    system = guarded_choice_system()
+    # s_decide stops opening the comparator inputs: the guard value is
+    # combinationally undefined exactly where t_pos/t_zero consult it.
+    system.set_control("s_decide", ["a_inv", "a_latch"])
+    return system
+
+
+def broken_dp004() -> DataControlSystem:
+    """One state opening two arcs into the same input port."""
+    system = minimal_system()
+    system.datapath.add_vertex(constant("k2", 9))
+    system.datapath.connect("k2.o", "r.d", name="a_k2")
+    system.add_control("s0", "a_k2")
+    return system
+
+
+BROKEN_FIXTURES = [
+    ("PD001", broken_pd001, "error"),
+    ("PD002", broken_pd002, "error"),
+    ("PD003", broken_pd003, "error"),
+    ("PD004", broken_pd004, "error"),
+    ("PD005", broken_pd005, "error"),
+    ("CN001", broken_cn001, "warning"),
+    ("CN002", broken_cn002, "warning"),
+    ("CN003", broken_cn003, "error"),
+    ("DP000", broken_dp000, "error"),
+    ("DP001", broken_dp001, "warning"),
+    ("DP002", broken_dp002, "warning"),
+    ("DP003", broken_dp003, "error"),
+    ("DP004", broken_dp004, "error"),
+]
+
+
+class TestBrokenFixtures:
+    @pytest.mark.parametrize("rule_id,builder,severity",
+                             BROKEN_FIXTURES,
+                             ids=[f[0] for f in BROKEN_FIXTURES])
+    def test_fixture_flags_expected_rule(self, rule_id, builder, severity):
+        report = run_lint(builder())
+        found = report.by_rule(rule_id)
+        assert found, f"{rule_id} not raised; got {report.diagnostics}"
+        assert any(d.severity == severity for d in found)
+
+    @pytest.mark.parametrize("rule_id,builder,severity",
+                             BROKEN_FIXTURES,
+                             ids=[f[0] for f in BROKEN_FIXTURES])
+    def test_fixture_is_isolated(self, rule_id, builder, severity):
+        # the selected-rules path reports the same finding alone
+        report = run_lint(builder(), rules=[rule_id])
+        assert report.rules_run == (rule_id,)
+        assert report.by_rule(rule_id)
+
+    def test_diagnostics_carry_locations_and_hints(self):
+        report = run_lint(broken_pd003())
+        (finding,) = report.by_rule("PD003")
+        kinds = {loc.kind for loc in finding.locations}
+        assert kinds == {"place", "transition"}
+        assert finding.hint
+        assert finding.system == "mini"
+
+    def test_pd002_reuses_safety_witness_wording(self):
+        from repro.petri import check_safety, unsafe_witness_message
+
+        system = broken_pd002()
+        (finding,) = run_lint(system, rules=["PD002"]).diagnostics
+        safety = check_safety(system.net)
+        assert not safety.safe
+        assert safety.violating_place == "s0"
+        assert unsafe_witness_message(
+            safety.violating_place, safety.witness) in finding.message
+
+
+class TestCleanSystems:
+    @pytest.mark.parametrize("builder", [
+        relay_system, independent_pair_system, guarded_choice_system,
+    ])
+    def test_hand_built_systems_warning_clean(self, builder):
+        report = run_lint(builder())
+        assert report.ok("warning"), report.to_text()
+
+    def test_zoo_lints_error_clean(self):
+        for design in all_designs():
+            report = run_lint(design.build())
+            assert report.ok("error"), f"{design.name}: {report.to_text()}"
+
+    def test_compacted_zoo_lints_error_clean(self):
+        from repro.synthesis import compact
+
+        for design in all_designs():
+            compacted, _report = compact(design.build())
+            report = run_lint(compacted)
+            assert report.ok("error"), f"{design.name}: {report.to_text()}"
+
+
+class TestNoReachability:
+    def test_all_rules_run_without_marking_enumeration(self, monkeypatch):
+        import repro.petri.reachability as reachability
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - must not run
+            raise AssertionError("lint must not enumerate markings")
+
+        monkeypatch.setattr(reachability, "explore", boom)
+        monkeypatch.setattr(reachability, "coexistent_place_pairs", boom)
+        for design in all_designs():
+            report = run_lint(design.build())
+            assert report.rules_run == tuple(r.id for r in all_rules())
+        for _rule_id, builder, _severity in BROKEN_FIXTURES:
+            run_lint(builder())
+
+
+class TestRegistry:
+    def test_all_rules_sorted_and_documented(self):
+        rules = all_rules()
+        assert [r.id for r in rules] == sorted(r.id for r in rules)
+        assert len(rules) == 13
+        for rule in rules:
+            assert rule.severity in ("info", "warning", "error")
+            assert rule.title
+            assert rule.structural
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(DefinitionError, match="unknown lint rule"):
+            get_rule("XX999")
+
+    def test_rule_subset_runs_only_selected(self):
+        report = run_lint(relay_system(), rules=["CN001", "DP001"])
+        assert report.rules_run == ("CN001", "DP001")
+        assert report.diagnostics == []
+
+
+class TestReport:
+    def test_sorted_most_severe_first(self):
+        report = run_lint(broken_dp001())  # warning + info findings
+        severities = [d.severity for d in report.diagnostics]
+        assert severities == sorted(
+            severities, key=["error", "warning", "info"].index)
+
+    def test_fail_on_thresholds(self):
+        report = run_lint(relay_system())  # one PD002 info, nothing else
+        assert report.ok("error") and report.ok("warning")
+        assert not report.ok("info")
+        assert report.ok("never")
+
+    def test_counts_and_worst(self):
+        report = run_lint(broken_pd002())
+        assert report.counts["error"] == 1
+        assert report.worst == "error"
+
+    def test_as_dict_round_trips_diagnostics(self):
+        report = run_lint(broken_pd003())
+        data = report.as_dict()
+        restored = [Diagnostic.from_dict(d) for d in data["diagnostics"]]
+        assert restored == report.diagnostics
+
+
+class TestBaselines:
+    def test_baseline_suppresses_known_findings(self, tmp_path):
+        report = run_lint(broken_dp004())
+        document = baseline_document([report])
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(document))
+        known = load_baseline(str(path))
+        suppressed = run_lint(broken_dp004()).with_baseline(known)
+        assert suppressed.diagnostics == []
+        assert suppressed.suppressed == len(report.diagnostics)
+
+    def test_bare_list_and_report_documents_accepted(self, tmp_path):
+        report = run_lint(broken_dp001())
+        as_list = tmp_path / "list.json"
+        as_list.write_text(json.dumps(sorted(report.fingerprints())))
+        assert load_baseline(str(as_list)) == report.fingerprints()
+        as_report = tmp_path / "report.json"
+        as_report.write_text(json.dumps(
+            {"format": 1, "reports": [report.as_dict()]}))
+        assert load_baseline(str(as_report)) == report.fingerprints()
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"what": "ever"}')
+        with pytest.raises(DefinitionError, match="unrecognised baseline"):
+            load_baseline(str(path))
+
+    def test_fingerprint_ignores_message_wording(self):
+        base = Diagnostic("PD001", "error", "one wording",
+                          (Location("place", "p"),), system="s")
+        reworded = Diagnostic("PD001", "error", "another wording",
+                              (Location("place", "p"),), system="s")
+        other = Diagnostic("PD001", "error", "one wording",
+                           (Location("place", "q"),), system="s")
+        assert base.fingerprint == reworded.fingerprint
+        assert base.fingerprint != other.fingerprint
+
+
+class TestTransformHook:
+    def test_regressions_detected_against_clean_before(self):
+        before = minimal_system()
+        after = broken_dp004()
+        new = lint_regressions(before, after)
+        assert any(d.rule == "DP004" for d in new)
+
+    def test_preexisting_errors_tolerated(self):
+        system = broken_dp004()
+        assert lint_regressions(system, system.copy()) == []
+        assert lint_regressions(error_fingerprints(system), system) == []
+
+    def test_assert_raises_transform_error(self):
+        with pytest.raises(TransformError, match="lint error"):
+            assert_lint_preserved(minimal_system(), broken_dp004())
+        assert_lint_preserved(minimal_system(), minimal_system())
+
+    def test_compact_accepts_lint_flag(self):
+        from repro.synthesis import compact
+
+        design = next(d for d in all_designs() if d.name == "fir4")
+        with_lint, rep_lint = compact(design.build(), lint=True)
+        without, rep_plain = compact(design.build(), lint=False)
+        assert rep_lint.restructured == rep_plain.restructured
+        assert with_lint.net.structure_equal(without.net)
+
+
+class TestSarif:
+    def test_log_structure(self):
+        log = sarif_log([run_lint(broken_pd003())])
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {r["id"] for r in driver["rules"]} == \
+            {r.id for r in all_rules()}
+        (result,) = [r for r in run["results"] if r["ruleId"] == "PD003"]
+        assert result["level"] == "error"
+        names = {loc["logicalLocations"][0]["fullyQualifiedName"]
+                 for loc in result["locations"]}
+        assert "mini/place:s0" in names
+        assert result["partialFingerprints"]["reproDiagnostic/v1"]
+
+    def test_info_maps_to_note_level(self):
+        log = sarif_log([run_lint(relay_system(), rules=["PD002"])])
+        (result,) = log["runs"][0]["results"]
+        assert result["level"] == "note"
+
+    def test_dumps_is_valid_json(self):
+        parsed = json.loads(sarif_dumps([run_lint(relay_system())]))
+        assert parsed["runs"][0]["properties"]["systems"] == ["relay"]
+
+
+class TestContext:
+    def test_branch_heads_proven_mutex(self):
+        ctx = LintContext(guarded_choice_system())
+        assert ctx.proven_mutex("s_pos", "s_zero")
+        assert ctx.concurrency_class("s_pos", "s_zero") == "mutex"
+
+    def test_fork_successors_not_mutex(self):
+        ctx = LintContext(broken_pd001())
+        assert not ctx.proven_mutex("pa", "pb")
+        assert ctx.concurrency_class("pa", "pb") == "parallel"
+
+    def test_flow_reachability(self):
+        ctx = LintContext(broken_cn001())
+        assert "s0" in ctx.flow_reachable
+        assert "limbo" not in ctx.flow_reachable
+
+
+class TestResultTypeUnification:
+    def test_check_results_wrap_diagnostics(self):
+        report = check_properly_designed(broken_pd003())
+        failing = [c for c in report.checks if not c.ok]
+        assert failing
+        for check in report.checks:
+            assert check.details == [d.message for d in check.diagnostics]
+        assert any(d.rule == "PD003" for d in report.diagnostics())
+
+    def test_validate_datapath_shim_matches_diagnostics(self):
+        from repro.datapath import datapath_diagnostics, validate_datapath
+
+        dp = broken_dp000().datapath
+        diagnostics = datapath_diagnostics(dp)
+        assert [d.message for d in diagnostics] == validate_datapath(dp)
+        assert all(d.rule == "DP000" and d.severity == "error"
+                   for d in diagnostics)
+
+    def test_safety_witness_names_place(self):
+        from repro.petri import check_safety
+
+        net = broken_pd002().net
+        report = check_safety(net)
+        assert not report.safe
+        assert report.violating_place == "s0"
+        assert report.witness[report.violating_place] > 1

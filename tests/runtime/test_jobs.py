@@ -151,3 +151,50 @@ class TestJobFiles:
         path.write_text(json.dumps({"format": 99, "jobs": []}))
         with pytest.raises(DefinitionError):
             load_job_file(str(path))
+
+
+class TestLintJobs:
+    def test_key_is_deterministic(self, zoo):
+        design, system = zoo["gcd"]
+        from repro.runtime import lint_job
+        assert lint_job(system).key == lint_job(design.build()).key
+
+    def test_key_changes_with_params(self, zoo):
+        from repro.runtime import lint_job
+        _, system = zoo["gcd"]
+        assert lint_job(system).key != \
+            lint_job(system, fail_on="warning").key
+        assert lint_job(system).key != \
+            lint_job(system, rules=["CN001"]).key
+
+    def test_unknown_rule_rejected(self, zoo):
+        from repro.runtime import lint_job
+        _, system = zoo["gcd"]
+        with pytest.raises(DefinitionError, match="unknown lint rule"):
+            lint_job(system, rules=["XX999"])
+
+    def test_bad_fail_on_rejected(self, zoo):
+        from repro.runtime import lint_job
+        _, system = zoo["gcd"]
+        with pytest.raises(DefinitionError):
+            lint_job(system, fail_on="fatal")
+
+    def test_execute_clean_design(self, zoo):
+        from repro.runtime import lint_job
+        _, system = zoo["gcd"]
+        result = execute_job(lint_job(system).to_dict())
+        payload = result["payload"]
+        assert payload["ok"] is True
+        assert payload["fail_on"] == "error"
+        assert payload["counts"]["error"] == 0
+        assert result["sim_metrics"] is None
+
+    def test_execute_reports_diagnostics(self, zoo):
+        from repro.runtime import lint_job
+        design, _ = zoo["gcd"]
+        system = design.build()  # fresh copy: the fixture system is shared
+        system.net.set_initial(sorted(system.net.initial)[0], 2)
+        payload = execute_job(lint_job(system).to_dict())["payload"]
+        assert payload["ok"] is False
+        assert any(d["rule"] == "PD002" and d["severity"] == "error"
+                   for d in payload["diagnostics"])

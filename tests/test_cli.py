@@ -254,3 +254,70 @@ class TestNetlist:
         out = capsys.readouterr().out
         assert "RTL == model" in out
         assert "result = [12]" in out
+
+
+class TestLint:
+    @staticmethod
+    def _broken_design(tmp_path):
+        from repro.io import save
+        system = get_design("gcd").build()
+        system.net.set_initial(sorted(system.net.initial)[0], 2)
+        path = tmp_path / "unsafe.json"
+        save(system, str(path))
+        return str(path)
+
+    def test_clean_design_text(self, capsys):
+        assert main(["lint", "gcd"]) == 0
+        out = capsys.readouterr().out
+        assert "gcd:" in out
+
+    def test_all_zoo_clean_at_error(self, capsys):
+        assert main(["lint", "--all", "--fail-on", "error"]) == 0
+
+    def test_no_designs_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no designs" in capsys.readouterr().err
+
+    def test_broken_design_fails(self, tmp_path, capsys):
+        path = self._broken_design(tmp_path)
+        assert main(["lint", path]) == 1
+        captured = capsys.readouterr()
+        assert "PD002" in captured.out
+        assert "lint failed" in captured.err
+
+    def test_fail_on_never_passes_broken(self, tmp_path, capsys):
+        path = self._broken_design(tmp_path)
+        assert main(["lint", path, "--fail-on", "never"]) == 0
+
+    def test_fail_on_info_fails_clean_design(self, capsys):
+        # every terminating design carries the PD002 coverage info note
+        assert main(["lint", "gcd", "--fail-on", "info"]) == 1
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "gcd", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == 1
+        assert data["reports"][0]["system"] == "gcd"
+
+    def test_sarif_format_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.sarif"
+        assert main(["lint", "gcd", "counter", "--format", "sarif",
+                     "--output", str(out_path)]) == 0
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["properties"]["systems"] == ["gcd", "counter"]
+
+    def test_rules_subset(self, capsys):
+        assert main(["lint", "gcd", "--rules", "CN001,CN002"]) == 0
+
+    def test_unknown_rule_rejected(self, capsys):
+        assert main(["lint", "gcd", "--rules", "XX999"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        path = self._broken_design(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", path, "--write-baseline", str(baseline)]) == 0
+        assert main(["lint", path, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
