@@ -11,11 +11,19 @@ Commands
     — no reachability enumeration — and report diagnostics with stable
     rule ids; exits 1 when findings at/above ``--fail-on`` remain.
 ``simulate DESIGN [--input name=v1,v2,…]… [--max-steps N] [--profile]
-[--profile-json PATH] [--naive]``
+[--profile-json PATH] [--naive] [--seed N]``
     Execute against an environment and print the external events;
     ``--profile`` adds step/evaluation/cache metrics (``--profile-json``
     emits them machine-readable, ``--naive`` disables the incremental
-    fast path).
+    fast path, ``--seed`` resolves firing choice through a seeded RNG).
+``faults DESIGN [--fault SPEC]… [--faults-file PATH] [--auto N]
+[--seed N] [--format text|json] [--output PATH] [--checkpoint PATH]``
+    Run a fault-injection campaign (:mod:`repro.faults`): each fault is
+    injected into its own run with the runtime Definition 3.2 monitors
+    attached, and the report classifies every fault as masked /
+    detected / silent against the golden run's external event
+    structure.  Exits 0 when every fault was masked or detected, 1 on a
+    silent deviation, 2 on usage or infrastructure errors.
 ``synthesize DESIGN [--w-time F] [--w-area F] [--limit op=N]… ``
     Run the CAMAD-style optimizer and report the before/after metrics.
 ``dot DESIGN [--view datapath|petri|system]``
@@ -59,6 +67,7 @@ from .errors import (
     ExecutionError,
     ParseError,
     ReproError,
+    RuntimeFaultError,
     TransformError,
     ValidationError,
 )
@@ -186,8 +195,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     system, env = _load(args.design)
     env = _environment_for(args, env)
+    policy = None
+    if args.seed is not None:
+        from .semantics import SeededMaximalPolicy
+
+        policy = SeededMaximalPolicy(args.seed)
     trace = simulate(system, env, max_steps=args.max_steps,
-                     fast=not args.naive)
+                     fast=not args.naive, policy=policy)
     print(trace.summary())
     for event in trace.events:
         print(f"  step {event.end:4d}  {event}")
@@ -207,6 +221,44 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 handle.write(payload + "\n")
             print(f"profile written to {args.profile_json}")
     return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults import (
+        FaultSpec,
+        generate_faults,
+        load_faults,
+        run_campaign,
+    )
+
+    system, env = _load(args.design)
+    env = _environment_for(args, env)
+    faults = [FaultSpec.parse(spec) for spec in args.fault]
+    if args.faults_file:
+        faults.extend(load_faults(args.faults_file))
+    if args.auto:
+        faults.extend(generate_faults(system, args.auto, seed=args.seed))
+    if not faults:
+        raise ReproError(
+            "no faults given (use --fault, --faults-file or --auto N)")
+    with _make_engine(args) as engine:
+        report = run_campaign(
+            system, faults, env, engine=engine, seed=args.seed,
+            max_steps=args.max_steps, checkpoint_path=args.checkpoint)
+    if args.format == "json":
+        _write_json(args.output or "-",
+                    _json.dumps(report.to_dict(), indent=2, sort_keys=True),
+                    "campaign report")
+    else:
+        if args.output:
+            _write_json(args.output,
+                        _json.dumps(report.to_dict(), indent=2,
+                                    sort_keys=True),
+                        "campaign report")
+        print(report.to_text())
+    return report.exit_code
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
@@ -481,7 +533,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--naive", action="store_true",
                        help="disable the incremental fast path "
                             "(reference evaluator)")
+    p_sim.add_argument("--seed", type=int, default=None,
+                       help="resolve firing choice through a seeded RNG "
+                            "(reproducible nondeterminism)")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_faults = sub.add_parser(
+        "faults", help="run a fault-injection campaign with runtime "
+                       "monitors and the deviation oracle")
+    p_faults.add_argument("design")
+    p_faults.add_argument("--fault", action="append", default=[],
+                          metavar="KIND:TARGET[:OPTS]",
+                          help="inject one fault, e.g. "
+                               "stuck_at:alu.o:value=undef,start=3 "
+                               "(repeatable)")
+    p_faults.add_argument("--faults-file", metavar="PATH",
+                          help="JSON fault list "
+                               "(repro.faults.save_faults)")
+    p_faults.add_argument("--auto", type=int, default=0, metavar="N",
+                          help="generate N structurally valid faults "
+                               "from the campaign seed")
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="campaign seed: derives per-fault RNGs "
+                               "and the firing policy (default 0)")
+    p_faults.add_argument("--input", action="append", default=[],
+                          metavar="NAME=V1,V2,…",
+                          help="input stream (repeatable)")
+    p_faults.add_argument("--max-steps", type=int, default=10_000)
+    p_faults.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    p_faults.add_argument("--output", metavar="PATH",
+                          help="write the JSON report here "
+                               "('-' for stdout)")
+    p_faults.add_argument("--checkpoint", metavar="PATH",
+                          help="resumable report file: completed faults "
+                               "are not re-run")
+    _add_engine_options(p_faults)
+    p_faults.set_defaults(func=cmd_faults)
 
     p_syn = sub.add_parser("synthesize", help="run the optimizer")
     p_syn.add_argument("design")
@@ -564,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
 #: Most specific classes first — the first match labels the message.
 _ERROR_LABELS: tuple[tuple[type, str], ...] = (
     (ValidationError, "validation error"),
+    (RuntimeFaultError, "runtime fault"),
     (ExecutionError, "execution error"),
     (TransformError, "transform error"),
     (ParseError, "parse error"),

@@ -42,6 +42,25 @@ class ExecutionError(ReproError):
     """
 
 
+class RuntimeFaultError(ExecutionError):
+    """A structural fault materialised *during* simulation.
+
+    Raised when a condition the static checks guarantee for properly
+    designed systems is violated at runtime — e.g. an injected arc
+    glitch closes a combinational loop among the active vertices, or a
+    runtime monitor configured to halt observes a violation.  Carries
+    the simulation ``step`` at which the fault was observed and a short
+    machine-readable ``kind`` so campaign tooling can classify the
+    failure without parsing the message.
+    """
+
+    def __init__(self, message: str, *, step: int | None = None,
+                 kind: str = "") -> None:
+        super().__init__(message)
+        self.step = step
+        self.kind = kind
+
+
 class EnvironmentExhausted(ExecutionError):
     """An input vertex requested a value but its sequence is exhausted."""
 

@@ -1,0 +1,247 @@
+"""Runtime monitors — Definition 3.2 properness checked *while running*.
+
+The static checker (:mod:`repro.core.properly_designed`) proves a system
+safe, conflict-free and loop-free over all reachable markings; an
+injected fault voids that proof mid-run.  Each monitor here watches one
+of the properness clauses from inside the simulation and raises a
+structured :class:`~repro.diagnostics.Diagnostic` the moment the clause
+breaks:
+
+=======  =============================================================
+RT001    unsafe marking — a place holds ≥ 2 tokens (Definition 3.2(1))
+RT002    drive / latch conflict observed at runtime (Definition 3.2(2))
+RT003    guard choice conflict — competing fireable transitions
+         (Definition 3.2(3))
+RT004    combinational loop closed at runtime (Definition 3.2(4))
+RT005    step-budget watchdog — the run exceeded its expected length
+RT006    deadlock with tokens remaining (improper termination,
+         Definition 3.1(6))
+RT007    execution aborted by an unclassified runtime error
+=======  =============================================================
+
+Monitors are :class:`~repro.semantics.simulator.SimHook`\\ s; findings
+accumulate in :attr:`RuntimeMonitor.findings` as
+:class:`MonitorFinding` (step + diagnostic).  A monitor constructed with
+``halt=True`` raises :class:`MonitorViolation` at its first finding,
+cutting the faulty run short — the campaign treats that as a detection,
+not an error.  RT004/RT007 are synthesised from the raised exception by
+:func:`finding_from_error` (a closed combinational loop aborts the
+combinational phase; there is no hook point *inside* it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diagnostics import Diagnostic, Location
+from ..errors import ExecutionError, RuntimeFaultError
+from ..petri.marking import Marking
+from ..semantics.simulator import SimHook, Simulator
+from ..semantics.trace import Trace
+
+#: The runtime monitor rule ids, in clause order.
+MONITOR_RULES = ("RT001", "RT002", "RT003", "RT004", "RT005", "RT006",
+                 "RT007")
+
+
+@dataclass(frozen=True)
+class MonitorFinding:
+    """One runtime violation: the step it surfaced at, plus the details."""
+
+    step: int
+    diagnostic: Diagnostic
+
+
+class MonitorViolation(ExecutionError):
+    """Raised by a ``halt=True`` monitor to cut the faulty run short."""
+
+    def __init__(self, finding: MonitorFinding) -> None:
+        super().__init__(str(finding.diagnostic))
+        self.finding = finding
+
+
+class RuntimeMonitor(SimHook):
+    """Base class: a findings list plus the emit/halt plumbing."""
+
+    #: Stable rule id (set by each subclass).
+    rule = "RT000"
+
+    def __init__(self, *, halt: bool = False) -> None:
+        self.halt = halt
+        self.findings: list[MonitorFinding] = []
+
+    def _emit(self, sim: Simulator | None, step: int, message: str,
+              locations: tuple[Location, ...] = (), hint: str = "") -> None:
+        finding = MonitorFinding(step, Diagnostic(
+            rule=self.rule, severity="error", message=message,
+            locations=locations, hint=hint,
+            system=sim.system.name if sim is not None else ""))
+        self.findings.append(finding)
+        if self.halt:
+            raise MonitorViolation(finding)
+
+
+class SafetyMonitor(RuntimeMonitor):
+    """RT001 — a place holds two or more tokens (unsafe marking).
+
+    Reports each offending place once per run (a duplicated token tends
+    to stay duplicated for many steps; one finding per place is the
+    signal, the rest is noise).
+    """
+
+    rule = "RT001"
+
+    def __init__(self, *, halt: bool = False) -> None:
+        super().__init__(halt=halt)
+        self._reported: set[str] = set()
+
+    def pre_step(self, sim, step, marking):
+        for place in marking.marked_places():
+            if marking[place] >= 2 and place not in self._reported:
+                self._reported.add(place)
+                self._emit(
+                    sim, step,
+                    f"unsafe marking: place {place!r} holds "
+                    f"{marking[place]} tokens at step {step}",
+                    (Location("place", place),),
+                    hint="Definition 3.2(1): a properly designed net keeps "
+                         "every place at most 1-marked")
+        return None
+
+
+class _TraceConflictMonitor(RuntimeMonitor):
+    """Shared cursor scan over ``trace.conflicts`` for a set of kinds.
+
+    The simulator appends :class:`~repro.semantics.trace.ConflictRecord`
+    objects as it detects dynamic conflicts (``strict=False`` runs only
+    record, never raise); the monitor consumes the records it has not
+    seen yet on every ``post_token_game`` and once more in a final
+    :meth:`scan` (latch conflicts of the very last step land *after* the
+    last hook call).
+    """
+
+    kinds: tuple[str, ...] = ()
+
+    def __init__(self, *, halt: bool = False) -> None:
+        super().__init__(halt=halt)
+        self._cursor = 0
+
+    def _consume(self, sim: Simulator, trace: Trace) -> None:
+        records = trace.conflicts
+        while self._cursor < len(records):
+            record = records[self._cursor]
+            self._cursor += 1
+            if record.kind in self.kinds:
+                self._emit(sim, record.step,
+                           f"{record.kind} conflict at step {record.step}: "
+                           f"{record.detail}")
+
+    def post_token_game(self, sim, step, marking, chosen):
+        if sim.current_trace is not None:
+            self._consume(sim, sim.current_trace)
+
+    def scan(self, sim: Simulator | None, trace: Trace) -> None:
+        """Final sweep after the run (catches last-step latch records)."""
+        self._consume(sim, trace)
+
+
+class DriveConflictMonitor(_TraceConflictMonitor):
+    """RT002 — multiple drivers on one port, or a double latch."""
+
+    rule = "RT002"
+    kinds = ("drive", "latch")
+
+
+class GuardConflictMonitor(_TraceConflictMonitor):
+    """RT003 — competing fireable transitions on a single token."""
+
+    rule = "RT003"
+    kinds = ("choice",)
+
+
+class WatchdogMonitor(RuntimeMonitor):
+    """RT005 — the run outlived its expected step budget.
+
+    The budget is derived from the golden run's length; exceeding it
+    means the fault turned a terminating computation into a (near-)
+    infinite one.  Halts by default — there is nothing more to learn
+    from the remaining steps.
+    """
+
+    rule = "RT005"
+
+    def __init__(self, budget: int, *, halt: bool = True) -> None:
+        super().__init__(halt=halt)
+        self.budget = budget
+
+    def post_token_game(self, sim, step, marking, chosen):
+        if step >= self.budget and chosen:
+            self._emit(
+                sim, step,
+                f"watchdog: run exceeded its {self.budget}-step budget "
+                f"and is still firing",
+                hint="the golden run finished well within the budget; the "
+                     "fault likely broke the termination argument")
+
+
+class DeadlockMonitor(RuntimeMonitor):
+    """RT006 — quiescence with tokens remaining (improper termination)."""
+
+    rule = "RT006"
+
+    def post_token_game(self, sim, step, marking, chosen):
+        if not chosen and not marking.is_empty():
+            stuck = sorted(marking.marked_places())
+            self._emit(
+                sim, step,
+                f"deadlock at step {step}: no transition fireable, tokens "
+                f"remain in {stuck}",
+                tuple(Location("place", place) for place in stuck),
+                hint="Definition 3.1(6): proper termination leaves zero "
+                     "tokens")
+
+
+def finding_from_error(error: ExecutionError, system_name: str,
+                       step: int | None = None) -> MonitorFinding:
+    """Classify a raised execution error as a runtime finding.
+
+    A :class:`~repro.errors.RuntimeFaultError` with ``kind ==
+    "comb_loop"`` becomes RT004 (a combinational loop closed at runtime —
+    Definition 3.2(4) violated by an arc glitch); anything else becomes
+    the catch-all RT007.
+    """
+    at = step
+    if isinstance(error, RuntimeFaultError) and error.step is not None:
+        at = error.step
+    if at is None:
+        at = -1
+    if isinstance(error, RuntimeFaultError) and error.kind == "comb_loop":
+        diagnostic = Diagnostic(
+            rule="RT004", severity="error", message=str(error),
+            hint="Definition 3.2(4): combinational cycles must stay cut by "
+                 "closed arcs in every reachable state",
+            system=system_name)
+    else:
+        diagnostic = Diagnostic(
+            rule="RT007", severity="error",
+            message=f"execution aborted: {error}", system=system_name)
+    return MonitorFinding(at, diagnostic)
+
+
+def standard_monitors(budget: int, *, include_deadlock: bool = True
+                      ) -> list[RuntimeMonitor]:
+    """The default monitor stack for one faulty run.
+
+    ``budget`` feeds the watchdog.  ``include_deadlock=False`` drops
+    RT006 — used when the *golden* run itself deadlocks, in which case a
+    faulty deadlock proves nothing.
+    """
+    monitors: list[RuntimeMonitor] = [
+        SafetyMonitor(),
+        DriveConflictMonitor(),
+        GuardConflictMonitor(),
+        WatchdogMonitor(budget),
+    ]
+    if include_deadlock:
+        monitors.append(DeadlockMonitor())
+    return monitors

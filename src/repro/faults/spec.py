@@ -1,0 +1,365 @@
+"""Declarative fault models — JSON-serialisable :class:`FaultSpec`\\ s.
+
+A fault spec names one perturbation of a running system:
+
+=================  ========================================================
+``stuck_at``       an output port's value is forced to ``value``
+                   (an int, or ``"undef"`` for ⊥) while the fault is active
+``bit_flip``       one bit of a sequential state port (SEQ register,
+                   input pad, output record) is XOR-flipped — the classic
+                   single-event upset; usually combined with ``once``
+``token_loss``     one token disappears from a control place
+``token_duplicate``  a marked place gains a second token (unsafe marking)
+``token_misroute``   one token moves from ``target`` to ``to_place``
+``guard_invert``   a transition's guard condition is negated
+``arc_open``       an arc is forced open regardless of the marking
+``arc_close``      an arc is forced closed regardless of the marking
+=================  ========================================================
+
+Every spec carries an **activation window**: a step range
+(``start``/``end``, inclusive; ``end=None`` means forever) optionally
+gated on a **controlling place** (``while_place`` — active only while
+that place is marked), plus a firing ``probability`` drawn from a seeded
+per-fault RNG, so campaigns are reproducible down to the byte.  ``once``
+limits the fault to its first application (the SEU idiom).
+
+Specs round-trip through :meth:`FaultSpec.to_dict` /
+:meth:`FaultSpec.from_dict` (the canonical JSON form used for
+content-addressed job keys) and through the compact CLI syntax of
+:meth:`FaultSpec.parse`::
+
+    stuck_at:alu.out:value=undef,start=3,end=9
+    bit_flip:reg_a.q:bit=2,start=4,once
+    token_misroute:s_loop:to=s_exit,while=s_body
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..datapath.operations import OpKind
+from ..datapath.ports import PortId
+from ..errors import DefinitionError
+
+#: The recognised fault kinds.
+FAULT_KINDS = (
+    "stuck_at",
+    "bit_flip",
+    "token_loss",
+    "token_duplicate",
+    "token_misroute",
+    "guard_invert",
+    "arc_open",
+    "arc_close",
+)
+
+#: Fault kinds whose target is a data-path port.
+_PORT_KINDS = ("stuck_at", "bit_flip")
+#: Fault kinds whose target is a control place.
+_PLACE_KINDS = ("token_loss", "token_duplicate", "token_misroute")
+#: Fault kinds whose target is a data-path arc.
+_ARC_KINDS = ("arc_open", "arc_close")
+
+FAULT_FILE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault (see the module docstring for the kinds).
+
+    ``value`` is only meaningful for ``stuck_at`` (an int or the string
+    ``"undef"``), ``bit`` for ``bit_flip``, ``to_place`` for
+    ``token_misroute``.  ``seed`` feeds the per-fault RNG used by the
+    ``probability`` gate; ``None`` means "derive from the campaign
+    seed", which :func:`repro.faults.campaign.run_campaign` resolves
+    deterministically per fault index.
+    """
+
+    kind: str
+    target: str
+    value: Any = None
+    bit: int = 0
+    to_place: str | None = None
+    start: int = 0
+    end: int | None = None
+    while_place: str | None = None
+    probability: float = 1.0
+    seed: int | None = None
+    once: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise DefinitionError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose one of {FAULT_KINDS}")
+        if not self.target:
+            raise DefinitionError(f"fault {self.kind!r} needs a target")
+        if self.start < 0:
+            raise DefinitionError(
+                f"fault window start must be >= 0, got {self.start}")
+        if self.end is not None and self.end < self.start:
+            raise DefinitionError(
+                f"fault window end ({self.end}) precedes start "
+                f"({self.start})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise DefinitionError(
+                f"fault probability must be in [0, 1], "
+                f"got {self.probability}")
+        if self.kind == "bit_flip" and self.bit < 0:
+            raise DefinitionError(f"bit index must be >= 0, got {self.bit}")
+        if self.kind == "stuck_at":
+            if not (self.value == "undef" or isinstance(self.value, int)):
+                raise DefinitionError(
+                    f"stuck_at value must be an int or 'undef', "
+                    f"got {self.value!r}")
+        if self.kind == "token_misroute" and not self.to_place:
+            raise DefinitionError("token_misroute needs to_place")
+
+    # ------------------------------------------------------------------
+    def validate(self, system) -> "FaultSpec":
+        """Check the target names against one concrete system.
+
+        Raises :class:`~repro.errors.DefinitionError` with a precise
+        message when the target does not exist in the right namespace
+        (port for value faults, place for token faults, transition for
+        guard inversion, arc for glitches).  Returns self for chaining.
+        """
+        dp = system.datapath
+        net = system.net
+        if self.kind in _PORT_KINDS:
+            try:
+                port = PortId.parse(self.target)
+            except ValueError as error:
+                raise DefinitionError(str(error)) from None
+            if port.vertex not in dp.vertices:
+                raise DefinitionError(
+                    f"fault target vertex {port.vertex!r} does not exist")
+            vertex = dp.vertex(port.vertex)
+            if port.port not in vertex.out_ports:
+                raise DefinitionError(
+                    f"fault target {self.target!r} is not an output port "
+                    f"of vertex {port.vertex!r}")
+            if self.kind == "bit_flip":
+                op = vertex.operation(port.port)
+                if op.kind not in (OpKind.SEQ, OpKind.INPUT, OpKind.OUTPUT):
+                    raise DefinitionError(
+                        f"bit_flip target {self.target!r} holds no "
+                        f"sequential state (kind {op.kind.name}); flip a "
+                        f"SEQ/INPUT/OUTPUT port or use stuck_at")
+        elif self.kind in _PLACE_KINDS:
+            if self.target not in net.places:
+                raise DefinitionError(
+                    f"fault target place {self.target!r} does not exist")
+            if self.kind == "token_misroute":
+                if self.to_place not in net.places:
+                    raise DefinitionError(
+                        f"misroute destination place {self.to_place!r} "
+                        f"does not exist")
+                if self.to_place == self.target:
+                    raise DefinitionError(
+                        "misroute destination equals the source place")
+        elif self.kind == "guard_invert":
+            if self.target not in net.transitions:
+                raise DefinitionError(
+                    f"fault target transition {self.target!r} does not "
+                    f"exist")
+        else:  # arc glitches
+            if self.target not in dp.arcs:
+                raise DefinitionError(
+                    f"fault target arc {self.target!r} does not exist")
+        if self.while_place is not None and self.while_place not in net.places:
+            raise DefinitionError(
+                f"fault window place {self.while_place!r} does not exist")
+        return self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (all fields, stable keys)."""
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "value": self.value,
+            "bit": self.bit,
+            "to_place": self.to_place,
+            "start": self.start,
+            "end": self.end,
+            "while_place": self.while_place,
+            "probability": self.probability,
+            "seed": self.seed,
+            "once": self.once,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            target=data["target"],
+            value=data.get("value"),
+            bit=data.get("bit", 0),
+            to_place=data.get("to_place"),
+            start=data.get("start", 0),
+            end=data.get("end"),
+            while_place=data.get("while_place"),
+            probability=data.get("probability", 1.0),
+            seed=data.get("seed"),
+            once=data.get("once", False),
+            label=data.get("label", ""),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the compact CLI syntax ``kind:target[:k=v,k=v,flag…]``.
+
+        Recognised options: ``value`` (int or ``undef``), ``bit``,
+        ``to`` (misroute destination), ``start``, ``end``, ``while``
+        (controlling place), ``p`` (probability), ``seed``, ``label``
+        and the bare flag ``once``.
+        """
+        head, _, options = text.partition(":")
+        kind = head.strip()
+        target, _, options = options.partition(":")
+        target = target.strip()
+        if not target:
+            raise DefinitionError(
+                f"malformed fault {text!r} (expected kind:target[:opts])")
+        fields: dict[str, Any] = {"kind": kind, "target": target}
+        for item in options.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if item == "once":
+                fields["once"] = True
+                continue
+            key, sep, raw = item.partition("=")
+            if not sep:
+                raise DefinitionError(
+                    f"malformed fault option {item!r} in {text!r}")
+            if key == "value":
+                fields["value"] = "undef" if raw == "undef" else int(raw)
+            elif key == "bit":
+                fields["bit"] = int(raw)
+            elif key == "to":
+                fields["to_place"] = raw
+            elif key == "start":
+                fields["start"] = int(raw)
+            elif key == "end":
+                fields["end"] = int(raw)
+            elif key == "while":
+                fields["while_place"] = raw
+            elif key == "p":
+                fields["probability"] = float(raw)
+            elif key == "seed":
+                fields["seed"] = int(raw)
+            elif key == "label":
+                fields["label"] = raw
+            else:
+                raise DefinitionError(
+                    f"unknown fault option {key!r} in {text!r}")
+        return cls(**fields)
+
+    def describe(self) -> str:
+        """Short human label (used when ``label`` is empty)."""
+        window = f"@{self.start}" + (f"..{self.end}" if self.end is not None
+                                     else "..")
+        return self.label or f"{self.kind}:{self.target}{window}"
+
+
+def derive_seed(campaign_seed: int, index: int) -> int:
+    """Deterministic per-fault seed from a campaign seed and fault index."""
+    return (campaign_seed * 1_000_003 + index * 7919) & 0x7FFFFFFF
+
+
+def resolve_seeds(specs: Sequence[FaultSpec],
+                  campaign_seed: int) -> list[FaultSpec]:
+    """Fill in ``seed=None`` specs from the campaign seed, per index."""
+    return [
+        spec if spec.seed is not None
+        else replace(spec, seed=derive_seed(campaign_seed, index))
+        for index, spec in enumerate(specs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fault files — `repro faults --faults-file`
+# ---------------------------------------------------------------------------
+def save_faults(path: str, specs: Iterable[FaultSpec]) -> None:
+    """Write a fault list as one JSON document."""
+    document = {"format": FAULT_FILE_FORMAT,
+                "faults": [spec.to_dict() for spec in specs]}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_faults(path: str) -> list[FaultSpec]:
+    """Read a fault list written by :func:`save_faults` (or a bare list)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, list):
+        entries = document
+    else:
+        if document.get("format") != FAULT_FILE_FORMAT:
+            raise DefinitionError(
+                f"unsupported fault file format {document.get('format')!r}")
+        entries = document["faults"]
+    return [FaultSpec.from_dict(entry) for entry in entries]
+
+
+# ---------------------------------------------------------------------------
+# deterministic fault-list generation — `repro faults --auto N`
+# ---------------------------------------------------------------------------
+def generate_faults(system, count: int, seed: int = 0) -> list[FaultSpec]:
+    """Sample ``count`` structurally valid faults for one system.
+
+    The candidate pool enumerates every fault site the system offers
+    (each kind × each valid target, with a few representative values /
+    bits), in sorted order; a seeded RNG then samples and windows them.
+    The same ``(system, count, seed)`` always yields the same list.
+    """
+    import random
+
+    dp = system.datapath
+    net = system.net
+    candidates: list[FaultSpec] = []
+    state_kinds = (OpKind.SEQ, OpKind.INPUT, OpKind.OUTPUT)
+    for name in sorted(dp.vertices):
+        vertex = dp.vertex(name)
+        for port in vertex.out_ports:
+            target = f"{name}.{port}"
+            for value in (0, 1, "undef"):
+                candidates.append(FaultSpec("stuck_at", target, value=value))
+            if vertex.operation(port).kind in state_kinds:
+                for bit in (0, 1, 2):
+                    candidates.append(
+                        FaultSpec("bit_flip", target, bit=bit, once=True))
+    places = sorted(net.places)
+    for place in places:
+        candidates.append(FaultSpec("token_loss", place))
+        candidates.append(FaultSpec("token_duplicate", place))
+        for other in places:
+            if other != place:
+                candidates.append(
+                    FaultSpec("token_misroute", place, to_place=other))
+                break  # one representative destination per source place
+    for transition in sorted(net.transitions):
+        candidates.append(FaultSpec("guard_invert", transition))
+    for arc in sorted(dp.arcs):
+        candidates.append(FaultSpec("arc_open", arc))
+        candidates.append(FaultSpec("arc_close", arc))
+
+    rng = random.Random(seed)
+    chosen = (rng.sample(candidates, count) if count < len(candidates)
+              else list(candidates))
+    out: list[FaultSpec] = []
+    for index, spec in enumerate(chosen):
+        start = rng.randrange(0, 6)
+        span = rng.randrange(0, 8)
+        out.append(replace(
+            spec, start=start, end=start + span,
+            seed=derive_seed(seed, index),
+            label=f"auto{index}:{spec.kind}:{spec.target}"))
+    return out

@@ -9,6 +9,7 @@ ports from the data path (Definition 3.1(4): multiple guards are OR-ed).
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Iterable, Sequence
 
 from ..errors import ExecutionError
@@ -90,7 +91,8 @@ def fire_step(net: PetriNet, marking: Marking, transitions: Sequence[str],
 
 def maximal_step(net: PetriNet, marking: Marking,
                  guard_eval: GuardEval = always_true,
-                 priority: Sequence[str] | None = None) -> list[str]:
+                 priority: Sequence[str] | None = None,
+                 rng: "random.Random | None" = None) -> list[str]:
     """Greedily select a maximal conflict-free set of fireable transitions.
 
     Transitions are considered in ``priority`` order (default: insertion
@@ -98,8 +100,15 @@ def maximal_step(net: PetriNet, marking: Marking,
     its preset.  For conflict-free (properly designed) systems the greedy
     choice is canonical: no two fireable transitions ever compete for a
     token, so the "maximal step" is simply *all* fireable transitions.
+
+    ``rng`` (a seeded :class:`random.Random`) shuffles the candidate
+    order before the greedy scan — the one entry point for seeded
+    nondeterministic choice.  The same seed always yields the same step
+    sequence, because the shuffle is the only randomness consumed.
     """
     order = list(priority) if priority is not None else list(net.transitions)
+    if rng is not None:
+        rng.shuffle(order)
     available: dict[str, int] = dict(marking)
     step: list[str] = []
     for t in order:
@@ -165,13 +174,21 @@ class TokenGameCache:
 
     def maximal_step(self, marking: Marking,
                      guard_eval: GuardEval = always_true,
-                     priority: Sequence[str] | None = None) -> list[str]:
+                     priority: Sequence[str] | None = None,
+                     rng: random.Random | None = None) -> list[str]:
         """Drop-in for :func:`maximal_step`, reusing the memoized
         enabled set.  Produces the exact same step (content and order)
-        as the module-level function for any ``priority``."""
+        as the module-level function for any ``priority`` and ``rng``
+        (the shuffle is applied to the same base list the module-level
+        function shuffles, so both consume the rng identically)."""
         enabled = self.enabled(marking)
-        if priority is None:
-            order: Iterable[str] = enabled
+        if rng is not None:
+            base = list(priority) if priority is not None else list(self._preset)
+            rng.shuffle(base)
+            admitted = set(enabled)
+            order: Iterable[str] = (t for t in base if t in admitted)
+        elif priority is None:
+            order = enabled
         else:
             admitted = set(enabled)
             order = (t for t in priority if t in admitted)
@@ -190,7 +207,8 @@ class TokenGameCache:
 
 def run_to_completion(net: PetriNet, *, guard_eval: GuardEval = always_true,
                       max_steps: int = 10_000,
-                      marking: Marking | None = None) -> tuple[Marking, list[list[str]]]:
+                      marking: Marking | None = None,
+                      rng: random.Random | None = None) -> tuple[Marking, list[list[str]]]:
     """Play the token game with maximal steps until quiescence.
 
     Returns the final marking and the fired step sequence.  Terminates when
@@ -198,11 +216,15 @@ def run_to_completion(net: PetriNet, *, guard_eval: GuardEval = always_true,
     Definition 3.1(6) — and deadlock) or when ``max_steps`` is exceeded, in
     which case an :class:`~repro.errors.ExecutionError` is raised (the net
     is assumed to be non-terminating).
+
+    ``rng`` seeds the per-step candidate shuffle (see
+    :func:`maximal_step`): the same seeded :class:`random.Random` always
+    replays the same firing history.
     """
     current = marking if marking is not None else net.initial_marking()
     history: list[list[str]] = []
     for _ in range(max_steps):
-        step = maximal_step(net, current, guard_eval)
+        step = maximal_step(net, current, guard_eval, rng=rng)
         if not step:
             return current, history
         current = fire_step(net, current, step, guard_eval)

@@ -49,6 +49,7 @@ from .jobs import (
     lint_job,
     equivalence_job,
     execute_job,
+    faults_job,
     job_key,
     load_job_file,
     probe_job,
@@ -77,6 +78,7 @@ __all__ = [
     "reachability_job",
     "equivalence_job",
     "synthesize_job",
+    "faults_job",
     "probe_job",
     "load_job_file",
     "write_job_file",

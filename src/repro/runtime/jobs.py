@@ -35,7 +35,7 @@ from ..errors import DefinitionError, ExecutionError
 #: The workload kinds the engine understands.  ``probe`` is the
 #: fault-injection aid; the other six are the library's real workloads.
 JOB_KINDS = ("simulate", "check", "reachability", "equivalence",
-             "synthesize", "lint", "probe")
+             "synthesize", "lint", "faults", "probe")
 
 #: Bumped whenever the payload format of any kind changes, so stale
 #: cache entries from an older engine can never be confused for current
@@ -236,6 +236,24 @@ def synthesize_job(system, objective=None, *, algorithm: str = "greedy",
     }, label=label)
 
 
+def faults_job(system, fault, environment=None, *, max_steps: int = 10_000,
+               campaign_seed: int = 0, label: str = "") -> JobSpec:
+    """One fault-injection experiment (golden run, faulty run, verdict).
+
+    ``fault`` is a :class:`~repro.faults.spec.FaultSpec`; it is validated
+    against ``system`` eagerly so a typo'd target fails at submission
+    time, not inside a worker.  The payload is produced by
+    :func:`repro.faults.campaign.run_single_fault`.
+    """
+    fault.validate(system)
+    return JobSpec("faults", _system_dict(system), {
+        "fault": fault.to_dict(),
+        "environment": _environment_to_dict(environment),
+        "max_steps": max_steps,
+        "campaign_seed": campaign_seed,
+    }, label=label or fault.describe())
+
+
 def probe_job(action: str, *, seconds: float = 0.0, marker: str = "",
               failures: int = 0, payload: Any = None,
               label: str = "") -> JobSpec:
@@ -289,6 +307,8 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
         return _run_equivalence(system, params)
     if kind == "synthesize":
         return _run_synthesize(system, params)
+    if kind == "faults":
+        return _run_faults(system, params)
     raise DefinitionError(f"unknown job kind {kind!r}")
 
 
@@ -419,6 +439,20 @@ def _run_synthesize(system, params) -> dict[str, Any]:
                   for m in result.moves],
         "system": system_to_dict(result.system),
     }, "sim_metrics": None}
+
+
+def _run_faults(system, params) -> dict[str, Any]:
+    from ..faults.campaign import run_single_fault
+    from ..faults.spec import FaultSpec
+
+    payload = run_single_fault(
+        system,
+        FaultSpec.from_dict(params["fault"]),
+        _environment_from_dict(params.get("environment")),
+        max_steps=params.get("max_steps", 10_000),
+        campaign_seed=params.get("campaign_seed", 0),
+    )
+    return {"payload": payload, "sim_metrics": None}
 
 
 def _run_probe(params) -> dict[str, Any]:

@@ -26,6 +26,7 @@ from .policies import (
     MaximalStepPolicy,
     RandomPolicy,
     ScriptedPolicy,
+    SeededMaximalPolicy,
     SequentialPolicy,
 )
 from .profile import (
@@ -34,7 +35,7 @@ from .profile import (
     profile_simulation,
     traces_equivalent,
 )
-from .simulator import Simulator, simulate
+from .simulator import Checkpoint, SimHook, Simulator, StepPerturbation, simulate
 from .trace import ConflictRecord, LatchRecord, Trace
 from .values import UNDEF, Value, as_word, is_defined, strict, truthy
 
@@ -47,6 +48,9 @@ __all__ = [
     "as_word",
     "Environment",
     "Simulator",
+    "SimHook",
+    "StepPerturbation",
+    "Checkpoint",
     "simulate",
     "SimMetrics",
     "profile_simulation",
@@ -57,6 +61,7 @@ __all__ = [
     "ConflictRecord",
     "FiringPolicy",
     "MaximalStepPolicy",
+    "SeededMaximalPolicy",
     "SequentialPolicy",
     "RandomPolicy",
     "FixedOrderPolicy",

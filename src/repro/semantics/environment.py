@@ -80,6 +80,20 @@ class Environment:
         """How many values have been drawn for a vertex."""
         return self._cursor.get(vertex, 0)
 
+    def cursors(self) -> dict[str, int]:
+        """Snapshot of all consumption cursors (for checkpointing)."""
+        return dict(self._cursor)
+
+    def restore_cursors(self, cursors: Mapping[str, int]) -> None:
+        """Restore a cursor snapshot taken by :meth:`cursors`.
+
+        Together with the sequences (which never change mid-run) the
+        cursors are the environment's entire mutable state, so restoring
+        them rewinds the environment to the snapshot point exactly.
+        """
+        self._cursor = {vertex: int(position)
+                        for vertex, position in cursors.items()}
+
     def fork(self) -> "Environment":
         """An identical environment with fresh cursors."""
         return Environment(

@@ -83,6 +83,31 @@ class SequentialPolicy(_EngineBound):
         return step[:1]
 
 
+class SeededMaximalPolicy(_EngineBound):
+    """Maximal step over a seeded-random candidate order.
+
+    Unlike :class:`MaximalStepPolicy` (deterministic insertion order)
+    the greedy scan considers transitions in an order shuffled by one
+    seeded :class:`random.Random` — the reproducible way to explore how
+    conflict resolution lands when a fault *makes* the net conflicted.
+    Identical seeds give byte-identical traces; on a conflict-free
+    system the chosen step *set* matches :class:`MaximalStepPolicy`
+    (only the in-step order varies).  ``repro simulate --seed`` and the
+    fault-campaign runner use this policy.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, net: PetriNet, marking: Marking,
+               guard_eval: GuardEval) -> list[str]:
+        engine = self._bound(net)
+        if engine is not None:
+            return engine.maximal_step(marking, guard_eval, rng=self._rng)
+        return maximal_step(net, marking, guard_eval, rng=self._rng)
+
+
 class RandomPolicy:
     """Fire a random non-empty subset of a randomly ordered maximal step.
 

@@ -48,19 +48,46 @@ fast path is observationally a drop-in: it produces the same
 full-recompute evaluator, kept as the reference).  Either way the trace
 carries a :class:`~repro.semantics.profile.SimMetrics` record of what
 the run cost.
+
+Hooks
+-----
+
+Fault injectors and runtime monitors (:mod:`repro.faults`) attach to the
+simulator through :class:`SimHook` — four optional methods called at
+fixed points of the step loop (``pre_step``, ``post_evaluate``,
+``resolve_value``, ``post_token_game``).  The contract that keeps the
+fast path honest: hook dispatch is bound in ``__post_init__`` per
+*overridden* method, so a simulator constructed without hooks executes
+the exact same per-step code as before the hook interface existed (one
+falsy check per call site), and traces are byte-identical.  A hook that
+rewrites combinational values (``perturbs_values = True``) disables
+dirty-set propagation for the whole run — every step takes the full
+reference pass, so the persistent value map can never go stale under
+injected values.
+
+Checkpoints
+-----------
+
+:meth:`Simulator.checkpoint` captures the complete mutable run state —
+``(step, marking, sequential state, open activations, event indices,
+environment cursors)`` — and :meth:`Simulator.run` accepts
+``from_checkpoint=`` to resume from such a snapshot: the continuation
+trace extends the original run exactly (same events, same latches, same
+final state) as if it had never been interrupted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Mapping, Sequence
 
 from ..core.events import ExternalEvent
 from ..core.system import DataControlSystem
 from ..datapath.operations import OpKind
 from ..datapath.ports import PortId
 from ..datapath.validate import topological_com_order
-from ..errors import ExecutionError
+from ..errors import DefinitionError, ExecutionError, RuntimeFaultError, ValidationError
 from ..petri.execution import TokenGameCache, fire_step, is_enabled
 from ..petri.marking import Marking
 from .environment import Environment
@@ -71,6 +98,88 @@ from .values import UNDEF, Value, truthy
 
 #: One conflict-analysis entry: (conflicted input port, record detail).
 _ConflictEntry = tuple[PortId, str]
+
+
+@dataclass(frozen=True)
+class StepPerturbation:
+    """What a ``pre_step`` hook asks the simulator to change this step.
+
+    ``marking`` (when not None) replaces the current marking — token
+    loss, duplication and misrouting faults are expressed this way; the
+    simulator reconciles open activations afterwards (an activation
+    whose token vanished is dropped, events unemitted — that *is* the
+    fault's observable damage — and a place gaining a token out of thin
+    air opens a fresh activation).  ``open_arcs`` / ``close_arcs`` are
+    applied to the open-arc set *after* the marking determines it — arc
+    glitches that never touch the marking-keyed caches.
+    """
+
+    marking: Marking | None = None
+    open_arcs: frozenset = frozenset()
+    close_arcs: frozenset = frozenset()
+
+
+class SimHook:
+    """Base class for simulator instrumentation (faults and monitors).
+
+    Subclasses override any of the four methods; the simulator binds
+    only overridden methods, so an unused method costs nothing.  Hooks
+    run in the order given to the :class:`Simulator`; each ``pre_step``
+    hook sees the marking as perturbed by the hooks before it.
+
+    Set :attr:`perturbs_values` to True when ``resolve_value`` rewrites
+    combinational **port** values (e.g. stuck-at faults): it forces the
+    full reference pass every step so no stale incremental value
+    survives an injection window.  Guard-only rewrites (``kind ==
+    "guard"``) do not need it.
+    """
+
+    #: True when this hook rewrites combinational port values.
+    perturbs_values: bool = False
+
+    def pre_step(self, sim: "Simulator", step: int,
+                 marking: Marking) -> StepPerturbation | None:
+        """Called before each step's combinational phase (may perturb)."""
+        return None
+
+    def post_evaluate(self, sim: "Simulator", step: int,
+                      active: frozenset, out_values: dict) -> None:
+        """Called after the combinational fixpoint of each step."""
+
+    def resolve_value(self, sim: "Simulator", step: int, kind: str,
+                      target, value: Value) -> Value:
+        """Value tap: ``kind`` is ``"port"`` (target: :class:`PortId`,
+        needs :attr:`perturbs_values`) or ``"guard"`` (target: the
+        transition name, value: the evaluated guard boolean)."""
+        return value
+
+    def post_token_game(self, sim: "Simulator", step: int, marking: Marking,
+                        chosen: list) -> None:
+        """Called after the policy chose the step to fire (before firing).
+
+        An empty ``chosen`` with a non-empty marking is the deadlock
+        about to be reported — the last call of the run."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Complete mutable state of a simulation run at one step boundary.
+
+    Captured by :meth:`Simulator.checkpoint`, consumed by
+    :meth:`Simulator.run(from_checkpoint=...) <Simulator.run>`.  The
+    snapshot is self-contained: sequential state, open activations (with
+    their identities and start steps, so resumed events carry the same
+    activation labels), per-arc event indices, and the environment's
+    consumption cursors.
+    """
+
+    step: int
+    marking: Marking
+    state: Mapping[PortId, Value]
+    activations: tuple[tuple[str, int, int], ...]  # (place, ident, start)
+    activation_counter: int
+    event_index: Mapping[str, int]
+    env_cursors: Mapping[str, int]
 
 
 @dataclass
@@ -107,6 +216,9 @@ class Simulator:
         docstring).  When False, recompute everything from scratch each
         step — the naive reference evaluator.  Both produce identical
         traces.
+    hooks:
+        Instrumentation attached to this run (see :class:`SimHook`).
+        Empty by default; with no hooks the step loop is unchanged.
     """
 
     system: DataControlSystem
@@ -114,6 +226,7 @@ class Simulator:
     policy: FiringPolicy = field(default_factory=MaximalStepPolicy)
     strict: bool = True
     fast: bool = True
+    hooks: Sequence[SimHook] = ()
 
     #: Soft bound on each memo table (markings are typically few; this
     #: only guards against pathological unbounded-marking nets).
@@ -154,6 +267,36 @@ class Simulator:
         self._prev_active: frozenset[str] | None = None
         self._prev_conflicted: frozenset[PortId] = frozenset()
         self._dirty_state: set[PortId] = set()
+        # hook dispatch: bind only *overridden* methods so an absent hook
+        # costs one falsy check per call site and nothing else
+        self._pre_hooks = []
+        self._eval_hooks = []
+        self._value_hooks = []
+        self._game_hooks = []
+        self._force_full = False
+        for hook in self.hooks:
+            if not isinstance(hook, SimHook):
+                raise DefinitionError(
+                    f"hook {hook!r} does not subclass SimHook")
+            cls = type(hook)
+            if cls.pre_step is not SimHook.pre_step:
+                self._pre_hooks.append(hook.pre_step)
+            if cls.post_evaluate is not SimHook.post_evaluate:
+                self._eval_hooks.append(hook.post_evaluate)
+            if cls.resolve_value is not SimHook.resolve_value:
+                self._value_hooks.append(hook.resolve_value)
+            if cls.post_token_game is not SimHook.post_token_game:
+                self._game_hooks.append(hook.post_token_game)
+            if getattr(hook, "perturbs_values", False):
+                self._force_full = True
+        self._port_taps = self._force_full and bool(self._value_hooks)
+        # run-local state mirrored onto the instance so hooks and
+        # checkpoint() can observe it mid-run
+        self._current_step = 0
+        self._current_marking = self._net.initial_marking()
+        self._current_activations: dict[str, _Activation] = {}
+        self._arc_overrides: tuple[frozenset[str], frozenset[str]] | None = None
+        self.current_trace: Trace | None = None
         self._reset_run_stats()
 
     def _reset_run_stats(self) -> None:
@@ -221,6 +364,19 @@ class Simulator:
                 raise ExecutionError(record.detail)
         return conflicted
 
+    def _topo_order(self, active: frozenset[str]) -> list[str]:
+        """Topological COM order, with combinational loops reported as a
+        runtime fault (they can only close at runtime through an injected
+        arc glitch — statically looping systems fail validation long
+        before simulation)."""
+        try:
+            return topological_com_order(self._dp, active)
+        except ValidationError as error:
+            raise RuntimeFaultError(
+                f"combinational loop closed at step {self._current_step}: "
+                f"{error}",
+                step=self._current_step, kind="comb_loop") from error
+
     def _com_topology(self, active: frozenset[str]
                       ) -> tuple[tuple[tuple[str, ...],
                                        dict[PortId, tuple[str, ...]]], bool]:
@@ -235,7 +391,7 @@ class Simulator:
             self._hits["com_order"] += 1
             return cached, True
         self._misses["com_order"] += 1
-        order = tuple(topological_com_order(self._dp, active))
+        order = tuple(self._topo_order(active))
         com = set(order)
         fanout: dict[PortId, list[str]] = {}
         for name in active:
@@ -253,6 +409,11 @@ class Simulator:
         """Evaluate every COM vertex from scratch (the reference pass)."""
         out_values: dict[PortId, Value] = dict(self._state)
         in_values: dict[PortId, Value] = {}
+        taps = self._port_taps
+        if taps:
+            # value-perturbing hooks tap every port value, state included
+            for port in list(out_values):
+                out_values[port] = self._tap_port(port, out_values[port])
 
         def resolve(port: PortId) -> Value:
             if port in in_values:
@@ -273,8 +434,18 @@ class Simulator:
             args = [resolve(p) for p in vertex.input_ids()]
             for port in vertex.out_ports:
                 self._port_evals += 1
-                out_values[PortId(name, port)] = vertex.operation(port).evaluate(*args)
+                pid = PortId(name, port)
+                value = vertex.operation(port).evaluate(*args)
+                if taps:
+                    value = self._tap_port(pid, value)
+                out_values[pid] = value
         return out_values, in_values
+
+    def _tap_port(self, port: PortId, value: Value) -> Value:
+        """Apply every value hook's port tap, in hook order."""
+        for resolve in self._value_hooks:
+            value = resolve(self, self._current_step, "port", port, value)
+        return value
 
     def _incremental_pass(self, active: frozenset[str],
                           conflicted: frozenset[PortId],
@@ -345,9 +516,9 @@ class Simulator:
         if not self.fast:
             self._full_passes += 1
             return self._full_pass(active, conflicted,
-                                   topological_com_order(self._dp, active))
+                                   self._topo_order(active))
         (order, consumers), topo_hit = self._com_topology(active)
-        if topo_hit and self._prev_active is not None:
+        if topo_hit and self._prev_active is not None and not self._force_full:
             self._incremental_passes += 1
             out_values, in_values = self._incremental_pass(
                 active, conflicted, order, consumers)
@@ -367,12 +538,24 @@ class Simulator:
     # ------------------------------------------------------------------
     def _guard_eval(self, out_values: dict[PortId, Value]):
         guard_ports = self._guard_ports
+        value_hooks = self._value_hooks
+
+        if not value_hooks:
+            def evaluate(transition: str) -> bool:
+                ports = guard_ports[transition]
+                if not ports:
+                    return True
+                return any(truthy(out_values.get(p, UNDEF)) for p in ports)
+            return evaluate
 
         def evaluate(transition: str) -> bool:
             ports = guard_ports[transition]
-            if not ports:
-                return True
-            return any(truthy(out_values.get(p, UNDEF)) for p in ports)
+            value = (True if not ports
+                     else any(truthy(out_values.get(p, UNDEF)) for p in ports))
+            for resolve in value_hooks:
+                value = bool(resolve(self, self._current_step, "guard",
+                                     transition, value))
+            return value
         return evaluate
 
     def _record_choice_conflicts(self, marking: Marking, guard_eval,
@@ -476,18 +659,126 @@ class Simulator:
                 trace.latches.append(LatchRecord(step, port, old, new, place))
 
     # ------------------------------------------------------------------
+    # hook and checkpoint plumbing
+    # ------------------------------------------------------------------
+    def state_value(self, port: PortId) -> Value:
+        """Current sequential-state value of a port (UNDEF if stateless)."""
+        return self._state.get(port, UNDEF)
+
+    def poke_state(self, port: PortId, value: Value) -> None:
+        """Overwrite one sequential state value (SEU-style perturbation).
+
+        Only ports that carry state (SEQ registers, input pads, output
+        records) may be poked; the change is flagged dirty so the
+        incremental fast path re-evaluates its combinational cone.
+        """
+        if port not in self._state:
+            raise DefinitionError(
+                f"port {port} holds no sequential state; only SEQ/INPUT/"
+                f"OUTPUT ports can be poked")
+        if self.fast and self._state[port] != value:
+            self._dirty_state.add(port)
+        self._state[port] = value
+
+    def _apply_pre_hooks(self, step: int, marking: Marking,
+                         activations: dict[str, _Activation]) -> Marking:
+        """Run every pre-step hook; apply marking/arc perturbations."""
+        opens: set[str] = set()
+        closes: set[str] = set()
+        for hook in self._pre_hooks:
+            perturbation = hook(self, step, marking)
+            if perturbation is None:
+                continue
+            if (perturbation.marking is not None
+                    and perturbation.marking != marking):
+                marking = perturbation.marking
+                self._reconcile_activations(marking, step, activations)
+                self._current_marking = marking
+            opens |= perturbation.open_arcs
+            closes |= perturbation.close_arcs
+        self._arc_overrides = ((frozenset(opens), frozenset(closes))
+                               if opens or closes else None)
+        return marking
+
+    def _reconcile_activations(self, marking: Marking, step: int,
+                               activations: dict[str, _Activation]) -> None:
+        """Re-align open activations after a marking perturbation.
+
+        A place that lost its token has its activation dropped *without*
+        completing it — the events and latches it would have produced are
+        lost, which is exactly the injected fault's damage.  A place that
+        gained a token out of thin air opens a fresh activation (drawing
+        environment values for any input reads it controls).
+        """
+        for place in list(activations):
+            if marking[place] <= 0:
+                del activations[place]
+        added = sorted(place for place in marking.marked_places()
+                       if place not in activations)
+        if added:
+            self._start_activations(added, step, activations)
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the complete mutable run state (see :class:`Checkpoint`).
+
+        Valid at any step boundary: from inside a ``pre_step`` hook
+        (capturing the state the step will start from) or after
+        :meth:`run` returned with ``on_limit="return"`` (capturing the
+        state the next run would continue from).
+        """
+        return Checkpoint(
+            step=self._current_step,
+            marking=self._current_marking,
+            state=dict(self._state),
+            activations=tuple(sorted(
+                (a.place, a.ident, a.start)
+                for a in self._current_activations.values())),
+            activation_counter=self._activation_counter,
+            event_index=dict(self._event_index),
+            env_cursors=self.environment.cursors(),
+        )
+
+    def _restore(self, checkpoint: Checkpoint
+                 ) -> tuple[Marking, dict[str, _Activation], int]:
+        """Load a checkpoint into this simulator's mutable state."""
+        self._state = dict(checkpoint.state)
+        self._event_index = dict(checkpoint.event_index)
+        self._activation_counter = checkpoint.activation_counter
+        self.environment.restore_cursors(checkpoint.env_cursors)
+        activations = {
+            place: _Activation(ident, place, start)
+            for place, ident, start in checkpoint.activations
+        }
+        return checkpoint.marking, activations, checkpoint.step
+
+    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def run(self, *, max_steps: int = 10_000, on_limit: str = "raise") -> Trace:
+    def run(self, *, max_steps: int = 10_000, on_limit: str = "raise",
+            from_checkpoint: Checkpoint | None = None) -> Trace:
         """Execute until termination, deadlock, or the step budget.
 
         ``on_limit`` — ``"raise"`` (default) raises
         :class:`~repro.errors.ExecutionError` when ``max_steps`` is
         reached; ``"return"`` returns the partial trace instead (with
-        neither ``terminated`` nor ``deadlocked`` set).  The returned
-        trace carries a fresh :class:`~repro.semantics.profile.SimMetrics`
-        for this run.
+        neither ``terminated`` nor ``deadlocked`` set).  Both arguments
+        are validated eagerly — an unknown ``on_limit`` or a
+        non-positive ``max_steps`` raises :class:`ValueError` before any
+        stepping happens.  The returned trace carries a fresh
+        :class:`~repro.semantics.profile.SimMetrics` for this run.
+
+        ``from_checkpoint`` resumes a run from a
+        :meth:`checkpoint` snapshot instead of the initial marking; the
+        step counter continues from the snapshot (``max_steps`` stays an
+        *absolute* budget), and the continuation trace extends the
+        original run exactly.
         """
+        if on_limit not in ("raise", "return"):
+            raise ValueError(
+                f"unknown on_limit {on_limit!r}; choose 'raise' or 'return'")
+        if max_steps <= 0:
+            raise ValueError(
+                f"max_steps must be a positive step budget, got {max_steps}")
         self._reset_run_stats()
         # force a full-pass re-base on the first step of every run
         self._prev_active = None
@@ -499,12 +790,22 @@ class Simulator:
         peak_marked = 0
 
         trace = Trace()
-        marking = self._net.initial_marking()
-        activations: dict[str, _Activation] = {}
-        self._start_activations(sorted(marking.marked_places()), 0, activations)
+        if from_checkpoint is not None:
+            marking, activations, step = self._restore(from_checkpoint)
+        else:
+            marking = self._net.initial_marking()
+            activations = {}
+            self._start_activations(sorted(marking.marked_places()), 0,
+                                    activations)
+            step = 0
+        self.current_trace = trace
+        self._current_activations = activations
 
-        step = 0
         while step < max_steps:
+            self._current_step = step
+            self._current_marking = marking
+            if self._pre_hooks:
+                marking = self._apply_pre_hooks(step, marking, activations)
             if marking.is_empty():
                 trace.terminated = True
                 break
@@ -513,8 +814,14 @@ class Simulator:
                 peak_marked = len(marked)
             phase_start = perf_counter()
             active = self._active_arcs(marked)
+            if self._arc_overrides is not None:
+                opens, closes = self._arc_overrides
+                active = frozenset((active | opens) - closes)
             conflicted = self._drive_conflicts(active, step, trace)
             out_values, in_values = self._evaluate(active, conflicted)
+            if self._eval_hooks:
+                for observe in self._eval_hooks:
+                    observe(self, step, active, out_values)
             comb_seconds += perf_counter() - phase_start
             phase_start = perf_counter()
 
@@ -538,6 +845,9 @@ class Simulator:
                 raise ExecutionError(bad.detail)
 
             chosen = self.policy.choose(self._net, marking, guard_eval)
+            if self._game_hooks:
+                for observe in self._game_hooks:
+                    observe(self, step, marking, chosen)
             if not chosen:
                 # quiescent with tokens: deadlock; flush open activations
                 for place in sorted(marking.marked_places()):
@@ -582,6 +892,8 @@ class Simulator:
                     f"simulation did not finish within {max_steps} steps"
                 )
 
+        self._current_step = step
+        self._current_marking = marking
         trace.step_count = step
         trace.final_marking = marking
         trace.final_state = dict(self._state)
@@ -623,7 +935,8 @@ def simulate(system: DataControlSystem,
              max_steps: int = 10_000,
              strict: bool = True,
              fast: bool = True,
-             on_limit: str = "raise") -> Trace:
+             on_limit: str = "raise",
+             hooks: Sequence[SimHook] = ()) -> Trace:
     """One-shot convenience wrapper around :class:`Simulator`."""
     return Simulator(
         system,
@@ -631,4 +944,5 @@ def simulate(system: DataControlSystem,
         policy if policy is not None else MaximalStepPolicy(),
         strict,
         fast,
+        hooks,
     ).run(max_steps=max_steps, on_limit=on_limit)

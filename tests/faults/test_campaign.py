@@ -1,0 +1,198 @@
+"""Fault campaigns: verdict oracle, checkpoint resume, job integration."""
+
+import json
+
+import pytest
+
+from repro.designs import get_design
+from repro.faults import (
+    CampaignReport,
+    FaultSpec,
+    deviation_count,
+    event_structure_digest,
+    generate_faults,
+    run_campaign,
+    run_single_fault,
+    watchdog_budget,
+)
+from repro.core.events import EventStructure
+from repro.runtime import execute_job, faults_job
+from repro.semantics import simulate
+from repro.semantics.event_structure import event_structure_from_trace
+
+
+def _design(name):
+    design = get_design(name)
+    return design.build(), design.environment()
+
+
+# One detected-with-latency case and one masked case per fault class,
+# verified against the zoo designs.  Format:
+#   (design, spec, expected_rule, expected_latency)  for detections
+#   (design, spec)                                   for masked faults
+DETECTED_CASES = [
+    ("gcd", FaultSpec("stuck_at", "not1.o", value=1, start=0),
+     "RT003", 3),
+    ("counter", FaultSpec("bit_flip", "reg_limit.q", bit=20, start=3,
+                          once=True),
+     "RT005", 85),
+    ("traffic", FaultSpec("token_loss", "s4_assign_ns", start=0),
+     "RT006", 1),
+    ("gcd", FaultSpec("token_duplicate", "s0_entry", start=0, end=0),
+     "RT001", 0),
+    ("traffic", FaultSpec("token_misroute", "s4_assign_ns",
+                          to_place="s6_assign_ew", start=0),
+     "RT001", 0),
+    ("gcd", FaultSpec("guard_invert", "t_exit6", start=0),
+     "RT003", 3),
+    ("gcd", FaultSpec("arc_open", "a0", while_place="s5_assign_a"),
+     "RT002", 0),
+    ("gcd", FaultSpec("arc_close", "a2", start=0),
+     "RT006", 3),
+]
+
+MASKED_CASES = [
+    ("gcd", FaultSpec("stuck_at", "ne0.o", value=1, start=1, end=3)),
+    ("counter", FaultSpec("bit_flip", "count.snk", bit=0, start=3,
+                          once=True)),
+    ("gcd", FaultSpec("token_loss", "s3_while", start=9999)),
+    ("gcd", FaultSpec("token_duplicate", "s0_entry", start=1, end=1)),
+    ("traffic", FaultSpec("token_misroute", "s4_assign_ns",
+                          to_place="s6_assign_ew", start=9999)),
+    ("gcd", FaultSpec("guard_invert", "t_then2", start=0, end=2)),
+    ("gcd", FaultSpec("arc_open", "a2", while_place="s3_while")),
+    ("gcd", FaultSpec("arc_close", "a0", start=3)),
+]
+
+
+def _case_id(case):
+    return f"{case[1].kind}:{case[1].target}"
+
+
+class TestVerdictMatrix:
+    @pytest.mark.parametrize("design,spec,rule,latency", DETECTED_CASES,
+                             ids=[_case_id(c) for c in DETECTED_CASES])
+    def test_detected_with_latency(self, design, spec, rule, latency):
+        system, env = _design(design)
+        payload = run_single_fault(system, spec, env)
+        assert payload["verdict"] == "detected"
+        assert rule in payload["detected_by"]
+        assert payload["detection_latency"] == latency
+        assert payload["detection_step"] == (
+            payload["first_injection_step"] + latency)
+
+    @pytest.mark.parametrize("design,spec", MASKED_CASES,
+                             ids=[_case_id(c) for c in MASKED_CASES])
+    def test_masked(self, design, spec):
+        system, env = _design(design)
+        payload = run_single_fault(system, spec, env)
+        assert payload["verdict"] == "masked"
+        assert payload["findings"] == []
+        assert payload["deviation_events"] == 0
+
+
+class TestOracle:
+    def test_digest_stable_and_sensitive(self):
+        system, env = _design("gcd")
+        structure = event_structure_from_trace(
+            system, simulate(system, env.fork()))
+        assert event_structure_digest(structure) == \
+            event_structure_digest(structure)
+        empty = EventStructure((), frozenset(), frozenset())
+        assert event_structure_digest(structure) != \
+            event_structure_digest(empty)
+
+    def test_deviation_count(self):
+        system, env = _design("gcd")
+        structure = event_structure_from_trace(
+            system, simulate(system, env.fork()))
+        assert deviation_count(structure, structure) == 0
+        empty = EventStructure((), frozenset(), frozenset())
+        # every golden value is a deviation against an empty faulty run
+        total = sum(len(vs) for vs in structure.value_sequences().values())
+        assert deviation_count(structure, empty) == total
+
+    def test_watchdog_budget_clamps(self):
+        assert watchdog_budget(0, 10_000) == 16
+        assert watchdog_budget(14, 10_000) == 72
+        assert watchdog_budget(5_000, 100) == 100
+
+
+class TestCampaign:
+    FAULTS = [
+        FaultSpec("stuck_at", "ne0.o", value=1, start=1, end=3),  # masked
+        FaultSpec("guard_invert", "t_exit6", start=0),            # detected
+        FaultSpec("token_duplicate", "s0_entry", start=0, end=0),  # detected
+        FaultSpec("arc_close", "a2", start=0),                    # detected
+        FaultSpec("token_loss", "s3_while", start=0),             # silent
+    ]
+
+    def test_counts_and_exit_code(self):
+        system, env = _design("gcd")
+        report = run_campaign(system, self.FAULTS, env, seed=3)
+        assert report.complete
+        assert len(report.results) == len(self.FAULTS)
+        assert report.counts == {"masked": 1, "detected": 3, "silent": 1,
+                                 "error": 0}
+        assert report.exit_code == 1  # silent corruption present
+        assert not report.ok
+
+    def test_report_round_trip(self):
+        system, env = _design("gcd")
+        report = run_campaign(system, self.FAULTS[:2], env, seed=3)
+        clone = CampaignReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+        text = report.to_text()
+        assert "detected" in text and "masked" in text
+
+    def test_interrupted_campaign_resumes_identically(self, tmp_path):
+        system, env = _design("gcd")
+        checkpoint = str(tmp_path / "campaign.json")
+
+        straight = run_campaign(system, self.FAULTS, env, seed=7)
+
+        partial = run_campaign(system, self.FAULTS, env, seed=7,
+                               checkpoint_path=checkpoint, limit=2)
+        assert not partial.complete
+        assert len(partial.results) == 2
+        on_disk = json.loads(open(checkpoint).read())
+        assert len(on_disk["results"]) == 2
+
+        resumed = run_campaign(system, self.FAULTS, env, seed=7,
+                               checkpoint_path=checkpoint)
+        assert resumed.complete
+        assert resumed.to_dict()["results"] == straight.to_dict()["results"]
+
+    def test_generated_campaign_runs(self):
+        system, env = _design("gcd")
+        faults = generate_faults(system, 6, seed=2)
+        report = run_campaign(system, faults, env, seed=2)
+        assert len(report.results) == 6
+        assert all(r["verdict"] in ("masked", "detected", "silent")
+                   for r in report.results)
+
+
+class TestFaultsJob:
+    def test_execute_job_matches_direct_run(self):
+        system, env = _design("gcd")
+        spec = FaultSpec("guard_invert", "t_exit6", start=0, seed=1)
+        job = faults_job(system, spec, env)
+        assert job.kind == "faults"
+        outcome = execute_job(job.to_dict())
+        direct = run_single_fault(system, spec, env)
+        assert outcome["payload"] == direct
+
+    def test_key_stable_and_fault_sensitive(self):
+        system, env = _design("gcd")
+        spec = FaultSpec("guard_invert", "t_exit6", start=0, seed=1)
+        other = FaultSpec("guard_invert", "t_exit6", start=1, seed=1)
+        assert faults_job(system, spec, env).key == \
+            faults_job(system, spec, env).key
+        assert faults_job(system, spec, env).key != \
+            faults_job(system, other, env).key
+
+    def test_bad_target_rejected_eagerly(self):
+        from repro.errors import DefinitionError
+        system, env = _design("gcd")
+        with pytest.raises(DefinitionError):
+            faults_job(system, FaultSpec("token_loss", "nowhere"), env)

@@ -1,0 +1,178 @@
+"""Runtime Definition 3.2 monitors (repro.faults.monitors)."""
+
+import pytest
+
+from repro.core import DataControlSystem
+from repro.datapath import DataPath, constant, register
+from repro.designs import get_design
+from repro.errors import ExecutionError, RuntimeFaultError
+from repro.faults import (
+    DeadlockMonitor,
+    DriveConflictMonitor,
+    FaultInjector,
+    FaultSpec,
+    GuardConflictMonitor,
+    MonitorViolation,
+    SafetyMonitor,
+    WatchdogMonitor,
+    finding_from_error,
+    standard_monitors,
+)
+from repro.petri import PetriNet
+from repro.semantics import Environment, Simulator, simulate
+
+from tests.util import guarded_choice_system
+
+
+def _gcd():
+    design = get_design("gcd")
+    return design.build(), design.environment()
+
+
+def _double_drive() -> DataControlSystem:
+    dp = DataPath()
+    dp.add_vertex(constant("k1", 1))
+    dp.add_vertex(constant("k2", 2))
+    dp.add_vertex(register("r"))
+    dp.connect("k1.o", "r.d", name="a1")
+    dp.connect("k2.o", "r.d", name="a2")
+    net = PetriNet()
+    net.add_place("s", marked=True)
+    net.add_transition("t")
+    net.add_arc("s", "t")
+    system = DataControlSystem(dp, net)
+    system.set_control("s", ["a1", "a2"])
+    return system
+
+
+class TestSafetyMonitor:
+    def test_unsafe_marking_reported_once_per_place(self):
+        system, env = _gcd()
+        monitor = SafetyMonitor()
+        injector = FaultInjector(
+            [FaultSpec("token_duplicate", "s0_entry", start=0, end=0)])
+        # the duplicate token re-reads the exhausted input sequence and
+        # aborts the run downstream; RT001 has fired long before that
+        with pytest.raises(ExecutionError):
+            simulate(system, env.fork(), hooks=[injector, monitor],
+                     strict=False, max_steps=100, on_limit="return")
+        assert monitor.findings
+        first = monitor.findings[0]
+        assert first.diagnostic.rule == "RT001"
+        assert first.step == 0
+        # a place stays unsafe for several steps; report it only once
+        places = [loc.name for f in monitor.findings
+                  for loc in f.diagnostic.locations]
+        assert len(places) == len(set(places))
+
+    def test_clean_run_stays_silent(self):
+        system, env = _gcd()
+        monitor = SafetyMonitor()
+        simulate(system, env.fork(), hooks=[monitor])
+        assert monitor.findings == []
+
+
+class TestConflictMonitors:
+    def test_drive_conflict_found(self):
+        monitor = DriveConflictMonitor()
+        simulate(_double_drive(), Environment(), hooks=[monitor],
+                 strict=False)
+        assert monitor.findings
+        assert monitor.findings[0].diagnostic.rule == "RT002"
+
+    def test_choice_conflict_found(self):
+        system = guarded_choice_system()
+        system.set_guard("t_zero", ["isnz.o"])  # same guard on both branches
+        monitor = GuardConflictMonitor()
+        simulate(system, Environment.of(x=[5]), hooks=[monitor],
+                 strict=False, max_steps=100, on_limit="return")
+        assert monitor.findings
+        assert monitor.findings[0].diagnostic.rule == "RT003"
+
+    def test_final_scan_catches_last_step_records(self):
+        # the last hook call happens before trailing conflict records land;
+        # scan() must pick up whatever the cursor has not consumed yet
+        monitor = DriveConflictMonitor()
+        trace = simulate(_double_drive(), Environment(), strict=False)
+        monitor.scan(None, trace)
+        assert monitor.findings
+        assert monitor.findings[0].diagnostic.rule == "RT002"
+
+
+class TestWatchdog:
+    def test_budget_exceeded_halts(self):
+        system, env = _gcd()
+        monitor = WatchdogMonitor(5)
+        with pytest.raises(MonitorViolation) as excinfo:
+            simulate(system, env.fork(), hooks=[monitor])
+        assert excinfo.value.finding.diagnostic.rule == "RT005"
+        assert excinfo.value.finding.step >= 5
+
+    def test_non_halting_watchdog_records(self):
+        system, env = _gcd()
+        monitor = WatchdogMonitor(5, halt=False)
+        trace = simulate(system, env.fork(), hooks=[monitor])
+        assert trace.terminated  # run completed despite the finding
+        assert monitor.findings
+        assert monitor.findings[0].diagnostic.rule == "RT005"
+
+    def test_within_budget_is_silent(self):
+        system, env = _gcd()
+        monitor = WatchdogMonitor(100)
+        simulate(system, env.fork(), hooks=[monitor])
+        assert monitor.findings == []
+
+
+class TestDeadlockMonitor:
+    def test_stuck_tokens_reported(self):
+        system = guarded_choice_system()
+        system.set_control("s_decide", ["a_latch"])  # guard stays UNDEF
+        monitor = DeadlockMonitor()
+        trace = simulate(system, Environment.of(x=[5]), hooks=[monitor])
+        assert trace.deadlocked
+        assert monitor.findings
+        finding = monitor.findings[0]
+        assert finding.diagnostic.rule == "RT006"
+        marked = {loc.name for loc in finding.diagnostic.locations}
+        assert marked  # stuck places are named in the diagnostic
+
+    def test_clean_termination_is_not_deadlock(self):
+        system, env = _gcd()
+        monitor = DeadlockMonitor()
+        trace = simulate(system, env.fork(), hooks=[monitor])
+        assert trace.terminated
+        assert monitor.findings == []
+
+
+class TestErrorClassification:
+    def test_comb_loop_maps_to_rt004(self):
+        error = RuntimeFaultError("combinational cycle through x",
+                                  kind="comb_loop", step=7)
+        finding = finding_from_error(error, "sys")
+        assert finding.diagnostic.rule == "RT004"
+        assert finding.step == 7
+
+    def test_other_errors_map_to_rt007(self):
+        finding = finding_from_error(ValueError("boom"), "sys", step=3)
+        assert finding.diagnostic.rule == "RT007"
+        assert finding.step == 3
+        assert "boom" in finding.diagnostic.message
+
+
+class TestStandardMonitors:
+    def test_composition(self):
+        monitors = standard_monitors(50)
+        rules = [m.rule for m in monitors]
+        assert rules == ["RT001", "RT002", "RT003", "RT005", "RT006"]
+
+    def test_deadlock_opt_out(self):
+        rules = [m.rule for m in standard_monitors(
+            50, include_deadlock=False)]
+        assert "RT006" not in rules
+
+    def test_clean_gcd_run_passes_all(self):
+        system, env = _gcd()
+        monitors = standard_monitors(100)
+        trace = Simulator(system, env.fork(), hooks=monitors).run()
+        assert trace.terminated
+        assert all(m.findings == [] for m in monitors)

@@ -1,0 +1,148 @@
+"""Unit tests for declarative fault specs (repro.faults.spec)."""
+
+import pytest
+
+from repro.designs import get_design
+from repro.errors import DefinitionError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultSpec,
+    derive_seed,
+    generate_faults,
+    load_faults,
+    resolve_seeds,
+    save_faults,
+)
+
+
+@pytest.fixture(scope="module")
+def gcd():
+    return get_design("gcd").build()
+
+
+class TestConstruction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DefinitionError, match="unknown fault kind"):
+            FaultSpec("melt", "x")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(DefinitionError, match="target"):
+            FaultSpec("stuck_at", "", value=0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(DefinitionError, match="precedes"):
+            FaultSpec("token_loss", "p", start=5, end=3)
+        with pytest.raises(DefinitionError, match=">= 0"):
+            FaultSpec("token_loss", "p", start=-1)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(DefinitionError, match="probability"):
+            FaultSpec("token_loss", "p", probability=1.5)
+
+    def test_stuck_at_value_checked(self):
+        with pytest.raises(DefinitionError, match="stuck_at value"):
+            FaultSpec("stuck_at", "v.o", value="garbage")
+        FaultSpec("stuck_at", "v.o", value="undef")  # ok
+        FaultSpec("stuck_at", "v.o", value=7)        # ok
+
+    def test_misroute_needs_destination(self):
+        with pytest.raises(DefinitionError, match="to_place"):
+            FaultSpec("token_misroute", "p")
+
+
+class TestValidate:
+    def test_port_target_must_exist(self, gcd):
+        with pytest.raises(DefinitionError, match="does not exist"):
+            FaultSpec("stuck_at", "nosuch.o", value=0).validate(gcd)
+        with pytest.raises(DefinitionError, match="not an output port"):
+            FaultSpec("stuck_at", "ne0.q", value=0).validate(gcd)
+
+    def test_bit_flip_needs_stateful_port(self, gcd):
+        with pytest.raises(DefinitionError, match="sequential state"):
+            FaultSpec("bit_flip", "ne0.o").validate(gcd)
+        FaultSpec("bit_flip", "reg_a.q").validate(gcd)  # SEQ: fine
+
+    def test_place_and_transition_targets(self, gcd):
+        with pytest.raises(DefinitionError, match="place"):
+            FaultSpec("token_loss", "nowhere").validate(gcd)
+        with pytest.raises(DefinitionError, match="transition"):
+            FaultSpec("guard_invert", "t_nope").validate(gcd)
+        with pytest.raises(DefinitionError, match="arc"):
+            FaultSpec("arc_open", "a99").validate(gcd)
+        with pytest.raises(DefinitionError, match="equals the source"):
+            FaultSpec("token_misroute", "s3_while",
+                      to_place="s3_while").validate(gcd)
+
+    def test_window_place_checked(self, gcd):
+        with pytest.raises(DefinitionError, match="window place"):
+            FaultSpec("token_loss", "s3_while",
+                      while_place="ghost").validate(gcd)
+
+    def test_validate_returns_self(self, gcd):
+        spec = FaultSpec("token_loss", "s3_while")
+        assert spec.validate(gcd) is spec
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        spec = FaultSpec("token_misroute", "a", to_place="b", start=2, end=9,
+                         while_place="w", probability=0.5, seed=17,
+                         once=True, label="x")
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_parse_compact_syntax(self):
+        spec = FaultSpec.parse(
+            "stuck_at:alu.o:value=undef,start=3,end=9,p=0.25,seed=4,"
+            "label=seu,once")
+        assert spec == FaultSpec("stuck_at", "alu.o", value="undef",
+                                 start=3, end=9, probability=0.25, seed=4,
+                                 label="seu", once=True)
+        spec2 = FaultSpec.parse("token_misroute:s1:to=s2,while=s0")
+        assert spec2.to_place == "s2" and spec2.while_place == "s0"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(DefinitionError, match="malformed fault"):
+            FaultSpec.parse("stuck_at")
+        with pytest.raises(DefinitionError, match="unknown fault option"):
+            FaultSpec.parse("token_loss:p:wat=1")
+        with pytest.raises(DefinitionError, match="malformed fault option"):
+            FaultSpec.parse("token_loss:p:once,nope")
+
+    def test_file_round_trip(self, tmp_path):
+        specs = [FaultSpec("token_loss", "p", start=1),
+                 FaultSpec("bit_flip", "r.q", bit=3, once=True, seed=9)]
+        path = str(tmp_path / "faults.json")
+        save_faults(path, specs)
+        assert load_faults(path) == specs
+
+
+class TestSeeds:
+    def test_derive_seed_deterministic_and_distinct(self):
+        seeds = [derive_seed(5, index) for index in range(50)]
+        assert seeds == [derive_seed(5, index) for index in range(50)]
+        assert len(set(seeds)) == 50
+
+    def test_resolve_keeps_explicit_seeds(self):
+        specs = [FaultSpec("token_loss", "p"),
+                 FaultSpec("token_loss", "q", seed=123)]
+        resolved = resolve_seeds(specs, campaign_seed=7)
+        assert resolved[0].seed == derive_seed(7, 0)
+        assert resolved[1].seed == 123
+
+
+class TestGenerate:
+    def test_deterministic_and_valid(self, gcd):
+        first = generate_faults(gcd, 12, seed=4)
+        assert first == generate_faults(gcd, 12, seed=4)
+        assert len(first) == 12
+        for spec in first:
+            assert spec.kind in FAULT_KINDS
+            spec.validate(gcd)  # every sampled target exists
+
+    def test_different_seeds_differ(self, gcd):
+        assert generate_faults(gcd, 12, seed=1) != generate_faults(
+            gcd, 12, seed=2)
+
+    def test_count_capped_at_pool(self, gcd):
+        everything = generate_faults(gcd, 100_000, seed=0)
+        assert 0 < len(everything) < 100_000

@@ -1,5 +1,7 @@
 """Unit tests for the token game (Definition 3.1(2)-(6))."""
 
+import random
+
 import pytest
 
 from repro.errors import ExecutionError
@@ -15,6 +17,7 @@ from repro.petri import (
     may_fire,
     run_to_completion,
 )
+from repro.petri.execution import TokenGameCache
 
 from tests.util import fork_join_net, loop_net
 
@@ -171,3 +174,105 @@ class TestRunToCompletion:
             net, guard_eval=guard_table({"t1": False}))
         assert final == Marking({"p0": 1})
         assert history == []
+
+
+def _conflict_net() -> PetriNet:
+    """One token, two competing consumers — the rng has a real choice."""
+    net = PetriNet()
+    net.add_place("p", marked=True)
+    net.add_place("q1")
+    net.add_place("q2")
+    net.add_transition("t1")
+    net.add_transition("t2")
+    net.add_arc("p", "t1")
+    net.add_arc("t1", "q1")
+    net.add_arc("p", "t2")
+    net.add_arc("t2", "q2")
+    return net
+
+
+class TestSeededStep:
+    def test_same_seed_same_choice(self):
+        picks = {seed: maximal_step(_conflict_net(),
+                                    Marking({"p": 1}),
+                                    rng=random.Random(seed))
+                 for seed in range(8)}
+        for seed, step in picks.items():
+            assert step == maximal_step(_conflict_net(), Marking({"p": 1}),
+                                        rng=random.Random(seed))
+        # across seeds both outcomes occur: the shuffle is not a no-op
+        assert {tuple(step) for step in picks.values()} == {("t1",), ("t2",)}
+
+    def test_cache_and_module_consume_rng_identically(self):
+        net = _conflict_net()
+        cache = TokenGameCache(net)
+        marking = Marking({"p": 1})
+        for seed in range(10):
+            assert (cache.maximal_step(marking, rng=random.Random(seed))
+                    == maximal_step(net, marking, rng=random.Random(seed)))
+
+    def test_priority_with_rng_shuffles_priority_list(self):
+        net = _conflict_net()
+        cache = TokenGameCache(net)
+        marking = Marking({"p": 1})
+        for seed in range(10):
+            assert (cache.maximal_step(marking, priority=["t2", "t1"],
+                                       rng=random.Random(seed))
+                    == maximal_step(net, marking, priority=["t2", "t1"],
+                                    rng=random.Random(seed)))
+
+    def test_seeded_run_to_completion_reproducible(self):
+        def choice_chain() -> PetriNet:
+            net = PetriNet()
+            net.add_place("p0", marked=True)
+            for i in range(4):
+                net.add_place(f"p{i + 1}")
+                for branch in ("a", "b"):
+                    net.add_transition(f"t{i}{branch}")
+                    net.add_arc(f"p{i}", f"t{i}{branch}")
+                    net.add_arc(f"t{i}{branch}", f"p{i + 1}")
+            return net
+
+        final1, history1 = run_to_completion(choice_chain(),
+                                             rng=random.Random(11))
+        final2, history2 = run_to_completion(choice_chain(),
+                                             rng=random.Random(11))
+        assert (final1, history1) == (final2, history2)
+        histories = {tuple(map(tuple, run_to_completion(
+            choice_chain(), rng=random.Random(seed))[1]))
+            for seed in range(12)}
+        assert len(histories) > 1  # distinct seeds explore distinct paths
+
+
+class TestTokenGameCacheBound:
+    def _markings(self, count: int) -> list[Marking]:
+        return [Marking({"p": 1, f"x{i}": 1}) for i in range(count)]
+
+    def test_memo_stops_growing_at_bound(self):
+        net = _conflict_net()
+        cache = TokenGameCache(net, max_markings=2)
+        for marking in self._markings(6):
+            cache.enabled(marking)
+        assert len(cache._enabled) <= 2
+
+    def test_results_stay_correct_past_bound(self):
+        net = _conflict_net()
+        cache = TokenGameCache(net, max_markings=1)
+        for marking in self._markings(5) + [Marking({"p": 1})]:
+            expected = tuple(t for t in net.transitions
+                             if is_enabled(net, marking, t))
+            assert cache.enabled(marking) == expected
+            # asking again is still correct whether or not it was stored
+            assert cache.enabled(marking) == expected
+
+    def test_perturbed_marking_does_not_pollute(self):
+        # a fault-perturbed (unsafe) marking queried once must not change
+        # answers for the normal markings around it
+        net = _conflict_net()
+        cache = TokenGameCache(net, max_markings=64)
+        normal = Marking({"p": 1})
+        before = cache.enabled(normal)
+        unsafe = Marking({"p": 3, "q1": 2})
+        assert cache.enabled(unsafe) == ("t1", "t2")
+        assert cache.enabled(normal) == before
+        assert cache.maximal_step(normal) == maximal_step(net, normal)

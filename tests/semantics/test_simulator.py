@@ -43,7 +43,21 @@ class TestBasicExecution:
     def test_max_steps_raises(self):
         system = relay_system()
         with pytest.raises(ExecutionError):
-            simulate(system, Environment.of(x=[1]), max_steps=0)
+            simulate(system, Environment.of(x=[1]), max_steps=1)
+
+    def test_max_steps_validated_eagerly(self):
+        # non-positive budgets are a usage error, not an exhausted budget
+        for bad in (0, -1, -10_000):
+            with pytest.raises(ValueError, match="positive"):
+                simulate(relay_system(), Environment.of(x=[1]),
+                         max_steps=bad)
+
+    def test_on_limit_validated_eagerly(self):
+        simulator = Simulator(relay_system(), Environment.of(x=[1]))
+        with pytest.raises(ValueError, match="on_limit"):
+            simulator.run(on_limit="explode")
+        # the bad call must not have consumed any environment values
+        assert simulator.environment.consumed("x") == 0
 
     def test_max_steps_return_mode(self):
         trace = simulate(relay_system(), Environment.of(x=[1]),

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro", "repro.petri", "repro.datapath", "repro.core",
     "repro.semantics", "repro.transform", "repro.synthesis",
     "repro.analysis", "repro.designs", "repro.io", "repro.runtime",
+    "repro.faults",
 ]
 
 

@@ -321,3 +321,66 @@ class TestLint:
         assert main(["lint", path, "--baseline", str(baseline)]) == 0
         out = capsys.readouterr().out
         assert "baselined" in out
+
+
+class TestSimulateSeed:
+    def test_seeded_run_reproducible(self, capsys):
+        assert main(["simulate", "gcd", "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["simulate", "gcd", "--seed", "5"]) == 0
+        assert capsys.readouterr().out == first
+        assert "result = [12]" in first
+
+
+class TestFaults:
+    def test_detected_and_masked_exit_zero(self, capsys):
+        assert main(["faults", "gcd",
+                     "--fault", "guard_invert:t_exit6:start=0",
+                     "--fault", "stuck_at:ne0.o:value=1,start=1,end=3"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out and "masked" in out
+        assert "latency" in out
+
+    def test_silent_corruption_exits_one(self, capsys):
+        assert main(["faults", "gcd",
+                     "--fault", "token_loss:s3_while:start=0"]) == 1
+        assert "silent" in capsys.readouterr().out
+
+    def test_no_faults_is_usage_error(self, capsys):
+        assert main(["faults", "gcd"]) == 2
+        assert "no faults" in capsys.readouterr().err
+
+    def test_bad_target_is_definition_error(self, capsys):
+        assert main(["faults", "gcd",
+                     "--fault", "token_loss:nowhere"]) == 2
+        assert "definition error" in capsys.readouterr().err
+
+    def test_json_report(self, capsys):
+        assert main(["faults", "gcd", "--auto", "4",
+                     "--format", "json", "--max-steps", "500"]) in (0, 1)
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["format"] == 1
+        assert len(payload["results"]) == 4
+
+    def test_faults_file_and_output(self, tmp_path, capsys):
+        from repro.faults import FaultSpec, save_faults
+        faults_path = tmp_path / "faults.json"
+        save_faults(str(faults_path),
+                    [FaultSpec("guard_invert", "t_exit6", start=0)])
+        report_path = tmp_path / "report.json"
+        assert main(["faults", "gcd", "--faults-file", str(faults_path),
+                     "--output", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["results"][0]["verdict"] == "detected"
+
+    def test_checkpoint_resume(self, tmp_path, capsys):
+        checkpoint = tmp_path / "campaign.json"
+        args = ["faults", "gcd",
+                "--fault", "guard_invert:t_exit6:start=0",
+                "--fault", "arc_close:a2:start=0",
+                "--checkpoint", str(checkpoint)]
+        assert main(args) == 0
+        first = json.loads(checkpoint.read_text())
+        assert main(args) == 0  # everything already done: pure replay
+        assert json.loads(checkpoint.read_text()) == first
