@@ -11,19 +11,27 @@ Commands
     — no reachability enumeration — and report diagnostics with stable
     rule ids; exits 1 when findings at/above ``--fail-on`` remain.
 ``simulate DESIGN [--input name=v1,v2,…]… [--max-steps N] [--profile]
-[--profile-json PATH] [--naive] [--seed N]``
+[--profile-json PATH] [--naive] [--seed N] [--checkpoint-dir DIR
+--checkpoint-every N] [--resume]``
     Execute against an environment and print the external events;
     ``--profile`` adds step/evaluation/cache metrics (``--profile-json``
     emits them machine-readable, ``--naive`` disables the incremental
     fast path, ``--seed`` resolves firing choice through a seeded RNG).
+    ``--checkpoint-every`` persists durable snapshots into
+    ``--checkpoint-dir``; ``--resume`` continues from the newest intact
+    one with a byte-identical trace.
 ``faults DESIGN [--fault SPEC]… [--faults-file PATH] [--auto N]
-[--seed N] [--format text|json] [--output PATH] [--checkpoint PATH]``
+[--seed N] [--format text|json] [--output PATH] [--checkpoint PATH]
+[--journal PATH] [--resume]``
     Run a fault-injection campaign (:mod:`repro.faults`): each fault is
     injected into its own run with the runtime Definition 3.2 monitors
     attached, and the report classifies every fault as masked /
     detected / silent against the golden run's external event
-    structure.  Exits 0 when every fault was masked or detected, 1 on a
-    silent deviation, 2 on usage or infrastructure errors.
+    structure.  ``--journal`` fsyncs every verdict as it settles;
+    ``--resume`` restarts a killed campaign without re-running journaled
+    faults.  Exits 0 when every fault was masked or detected, 1 on a
+    silent deviation, 2 on usage or infrastructure errors, 130 when
+    interrupted.
 ``synthesize DESIGN [--w-time F] [--w-area F] [--limit op=N]… ``
     Run the CAMAD-style optimizer and report the before/after metrics.
 ``dot DESIGN [--view datapath|petri|system]``
@@ -34,9 +42,13 @@ Commands
     Emit a structural RTL-flavoured netlist (one-hot FSM + datapath).
 ``cosim DESIGN [--input …]``
     Co-simulate the netlist interpretation against the model semantics.
-``batch JOBFILE [--workers N] [--cache DIR] [--timeout S] [--retries N]``
+``batch JOBFILE [--workers N] [--cache DIR] [--timeout S] [--retries N]
+[--journal PATH] [--resume] [--quarantine-after N] [--hang-timeout S]``
     Run a job file (see :mod:`repro.runtime.jobs`) through the batch
-    engine and report per-job outcomes plus fleet metrics.
+    engine and report per-job outcomes plus fleet metrics; with a
+    ``--journal`` the batch survives SIGKILL and ``--resume`` replays
+    settled jobs from the log.  Exits 0 when every job succeeded, 1 on
+    failures, 3 when a poison job was quarantined, 130 when interrupted.
 ``sweep DESIGN [--w-time F,F,…] [--w-area F,F,…] [--seeds N,N,…]``
     Fan a synthesis sweep over the objective-weight × seed grid through
     the batch engine (``--emit-jobs PATH`` writes the job file instead
@@ -200,8 +212,34 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from .semantics import SeededMaximalPolicy
 
         policy = SeededMaximalPolicy(args.seed)
-    trace = simulate(system, env, max_steps=args.max_steps,
-                     fast=not args.naive, policy=policy)
+    hooks = []
+    checkpoint = None
+    if args.resume and not args.checkpoint_dir:
+        raise ReproError("--resume requires --checkpoint-dir")
+    if args.checkpoint_every and not args.checkpoint_dir:
+        raise ReproError("--checkpoint-every requires --checkpoint-dir")
+    if args.checkpoint_dir:
+        from .runtime.durable import CheckpointHook, CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir)
+        if args.checkpoint_every:
+            hooks.append(CheckpointHook(store, args.checkpoint_every))
+        if args.resume:
+            checkpoint = store.load_latest()
+            if checkpoint is not None:
+                print(f"resuming from checkpoint at step {checkpoint.step}")
+            else:
+                print("no usable checkpoint found; starting fresh")
+    if hooks or checkpoint is not None:
+        from .semantics.simulator import Simulator
+
+        kwargs = {"policy": policy} if policy is not None else {}
+        sim = Simulator(system, env, fast=not args.naive, hooks=hooks,
+                        **kwargs)
+        trace = sim.run(max_steps=args.max_steps, from_checkpoint=checkpoint)
+    else:
+        trace = simulate(system, env, max_steps=args.max_steps,
+                         fast=not args.naive, policy=policy)
     print(trace.summary())
     for event in trace.events:
         print(f"  step {event.end:4d}  {event}")
@@ -243,10 +281,15 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if not faults:
         raise ReproError(
             "no faults given (use --fault, --faults-file or --auto N)")
-    with _make_engine(args) as engine:
+    from .runtime.supervisor import GracefulShutdown
+
+    with _make_engine(args) as engine, GracefulShutdown() as shutdown:
         report = run_campaign(
             system, faults, env, engine=engine, seed=args.seed,
-            max_steps=args.max_steps, checkpoint_path=args.checkpoint)
+            max_steps=args.max_steps, checkpoint_path=args.checkpoint,
+            journal_path=args.journal, resume=args.resume,
+            stop_event=shutdown.stop_event)
+    interrupted = shutdown.stop_event.is_set()
     if args.format == "json":
         _write_json(args.output or "-",
                     _json.dumps(report.to_dict(), indent=2, sort_keys=True),
@@ -258,6 +301,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
                                     sort_keys=True),
                         "campaign report")
         print(report.to_text())
+    if interrupted:
+        print("campaign interrupted; resume with --journal/--resume",
+              file=sys.stderr)
+        return 130
     return report.exit_code
 
 
@@ -339,13 +386,37 @@ def cmd_cosim(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_engine(args: argparse.Namespace):
+def _make_engine(args: argparse.Namespace, *, journal=None):
     """Build an ExecutionEngine (and optional cache) from CLI options."""
-    from .runtime import ExecutionEngine, ResultCache
+    from .runtime import ExecutionEngine, ResultCache, SupervisorConfig
 
     cache = ResultCache(args.cache) if args.cache else None
+    supervisor = SupervisorConfig(
+        hang_timeout=getattr(args, "hang_timeout", None),
+        quarantine_after=getattr(args, "quarantine_after", 3))
     return ExecutionEngine(workers=args.workers, timeout=args.timeout,
-                           retries=args.retries, cache=cache)
+                           retries=args.retries, cache=cache,
+                           supervisor=supervisor, journal=journal)
+
+
+def _engine_journal(args: argparse.Namespace):
+    """Open the batch-level write-ahead journal and its resume map.
+
+    Returns ``(journal, resume_from)`` — with ``--resume`` the existing
+    journal is scanned first (torn tails repaired) and every settled key
+    with a payload is replayed instead of re-executed.
+    """
+    if not getattr(args, "journal", None):
+        return None, None
+    from .runtime import Journal, iter_settled, read_journal
+
+    resume_from = None
+    if args.resume:
+        resume_from = {
+            key: record.get("payload")
+            for key, record in iter_settled(read_journal(args.journal))
+            if record.get("payload") is not None}
+    return Journal(args.journal, fresh=not args.resume), resume_from
 
 
 def _report_batch(batch, *, metrics_json: str | None = None,
@@ -375,7 +446,14 @@ def _report_batch(batch, *, metrics_json: str | None = None,
         payload = _json.dumps([r.as_dict() for r in batch], indent=2,
                               sort_keys=True)
         _write_json(results_json, payload, "job results")
-    return 0 if batch.ok else 1
+    if batch.metrics.interrupted:
+        print("batch interrupted; resume with --journal/--resume",
+              file=sys.stderr)
+        return 130
+    if batch.ok:
+        return 0
+    # 3 distinguishes "a poison job was quarantined" from plain failure
+    return 3 if batch.quarantined() else 1
 
 
 def _write_json(target: str, payload: str, what: str) -> None:
@@ -388,11 +466,18 @@ def _write_json(target: str, payload: str, what: str) -> None:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from .runtime import load_job_file
+    from .runtime import GracefulShutdown, load_job_file
 
     jobs = load_job_file(args.jobfile)
-    with _make_engine(args) as engine:
-        batch = engine.run(jobs)
+    journal, resume_from = _engine_journal(args)
+    try:
+        with _make_engine(args, journal=journal) as engine, \
+                GracefulShutdown() as shutdown:
+            batch = engine.run(jobs, stop_event=shutdown.stop_event,
+                               resume_from=resume_from)
+    finally:
+        if journal is not None:
+            journal.close()
     return _report_batch(batch, metrics_json=args.metrics_json,
                          results_json=args.results_json)
 
@@ -439,8 +524,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         write_job_file(args.emit_jobs, jobs)
         print(f"{len(jobs)} job(s) written to {args.emit_jobs}")
         return 0
-    with _make_engine(args) as engine:
-        batch = engine.run(jobs)
+    from .runtime import GracefulShutdown
+
+    journal, resume_from = _engine_journal(args)
+    try:
+        with _make_engine(args, journal=journal) as engine, \
+                GracefulShutdown() as shutdown:
+            batch = engine.run(jobs, stop_event=shutdown.stop_event,
+                               resume_from=resume_from)
+    finally:
+        if journal is not None:
+            journal.close()
     rows = []
     for result in batch:
         payload = result.payload or {}
@@ -460,6 +554,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.metrics_json:
         _write_json(args.metrics_json, batch.metrics.to_json(indent=2),
                     "fleet metrics")
+    if batch.metrics.interrupted:
+        print("sweep interrupted; resume with --journal/--resume",
+              file=sys.stderr)
+        return 130
     return 0 if batch.ok else 1
 
 
@@ -474,6 +572,20 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="content-addressed result cache directory")
     parser.add_argument("--metrics-json", metavar="PATH",
                         help="write fleet metrics as JSON ('-' for stdout)")
+    parser.add_argument("--journal", metavar="PATH",
+                        help="write-ahead journal (fsynced per record) "
+                             "making the run resumable after a crash")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the --journal instead of "
+                             "starting fresh (settled jobs are not re-run)")
+    parser.add_argument("--quarantine-after", type=int, default=3,
+                        metavar="N",
+                        help="quarantine a job after N worker crashes on "
+                             "its key (default 3)")
+    parser.add_argument("--hang-timeout", type=float, default=None,
+                        metavar="S",
+                        help="SIGKILL workers whose heartbeat is silent "
+                             "for S seconds (default: hang detection off)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -536,6 +648,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=None,
                        help="resolve firing choice through a seeded RNG "
                             "(reproducible nondeterminism)")
+    p_sim.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="rotating durable checkpoint store for this "
+                            "run (see --checkpoint-every / --resume)")
+    p_sim.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="persist a checkpoint every N steps into "
+                            "--checkpoint-dir")
+    p_sim.add_argument("--resume", action="store_true",
+                       help="resume from the newest intact checkpoint in "
+                            "--checkpoint-dir")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_faults = sub.add_parser(
@@ -685,6 +807,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         except OSError:
             pass
         return 0
+    except KeyboardInterrupt:
+        # journals/caches flush per record, so partial state is on disk
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

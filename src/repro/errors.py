@@ -73,6 +73,19 @@ class EnvironmentExhausted(ExecutionError):
         self.consumed = consumed
 
 
+class PersistenceError(ReproError):
+    """Durable on-disk state is unusable or inconsistent.
+
+    Raised by the crash-safety layer (:mod:`repro.runtime.durable`) when
+    a checkpoint snapshot or write-ahead journal cannot be trusted: an
+    unknown format version, an integrity-hash mismatch that has no older
+    good snapshot to fall back to, a journal corrupted *before* its tail
+    (tearing only ever damages the end of an append-only file), or a
+    resume attempted against a journal written for a different run
+    configuration.
+    """
+
+
 class TransformError(ReproError):
     """A transformation was applied to a system where it is not legal."""
 

@@ -25,9 +25,12 @@ per-fault RNG (:func:`~repro.faults.spec.derive_seed`) and seeds the
 firing policy (:class:`~repro.semantics.policies.SeededMaximalPolicy`)
 of golden and faulty runs alike, so the same ``(system, faults,
 environment, seed)`` always produces the same report — including across
-interruption: :func:`run_campaign` can persist its report as a
-checkpoint and a rerun skips every job whose content-addressed key is
-already present.
+interruption: :func:`run_campaign` can write every verdict to a
+fsynced write-ahead journal (``journal_path=``) the moment the job
+settles, and a killed campaign restarted with ``resume=True`` skips
+every journaled fault — the final report is identical to an
+uninterrupted run.  The coarser report-file checkpoint
+(``checkpoint_path=``) is still supported.
 """
 
 from __future__ import annotations
@@ -279,25 +282,47 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _campaign_header(system_name: str, seed: int,
+                     max_steps: int) -> dict[str, Any]:
+    """The journal's first record: what run this log belongs to."""
+    return {"type": "campaign", "system": system_name, "seed": seed,
+            "max_steps": max_steps}
+
+
 def run_campaign(system, faults: Sequence[FaultSpec],
                  environment: Environment | None = None, *,
                  engine=None, seed: int = 0, max_steps: int = 10_000,
                  checkpoint_path: str | None = None,
-                 limit: int | None = None) -> CampaignReport:
+                 journal_path: str | None = None, resume: bool = False,
+                 limit: int | None = None,
+                 stop_event=None) -> CampaignReport:
     """Fan a fault list across the batch engine and aggregate the verdicts.
 
-    ``engine`` is a :class:`~repro.runtime.engine.ExecutionEngine` (a
-    serial one is created when omitted).  ``checkpoint_path`` makes the
-    campaign resumable: the report JSON is (re)written there after the
-    batch, and on start any fault whose content-addressed job key is
-    already present in the file is *not* re-run — an interrupted
-    campaign resumed with the same seed produces the same final report
-    as an uninterrupted one.  ``limit`` caps how many *new* jobs run in
-    this call (the deterministic way to interrupt mid-campaign); the
-    returned report has ``complete=False`` while results are missing.
+    ``engine`` is a :class:`~repro.runtime.executor.ExecutionEngine` (a
+    serial one is created when omitted).
+
+    ``journal_path`` attaches a write-ahead journal
+    (:class:`~repro.runtime.durable.Journal`): a header record pins the
+    run configuration, then every fault verdict is fsynced the moment
+    its job settles — so even a SIGKILL loses at most the in-flight
+    jobs.  With ``resume=True`` the journal is scanned first (torn tails
+    are repaired, a configuration mismatch raises
+    :class:`~repro.errors.PersistenceError`) and journaled faults are
+    not re-dispatched: a killed campaign restarted with the same
+    arguments produces the same final report as an uninterrupted one.
+
+    ``checkpoint_path`` is the coarser legacy mechanism — the full
+    report JSON is (re)written there after the batch and previously
+    reported keys are skipped on the next call.  ``limit`` caps how many
+    *new* jobs run in this call (the deterministic way to interrupt
+    mid-campaign); ``stop_event`` requests a graceful stop between jobs.
+    The returned report has ``complete=False`` while results are
+    missing.
     """
     import os
 
+    from ..errors import PersistenceError
+    from ..runtime.durable import Journal, read_journal
     from ..runtime.executor import ExecutionEngine
     from ..runtime.jobs import faults_job
 
@@ -315,28 +340,62 @@ def run_campaign(system, faults: Sequence[FaultSpec],
         prior = {result["key"]: result for result in saved.results
                  if "key" in result}
 
+    journal: Journal | None = None
+    header = _campaign_header(system.name, seed, max_steps)
+    if journal_path is not None:
+        saw_header = False
+        if resume:
+            for record in read_journal(journal_path):
+                if record.get("type") == "campaign":
+                    saw_header = True
+                    if record != header:
+                        raise PersistenceError(
+                            f"journal {journal_path} was written for a "
+                            f"different campaign ({record.get('system')!r}, "
+                            f"seed {record.get('seed')}, max_steps "
+                            f"{record.get('max_steps')}); refusing to resume "
+                            f"{system.name!r} with seed {seed} from it")
+                elif (record.get("type") == "verdict"
+                        and isinstance(record.get("entry"), dict)):
+                    prior[record["key"]] = record["entry"]
+        journal = Journal(journal_path, fresh=not resume)
+        if not saw_header:
+            journal.append(header)
+
     pending = [job for job in jobs if job.key not in prior]
     if limit is not None:
         pending = pending[:limit]
     fresh: dict[str, dict[str, Any]] = {}
-    if pending:
-        if engine is None:
-            with ExecutionEngine() as own:
-                batch = own.run(pending)
+
+    def settle(result) -> None:
+        """Fold one finished job in and journal its verdict immediately."""
+        if result.status == "interrupted":
+            return  # not a verdict — the job simply never ran
+        key = result.spec.key
+        if result.ok:
+            entry = dict(result.payload, key=key)
         else:
-            batch = engine.run(pending)
-        for result in batch.results:
-            key = result.spec.key
-            if result.ok:
-                fresh[key] = dict(result.payload, key=key)
+            entry = {
+                "key": key,
+                "fault": result.spec.params["fault"],
+                "label": result.spec.label,
+                "verdict": "error",
+                "error": result.error,
+            }
+        fresh[key] = entry
+        if journal is not None:
+            journal.append({"type": "verdict", "key": key, "entry": entry})
+
+    try:
+        if pending:
+            if engine is None:
+                with ExecutionEngine() as own:
+                    own.run(pending, on_result=settle, stop_event=stop_event)
             else:
-                fresh[key] = {
-                    "key": key,
-                    "fault": result.spec.params["fault"],
-                    "label": result.spec.label,
-                    "verdict": "error",
-                    "error": result.error,
-                }
+                engine.run(pending, on_result=settle, stop_event=stop_event)
+    finally:
+        if journal is not None:
+            journal.close()
 
     results = []
     complete = True

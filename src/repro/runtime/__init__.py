@@ -26,6 +26,19 @@ missing is a job engine, and this package is it:
     :class:`FleetMetrics` — queue/run wall time, retries, timeouts,
     cache hit rate, and aggregated simulator :class:`~repro.semantics.
     profile.SimMetrics` across the batch.
+:mod:`repro.runtime.durable`
+    The crash-safety layer: versioned, integrity-hashed
+    :class:`CheckpointStore` snapshots (atomic fsynced writes, rotation,
+    corruption fallback), the :class:`CheckpointHook` that persists them
+    every N steps, and the fsync-per-record write-ahead :class:`Journal`
+    with torn-tail recovery (:func:`read_journal`), so simulations,
+    batches, and campaigns resume across process restarts.
+:mod:`repro.runtime.supervisor`
+    Worker supervision: heartbeat files plus a :class:`Watchdog` that
+    SIGKILLs *hung* (not merely slow) workers, :class:`Quarantine` for
+    poison jobs, a crash-rate :class:`CircuitBreaker` degrading the
+    fleet to serial, and :class:`GracefulShutdown` converting
+    SIGTERM/SIGINT into a cooperative stop event.
 
 Quick tour::
 
@@ -40,7 +53,26 @@ Quick tour::
 """
 
 from .cache import ResultCache
+from .durable import (
+    CheckpointHook,
+    CheckpointStore,
+    Journal,
+    atomic_write_text,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    dispatch_record,
+    iter_settled,
+    read_journal,
+    settle_record,
+)
 from .executor import BatchResult, ExecutionEngine, JobResult
+from .supervisor import (
+    CircuitBreaker,
+    GracefulShutdown,
+    Quarantine,
+    SupervisorConfig,
+    Watchdog,
+)
 from .jobs import (
     JOB_KINDS,
     JobSpec,
@@ -67,6 +99,21 @@ __all__ = [
     "BatchResult",
     "ExecutionEngine",
     "ResultCache",
+    "CheckpointStore",
+    "CheckpointHook",
+    "Journal",
+    "atomic_write_text",
+    "checkpoint_to_dict",
+    "checkpoint_from_dict",
+    "read_journal",
+    "dispatch_record",
+    "settle_record",
+    "iter_settled",
+    "SupervisorConfig",
+    "Quarantine",
+    "CircuitBreaker",
+    "Watchdog",
+    "GracefulShutdown",
     "FleetMetrics",
     "aggregate_sim_metrics",
     "canonical_json",

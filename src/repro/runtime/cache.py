@@ -8,19 +8,21 @@ version, kind, canonical system, params) and the payload is a pure
 function of those inputs, a hit can be returned without re-execution:
 re-running a sweep with one changed design re-executes only that design.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-worker can never leave a torn entry, and corrupt or mismatched entries
-are treated as misses rather than errors.
+Writes are atomic *and durable* (temp file + fsync + ``os.replace`` +
+parent-directory fsync, via :func:`~repro.runtime.durable.
+atomic_write_text`) so neither a killed worker nor a power cut can leave
+a torn entry, and corrupt or mismatched entries are treated as misses
+rather than errors.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
+from .durable import atomic_write_text
 from .jobs import ENGINE_VERSION, canonical_json
 
 _ENTRY_FORMAT = 1
@@ -58,7 +60,7 @@ class ResultCache:
         return entry["payload"]
 
     def put(self, key: str, kind: str, payload: dict[str, Any]) -> None:
-        """Store ``payload`` under ``key`` atomically."""
+        """Store ``payload`` under ``key`` atomically and durably."""
         entry = canonical_json({
             "format": _ENTRY_FORMAT,
             "engine": ENGINE_VERSION,
@@ -68,17 +70,7 @@ class ResultCache:
         })
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="ascii") as handle:
-                handle.write(entry)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, entry, encoding="ascii")
         self.writes += 1
 
     # ------------------------------------------------------------------

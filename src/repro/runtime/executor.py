@@ -9,9 +9,12 @@ degradation path when a pool cannot be started) or on a
   count, so a job starts (essentially) when submitted and its deadline
   is measured from that point; an expired job is charged an attempt and
   the pool is rebuilt to reclaim the stuck worker;
-* **bounded retry with exponential backoff** — a failed attempt requeues
-  the job with a ``backoff · 2^(attempt-1)`` delay until the attempt
-  budget (``retries + 1``) is spent;
+* **bounded retry with full-jitter exponential backoff** — a failed
+  attempt requeues the job with a delay drawn uniformly from
+  ``[0, backoff · 2^(attempt-1)]`` until the attempt budget
+  (``retries + 1``) is spent.  The jitter matters at fleet scale: a
+  deterministic delay would march every simultaneous failure back into
+  the pool in lockstep;
 * **crash isolation** — a killed worker breaks the whole
   ``ProcessPoolExecutor``, which cannot tell the engine *which* job was
   guilty.  The engine therefore voids the interrupted attempts, rebuilds
@@ -20,6 +23,24 @@ degradation path when a pool cannot be started) or on a
   while the innocent bystanders complete normally.  Every pool reset
   either finalises or charges at least one job out of a finite attempt
   budget, so the loop terminates — the engine never deadlocks;
+* **supervision** (:mod:`repro.runtime.supervisor`) — with a
+  :class:`~repro.runtime.supervisor.SupervisorConfig` attached, workers
+  heartbeat to disk and a watchdog thread SIGKILLs the *hung* (not
+  merely slow) ones; a key that crashes its worker N times is
+  **quarantined** (finalised with its own status, reported, never
+  retried again); and a :class:`~repro.runtime.supervisor.CircuitBreaker`
+  degrades the whole batch to serial execution when the pool's crash
+  rate says the fleet itself is sick;
+* **write-ahead journal** (:mod:`repro.runtime.durable`) — with a
+  :class:`~repro.runtime.durable.Journal` attached, every dispatch and
+  every settle is fsynced to disk before the engine moves on, so a
+  SIGKILLed batch can be resumed (``resume_from=``) without re-running
+  settled jobs;
+* **graceful shutdown** — ``stop_event`` (typically wired to
+  SIGTERM/SIGINT via :class:`~repro.runtime.supervisor.GracefulShutdown`)
+  stops dispatch at the next tick; unfinished jobs are finalised as
+  ``interrupted``, the journal is already flushed per record, and the
+  partial batch returns in order;
 * **content-addressed caching** — with a
   :class:`~repro.runtime.cache.ResultCache` attached, jobs whose key is
   already stored are answered without any worker dispatch, and fresh
@@ -33,18 +54,31 @@ inside a :class:`BatchResult`, alongside the batch's aggregated
 from __future__ import annotations
 
 import contextlib
+import random
+import shutil
+import tempfile
+import threading
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
 from concurrent.futures.process import ProcessPoolExecutor
 from dataclasses import dataclass
 from time import monotonic, sleep
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from .cache import ResultCache
+from .durable import Journal, dispatch_record, settle_record
 from .jobs import JobSpec, canonical_json, execute_job
 from .metrics import FleetMetrics
+from .supervisor import (
+    SupervisorConfig,
+    Watchdog,
+    start_worker_heartbeat,
+)
 
 _TICK_SECONDS = 0.05
+
+#: Statuses that count as a successful outcome.
+_OK_STATUSES = ("ok", "cached", "replayed")
 
 
 def _worker_run(spec_dict: dict) -> dict:
@@ -65,7 +99,14 @@ def _worker_run(spec_dict: dict) -> dict:
 
 @dataclass
 class JobResult:
-    """Outcome of one job: ``ok``, ``cached``, or ``failed``."""
+    """Outcome of one job.
+
+    ``status`` is one of ``ok`` (executed), ``cached`` (answered from
+    the result cache), ``replayed`` (answered from a journal on resume),
+    ``failed`` (attempt budget exhausted), ``quarantined`` (poison key —
+    crashed its worker too many times), or ``interrupted`` (batch was
+    stopped before the job finished).
+    """
 
     spec: JobSpec
     status: str
@@ -79,7 +120,7 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
-        return self.status in ("ok", "cached")
+        return self.status in _OK_STATUSES
 
     @property
     def key(self) -> str:
@@ -115,8 +156,17 @@ class BatchResult:
     def ok(self) -> bool:
         return all(result.ok for result in self.results)
 
+    @property
+    def interrupted(self) -> bool:
+        """True when the batch was stopped before every job finished."""
+        return self.metrics.interrupted
+
     def failures(self) -> list[JobResult]:
         return [result for result in self.results if not result.ok]
+
+    def quarantined(self) -> list[JobResult]:
+        return [result for result in self.results
+                if result.status == "quarantined"]
 
     def __len__(self) -> int:
         return len(self.results)
@@ -157,15 +207,32 @@ class ExecutionEngine:
         Additional attempts granted after a failed/timed-out/crashed
         attempt (total attempt budget is ``retries + 1``).
     backoff:
-        Base delay before a retry; attempt ``n`` waits ``backoff·2^(n-1)``.
+        Backoff ceiling base: attempt ``n`` retries after a delay drawn
+        uniformly from ``[0, backoff · 2^(n-1)]`` (full jitter).
     cache:
         Optional :class:`ResultCache`; hits skip dispatch entirely and
         fresh successes are stored back.
+    supervisor:
+        Optional :class:`~repro.runtime.supervisor.SupervisorConfig`
+        enabling heartbeat/watchdog hang detection, poison-job
+        quarantine, and the crash-rate circuit breaker.  When omitted, a
+        default config provides quarantine and breaker with hang
+        detection disabled.
+    journal:
+        Optional :class:`~repro.runtime.durable.Journal`; every dispatch
+        and settle is durably appended, making the batch resumable after
+        SIGKILL via ``run(..., resume_from=...)``.
+    jitter_seed:
+        Seed for the retry-jitter RNG (``None`` = nondeterministic).
+        Tests pin it to make backoff schedules reproducible.
     """
 
     def __init__(self, *, workers: int = 0, timeout: float | None = None,
                  retries: int = 1, backoff: float = 0.05,
-                 cache: ResultCache | None = None) -> None:
+                 cache: ResultCache | None = None,
+                 supervisor: SupervisorConfig | None = None,
+                 journal: Journal | None = None,
+                 jitter_seed: int | None = None) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if retries < 0:
@@ -175,8 +242,14 @@ class ExecutionEngine:
         self.retries = retries
         self.backoff = backoff
         self.cache = cache
+        self.supervisor = supervisor or SupervisorConfig()
+        self.journal = journal
         self.metrics: FleetMetrics | None = None  # last batch's aggregate
+        self._jitter = random.Random(jitter_seed)
+        self._quarantine = self.supervisor.make_quarantine()
         self._pool: ProcessPoolExecutor | None = None
+        self._own_heartbeat_dir: str | None = None
+        self._on_result: Callable[[JobResult], None] | None = None
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ExecutionEngine":
@@ -188,47 +261,127 @@ class ExecutionEngine:
     def close(self) -> None:
         """Shut the pool down, terminating any lingering workers."""
         self._teardown_pool()
+        if self._own_heartbeat_dir is not None:
+            shutil.rmtree(self._own_heartbeat_dir, ignore_errors=True)
+            self._own_heartbeat_dir = None
 
     # ------------------------------------------------------------------
-    def run(self, specs: Sequence[JobSpec]) -> BatchResult:
-        """Execute a batch; results come back in submission order."""
+    def quarantined_keys(self) -> list[str]:
+        """Keys quarantined so far (across batches run by this engine)."""
+        return self._quarantine.poisoned_keys()
+
+    def _retry_delay(self, attempts: int) -> float:
+        """Full-jitter backoff: uniform over [0, backoff · 2^(n-1)]."""
+        return self._jitter.uniform(0.0, self.backoff * (2 ** (attempts - 1)))
+
+    def _heartbeat_dir(self) -> str:
+        if self.supervisor.heartbeat_dir is not None:
+            return self.supervisor.heartbeat_dir
+        if self._own_heartbeat_dir is None:
+            self._own_heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        return self._own_heartbeat_dir
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec], *,
+            on_result: Callable[[JobResult], None] | None = None,
+            stop_event: threading.Event | None = None,
+            resume_from: Mapping[str, dict[str, Any] | None] | None = None
+            ) -> BatchResult:
+        """Execute a batch; results come back in submission order.
+
+        ``on_result`` is invoked once per job the moment it reaches a
+        final status — the streaming hook journalling callers use.
+        ``stop_event`` requests a graceful stop: dispatch halts at the
+        next tick and unfinished jobs finalise as ``interrupted``
+        (``KeyboardInterrupt`` mid-batch behaves the same way).
+        ``resume_from`` maps content-addressed keys to previously
+        settled payloads (e.g. from :func:`~repro.runtime.durable.
+        read_journal`); matching jobs are answered as ``replayed``
+        without dispatch.
+        """
         started = monotonic()
         metrics = FleetMetrics(workers=self.workers)
         results: list[JobResult | None] = [None] * len(specs)
+        self._on_result = on_result
         pending: deque[_Task] = deque()
-        for index, spec in enumerate(specs):
-            if self.cache is not None:
-                payload = self.cache.get(spec.key)
-                if payload is not None:
-                    results[index] = JobResult(spec, "cached", payload)
+        try:
+            for index, spec in enumerate(specs):
+                if resume_from is not None and spec.key in resume_from:
+                    self._finalize(results, index, JobResult(
+                        spec, "replayed", resume_from[spec.key]))
                     continue
-            pending.append(_Task(index, spec, ready_since=started))
+                if self.cache is not None:
+                    payload = self.cache.get(spec.key)
+                    if payload is not None:
+                        self._finalize(results, index,
+                                       JobResult(spec, "cached", payload))
+                        continue
+                pending.append(_Task(index, spec, ready_since=started))
 
-        if pending:
-            if self.workers == 0:
-                self._run_serial(pending, results)
-            elif self._ensure_pool() is None:
-                metrics.degraded_to_serial = True
-                self._run_serial(pending, results)
-            else:
-                self._run_parallel(pending, results, metrics)
+            if pending:
+                if self.workers == 0:
+                    self._run_serial(pending, results, stop_event)
+                elif self._ensure_pool() is None:
+                    metrics.degraded_to_serial = True
+                    self._run_serial(pending, results, stop_event)
+                else:
+                    self._run_parallel(pending, results, metrics, stop_event)
+        except KeyboardInterrupt:
+            metrics.interrupted = True
+            self._teardown_pool()
+        if stop_event is not None and stop_event.is_set():
+            metrics.interrupted = True
+
+        # finalise whatever never finished (graceful stop / interrupt)
+        for index, spec in enumerate(specs):
+            if results[index] is None:
+                metrics.interrupted = True
+                self._finalize(results, index, JobResult(
+                    spec, "interrupted", None,
+                    error="batch stopped before this job finished"))
 
         finished: list[JobResult] = [r for r in results if r is not None]
         assert len(finished) == len(specs), "engine lost a job"
         for result in finished:
             metrics.record(result)
+        metrics.quarantined_keys = self._quarantine.poisoned_keys()
         metrics.wall_seconds = monotonic() - started
         self.metrics = metrics
+        self._on_result = None
         return BatchResult(finished, metrics)
+
+    # ------------------------------------------------------------------
+    def _finalize(self, results: list[JobResult | None], index: int,
+                  result: JobResult) -> None:
+        """Commit one final status: results slot, journal, callback."""
+        results[index] = result
+        if self.journal is not None and not self.journal.closed:
+            self.journal.append(settle_record(
+                result.key, result.status, error=result.error,
+                payload=result.payload if result.ok else None))
+        if self._on_result is not None:
+            self._on_result(result)
+
+    def _journal_dispatch(self, task: _Task) -> None:
+        if self.journal is not None and not self.journal.closed:
+            self.journal.append(dispatch_record(task.spec.key, task.attempts))
 
     # ------------------------------------------------------------------
     # serial backend (workers=0, or degradation when the pool won't start)
     # ------------------------------------------------------------------
     def _run_serial(self, pending: deque[_Task],
-                    results: list[JobResult | None]) -> None:
+                    results: list[JobResult | None],
+                    stop_event: threading.Event | None = None) -> None:
         for task in pending:
+            if stop_event is not None and stop_event.is_set():
+                return
+            if self._quarantine.is_poisoned(task.spec.key):
+                self._finalize(results, task.index,
+                               self._quarantined(task))
+                continue
             while True:
                 task.attempts += 1
+                self._journal_dispatch(task)
                 if (task.spec.kind == "probe"
                         and task.spec.params.get("action") == "crash"):
                     # in-process, this would kill the engine itself
@@ -240,32 +393,44 @@ class ExecutionEngine:
                     out = _worker_run(task.spec.to_dict())
                     task.run_seconds += monotonic() - attempt_started
                 if out["status"] == "ok":
-                    results[task.index] = self._success(task, out)
+                    self._finalize(results, task.index,
+                                   self._success(task, out))
                     break
                 task.error = out["error"]
                 if task.attempts > self.retries:
-                    results[task.index] = self._failure(task)
+                    self._finalize(results, task.index, self._failure(task))
                     break
-                sleep(self.backoff * (2 ** (task.attempts - 1)))
+                sleep(self._retry_delay(task.attempts))
 
     # ------------------------------------------------------------------
     # process-pool backend
     # ------------------------------------------------------------------
     def _run_parallel(self, pending: deque[_Task],
                       results: list[JobResult | None],
-                      metrics: FleetMetrics) -> None:
+                      metrics: FleetMetrics,
+                      stop_event: threading.Event | None = None) -> None:
         inflight: dict[Future, tuple[_Task, float]] = {}
         suspects: deque[_Task] = deque()  # post-crash isolation queue
         pool_dead = False
+        breaker = self.supervisor.make_breaker()
+        watchdog = self._start_watchdog(metrics)
+
+        def stopped() -> bool:
+            return stop_event is not None and stop_event.is_set()
 
         def submit(task: _Task) -> bool:
+            if self._quarantine.is_poisoned(task.spec.key):
+                self._finalize(results, task.index, self._quarantined(task))
+                return True
             pool = self._ensure_pool()
             if pool is None:
                 return False
             now = monotonic()
             task.attempts += 1
+            breaker.record_attempt()
             task.queue_seconds += max(now - max(task.ready_since,
                                                 task.not_before), 0.0)
+            self._journal_dispatch(task)
             inflight[pool.submit(_worker_run, task.spec.to_dict())] = (task,
                                                                        now)
             return True
@@ -283,20 +448,30 @@ class ExecutionEngine:
             task.error = error
             task.timed_out = task.timed_out or timed_out
             if task.attempts > self.retries:
-                results[task.index] = self._failure(task)
+                self._finalize(results, task.index, self._failure(task))
             else:
-                requeue(task, delay=self.backoff * (2 ** (task.attempts - 1)),
+                requeue(task, delay=self._retry_delay(task.attempts),
                         suspect=suspect)
+
+        def settle_crash(task: _Task, error: str) -> None:
+            """A definitively guilty crash: quarantine bookkeeping first."""
+            count = self._quarantine.record_crash(task.spec.key)
+            if self._quarantine.is_poisoned(task.spec.key):
+                task.error = (f"{error} ({count}× on this key; quarantined)")
+                self._finalize(results, task.index, self._quarantined(task))
+            else:
+                settle_failure(task, error, suspect=True)
 
         def reset_pool(interrupted: list[_Task], *, crashed: bool) -> None:
             """Rebuild the pool after a crash or a timeout expiry."""
             metrics.pool_resets += 1
             self._teardown_pool()
+            if crashed:
+                breaker.record_crash()
             if crashed and len(interrupted) == 1:
                 # a job that dies alone is definitively guilty; keep it in
                 # isolation for any retry it has left
-                settle_failure(interrupted[0], "worker process died",
-                               suspect=True)
+                settle_crash(interrupted[0], "worker process died")
             elif crashed:
                 # guilt unknown: void the interrupted attempts and re-run
                 # the suspects one at a time so the culprit self-identifies
@@ -309,6 +484,12 @@ class ExecutionEngine:
                     requeue(task)
 
         while (pending or suspects or inflight) and not pool_dead:
+            if stopped():
+                break
+            if breaker.tripped:
+                metrics.breaker_tripped = True
+                pool_dead = True  # drain the remainder serially below
+                continue
             now = monotonic()
             # top up the window; suspects run strictly isolated
             if suspects:
@@ -357,7 +538,8 @@ class ExecutionEngine:
                     continue
                 task.run_seconds += monotonic() - submitted_at
                 if out["status"] == "ok":
-                    results[task.index] = self._success(task, out)
+                    self._finalize(results, task.index,
+                                   self._success(task, out))
                 else:
                     settle_failure(task, out["error"])
             if broken:
@@ -384,13 +566,39 @@ class ExecutionEngine:
                     inflight.clear()
                     reset_pool(bystanders, crashed=False)
 
-        # the pool could not be rebuilt: drain the remainder serially
+        if watchdog is not None:
+            metrics.hangs_detected += watchdog.hangs_detected
+            watchdog.stop()
+
+        if stopped():
+            self._teardown_pool()
+            return  # unfinished jobs finalise as interrupted in run()
+
+        # the pool could not be rebuilt (or the breaker tripped): drain
+        # the remainder serially, skipping quarantined keys
         leftovers: deque[_Task] = deque()
         leftovers.extend(suspects)
         leftovers.extend(sorted(pending, key=lambda t: t.index))
         if leftovers:
             metrics.degraded_to_serial = True
-            self._run_serial(leftovers, results)
+            self._run_serial(leftovers, results, stop_event)
+
+    def _start_watchdog(self, metrics: FleetMetrics) -> Watchdog | None:
+        if self.supervisor.hang_timeout is None:
+            return None
+
+        def pool_pids() -> list[int]:
+            pool = self._pool
+            if pool is None:
+                return []
+            return [process.pid
+                    for process in (getattr(pool, "_processes", None)
+                                    or {}).values()]
+
+        watchdog = Watchdog(self._heartbeat_dir(),
+                            self.supervisor.hang_timeout, pool_pids)
+        watchdog.start()
+        return watchdog
 
     @staticmethod
     def _pop_ready(queue: deque[_Task], now: float) -> _Task | None:
@@ -420,11 +628,26 @@ class ExecutionEngine:
                          queue_seconds=task.queue_seconds,
                          run_seconds=task.run_seconds)
 
+    def _quarantined(self, task: _Task) -> JobResult:
+        error = task.error or (
+            f"key quarantined after "
+            f"{self._quarantine.crash_count(task.spec.key)} worker crash(es)")
+        return JobResult(task.spec, "quarantined", None, error=error,
+                         attempts=task.attempts, timed_out=task.timed_out,
+                         queue_seconds=task.queue_seconds,
+                         run_seconds=task.run_seconds)
+
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
         if self._pool is None:
+            kwargs: dict[str, Any] = {}
+            if self.supervisor.hang_timeout is not None:
+                kwargs = {"initializer": start_worker_heartbeat,
+                          "initargs": (self._heartbeat_dir(),
+                                       self.supervisor.heartbeat_interval)}
             try:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                                 **kwargs)
             except Exception:
                 self._pool = None
         return self._pool

@@ -67,11 +67,18 @@ class FleetMetrics:
     succeeded: int = 0
     failed: int = 0
     cached: int = 0
+    replayed: int = 0          # answered from a write-ahead journal
+    quarantined: int = 0       # poison keys pulled out of rotation
+    interrupted_jobs: int = 0  # unfinished when the batch was stopped
     dispatched: int = 0        # worker executions actually attempted
     retries: int = 0
     timeouts: int = 0
     pool_resets: int = 0       # pool rebuilds after a crash or timeout
+    hangs_detected: int = 0    # workers SIGKILLed by the watchdog
+    breaker_tripped: bool = False
+    interrupted: bool = False  # batch stopped before every job finished
     degraded_to_serial: bool = False
+    quarantined_keys: list[str] = field(default_factory=list)
     queue_seconds: float = 0.0  # summed per-job time waiting for a worker
     run_seconds: float = 0.0    # summed per-job execution wall time
     wall_seconds: float = 0.0   # end-to-end batch wall time
@@ -91,8 +98,14 @@ class FleetMetrics:
         self.jobs += 1
         if result.status == "cached":
             self.cached += 1
+        elif result.status == "replayed":
+            self.replayed += 1
         elif result.status == "ok":
             self.succeeded += 1
+        elif result.status == "quarantined":
+            self.quarantined += 1
+        elif result.status == "interrupted":
+            self.interrupted_jobs += 1
         else:
             self.failed += 1
         self.dispatched += result.attempts
@@ -112,11 +125,18 @@ class FleetMetrics:
             "succeeded": self.succeeded,
             "failed": self.failed,
             "cached": self.cached,
+            "replayed": self.replayed,
+            "quarantined": self.quarantined,
+            "interrupted_jobs": self.interrupted_jobs,
             "dispatched": self.dispatched,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "pool_resets": self.pool_resets,
+            "hangs_detected": self.hangs_detected,
+            "breaker_tripped": self.breaker_tripped,
+            "interrupted": self.interrupted,
             "degraded_to_serial": self.degraded_to_serial,
+            "quarantined_keys": list(self.quarantined_keys),
             "cache_hit_rate": self.cache_hit_rate,
             "queue_seconds": self.queue_seconds,
             "run_seconds": self.run_seconds,
@@ -141,6 +161,20 @@ class FleetMetrics:
             f"  worker dispatches    {self.dispatched}"
             f" ({self.retries} retried, {self.timeouts} timed out)",
             f"  pool resets          {self.pool_resets}",
+        ]
+        if self.replayed:
+            lines.append(f"  journal replays      {self.replayed}")
+        if self.quarantined:
+            lines.append(f"  quarantined          {self.quarantined}"
+                         f" ({', '.join(self.quarantined_keys)})")
+        if self.hangs_detected:
+            lines.append(f"  hung workers killed  {self.hangs_detected}")
+        if self.breaker_tripped:
+            lines.append("  circuit breaker      TRIPPED (degraded to serial)")
+        if self.interrupted:
+            lines.append(f"  INTERRUPTED          {self.interrupted_jobs}"
+                         f" job(s) unfinished")
+        lines += [
             f"  cache hit rate       {self.cache_hit_rate:.1%}",
             f"  queue time (sum)     {self.queue_seconds * 1e3:.2f} ms",
             f"  run time (sum)       {self.run_seconds * 1e3:.2f} ms",

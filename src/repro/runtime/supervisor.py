@@ -1,0 +1,316 @@
+"""Worker supervision: heartbeats, hang watchdog, quarantine, breaker.
+
+The batch engine's crash isolation (PR 2) answers *which job killed the
+pool*; this module answers the harder operational questions a
+long-running fleet faces:
+
+* **Is a worker hung, or merely slow?**  Every worker process runs a
+  daemon *heartbeat* thread (started by the pool initializer) that
+  touches ``<dir>/<pid>.hb`` every ``interval`` seconds.  A slow but
+  live Python job keeps beating (the sleeping thread reacquires the GIL
+  between bytecodes); a genuinely wedged process — deadlocked after
+  fork, stuck in non-yielding native code — stops.  The engine-side
+  :class:`Watchdog` thread SIGKILLs workers whose heartbeat goes stale,
+  converting an invisible hang into the crash path the engine already
+  isolates.
+* **Is this job poison?**  :class:`Quarantine` counts crashes per
+  content-addressed job key; a key that kills its worker ``threshold``
+  times is *quarantined* — finalised with its own status, reported, and
+  never retried again — so one poison job cannot starve the batch.
+* **Is the pool itself sick?**  :class:`CircuitBreaker` tracks the
+  fleet-wide crash rate; when it trips, the engine stops feeding the
+  pool and degrades to serial in-process execution (skipping
+  quarantined keys), which finishes the batch instead of thrashing.
+* **Can we stop cleanly?**  :class:`GracefulShutdown` converts
+  SIGTERM/SIGINT into a cooperative stop event the engine polls between
+  ticks: in-flight state is flushed (journal records, partial results)
+  and the process exits with the conventional interrupted status
+  instead of dying mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import monotonic, sleep
+from typing import Callable, Iterable
+
+from ..errors import DefinitionError
+
+#: Worker-side heartbeat thread state (one per worker process).
+_heartbeat_stop: threading.Event | None = None
+
+
+def heartbeat_path(directory: str | os.PathLike, pid: int) -> Path:
+    """The heartbeat file of one worker process."""
+    return Path(directory) / f"{pid}.hb"
+
+
+def _heartbeat_loop(directory: str, interval: float,
+                    stop: threading.Event) -> None:
+    path = heartbeat_path(directory, os.getpid())
+    while not stop.is_set():
+        try:
+            path.write_text(str(monotonic()), encoding="ascii")
+        except OSError:  # pragma: no cover - heartbeat dir vanished
+            return
+        stop.wait(interval)
+
+
+def start_worker_heartbeat(directory: str, interval: float) -> None:
+    """Pool initializer: beat ``<dir>/<pid>.hb`` from a daemon thread.
+
+    Runs in the *worker* process.  Idempotent per process — a pool that
+    recycles workers re-invokes the initializer harmlessly.
+    """
+    global _heartbeat_stop
+    if _heartbeat_stop is not None and not _heartbeat_stop.is_set():
+        return
+    Path(directory).mkdir(parents=True, exist_ok=True)
+    _heartbeat_stop = threading.Event()
+    thread = threading.Thread(
+        target=_heartbeat_loop, args=(directory, interval, _heartbeat_stop),
+        name="repro-heartbeat", daemon=True)
+    thread.start()
+
+
+def suspend_worker_heartbeat() -> None:
+    """Stop this worker's heartbeat thread (test aid: simulate a hang).
+
+    A real hang starves the heartbeat thread because the wedged code
+    never yields; pure-Python tests cannot wedge the interpreter, so the
+    ``wedge`` probe job calls this instead and then sleeps — same
+    observable signature (a live process that stopped beating).
+    """
+    if _heartbeat_stop is not None:
+        _heartbeat_stop.set()
+
+
+def stale_worker_pids(directory: str | os.PathLike, pids: Iterable[int],
+                      hang_timeout: float) -> list[int]:
+    """Which of ``pids`` have a heartbeat file older than ``hang_timeout``.
+
+    A worker with *no* heartbeat file yet is treated as fresh (it may
+    still be importing); staleness is measured from the file's mtime.
+    """
+    now = monotonic()
+    stale: list[int] = []
+    for pid in pids:
+        path = heartbeat_path(directory, pid)
+        try:
+            beat = float(path.read_text(encoding="ascii"))
+        except (OSError, ValueError):
+            continue
+        if now - beat > hang_timeout:
+            stale.append(pid)
+    return stale
+
+
+class Watchdog:
+    """Engine-side hang detector: SIGKILL workers whose heartbeat stalls.
+
+    Runs as a daemon thread for the duration of one batch.  ``get_pids``
+    supplies the pool's current worker pids; a stale worker is killed,
+    which breaks the pool and routes the hung job through the engine's
+    existing crash-isolation machinery (suspect re-execution, attempt
+    charging, quarantine).  :attr:`hangs_detected` counts kills.
+    """
+
+    def __init__(self, directory: str | os.PathLike, hang_timeout: float,
+                 get_pids: Callable[[], list[int]], *,
+                 poll_interval: float | None = None) -> None:
+        if hang_timeout <= 0:
+            raise DefinitionError(
+                f"hang_timeout must be positive, got {hang_timeout}")
+        self.directory = Path(directory)
+        self.hang_timeout = hang_timeout
+        self.poll_interval = (poll_interval if poll_interval is not None
+                              else max(hang_timeout / 4, 0.05))
+        self._get_pids = get_pids
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.hangs_detected = 0
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-watchdog", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                pids = self._get_pids()
+            except Exception:  # pragma: no cover - pool mid-teardown
+                continue
+            for pid in stale_worker_pids(self.directory, pids,
+                                         self.hang_timeout):
+                self.hangs_detected += 1
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+
+
+class Quarantine:
+    """Crash bookkeeping per content-addressed job key.
+
+    ``record_crash`` returns the updated count; once it reaches
+    ``threshold`` the key :meth:`is_poisoned` and the engine finalises
+    the job as ``quarantined`` instead of burning further attempts (or
+    crashing a degraded serial run outright).
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise DefinitionError(
+                f"quarantine threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._crashes: dict[str, int] = {}
+
+    def record_crash(self, key: str) -> int:
+        count = self._crashes.get(key, 0) + 1
+        self._crashes[key] = count
+        return count
+
+    def crash_count(self, key: str) -> int:
+        return self._crashes.get(key, 0)
+
+    def is_poisoned(self, key: str) -> bool:
+        return self._crashes.get(key, 0) >= self.threshold
+
+    def poisoned_keys(self) -> list[str]:
+        """Quarantined keys, sorted — for the batch report."""
+        return sorted(key for key, count in self._crashes.items()
+                      if count >= self.threshold)
+
+
+class CircuitBreaker:
+    """Degrade to serial when the pool's crash rate exceeds a threshold.
+
+    Counts dispatched attempts and crash events; trips once at least
+    ``min_crashes`` crashes have occurred *and* the crash rate
+    (crashes / attempts) exceeds ``rate_threshold``.  A tripped breaker
+    never resets within a batch — the serial fallback is strictly safer.
+    """
+
+    def __init__(self, rate_threshold: float = 0.5,
+                 min_crashes: int = 3) -> None:
+        if not 0.0 < rate_threshold <= 1.0:
+            raise DefinitionError(
+                f"breaker rate threshold must be in (0, 1], "
+                f"got {rate_threshold}")
+        self.rate_threshold = rate_threshold
+        self.min_crashes = min_crashes
+        self.attempts = 0
+        self.crashes = 0
+
+    def record_attempt(self) -> None:
+        self.attempts += 1
+
+    def record_crash(self) -> None:
+        self.crashes += 1
+
+    @property
+    def crash_rate(self) -> float:
+        return self.crashes / self.attempts if self.attempts else 0.0
+
+    @property
+    def tripped(self) -> bool:
+        return (self.crashes >= self.min_crashes
+                and self.crash_rate > self.rate_threshold)
+
+
+@dataclass
+class SupervisorConfig:
+    """Supervision policy for one :class:`ExecutionEngine`.
+
+    ``heartbeat_dir=None`` (with a positive ``hang_timeout``) lets the
+    engine allocate a temporary directory per batch.  ``hang_timeout=None``
+    disables hang detection entirely — heartbeats are then never
+    started, so supervision adds zero overhead to the worker path.
+    """
+
+    heartbeat_dir: str | None = None
+    heartbeat_interval: float = 0.2
+    hang_timeout: float | None = None
+    quarantine_after: int = 3
+    breaker_rate: float = 0.5
+    breaker_min_crashes: int = 3
+
+    def make_quarantine(self) -> Quarantine:
+        return Quarantine(self.quarantine_after)
+
+    def make_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(self.breaker_rate, self.breaker_min_crashes)
+
+
+class GracefulShutdown:
+    """Convert SIGTERM/SIGINT into a cooperative stop event.
+
+    Context manager for CLI entry points::
+
+        with GracefulShutdown() as shutdown:
+            batch = engine.run(jobs, stop_event=shutdown.stop_event)
+
+    The first signal sets :attr:`stop_event` (the engine finishes its
+    current tick, flushes journals, and returns partial results); a
+    second signal raises :class:`KeyboardInterrupt` — the operator's
+    escalation path.  Installing handlers outside the main thread is a
+    no-op (signal handlers are main-thread-only in CPython), so library
+    callers can use the class unconditionally.
+    """
+
+    _SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self) -> None:
+        self.stop_event = threading.Event()
+        self.signals_seen = 0
+        self._pid = os.getpid()
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    def _handle(self, signum, _frame) -> None:
+        if os.getpid() != self._pid:
+            # forked worker inherited this handler: die with the default
+            # semantics instead of driving the parent's shutdown logic
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        self.signals_seen += 1
+        self.stop_event.set()
+        if self.signals_seen > 1:
+            raise KeyboardInterrupt
+
+    def __enter__(self) -> "GracefulShutdown":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self._SIGNALS:
+                self._previous[signum] = signal.getsignal(signum)
+                signal.signal(signum, self._handle)
+            self._installed = True
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)
+            self._previous.clear()
+            self._installed = False
+
+
+@dataclass
+class SupervisionReport:
+    """What supervision observed during one batch (part of the metrics)."""
+
+    hangs_detected: int = 0
+    quarantined_keys: list[str] = field(default_factory=list)
+    breaker_tripped: bool = False
+    crash_rate: float = 0.0

@@ -73,7 +73,13 @@ Checkpoints
 environment cursors)`` — and :meth:`Simulator.run` accepts
 ``from_checkpoint=`` to resume from such a snapshot: the continuation
 trace extends the original run exactly (same events, same latches, same
-final state) as if it had never been interrupted.
+final state) as if it had never been interrupted.  Snapshots also
+capture a seeded firing policy's RNG stream position, so resumed
+nondeterminism replays deterministically.  :mod:`repro.runtime.durable`
+serialises checkpoints to disk (versioned, integrity-hashed) and offers
+:class:`~repro.runtime.durable.CheckpointHook`, a :class:`SimHook` that
+persists a snapshot every N steps — the crash-safety story for
+long-running simulations.
 """
 
 from __future__ import annotations
@@ -169,8 +175,11 @@ class Checkpoint:
     :meth:`Simulator.run(from_checkpoint=...) <Simulator.run>`.  The
     snapshot is self-contained: sequential state, open activations (with
     their identities and start steps, so resumed events carry the same
-    activation labels), per-arc event indices, and the environment's
-    consumption cursors.
+    activation labels), per-arc event indices, the environment's
+    consumption cursors, and — when the firing policy draws from a
+    seeded RNG (:class:`~repro.semantics.policies.SeededMaximalPolicy`)
+    — the RNG's exact stream position, so a resumed run makes the same
+    conflict-resolution choices the uninterrupted run would have made.
     """
 
     step: int
@@ -180,6 +189,7 @@ class Checkpoint:
     activation_counter: int
     event_index: Mapping[str, int]
     env_cursors: Mapping[str, int]
+    rng_state: tuple | None = None  # policy RNG state (random.Random)
 
 
 @dataclass
@@ -726,6 +736,7 @@ class Simulator:
         :meth:`run` returned with ``on_limit="return"`` (capturing the
         state the next run would continue from).
         """
+        rng = getattr(self.policy, "_rng", None)
         return Checkpoint(
             step=self._current_step,
             marking=self._current_marking,
@@ -736,6 +747,7 @@ class Simulator:
             activation_counter=self._activation_counter,
             event_index=dict(self._event_index),
             env_cursors=self.environment.cursors(),
+            rng_state=rng.getstate() if rng is not None else None,
         )
 
     def _restore(self, checkpoint: Checkpoint
@@ -745,6 +757,10 @@ class Simulator:
         self._event_index = dict(checkpoint.event_index)
         self._activation_counter = checkpoint.activation_counter
         self.environment.restore_cursors(checkpoint.env_cursors)
+        if checkpoint.rng_state is not None:
+            rng = getattr(self.policy, "_rng", None)
+            if rng is not None:
+                rng.setstate(checkpoint.rng_state)
         activations = {
             place: _Activation(ident, place, start)
             for place, ident, start in checkpoint.activations

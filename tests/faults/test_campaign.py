@@ -171,6 +171,81 @@ class TestCampaign:
         assert all(r["verdict"] in ("masked", "detected", "silent")
                    for r in report.results)
 
+    # ------------------------------------------------------------------
+    # write-ahead journal resume
+    # ------------------------------------------------------------------
+    def test_journal_resume_identical_without_redispatch(self, tmp_path):
+        from repro.runtime import ExecutionEngine, read_journal
+
+        system, env = _design("gcd")
+        journal = str(tmp_path / "campaign.jsonl")
+
+        straight = run_campaign(system, self.FAULTS, env, seed=7)
+
+        partial = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=journal, limit=2)
+        assert not partial.complete
+        records = read_journal(journal)
+        assert records[0]["type"] == "campaign"
+        assert sum(r["type"] == "verdict" for r in records) == 2
+
+        with ExecutionEngine() as engine:
+            resumed = run_campaign(system, self.FAULTS, env, seed=7,
+                                   engine=engine, journal_path=journal,
+                                   resume=True)
+        assert resumed.complete
+        assert resumed.to_dict()["results"] == straight.to_dict()["results"]
+        # only the three missing faults were dispatched on resume
+        assert engine.metrics.jobs == len(self.FAULTS) - 2
+
+        # a second resume dispatches nothing at all
+        with ExecutionEngine() as engine:
+            again = run_campaign(system, self.FAULTS, env, seed=7,
+                                 engine=engine, journal_path=journal,
+                                 resume=True)
+        assert again.to_dict()["results"] == straight.to_dict()["results"]
+        assert engine.metrics is None  # engine.run never called
+
+    def test_journal_resume_survives_torn_tail(self, tmp_path):
+        system, env = _design("gcd")
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(system, self.FAULTS, env, seed=7,
+                     journal_path=journal, limit=2)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "sha": "00", "rec": {"type": "verd')
+        resumed = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=journal, resume=True)
+        straight = run_campaign(system, self.FAULTS, env, seed=7)
+        assert resumed.to_dict()["results"] == straight.to_dict()["results"]
+
+    def test_journal_config_mismatch_refused(self, tmp_path):
+        from repro.errors import PersistenceError
+
+        system, env = _design("gcd")
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(system, self.FAULTS, env, seed=7,
+                     journal_path=journal, limit=1)
+        with pytest.raises(PersistenceError, match="different campaign"):
+            run_campaign(system, self.FAULTS, env, seed=8,
+                         journal_path=journal, resume=True)
+
+    def test_stop_event_interrupts_and_resume_completes(self, tmp_path):
+        import threading
+
+        system, env = _design("gcd")
+        journal = str(tmp_path / "campaign.jsonl")
+        stop = threading.Event()
+        stop.set()
+        partial = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=journal, stop_event=stop)
+        assert not partial.complete
+        assert partial.results == []  # interrupted jobs are not verdicts
+        resumed = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=journal, resume=True)
+        straight = run_campaign(system, self.FAULTS, env, seed=7)
+        assert resumed.complete
+        assert resumed.to_dict()["results"] == straight.to_dict()["results"]
+
 
 class TestFaultsJob:
     def test_execute_job_matches_direct_run(self):

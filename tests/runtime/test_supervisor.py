@@ -1,0 +1,228 @@
+"""Tests for repro.runtime.supervisor and its engine integration."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.runtime import (
+    CircuitBreaker,
+    ExecutionEngine,
+    GracefulShutdown,
+    Journal,
+    Quarantine,
+    SupervisorConfig,
+    iter_settled,
+    probe_job,
+    read_journal,
+)
+from repro.runtime.supervisor import (
+    Watchdog,
+    heartbeat_path,
+    stale_worker_pids,
+)
+
+
+# ---------------------------------------------------------------------------
+# unit behaviour
+# ---------------------------------------------------------------------------
+class TestQuarantine:
+    def test_threshold(self):
+        quarantine = Quarantine(2)
+        assert quarantine.record_crash("k") == 1
+        assert not quarantine.is_poisoned("k")
+        assert quarantine.record_crash("k") == 2
+        assert quarantine.is_poisoned("k")
+        assert quarantine.poisoned_keys() == ["k"]
+        assert quarantine.crash_count("other") == 0
+
+    def test_threshold_validated(self):
+        with pytest.raises(DefinitionError):
+            Quarantine(0)
+
+
+class TestCircuitBreaker:
+    def test_trips_on_rate_and_floor(self):
+        breaker = CircuitBreaker(rate_threshold=0.5, min_crashes=2)
+        for _ in range(2):
+            breaker.record_attempt()
+            breaker.record_crash()
+        assert breaker.tripped  # 2 crashes / 2 attempts
+
+    def test_needs_minimum_crashes(self):
+        breaker = CircuitBreaker(rate_threshold=0.1, min_crashes=3)
+        breaker.record_attempt()
+        breaker.record_crash()
+        assert not breaker.tripped
+        assert breaker.crash_rate == 1.0
+
+    def test_rate_threshold_validated(self):
+        with pytest.raises(DefinitionError):
+            CircuitBreaker(rate_threshold=0.0)
+
+
+class TestHeartbeats:
+    def test_stale_detection(self, tmp_path):
+        fresh_pid, stale_pid, silent_pid = 111, 222, 333
+        import time
+
+        heartbeat_path(tmp_path, stale_pid).write_text(
+            str(time.monotonic() - 100.0), encoding="ascii")
+        heartbeat_path(tmp_path, fresh_pid).write_text(
+            str(time.monotonic()), encoding="ascii")
+        stale = stale_worker_pids(
+            tmp_path, [fresh_pid, stale_pid, silent_pid], hang_timeout=5.0)
+        assert stale == [stale_pid]  # no file yet = still importing = fresh
+
+    def test_watchdog_validates_timeout(self, tmp_path):
+        with pytest.raises(DefinitionError):
+            Watchdog(tmp_path, 0.0, list)
+
+
+class TestGracefulShutdown:
+    def test_first_signal_sets_event_second_raises(self):
+        with GracefulShutdown() as shutdown:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert shutdown.stop_event.wait(timeout=2.0)
+            assert shutdown.signals_seen == 1
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+        # handlers restored on exit
+        assert signal.getsignal(signal.SIGTERM) is not shutdown._handle
+
+    def test_noop_outside_main_thread(self):
+        seen = []
+
+        def body():
+            with GracefulShutdown() as shutdown:
+                seen.append(shutdown._installed)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert seen == [False]
+
+
+# ---------------------------------------------------------------------------
+# engine integration
+# ---------------------------------------------------------------------------
+class TestEngineSupervision:
+    def test_full_jitter_bounded_and_seeded(self):
+        engine = ExecutionEngine(backoff=0.08, jitter_seed=7)
+        delays = [engine._retry_delay(n) for n in (1, 2, 3)]
+        for attempt, delay in zip((1, 2, 3), delays):
+            assert 0.0 <= delay <= 0.08 * (2 ** (attempt - 1))
+        again = ExecutionEngine(backoff=0.08, jitter_seed=7)
+        assert [again._retry_delay(n) for n in (1, 2, 3)] == delays
+
+    def test_quarantine_poison_job_others_complete(self):
+        jobs = [probe_job("crash", label="poison"),
+                probe_job("ok", payload=1, label="a"),
+                probe_job("ok", payload=2, label="b")]
+        config = SupervisorConfig(quarantine_after=2)
+        with ExecutionEngine(workers=2, retries=5,
+                             supervisor=config) as engine:
+            batch = engine.run(jobs)
+        by_label = {r.spec.label: r for r in batch}
+        assert by_label["poison"].status == "quarantined"
+        assert by_label["poison"].attempts == 2  # stopped at the threshold
+        assert by_label["a"].ok and by_label["b"].ok
+        assert not batch.ok
+        assert [r.spec.label for r in batch.quarantined()] == ["poison"]
+        assert batch.metrics.quarantined == 1
+        assert batch.metrics.quarantined_keys == [jobs[0].key]
+        assert engine.quarantined_keys() == [jobs[0].key]
+
+    def test_quarantine_exit_semantics_distinct_from_failure(self):
+        # a quarantined batch and a plain-failed batch are distinguishable
+        with ExecutionEngine(workers=2, retries=3,
+                             supervisor=SupervisorConfig(
+                                 quarantine_after=1)) as engine:
+            quarantined = engine.run([probe_job("crash")])
+        with ExecutionEngine(retries=0) as engine:
+            failed = engine.run([probe_job("fail")])
+        assert quarantined.quarantined() and not failed.quarantined()
+        assert failed.failures() and not failed.metrics.quarantined
+
+    def test_breaker_trips_and_degrades_to_serial(self):
+        config = SupervisorConfig(quarantine_after=1, breaker_rate=0.3,
+                                  breaker_min_crashes=2)
+        jobs = [probe_job("crash", label="c1"),
+                probe_job("crash", label="c2", payload="distinct"),
+                probe_job("ok", payload=3, label="fine")]
+        with ExecutionEngine(workers=2, retries=0,
+                             supervisor=config) as engine:
+            batch = engine.run(jobs)
+        by_label = {r.spec.label: r for r in batch}
+        assert by_label["fine"].ok
+        # both poison jobs end terminally bad: quarantined when a crash was
+        # definitively theirs, plain-failed when drained on the serial path
+        assert {by_label["c1"].status,
+                by_label["c2"].status} <= {"quarantined", "failed"}
+        assert batch.metrics.breaker_tripped
+        assert batch.metrics.degraded_to_serial
+
+    @pytest.mark.slow
+    def test_watchdog_kills_wedged_worker(self):
+        config = SupervisorConfig(hang_timeout=1.0, heartbeat_interval=0.1,
+                                  quarantine_after=10)
+        jobs = [probe_job("wedge", seconds=60.0, label="hung")]
+        with ExecutionEngine(workers=1, retries=0, timeout=30.0,
+                             supervisor=config) as engine:
+            batch = engine.run(jobs)
+        result = batch[0]
+        assert result.status == "failed"
+        assert "died" in result.error
+        assert batch.metrics.hangs_detected >= 1
+
+    def test_stop_event_interrupts_batch(self):
+        stop = threading.Event()
+        stop.set()
+        with ExecutionEngine() as engine:
+            batch = engine.run([probe_job("ok", payload=1)], stop_event=stop)
+        assert batch.interrupted
+        assert batch[0].status == "interrupted"
+        assert batch.metrics.interrupted_jobs == 1
+
+    def test_on_result_streams_finalisations(self):
+        seen = []
+        with ExecutionEngine() as engine:
+            engine.run([probe_job("ok", payload=1, label="x"),
+                        probe_job("fail", label="y")],
+                       on_result=lambda r: seen.append(r.status))
+        assert sorted(seen) == ["failed", "ok"]
+
+
+class TestEngineJournal:
+    def test_journal_records_dispatch_and_settle(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        jobs = [probe_job("ok", payload=1, label="x"),
+                probe_job("fail", label="y")]
+        with Journal(path, fresh=True) as journal:
+            with ExecutionEngine(retries=0, journal=journal) as engine:
+                engine.run(jobs)
+        records = read_journal(path)
+        kinds = [(r["type"], r.get("status")) for r in records]
+        assert kinds == [("dispatch", None), ("settle", "ok"),
+                         ("dispatch", None), ("settle", "failed")]
+
+    def test_resume_replays_settled_payloads(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        jobs = [probe_job("ok", payload={"n": 1}, label="x"),
+                probe_job("ok", payload={"n": 2}, label="y")]
+        with Journal(path, fresh=True) as journal:
+            with ExecutionEngine(journal=journal) as engine:
+                first = engine.run(jobs)
+        resume_from = {key: record.get("payload")
+                       for key, record in iter_settled(read_journal(path))
+                       if record.get("payload") is not None}
+        with ExecutionEngine() as engine:
+            second = engine.run(jobs, resume_from=resume_from)
+        assert all(r.status == "replayed" for r in second)
+        assert [r.payload for r in second] == [r.payload for r in first]
+        assert second.metrics.replayed == 2
+        assert second.metrics.dispatched == 0  # nothing re-executed

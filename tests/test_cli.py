@@ -384,3 +384,65 @@ class TestFaults:
         first = json.loads(checkpoint.read_text())
         assert main(args) == 0  # everything already done: pure replay
         assert json.loads(checkpoint.read_text()) == first
+
+
+class TestDurableCli:
+    def test_simulate_checkpoint_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "ckpts"
+        assert main(["simulate", "gcd", "--checkpoint-dir", str(store),
+                     "--checkpoint-every", "3"]) == 0
+        full = capsys.readouterr().out
+        assert "result = [12]" in full
+        assert list(store.glob("ckpt-*.json"))
+        assert main(["simulate", "gcd", "--checkpoint-dir", str(store),
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from checkpoint at step" in out
+        assert "result = [12]" in out  # identical final outputs
+
+    def test_simulate_resume_requires_store(self, capsys):
+        assert main(["simulate", "gcd", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_simulate_checkpoint_every_requires_store(self, capsys):
+        assert main(["simulate", "gcd", "--checkpoint-every", "5"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_batch_journal_resume_replays(self, tmp_path, capsys):
+        from repro.runtime import probe_job, write_job_file
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [probe_job("ok", payload=7, label="x")])
+        journal = tmp_path / "wal.jsonl"
+        assert main(["batch", str(jobfile), "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(jobfile), "--journal", str(journal),
+                     "--resume", "--metrics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        blob = json.loads(out[out.index("{"):])
+        assert blob["replayed"] == 1
+        assert blob["dispatched"] == 0
+
+    def test_batch_quarantine_exit_code(self, tmp_path, capsys):
+        from repro.runtime import probe_job, write_job_file
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [probe_job("crash", label="poison"),
+                                      probe_job("ok", payload=1, label="a")])
+        assert main(["batch", str(jobfile), "--workers", "2",
+                     "--retries", "4", "--quarantine-after", "2"]) == 3
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+
+    def test_faults_journal_resume_identical(self, tmp_path, capsys):
+        journal = tmp_path / "campaign.jsonl"
+        args = ["faults", "gcd",
+                "--fault", "guard_invert:t_exit6:start=0",
+                "--fault", "arc_close:a2:start=0",
+                "--format", "json"]
+        assert main(args + ["--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--journal", str(journal), "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert json.loads(first[first.index("{"):]) == \
+            json.loads(second[second.index("{"):])
