@@ -12,24 +12,28 @@ Commands
     rule ids; exits 1 when findings at/above ``--fail-on`` remain.
 ``simulate DESIGN [--input name=v1,v2,…]… [--max-steps N] [--profile]
 [--profile-json PATH] [--naive] [--seed N] [--checkpoint-dir DIR
---checkpoint-every N] [--resume]``
+--checkpoint-every N] [--resume] [--backend interpreter|vector]``
     Execute against an environment and print the external events;
     ``--profile`` adds step/evaluation/cache metrics (``--profile-json``
     emits them machine-readable, ``--naive`` disables the incremental
     fast path, ``--seed`` resolves firing choice through a seeded RNG).
     ``--checkpoint-every`` persists durable snapshots into
     ``--checkpoint-dir``; ``--resume`` continues from the newest intact
-    one with a byte-identical trace.
+    one with a byte-identical trace.  ``--backend vector`` runs the
+    compiled vector backend (:mod:`repro.semantics.vector`) instead of
+    the interpreter — same trace, compiled execution.
 ``faults DESIGN [--fault SPEC]… [--faults-file PATH] [--auto N]
 [--seed N] [--format text|json] [--output PATH] [--checkpoint PATH]
-[--journal PATH] [--resume]``
+[--journal PATH] [--resume] [--backend interpreter|vector]``
     Run a fault-injection campaign (:mod:`repro.faults`): each fault is
     injected into its own run with the runtime Definition 3.2 monitors
     attached, and the report classifies every fault as masked /
     detected / silent against the golden run's external event
     structure.  ``--journal`` fsyncs every verdict as it settles;
     ``--resume`` restarts a killed campaign without re-running journaled
-    faults.  Exits 0 when every fault was masked or detected, 1 on a
+    faults.  ``--backend vector`` fans the campaign as vectorised
+    16-fault batches sharing each golden run (identical verdicts and
+    journal records).  Exits 0 when every fault was masked or detected, 1 on a
     silent deviation, 2 on usage or infrastructure errors, 130 when
     interrupted.
 ``synthesize DESIGN [--w-time F] [--w-area F] [--limit op=N]… ``
@@ -230,6 +234,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 print(f"resuming from checkpoint at step {checkpoint.step}")
             else:
                 print("no usable checkpoint found; starting fresh")
+    if args.backend == "vector":
+        for flag, present in (("--naive", args.naive),
+                              ("--profile", args.profile),
+                              ("--profile-json", bool(args.profile_json)),
+                              ("--checkpoint-dir",
+                               bool(args.checkpoint_dir))):
+            if present:
+                raise ReproError(
+                    f"{flag} is an interpreter-backend option; it cannot "
+                    "be combined with --backend vector")
     if hooks or checkpoint is not None:
         from .semantics.simulator import Simulator
 
@@ -239,7 +253,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         trace = sim.run(max_steps=args.max_steps, from_checkpoint=checkpoint)
     else:
         trace = simulate(system, env, max_steps=args.max_steps,
-                         fast=not args.naive, policy=policy)
+                         fast=not args.naive, policy=policy,
+                         backend=args.backend)
     print(trace.summary())
     for event in trace.events:
         print(f"  step {event.end:4d}  {event}")
@@ -288,7 +303,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             system, faults, env, engine=engine, seed=args.seed,
             max_steps=args.max_steps, checkpoint_path=args.checkpoint,
             journal_path=args.journal, resume=args.resume,
-            stop_event=shutdown.stop_event)
+            stop_event=shutdown.stop_event, backend=args.backend)
     interrupted = shutdown.stop_event.is_set()
     if args.format == "json":
         _write_json(args.output or "-",
@@ -658,6 +673,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--resume", action="store_true",
                        help="resume from the newest intact checkpoint in "
                             "--checkpoint-dir")
+    p_sim.add_argument("--backend", choices=("interpreter", "vector"),
+                       default="interpreter",
+                       help="execution backend: the two-phase interpreter "
+                            "or the compiled vector backend "
+                            "(byte-identical traces)")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_faults = sub.add_parser(
@@ -690,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--checkpoint", metavar="PATH",
                           help="resumable report file: completed faults "
                                "are not re-run")
+    p_faults.add_argument("--backend", choices=("interpreter", "vector"),
+                          default="interpreter",
+                          help="campaign backend: one job per fault, or "
+                               "vectorised 16-fault batches sharing each "
+                               "golden run (identical verdicts)")
     _add_engine_options(p_faults)
     p_faults.set_defaults(func=cmd_faults)
 

@@ -116,20 +116,33 @@ def watchdog_budget(golden_steps: int, max_steps: int) -> int:
 def run_single_fault(system, fault: FaultSpec,
                      environment: Environment | None = None, *,
                      max_steps: int = 10_000,
-                     campaign_seed: int = 0) -> dict[str, Any]:
+                     campaign_seed: int = 0,
+                     _golden=None) -> dict[str, Any]:
     """Run one fault experiment; return the JSON-safe result payload.
 
     Self-contained by design: the golden run is recomputed here rather
     than shipped in, so the payload is a pure function of ``(system,
     fault, environment, max_steps, campaign_seed)`` — exactly what the
     content-addressed job cache needs.
+
+    ``_golden`` is a memoization hand-off for batch runners (the
+    ``vecbatch`` job kind): a golden :class:`~repro.semantics.trace.
+    Trace` for this exact ``(system, environment, campaign_seed,
+    max_steps)`` configuration.  Because the golden run is deterministic
+    in those inputs (and the vector backend is byte-identical to the
+    interpreter), passing it cannot change the payload — it only skips
+    recomputing the same trace for every fault in a chunk.
     """
     fault.validate(system)
     env = environment if environment is not None else Environment()
 
-    golden_sim = Simulator(system, env.fork(),
-                           SeededMaximalPolicy(campaign_seed), strict=False)
-    golden = golden_sim.run(max_steps=max_steps, on_limit="return")
+    if _golden is None:
+        golden_sim = Simulator(system, env.fork(),
+                               SeededMaximalPolicy(campaign_seed),
+                               strict=False)
+        golden = golden_sim.run(max_steps=max_steps, on_limit="return")
+    else:
+        golden = _golden
     golden_structure = event_structure_from_trace(system, golden)
     budget = watchdog_budget(golden.step_count, max_steps)
 
@@ -295,11 +308,20 @@ def run_campaign(system, faults: Sequence[FaultSpec],
                  checkpoint_path: str | None = None,
                  journal_path: str | None = None, resume: bool = False,
                  limit: int | None = None,
-                 stop_event=None) -> CampaignReport:
+                 stop_event=None,
+                 backend: str = "interpreter") -> CampaignReport:
     """Fan a fault list across the batch engine and aggregate the verdicts.
 
     ``engine`` is a :class:`~repro.runtime.executor.ExecutionEngine` (a
     serial one is created when omitted).
+
+    ``backend="vector"`` fans the same campaign as a handful of
+    ``vecbatch`` jobs (16 faults each) instead of one job per fault:
+    each chunk shares one golden run (computed through the compiled
+    vector backend) across its faults.  Verdicts, journal records, and
+    the final report are identical to the per-fault backend — including
+    the per-fault content-addressed ``key`` entries, so a journal
+    written by one backend resumes seamlessly under the other.
 
     ``journal_path`` attaches a write-ahead journal
     (:class:`~repro.runtime.durable.Journal`): a header record pins the
@@ -324,8 +346,12 @@ def run_campaign(system, faults: Sequence[FaultSpec],
     from ..errors import PersistenceError
     from ..runtime.durable import Journal, read_journal
     from ..runtime.executor import ExecutionEngine
-    from ..runtime.jobs import faults_job
+    from ..runtime.jobs import faults_job, vecbatch_faults_job
 
+    if backend not in ("interpreter", "vector"):
+        raise DefinitionError(
+            f"unknown campaign backend {backend!r}; choose 'interpreter' "
+            "or 'vector'")
     specs = resolve_seeds(list(faults), seed)
     for spec in specs:
         spec.validate(system)
@@ -362,15 +388,48 @@ def run_campaign(system, faults: Sequence[FaultSpec],
         if not saw_header:
             journal.append(header)
 
-    pending = [job for job in jobs if job.key not in prior]
+    pending_pairs = [(spec, job) for spec, job in zip(specs, jobs)
+                     if job.key not in prior]
     if limit is not None:
-        pending = pending[:limit]
+        pending_pairs = pending_pairs[:limit]
+    if backend == "vector":
+        # a handful of vectorised batches instead of one job per fault
+        chunk = 16
+        pending = [
+            vecbatch_faults_job(
+                system, [spec for spec, _job in pending_pairs[i:i + chunk]],
+                environment, campaign_seed=seed, max_steps=max_steps)
+            for i in range(0, len(pending_pairs), chunk)
+        ]
+    else:
+        pending = [job for _spec, job in pending_pairs]
     fresh: dict[str, dict[str, Any]] = {}
+
+    def record(key: str, entry: dict[str, Any]) -> None:
+        fresh[key] = entry
+        if journal is not None:
+            journal.append({"type": "verdict", "key": key, "entry": entry})
 
     def settle(result) -> None:
         """Fold one finished job in and journal its verdict immediately."""
         if result.status == "interrupted":
             return  # not a verdict — the job simply never ran
+        if result.spec.kind == "vecbatch":
+            # one chunk settles many faults, each under its classic
+            # per-fault key (journal interop with the per-fault backend)
+            if result.ok:
+                for entry in result.payload["entries"]:
+                    record(entry["key"], entry)
+            else:
+                for item in result.spec.params["entries"]:
+                    record(item["key"], {
+                        "key": item["key"],
+                        "fault": item["fault"],
+                        "label": item["label"],
+                        "verdict": "error",
+                        "error": result.error,
+                    })
+            return
         key = result.spec.key
         if result.ok:
             entry = dict(result.payload, key=key)
@@ -382,9 +441,7 @@ def run_campaign(system, faults: Sequence[FaultSpec],
                 "verdict": "error",
                 "error": result.error,
             }
-        fresh[key] = entry
-        if journal is not None:
-            journal.append({"type": "verdict", "key": key, "entry": entry})
+        record(key, entry)
 
     try:
         if pending:

@@ -88,6 +88,8 @@ from .jobs import (
     reachability_job,
     simulate_job,
     synthesize_job,
+    vecbatch_faults_job,
+    vecbatch_simulate_job,
     write_job_file,
 )
 from .metrics import FleetMetrics, aggregate_sim_metrics
@@ -126,6 +128,8 @@ __all__ = [
     "equivalence_job",
     "synthesize_job",
     "faults_job",
+    "vecbatch_simulate_job",
+    "vecbatch_faults_job",
     "probe_job",
     "load_job_file",
     "write_job_file",

@@ -35,7 +35,7 @@ from ..errors import DefinitionError, ExecutionError
 #: The workload kinds the engine understands.  ``probe`` is the
 #: fault-injection aid; the other six are the library's real workloads.
 JOB_KINDS = ("simulate", "check", "reachability", "equivalence",
-             "synthesize", "lint", "faults", "probe")
+             "synthesize", "lint", "faults", "vecbatch", "probe")
 
 #: Bumped whenever the payload format of any kind changes, so stale
 #: cache entries from an older engine can never be confused for current
@@ -254,6 +254,63 @@ def faults_job(system, fault, environment=None, *, max_steps: int = 10_000,
     }, label=label or fault.describe())
 
 
+def vecbatch_simulate_job(system, environments, *,
+                          max_steps: int = 10_000, strict: bool = True,
+                          on_limit: str = "raise",
+                          label: str = "") -> JobSpec:
+    """Simulate one system against many environments in a single job.
+
+    The worker compiles the system once
+    (:func:`repro.semantics.vector.compile_system`) and advances all
+    lanes together; the payload carries one per-lane record whose shape
+    matches the ``simulate`` kind's payload exactly, so downstream
+    consumers can treat a vecbatch as a batch of simulate results.
+    """
+    return JobSpec("vecbatch", _system_dict(system), {
+        "mode": "simulate",
+        "environments": [_environment_to_dict(env) for env in environments],
+        "max_steps": max_steps,
+        "strict": strict,
+        "on_limit": on_limit,
+    }, label=label or f"vecbatch of {len(environments)} runs")
+
+
+def vecbatch_faults_job(system, faults, environment=None, *,
+                        campaign_seed: int = 0, max_steps: int = 10_000,
+                        label: str = "") -> JobSpec:
+    """A chunk of fault experiments sharing one golden run.
+
+    Each entry embeds the content-addressed key of the **classic
+    per-fault job** (:func:`faults_job` with the same system,
+    environment, budget, and seed), so campaign checkpoints and journals
+    written by the vecbatch backend are interchangeable with per-fault
+    runs: a verdict settled here can satisfy a resumed per-fault
+    campaign and vice versa.
+    """
+    sysdict = _system_dict(system)
+    envdict = _environment_to_dict(environment)
+    entries = []
+    for fault in faults:
+        fault.validate(system)
+        entries.append({
+            "fault": fault.to_dict(),
+            "key": job_key("faults", sysdict, {
+                "fault": fault.to_dict(),
+                "environment": envdict,
+                "max_steps": max_steps,
+                "campaign_seed": campaign_seed,
+            }),
+            "label": fault.describe(),
+        })
+    return JobSpec("vecbatch", sysdict, {
+        "mode": "faults",
+        "entries": entries,
+        "environment": envdict,
+        "max_steps": max_steps,
+        "campaign_seed": campaign_seed,
+    }, label=label or f"vecbatch of {len(entries)} faults")
+
+
 def probe_job(action: str, *, seconds: float = 0.0, marker: str = "",
               failures: int = 0, payload: Any = None,
               label: str = "") -> JobSpec:
@@ -313,22 +370,16 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
         return _run_synthesize(system, params)
     if kind == "faults":
         return _run_faults(system, params)
+    if kind == "vecbatch":
+        return _run_vecbatch(system, params)
     raise DefinitionError(f"unknown job kind {kind!r}")
 
 
-def _run_simulate(system, params) -> dict[str, Any]:
+def _trace_payload(system, trace) -> dict[str, Any]:
+    """The JSON-safe summary of one trace (shared by simulate/vecbatch)."""
     from ..designs.base import pad_outputs
-    from ..semantics.simulator import simulate
 
-    trace = simulate(
-        system,
-        _environment_from_dict(params.get("environment")),
-        max_steps=params.get("max_steps", 10_000),
-        strict=params.get("strict", True),
-        fast=params.get("fast", True),
-        on_limit=params.get("on_limit", "raise"),
-    )
-    payload = {
+    return {
         "step_count": trace.step_count,
         "firings": trace.num_firings,
         "terminated": trace.terminated,
@@ -342,6 +393,20 @@ def _run_simulate(system, params) -> dict[str, Any]:
                     for pad, values in sorted(pad_outputs(system,
                                                           trace).items())},
     }
+
+
+def _run_simulate(system, params) -> dict[str, Any]:
+    from ..semantics.simulator import simulate
+
+    trace = simulate(
+        system,
+        _environment_from_dict(params.get("environment")),
+        max_steps=params.get("max_steps", 10_000),
+        strict=params.get("strict", True),
+        fast=params.get("fast", True),
+        on_limit=params.get("on_limit", "raise"),
+    )
+    payload = _trace_payload(system, trace)
     metrics = trace.metrics.as_dict() if trace.metrics is not None else None
     return {"payload": payload, "sim_metrics": metrics}
 
@@ -457,6 +522,62 @@ def _run_faults(system, params) -> dict[str, Any]:
         campaign_seed=params.get("campaign_seed", 0),
     )
     return {"payload": payload, "sim_metrics": None}
+
+
+def _run_vecbatch(system, params) -> dict[str, Any]:
+    mode = params.get("mode", "simulate")
+    if mode == "simulate":
+        return _run_vecbatch_simulate(system, params)
+    if mode == "faults":
+        return _run_vecbatch_faults(system, params)
+    raise DefinitionError(
+        f"unknown vecbatch mode {mode!r}; choose 'simulate' or 'faults'")
+
+
+def _run_vecbatch_simulate(system, params) -> dict[str, Any]:
+    from ..semantics.vector import Lane, VectorSimulator
+
+    lanes = [Lane(_environment_from_dict(env))
+             for env in params.get("environments", [])]
+    sim = VectorSimulator(system, strict=params.get("strict", True))
+    result = sim.run(lanes, max_steps=params.get("max_steps", 10_000),
+                     on_limit=params.get("on_limit", "raise"))
+    return {"payload": {
+        "lanes": [_trace_payload(system, result.trace(i))
+                  for i in range(len(lanes))],
+    }, "sim_metrics": None}
+
+
+def _run_vecbatch_faults(system, params) -> dict[str, Any]:
+    from ..faults.campaign import run_single_fault
+    from ..faults.spec import FaultSpec
+    from ..semantics.policies import SeededMaximalPolicy
+    from ..semantics.simulator import Simulator
+
+    environment = _environment_from_dict(params.get("environment"))
+    max_steps = params.get("max_steps", 10_000)
+    campaign_seed = params.get("campaign_seed", 0)
+    # One golden run shared by the whole chunk — through the vector
+    # backend when the system/policy is supported, else the interpreter
+    # (byte-identical either way; see run_single_fault's _golden note).
+    try:
+        golden = Simulator(system, environment.fork(),
+                           SeededMaximalPolicy(campaign_seed),
+                           strict=False, backend="vector").run(
+                               max_steps=max_steps, on_limit="return")
+    except DefinitionError:
+        golden = Simulator(system, environment.fork(),
+                           SeededMaximalPolicy(campaign_seed),
+                           strict=False).run(max_steps=max_steps,
+                                             on_limit="return")
+    entries = []
+    for entry in params.get("entries", []):
+        payload = run_single_fault(
+            system, FaultSpec.from_dict(entry["fault"]), environment,
+            max_steps=max_steps, campaign_seed=campaign_seed,
+            _golden=golden)
+        entries.append(dict(payload, key=entry["key"]))
+    return {"payload": {"entries": entries}, "sim_metrics": None}
 
 
 def _run_probe(params) -> dict[str, Any]:

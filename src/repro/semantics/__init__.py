@@ -9,7 +9,12 @@
 * :mod:`~repro.semantics.profile` — :class:`~repro.semantics.profile.
   SimMetrics` step-level observability and the naive-vs-fast-path
   comparison harness;
-* :mod:`~repro.semantics.event_structure` — extraction of ``S(Γ)``.
+* :mod:`~repro.semantics.event_structure` — extraction of ``S(Γ)``;
+* :mod:`~repro.semantics.vector` — the compiled batch backend:
+  :func:`~repro.semantics.vector.compile_system` lowers a system to
+  flat numeric form once and
+  :class:`~repro.semantics.vector.VectorSimulator` advances many lanes
+  per step with byte-identical traces.
 """
 
 from .environment import Environment
@@ -38,6 +43,14 @@ from .profile import (
 from .simulator import Checkpoint, SimHook, Simulator, StepPerturbation, simulate
 from .trace import ConflictRecord, LatchRecord, Trace
 from .values import UNDEF, Value, as_word, is_defined, strict, truthy
+from .vector import (
+    BatchResult,
+    CompiledSystem,
+    Lane,
+    VectorCheckpoint,
+    VectorSimulator,
+    compile_system,
+)
 
 __all__ = [
     "UNDEF",
@@ -71,4 +84,10 @@ __all__ = [
     "policy_invariant_structure",
     "default_policy_sweep",
     "observed_conflicts",
+    "CompiledSystem",
+    "VectorSimulator",
+    "VectorCheckpoint",
+    "BatchResult",
+    "Lane",
+    "compile_system",
 ]

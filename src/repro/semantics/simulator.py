@@ -229,6 +229,14 @@ class Simulator:
     hooks:
         Instrumentation attached to this run (see :class:`SimHook`).
         Empty by default; with no hooks the step loop is unchanged.
+    backend:
+        ``"interpreter"`` (default) runs the step loop here;
+        ``"vector"`` compiles the system once and delegates to
+        :class:`repro.semantics.vector.VectorSimulator` (single-lane
+        batch, scalar engine) — byte-identical traces, typically an
+        order of magnitude faster on loop-heavy designs.  The vector
+        backend supports no hooks and only the maximal-step,
+        sequential, and seeded-maximal policies.
     """
 
     system: DataControlSystem
@@ -237,12 +245,18 @@ class Simulator:
     strict: bool = True
     fast: bool = True
     hooks: Sequence[SimHook] = ()
+    backend: str = "interpreter"
 
     #: Soft bound on each memo table (markings are typically few; this
     #: only guards against pathological unbounded-marking nets).
     _CACHE_LIMIT = 1 << 16
 
     def __post_init__(self) -> None:
+        if self.backend not in ("interpreter", "vector"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose 'interpreter' "
+                "or 'vector'")
+        self._vector_sim = None  # lazy per-Simulator compiled backend
         self._dp = self.system.datapath
         self._net = self.system.net
         # initial sequential state: SEQ ports from vertex init; INPUT 'out'
@@ -579,7 +593,10 @@ class Simulator:
         else:
             def enabled(t: str) -> bool:
                 return is_enabled(self._net, marking, t)
-        for place in marking.marked_places():
+        # sorted: frozenset iteration order is hash-dependent, and with
+        # several conflicted places in one step the record order (and the
+        # conflict strict mode raises first) must not vary across runs
+        for place in sorted(marking.marked_places()):
             if marking[place] >= 2:
                 continue
             fireable = [
@@ -728,6 +745,23 @@ class Simulator:
         if added:
             self._start_activations(added, step, activations)
 
+    def _run_vector(self, max_steps: int, on_limit: str,
+                    from_checkpoint: Checkpoint | None) -> Trace:
+        """Delegate this run to the compiled vector backend (one lane)."""
+        if self.hooks:
+            raise DefinitionError(
+                "the vector backend does not support simulator hooks; "
+                "use backend='interpreter' for hook-instrumented runs")
+        from .vector import Lane, VectorSimulator
+        if self._vector_sim is None:
+            self._vector_sim = VectorSimulator(self.system,
+                                               strict=self.strict,
+                                               mode="scalar")
+        result = self._vector_sim.run(
+            [Lane(self.environment, self.policy)], max_steps=max_steps,
+            on_limit=on_limit, from_checkpoint=from_checkpoint)
+        return result.trace(0)
+
     def checkpoint(self) -> Checkpoint:
         """Snapshot the complete mutable run state (see :class:`Checkpoint`).
 
@@ -736,6 +770,12 @@ class Simulator:
         :meth:`run` returned with ``on_limit="return"`` (capturing the
         state the next run would continue from).
         """
+        if self.backend == "vector":
+            if self._vector_sim is None:
+                raise DefinitionError(
+                    "no vector-backend run has happened yet; nothing to "
+                    "snapshot")
+            return self._vector_sim.checkpoint().lane(0)
         rng = getattr(self.policy, "_rng", None)
         return Checkpoint(
             step=self._current_step,
@@ -795,6 +835,8 @@ class Simulator:
         if max_steps <= 0:
             raise ValueError(
                 f"max_steps must be a positive step budget, got {max_steps}")
+        if self.backend == "vector":
+            return self._run_vector(max_steps, on_limit, from_checkpoint)
         self._reset_run_stats()
         # force a full-pass re-base on the first step of every run
         self._prev_active = None
@@ -952,7 +994,8 @@ def simulate(system: DataControlSystem,
              strict: bool = True,
              fast: bool = True,
              on_limit: str = "raise",
-             hooks: Sequence[SimHook] = ()) -> Trace:
+             hooks: Sequence[SimHook] = (),
+             backend: str = "interpreter") -> Trace:
     """One-shot convenience wrapper around :class:`Simulator`."""
     return Simulator(
         system,
@@ -961,4 +1004,5 @@ def simulate(system: DataControlSystem,
         strict,
         fast,
         hooks,
+        backend=backend,
     ).run(max_steps=max_steps, on_limit=on_limit)

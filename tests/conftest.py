@@ -18,9 +18,15 @@ def zoo():
     return {design.name: (design, design.build()) for design in all_designs()}
 
 
-def pytest_collection_modifyitems(items):
-    # keep deterministic test order: pytest default (file order) is fine,
-    # hook retained as an extension point for marking slow tests
+def pytest_collection_modifyitems(config, items):
+    # Per-test timeouts so a hung multiprocessing test fails loudly
+    # instead of wedging CI; the thread method interrupts without
+    # killing workers.  Applied as markers (not ini keys) and only when
+    # the pytest-timeout plugin is present — unconditional markers or
+    # `timeout` ini keys would emit PytestUnknownMarkWarning /
+    # PytestConfigWarning on installs without the plugin.
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
     for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(pytest.mark.timeout(600))
+        ceiling = 600 if "slow" in item.keywords else 300
+        item.add_marker(pytest.mark.timeout(ceiling, method="thread"))

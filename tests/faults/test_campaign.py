@@ -271,3 +271,71 @@ class TestFaultsJob:
         system, env = _design("gcd")
         with pytest.raises(DefinitionError):
             faults_job(system, FaultSpec("token_loss", "nowhere"), env)
+
+
+class TestVectorBackend:
+    """``backend="vector"``: vecbatch chunks, identical campaign."""
+
+    FAULTS = TestCampaign.FAULTS
+
+    def test_report_identical_to_interpreter(self):
+        system, env = _design("gcd")
+        interp = run_campaign(system, self.FAULTS, env, seed=3)
+        vector = run_campaign(system, self.FAULTS, env, seed=3,
+                              backend="vector")
+        assert vector.to_dict() == interp.to_dict()
+
+    def test_generated_faults_identical(self):
+        system, env = _design("gcd")
+        faults = generate_faults(system, 20, seed=2)  # > one 16-chunk
+        interp = run_campaign(system, faults, env, seed=2)
+        vector = run_campaign(system, faults, env, seed=2,
+                              backend="vector")
+        assert vector.to_dict() == interp.to_dict()
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import DefinitionError
+        system, env = _design("gcd")
+        with pytest.raises(DefinitionError, match="unknown campaign "
+                                                  "backend"):
+            run_campaign(system, self.FAULTS, env, backend="cuda")
+
+    def test_journal_interop_across_backends(self, tmp_path):
+        """A journal written by one backend resumes under the other."""
+        system, env = _design("gcd")
+        straight = run_campaign(system, self.FAULTS, env, seed=7)
+
+        j1 = str(tmp_path / "interp.jsonl")
+        partial = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=j1, limit=2)
+        assert not partial.complete
+        resumed = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=j1, resume=True,
+                               backend="vector")
+        assert resumed.complete
+        assert resumed.to_dict()["results"] == \
+            straight.to_dict()["results"]
+
+        j2 = str(tmp_path / "vector.jsonl")
+        partial = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=j2, limit=3,
+                               backend="vector")
+        assert not partial.complete
+        resumed = run_campaign(system, self.FAULTS, env, seed=7,
+                               journal_path=j2, resume=True)
+        assert resumed.complete
+        assert resumed.to_dict()["results"] == \
+            straight.to_dict()["results"]
+
+    def test_checkpoint_interop_across_backends(self, tmp_path):
+        system, env = _design("gcd")
+        checkpoint = str(tmp_path / "campaign.json")
+        straight = run_campaign(system, self.FAULTS, env, seed=7)
+        run_campaign(system, self.FAULTS, env, seed=7,
+                     checkpoint_path=checkpoint, limit=2,
+                     backend="vector")
+        resumed = run_campaign(system, self.FAULTS, env, seed=7,
+                               checkpoint_path=checkpoint)
+        assert resumed.complete
+        assert resumed.to_dict()["results"] == \
+            straight.to_dict()["results"]
