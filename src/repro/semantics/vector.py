@@ -85,6 +85,10 @@ _LATCH_FUNC = 2    # stateful function (e.g. accumulator): op.evaluate
 #: Magnitude bounds below which int64 arithmetic cannot overflow.
 _ADD_BOUND = 1 << 62
 _MUL_BOUND = 1 << 31
+#: div/mod additionally must match the interpreter's ``int(a / b)``,
+#: which is float-rounded: above 2**53 the correctly-rounded double
+#: quotient can truncate to a different integer than the exact one.
+_DIV_BOUND = 1 << 53
 _SHIFT_BOUND = 30
 
 _INT64_MIN = -(1 << 63)
@@ -164,8 +168,14 @@ def _scalar_instruction(op: Operation, out: int, args: tuple[int, ...]):
     return instrN
 
 
+def _magnitude_reaches(a, bound):
+    """True when any ``|a| >= bound`` — ``np.abs`` wraps at INT64_MIN
+    (``abs(-2**63) == -2**63``), so compare both signs directly."""
+    return bool(((a >= bound) | (a <= -bound)).any())
+
+
 def _check_add(a, b, da, db):
-    if (np.abs(a) > _ADD_BOUND).any() or (np.abs(b) > _ADD_BOUND).any():
+    if _magnitude_reaches(a, _ADD_BOUND) or _magnitude_reaches(b, _ADD_BOUND):
         raise _Fallback
     return da & db
 
@@ -182,7 +192,7 @@ def _vh_sub(vals):
 
 def _vh_mul(vals):
     (a, b), (da, db) = vals
-    if (np.abs(a) > _MUL_BOUND).any() or (np.abs(b) > _MUL_BOUND).any():
+    if _magnitude_reaches(a, _MUL_BOUND) or _magnitude_reaches(b, _MUL_BOUND):
         raise _Fallback
     return a * b, da & db
 
@@ -193,12 +203,12 @@ def _div_mod(a, b):
     q = a // bsafe
     r = a - q * bsafe
     adjust = (r != 0) & ((a < 0) != (bsafe < 0))
-    return q + adjust, r + np.where(adjust, bsafe, 0)
+    return q + adjust, r - np.where(adjust, bsafe, 0)
 
 
 def _vh_div(vals):
     (a, b), (da, db) = vals
-    if (np.abs(a) > _ADD_BOUND).any() or (np.abs(b) > _ADD_BOUND).any():
+    if _magnitude_reaches(a, _DIV_BOUND) or _magnitude_reaches(b, _DIV_BOUND):
         raise _Fallback
     q, _ = _div_mod(a, b)
     return q, da & db & (b != 0)
@@ -206,7 +216,7 @@ def _vh_div(vals):
 
 def _vh_mod(vals):
     (a, b), (da, db) = vals
-    if (np.abs(a) > _ADD_BOUND).any() or (np.abs(b) > _ADD_BOUND).any():
+    if _magnitude_reaches(a, _DIV_BOUND) or _magnitude_reaches(b, _DIV_BOUND):
         raise _Fallback
     _, r = _div_mod(a, b)
     return r, da & db & (b != 0)
@@ -214,14 +224,14 @@ def _vh_mod(vals):
 
 def _vh_neg(vals):
     (a,), (da,) = vals
-    if (np.abs(a) > _ADD_BOUND).any():
+    if _magnitude_reaches(a, _ADD_BOUND):
         raise _Fallback
     return -a, da
 
 
 def _vh_abs(vals):
     (a,), (da,) = vals
-    if (np.abs(a) > _ADD_BOUND).any():
+    if _magnitude_reaches(a, _ADD_BOUND):
         raise _Fallback
     return np.abs(a), da
 
@@ -238,7 +248,7 @@ def _vh_max(vals):
 
 def _vh_shl(vals):
     (a, b), (da, db) = vals
-    if (b > _SHIFT_BOUND).any() or (np.abs(a) > _MUL_BOUND).any():
+    if (b > _SHIFT_BOUND).any() or _magnitude_reaches(a, _MUL_BOUND):
         raise _Fallback
     return a << np.where(b >= 0, b, 0), da & db & (b >= 0)
 
