@@ -47,12 +47,26 @@ Commands
 ``cosim DESIGN [--input …]``
     Co-simulate the netlist interpretation against the model semantics.
 ``batch JOBFILE [--workers N] [--cache DIR] [--timeout S] [--retries N]
-[--journal PATH] [--resume] [--quarantine-after N] [--hang-timeout S]``
+[--journal PATH] [--resume] [--quarantine-after N] [--hang-timeout S]
+[--server URL [--tenant T] [--priority P]]``
     Run a job file (see :mod:`repro.runtime.jobs`) through the batch
     engine and report per-job outcomes plus fleet metrics; with a
     ``--journal`` the batch survives SIGKILL and ``--resume`` replays
-    settled jobs from the log.  Exits 0 when every job succeeded, 1 on
+    settled jobs from the log.  With ``--server`` the same job file is
+    submitted over HTTP to a running ``repro serve`` (identical
+    content-addressed keys and byte-identical cached results) and
+    polled to completion.  Exits 0 when every job succeeded, 1 on
     failures, 3 when a poison job was quarantined, 130 when interrupted.
+``serve [--host H] [--port P] [--shards N] [--service-workers N]
+[--cache DIR] [--journal PATH] [--resume] [--rate R] [--burst B]``
+    Run the long-lived execution service
+    (:mod:`repro.runtime.service`): an HTTP/JSON API accepting the
+    declarative job-spec JSON, a durable sharded queue (``--journal`` +
+    ``--resume`` survive SIGKILL), per-tenant rate limiting, and worker
+    threads sharing one result store.
+``cache stats DIR`` / ``cache prune DIR [--max-bytes N] [--max-entries N]``
+    Inspect a content-addressed result cache, or atomically evict
+    least-recently-used entries until it fits the given bounds.
 ``sweep DESIGN [--w-time F,F,…] [--w-area F,F,…] [--seeds N,N,…]``
     Fan a synthesis sweep over the objective-weight × seed grid through
     the batch engine (``--emit-jobs PATH`` writes the job file instead
@@ -303,7 +317,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             system, faults, env, engine=engine, seed=args.seed,
             max_steps=args.max_steps, checkpoint_path=args.checkpoint,
             journal_path=args.journal, resume=args.resume,
-            stop_event=shutdown.stop_event, backend=args.backend)
+            stop_event=shutdown.stop_event, backend=args.backend,
+            chunk_size=args.chunk_size)
     interrupted = shutdown.stop_event.is_set()
     if args.format == "json":
         _write_json(args.output or "-",
@@ -483,6 +498,28 @@ def _write_json(target: str, payload: str, what: str) -> None:
 def cmd_batch(args: argparse.Namespace) -> int:
     from .runtime import GracefulShutdown, load_job_file
 
+    if args.server:
+        from .runtime.service import (
+            ServiceClient,
+            parse_server_url,
+            submit_job_file,
+        )
+
+        for flag, present in (("--workers", bool(args.workers)),
+                              ("--cache", bool(args.cache)),
+                              ("--journal", bool(args.journal)),
+                              ("--resume", args.resume)):
+            if present:
+                raise ReproError(
+                    f"{flag} configures the local engine; with --server "
+                    "those concerns live on the server (repro serve)")
+        client = ServiceClient(parse_server_url(args.server))
+        batch = submit_job_file(client, args.jobfile, tenant=args.tenant,
+                                priority=args.priority, poll=args.poll,
+                                max_seconds=args.max_wait)
+        return _report_batch(batch, metrics_json=args.metrics_json,
+                             results_json=args.results_json)
+
     jobs = load_job_file(args.jobfile)
     journal, resume_from = _engine_journal(args)
     try:
@@ -495,6 +532,75 @@ def cmd_batch(args: argparse.Namespace) -> int:
             journal.close()
     return _report_batch(batch, metrics_json=args.metrics_json,
                          results_json=args.results_json)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime import ExecutionEngine, GracefulShutdown, SupervisorConfig
+    from .runtime.service import (
+        ExecutionService,
+        LocalDirBackend,
+        make_server,
+        serve_forever,
+    )
+
+    store = LocalDirBackend(args.cache, max_bytes=args.cache_max_bytes,
+                            max_entries=args.cache_max_entries) \
+        if args.cache else None
+
+    def engine_factory() -> ExecutionEngine:
+        return ExecutionEngine(
+            workers=args.workers, timeout=args.timeout,
+            retries=args.retries, cache=store,
+            supervisor=SupervisorConfig(
+                hang_timeout=args.hang_timeout,
+                quarantine_after=args.quarantine_after))
+
+    service = ExecutionService(
+        store=store, journal_path=args.journal, resume=args.resume,
+        shards=args.shards, rate=args.rate, burst=args.burst,
+        workers=args.service_workers, engine_factory=engine_factory,
+        lease_seconds=args.lease_seconds)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    replayed = service.replayed
+    pending = service.queue.depth()
+    print(f"repro serve listening on http://{host}:{port} "
+          f"({args.shards} shard(s), {args.service_workers} worker(s)"
+          + (f", journal {args.journal}" if args.journal else "") + ")")
+    if args.resume:
+        print(f"resumed from journal: {replayed} settled job(s) replayed, "
+              f"{pending} re-queued")
+    sys.stdout.flush()
+    with service, GracefulShutdown() as shutdown:
+        serve_forever(server, stop_event=shutdown.stop_event)
+    print("repro serve shut down cleanly")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .runtime import ResultCache
+
+    cache = ResultCache(args.dir)
+    stats = cache.stats()
+    if args.cache_command == "stats":
+        rows = [["entries", stats["entries"]],
+                ["bytes", stats["bytes"]],
+                ["directory", args.dir]]
+        print(format_table(["stat", "value"], rows,
+                           title="result cache"))
+        return 0
+    # prune
+    if args.max_bytes is None and args.max_entries is None:
+        raise ReproError(
+            "cache prune needs a bound: --max-bytes and/or --max-entries")
+    removed = cache.prune(max_bytes=args.max_bytes,
+                          max_entries=args.max_entries)
+    after = cache.stats()
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'}: "
+          f"{stats['entries']} -> {after['entries']} entries, "
+          f"{stats['bytes']} -> {after['bytes']} bytes")
+    return 0
 
 
 def _parse_floats(text: str) -> list[float]:
@@ -713,8 +819,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--backend", choices=("interpreter", "vector"),
                           default="interpreter",
                           help="campaign backend: one job per fault, or "
-                               "vectorised 16-fault batches sharing each "
+                               "vectorised fault batches sharing each "
                                "golden run (identical verdicts)")
+    p_faults.add_argument("--chunk-size", type=int, default=16, metavar="N",
+                          help="faults per vecbatch job under --backend "
+                               "vector (default 16; never changes verdicts "
+                               "or journal keys)")
     _add_engine_options(p_faults)
     p_faults.set_defaults(func=cmd_faults)
 
@@ -768,7 +878,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--results-json", metavar="PATH",
                          help="write per-job results as JSON "
                               "('-' for stdout)")
+    p_batch.add_argument("--server", metavar="URL",
+                         help="submit over HTTP to a running repro serve "
+                              "instead of executing locally (same specs, "
+                              "same content-addressed keys)")
+    p_batch.add_argument("--tenant", default="default",
+                         help="tenant lane for --server submissions")
+    p_batch.add_argument("--priority", type=int, default=0,
+                         help="priority for --server submissions "
+                              "(higher runs first)")
+    p_batch.add_argument("--poll", type=float, default=0.1, metavar="S",
+                         help="poll interval while waiting on --server")
+    p_batch.add_argument("--max-wait", type=float, default=600.0,
+                         metavar="S",
+                         help="give up waiting on --server after S seconds")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP execution service (async job API, "
+                      "sharded durable queue, shared result store)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8750,
+                         help="listen port (0 = pick a free port)")
+    p_serve.add_argument("--shards", type=int, default=8,
+                         help="queue partition count (default 8)")
+    p_serve.add_argument("--service-workers", type=int, default=1,
+                         metavar="N",
+                         help="in-process worker threads draining the "
+                              "queue (default 1; 0 = accept only, attach "
+                              "workers remotely)")
+    p_serve.add_argument("--rate", type=float, default=None,
+                         help="per-tenant token-bucket refill "
+                              "(submissions/second; default unlimited)")
+    p_serve.add_argument("--burst", type=float, default=None,
+                         help="per-tenant token-bucket capacity "
+                              "(default 2x rate)")
+    p_serve.add_argument("--lease-seconds", type=float, default=60.0,
+                         metavar="S",
+                         help="re-queue claims not settled within S "
+                              "seconds (remote-worker death insurance)")
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="LRU-evict the --cache store above N bytes")
+    p_serve.add_argument("--cache-max-entries", type=int, default=None,
+                         metavar="N",
+                         help="LRU-evict the --cache store above N entries")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    _add_engine_options(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune a content-addressed result cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cstats = cache_sub.add_parser("stats", help="entry/byte counts")
+    p_cstats.add_argument("dir", help="cache directory")
+    p_cstats.set_defaults(func=cmd_cache)
+    p_cprune = cache_sub.add_parser(
+        "prune", help="atomically evict least-recently-used entries "
+                      "until under the given bounds")
+    p_cprune.add_argument("dir", help="cache directory")
+    p_cprune.add_argument("--max-bytes", type=int, default=None, metavar="N")
+    p_cprune.add_argument("--max-entries", type=int, default=None,
+                          metavar="N")
+    p_cprune.set_defaults(func=cmd_cache)
 
     p_sweep = sub.add_parser(
         "sweep", help="fan a synthesis sweep through the batch engine")

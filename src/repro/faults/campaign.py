@@ -309,19 +309,24 @@ def run_campaign(system, faults: Sequence[FaultSpec],
                  journal_path: str | None = None, resume: bool = False,
                  limit: int | None = None,
                  stop_event=None,
-                 backend: str = "interpreter") -> CampaignReport:
+                 backend: str = "interpreter",
+                 chunk_size: int = 16) -> CampaignReport:
     """Fan a fault list across the batch engine and aggregate the verdicts.
 
     ``engine`` is a :class:`~repro.runtime.executor.ExecutionEngine` (a
     serial one is created when omitted).
 
     ``backend="vector"`` fans the same campaign as a handful of
-    ``vecbatch`` jobs (16 faults each) instead of one job per fault:
-    each chunk shares one golden run (computed through the compiled
-    vector backend) across its faults.  Verdicts, journal records, and
-    the final report are identical to the per-fault backend — including
-    the per-fault content-addressed ``key`` entries, so a journal
-    written by one backend resumes seamlessly under the other.
+    ``vecbatch`` jobs (``chunk_size`` faults each, default 16) instead
+    of one job per fault: each chunk shares one golden run (computed
+    through the compiled vector backend) across its faults.  Verdicts,
+    journal records, and the final report are identical to the
+    per-fault backend — including the per-fault content-addressed
+    ``key`` entries, so a journal written by one backend resumes
+    seamlessly under the other.  ``chunk_size`` is a pure
+    throughput/latency trade (bigger chunks amortise the golden run
+    over more faults, smaller chunks parallelise and settle sooner);
+    it never changes verdicts or journal keys.
 
     ``journal_path`` attaches a write-ahead journal
     (:class:`~repro.runtime.durable.Journal`): a header record pins the
@@ -352,6 +357,9 @@ def run_campaign(system, faults: Sequence[FaultSpec],
         raise DefinitionError(
             f"unknown campaign backend {backend!r}; choose 'interpreter' "
             "or 'vector'")
+    if chunk_size < 1:
+        raise DefinitionError(
+            f"chunk_size must be >= 1, got {chunk_size}")
     specs = resolve_seeds(list(faults), seed)
     for spec in specs:
         spec.validate(system)
@@ -394,7 +402,7 @@ def run_campaign(system, faults: Sequence[FaultSpec],
         pending_pairs = pending_pairs[:limit]
     if backend == "vector":
         # a handful of vectorised batches instead of one job per fault
-        chunk = 16
+        chunk = chunk_size
         pending = [
             vecbatch_faults_job(
                 system, [spec for spec, _job in pending_pairs[i:i + chunk]],

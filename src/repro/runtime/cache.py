@@ -13,6 +13,15 @@ parent-directory fsync, via :func:`~repro.runtime.durable.
 atomic_write_text`) so neither a killed worker nor a power cut can leave
 a torn entry, and corrupt or mismatched entries are treated as misses
 rather than errors.
+
+For unattended long-running stores (the execution service's shared
+backend), the cache can be **bounded**: construct with ``max_bytes``
+and/or ``max_entries`` and :meth:`put` periodically evicts the
+least-recently-used entries (hits refresh an entry's mtime, so recency
+survives process restarts).  :meth:`prune` is also callable directly —
+``repro cache prune`` — and is safe under concurrent readers and
+writers: eviction is per-entry ``unlink``, which is atomic, so a racing
+reader sees either the intact entry or a plain miss, never a torn file.
 """
 
 from __future__ import annotations
@@ -27,16 +36,38 @@ from .jobs import ENGINE_VERSION, canonical_json
 
 _ENTRY_FORMAT = 1
 
+#: With eviction limits set, every Nth write triggers an automatic prune
+#: (a full scan per write would make put O(cache size)).
+_AUTO_PRUNE_INTERVAL = 64
+
 
 class ResultCache:
-    """Content-addressed payload store rooted at ``root``."""
+    """Content-addressed payload store rooted at ``root``.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    ``max_bytes`` / ``max_entries`` (optional) bound the store; when
+    either bound is exceeded, the least-recently-used entries are
+    evicted (see :meth:`prune`).  Unbounded by default.
+    """
+
+    def __init__(self, root: str | os.PathLike, *,
+                 max_bytes: int | None = None,
+                 max_entries: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_bytes is not None or self.max_entries is not None
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -57,6 +88,13 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self.bounded:
+            # refresh recency so LRU eviction spares hot entries; only
+            # when bounded, so the unbounded read path stays write-free
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         return entry["payload"]
 
     def put(self, key: str, kind: str, payload: dict[str, Any]) -> None:
@@ -72,6 +110,8 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(path, entry, encoding="ascii")
         self.writes += 1
+        if self.bounded and self.writes % _AUTO_PRUNE_INTERVAL == 0:
+            self.prune()
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -96,6 +136,66 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    # ------------------------------------------------------------------
+    def _scan(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) of every entry; racing deletions skipped."""
+        entries: list[tuple[float, int, Path]] = []
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count and total bytes (plus the configured bounds)."""
+        entries = self._scan()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _mtime, size, _path in entries),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+    def prune(self, *, max_bytes: int | None = None,
+              max_entries: int | None = None) -> int:
+        """Evict least-recently-used entries until under the bounds.
+
+        Bounds default to the constructor's; explicit arguments override
+        (``repro cache prune`` passes them directly).  Returns how many
+        entries were removed.  Safe under concurrency: each eviction is
+        one atomic ``unlink``, an entry that vanished mid-scan is simply
+        skipped, and a concurrent ``put`` of an evicted key just
+        recreates it.
+        """
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        max_entries = (max_entries if max_entries is not None
+                       else self.max_entries)
+        if max_bytes is None and max_entries is None:
+            return 0
+        entries = sorted(self._scan())  # oldest mtime first
+        total_bytes = sum(size for _mtime, size, _path in entries)
+        count = len(entries)
+        removed = 0
+        for _mtime, size, path in entries:
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            over_count = max_entries is not None and count > max_entries
+            if not over_bytes and not over_count:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # a concurrent prune/clear got there first
+            removed += 1
+            total_bytes -= size
+            count -= 1
+        self.evictions += removed
         return removed
 
     @property

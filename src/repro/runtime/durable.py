@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import IO, Any, Iterator, Mapping
 
@@ -325,6 +326,11 @@ class Journal:
 
     Open with ``fresh=True`` to truncate and start a new log, or
     ``fresh=False`` to extend an existing one (the resume path).
+
+    :meth:`append` is thread-safe: concurrent writers (e.g. several
+    service workers settling distinct queue shards into one shared
+    journal) serialise on an internal lock, so records never interleave
+    mid-line.
     """
 
     def __init__(self, path: str | os.PathLike, *, fresh: bool = False,
@@ -333,6 +339,7 @@ class Journal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.durable = durable
         self.records_written = 0
+        self._lock = threading.Lock()
         mode = "w" if fresh else "a"
         self._handle: IO[str] | None = open(self.path, mode,
                                             encoding="utf-8")
@@ -358,18 +365,19 @@ class Journal:
     # ------------------------------------------------------------------
     def append(self, record: Mapping[str, Any]) -> None:
         """Durably append one record (flushed and fsynced before return)."""
-        if self._handle is None:
-            raise PersistenceError(
-                f"journal {self.path} is closed; cannot append")
         payload = canonical_json(dict(record))
         line = canonical_json({"v": JOURNAL_FORMAT,
                                "sha": _record_digest(payload),
                                "rec": json.loads(payload)})
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        if self.durable:
-            os.fsync(self._handle.fileno())
-        self.records_written += 1
+        with self._lock:
+            if self._handle is None:
+                raise PersistenceError(
+                    f"journal {self.path} is closed; cannot append")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.durable:
+                os.fsync(self._handle.fileno())
+            self.records_written += 1
 
 
 def _parse_journal_line(line: str) -> dict[str, Any] | None:

@@ -1,0 +1,256 @@
+"""HTTP client for the execution service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` speaks the ``/v1`` API of a running
+``repro serve`` instance.  ``repro batch --server URL`` uses it to
+submit a job file over HTTP instead of running locally, poll to
+completion, and rebuild the familiar
+:class:`~repro.runtime.executor.BatchResult` so reporting (and exit
+codes) match the local path exactly.  Remote workers use :meth:`claim`
+and :meth:`settle` through
+:class:`~repro.runtime.service.worker.RemoteQueueSource`.
+"""
+
+from __future__ import annotations
+
+import json
+from time import monotonic, sleep
+from typing import Any, Sequence
+
+from ...errors import ExecutionError
+from ..executor import BatchResult, JobResult
+from ..jobs import JobSpec
+from ..metrics import FleetMetrics
+
+
+class ServiceError(ExecutionError):
+    """The server answered with an error (carries the HTTP status)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one server."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Any = None) -> tuple[int, Any]:
+        """One request; returns ``(status, decoded JSON or None)``."""
+        import urllib.error
+        import urllib.request
+
+        data = (json.dumps(body, sort_keys=True).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                raw = response.read()
+                return response.status, (json.loads(raw.decode("utf-8"))
+                                         if raw else None)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                decoded = None
+            return error.code, decoded
+        except OSError as error:
+            raise ServiceError(
+                f"cannot reach server at {self.base_url}: {error}") from None
+
+    def _get(self, path: str) -> Any:
+        status, body = self.request("GET", path)
+        if status != 200:
+            raise ServiceError(
+                f"GET {path} failed with HTTP {status}: "
+                f"{(body or {}).get('error', '')}", status)
+        return body
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._get("/v1/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._get("/v1/metrics")
+
+    def queue(self) -> dict[str, Any]:
+        return self._get("/v1/queue")
+
+    def job(self, key: str) -> dict[str, Any] | None:
+        status, body = self.request("GET", f"/v1/jobs/{key}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(
+                f"GET /v1/jobs/{key} failed with HTTP {status}", status)
+        return body
+
+    # ------------------------------------------------------------------
+    def submit(self, specs: Sequence[JobSpec] | JobSpec, *,
+               tenant: str = "default",
+               priority: int = 0) -> list[dict[str, Any]]:
+        """Submit specs; returns per-spec state records (incl. throttled).
+
+        429 (everything throttled) is returned as records, not raised —
+        callers decide whether to back off (see :meth:`submit_all`).
+        """
+        if isinstance(specs, JobSpec):
+            specs = [specs]
+        body = {"jobs": [spec.to_dict() for spec in specs],
+                "tenant": tenant, "priority": priority}
+        status, decoded = self.request("POST", "/v1/jobs", body)
+        if status not in (200, 429) or not isinstance(decoded, dict):
+            raise ServiceError(
+                f"POST /v1/jobs failed with HTTP {status}: "
+                f"{(decoded or {}).get('error', '')}", status)
+        return decoded["results"]
+
+    def submit_all(self, specs: Sequence[JobSpec], *,
+                   tenant: str = "default", priority: int = 0,
+                   retry_seconds: float = 0.1,
+                   max_seconds: float = 300.0) -> list[dict[str, Any]]:
+        """Submit, retrying throttled items until the bucket refills."""
+        records: dict[str, dict[str, Any]] = {}
+        remaining = list(specs)
+        deadline = monotonic() + max_seconds
+        while remaining:
+            throttled: list[JobSpec] = []
+            for spec, record in zip(remaining,
+                                    self.submit(remaining, tenant=tenant,
+                                                priority=priority)):
+                if record["state"] == "throttled":
+                    throttled.append(spec)
+                else:
+                    records[spec.key] = record
+            if throttled and monotonic() > deadline:
+                raise ServiceError(
+                    f"{len(throttled)} job(s) still throttled after "
+                    f"{max_seconds:g}s")
+            remaining = throttled
+            if remaining:
+                sleep(retry_seconds)
+        return [records[spec.key] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def wait(self, keys: Sequence[str], *, poll: float = 0.1,
+             max_seconds: float = 600.0) -> dict[str, dict[str, Any]]:
+        """Poll until every key is done/failed; returns final records."""
+        outstanding = set(keys)
+        final: dict[str, dict[str, Any]] = {}
+        deadline = monotonic() + max_seconds
+        while outstanding:
+            for key in sorted(outstanding):
+                record = self.job(key)
+                if record is not None and record["state"] in ("done",
+                                                              "failed"):
+                    final[key] = record
+            outstanding -= set(final)
+            if outstanding:
+                if monotonic() > deadline:
+                    raise ServiceError(
+                        f"{len(outstanding)} job(s) still running after "
+                        f"{max_seconds:g}s")
+                sleep(poll)
+        return final
+
+    # ------------------------------------------------------------------
+    def claim(self, *, shard: int | None = None,
+              worker: str = "") -> dict[str, Any] | None:
+        status, body = self.request("POST", "/v1/claim",
+                                    {"shard": shard, "worker": worker})
+        if status == 204:
+            return None
+        if status != 200 or not isinstance(body, dict):
+            raise ServiceError(
+                f"POST /v1/claim failed with HTTP {status}", status)
+        return body
+
+    def settle(self, **fields: Any) -> bool:
+        status, _body = self.request("POST", "/v1/settle", fields)
+        if status == 409:
+            return False  # lease expired under us; the other settle won
+        if status != 200:
+            raise ServiceError(
+                f"POST /v1/settle failed with HTTP {status}", status)
+        return True
+
+    # ------------------------------------------------------------------
+    def run_batch(self, specs: Sequence[JobSpec], *,
+                  tenant: str = "default", priority: int = 0,
+                  poll: float = 0.1,
+                  max_seconds: float = 600.0) -> BatchResult:
+        """Submit + wait + rebuild a local-shaped :class:`BatchResult`.
+
+        Statuses travel through unchanged (``ok``/``cached``/
+        ``replayed``/``failed``/``quarantined``), so
+        ``repro batch --server`` reports and exits exactly like the
+        local path on the same outcomes.
+        """
+        by_key = {spec.key: spec for spec in specs}
+        started = monotonic()
+        self.submit_all(specs, tenant=tenant, priority=priority,
+                        max_seconds=max_seconds)
+        final = self.wait(list(by_key), poll=poll, max_seconds=max_seconds)
+        metrics = FleetMetrics()
+        results = []
+        for spec in specs:
+            record = final[spec.key]
+            results.append(JobResult(
+                spec, record.get("status", "failed"),
+                record.get("payload"), error=record.get("error", ""),
+                attempts=record.get("attempts", 0),
+                run_seconds=record.get("run_seconds", 0.0)))
+        # de-duplicated specs share one record; count each submission
+        for result in results:
+            metrics.record(result)
+        metrics.wall_seconds = monotonic() - started
+        return BatchResult(results, metrics)
+
+
+def parse_server_url(url: str) -> str:
+    """Normalise a ``--server`` value (bare host:port gains http://)."""
+    if "://" not in url:
+        return f"http://{url}"
+    return url
+
+
+def fetch_json(url: str, *, timeout: float = 30.0) -> Any:
+    """GET one absolute URL as JSON (CI/scripting helper)."""
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def submit_job_file(client: ServiceClient, path: str, *,
+                    tenant: str = "default", priority: int = 0,
+                    poll: float = 0.1,
+                    max_seconds: float = 600.0) -> BatchResult:
+    """Load a job file and run it through :meth:`ServiceClient.run_batch`."""
+    from ..jobs import load_job_file
+
+    return client.run_batch(load_job_file(path), tenant=tenant,
+                            priority=priority, poll=poll,
+                            max_seconds=max_seconds)
+
+
+def wait_until_healthy(base_url: str, *, max_seconds: float = 30.0,
+                       poll: float = 0.1) -> dict[str, Any]:
+    """Block until a just-started server answers ``/v1/healthz``."""
+    client = ServiceClient(base_url, timeout=poll + 1.0)
+    deadline = monotonic() + max_seconds
+    while True:
+        try:
+            return client.healthz()
+        except ServiceError:
+            if monotonic() > deadline:
+                raise
+            sleep(poll)

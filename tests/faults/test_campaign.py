@@ -300,6 +300,38 @@ class TestVectorBackend:
                                                   "backend"):
             run_campaign(system, self.FAULTS, env, backend="cuda")
 
+    @pytest.mark.parametrize("chunk_size", [1, 3, 64])
+    def test_chunk_size_never_changes_verdicts_or_journal(self, tmp_path,
+                                                          chunk_size):
+        """chunk_size is throughput-only: reports and WALs are invariant."""
+        system, env = _design("gcd")
+        faults = generate_faults(system, 7, seed=2)  # spans chunks at 1, 3
+
+        baseline_journal = str(tmp_path / "baseline.jsonl")
+        baseline = run_campaign(system, faults, env, seed=2,
+                                journal_path=baseline_journal,
+                                backend="vector")  # default chunk of 16
+        chunked_journal = str(tmp_path / f"chunk{chunk_size}.jsonl")
+        chunked = run_campaign(system, faults, env, seed=2,
+                               journal_path=chunked_journal,
+                               backend="vector", chunk_size=chunk_size)
+
+        assert chunked.to_dict() == baseline.to_dict()
+        from repro.runtime.durable import read_journal
+
+        def verdict_map(path):
+            return {r["key"]: r["entry"] for r in read_journal(path)
+                    if r.get("type") == "verdict"}
+
+        assert verdict_map(chunked_journal) == verdict_map(baseline_journal)
+
+    def test_chunk_size_must_be_positive(self):
+        from repro.errors import DefinitionError
+        system, env = _design("gcd")
+        with pytest.raises(DefinitionError, match="chunk_size"):
+            run_campaign(system, self.FAULTS, env, backend="vector",
+                         chunk_size=0)
+
     def test_journal_interop_across_backends(self, tmp_path):
         """A journal written by one backend resumes under the other."""
         system, env = _design("gcd")

@@ -1,0 +1,36 @@
+"""Shared fixtures for the service tests: an in-process HTTP server."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.service import ExecutionService, make_server
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """Factory: spin up an ExecutionService + HTTP server on port 0.
+
+    Returns ``(service, base_url)``; everything is torn down at test
+    end.  Keyword arguments are forwarded to :class:`ExecutionService`.
+    """
+    started: list[tuple] = []
+
+    def start(**kwargs):
+        service = ExecutionService(**kwargs)
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        service.start()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((service, server, thread))
+        return service, f"http://{host}:{port}"
+
+    yield start
+    for service, server, thread in started:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+        service.stop()

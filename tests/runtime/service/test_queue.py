@@ -1,0 +1,189 @@
+"""ShardedQueue: sharding, priorities, throttling, WAL resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.runtime import probe_job
+from repro.runtime.durable import Journal, read_journal
+from repro.runtime.service import (
+    ShardedQueue,
+    ThrottledError,
+    TokenBucket,
+    replay_queue_journal,
+    shard_of,
+)
+
+
+def _specs(n, prefix="q"):
+    return [probe_job("ok", payload={"n": i, "p": prefix}) for i in range(n)]
+
+
+class TestSharding:
+    def test_shard_is_stable_and_in_range(self):
+        specs = _specs(32)
+        for spec in specs:
+            shard = shard_of(spec.key, 8)
+            assert 0 <= shard < 8
+            assert shard == shard_of(spec.key, 8)  # deterministic
+
+    def test_submit_routes_to_key_shard(self):
+        queue = ShardedQueue(shards=4)
+        for spec in _specs(16):
+            job = queue.submit(spec)
+            assert job.shard == shard_of(spec.key, 4)
+
+    def test_claim_respects_shard_pin(self):
+        # 3 jobs over 16 shards: at least 13 shards are provably empty
+        queue = ShardedQueue(shards=16)
+        jobs = [queue.submit(spec) for spec in _specs(3)]
+        target = jobs[0].shard
+        claimed = queue.claim(shard=target)
+        assert claimed is not None and claimed.shard == target
+        empty_shard = next(s for s in range(16)
+                           if not any(j.shard == s for j in jobs))
+        assert queue.claim(shard=empty_shard) is None
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(DefinitionError):
+            ShardedQueue(shards=0)
+
+
+class TestOrdering:
+    def test_fifo_within_a_priority(self):
+        queue = ShardedQueue(shards=1)
+        specs = _specs(5)
+        for spec in specs:
+            queue.submit(spec)
+        order = [queue.claim().key for _ in specs]
+        assert order == [spec.key for spec in specs]
+
+    def test_higher_priority_claims_first(self):
+        queue = ShardedQueue(shards=1)
+        low, high = _specs(2)
+        queue.submit(low, priority=0)
+        queue.submit(high, priority=5)
+        assert queue.claim().key == high.key
+        assert queue.claim().key == low.key
+
+    def test_submit_is_idempotent_per_key(self):
+        queue = ShardedQueue(shards=2)
+        spec = _specs(1)[0]
+        first = queue.submit(spec)
+        again = queue.submit(spec)
+        assert again is first
+        assert len(queue) == 1
+
+
+class TestSettle:
+    def test_settle_removes_claimed_job(self):
+        queue = ShardedQueue(shards=1)
+        spec = _specs(1)[0]
+        queue.submit(spec)
+        job = queue.claim()
+        queue.settle(job.key, "ok", payload={"v": 1})
+        assert len(queue) == 0
+        assert queue.stats()["claimed"] == 0
+        assert queue.stats()["tenants"]["default"]["settled"] == 1
+
+    def test_requeue_expired_returns_lost_claims(self):
+        queue = ShardedQueue(shards=1)
+        spec = _specs(1)[0]
+        queue.submit(spec)
+        job = queue.claim()
+        job.claimed_at -= 100.0  # pretend the worker died long ago
+        assert queue.requeue_expired(lease_seconds=30.0) == [job.key]
+        assert queue.claim().key == job.key  # claimable again
+
+
+class TestThrottling:
+    def test_bucket_empties_and_refills(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_take(now=0.0)
+        assert bucket.try_take(now=0.0)
+        assert not bucket.try_take(now=0.0)    # burst exhausted
+        assert bucket.try_take(now=1.0)        # 1s -> one token back
+
+    def test_over_rate_submission_raises_and_counts(self):
+        queue = ShardedQueue(shards=1, rate=1000.0, burst=2.0)
+        specs = _specs(4)
+        queue.submit(specs[0], tenant="t")
+        queue.submit(specs[1], tenant="t")
+        with pytest.raises(ThrottledError):
+            queue.submit(specs[2], tenant="t")
+        assert queue.stats()["tenants"]["t"]["throttled"] == 1
+
+    def test_tenants_have_independent_buckets(self):
+        queue = ShardedQueue(shards=1, rate=1000.0, burst=1.0)
+        specs = _specs(3)
+        queue.submit(specs[0], tenant="a")
+        with pytest.raises(ThrottledError):
+            queue.submit(specs[1], tenant="a")
+        queue.submit(specs[2], tenant="b")  # b's bucket is untouched
+
+
+class TestDurability:
+    def test_accepts_and_settles_are_journalled(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        with Journal(path, fresh=True) as journal:
+            queue = ShardedQueue(shards=2, journal=journal)
+            specs = _specs(3)
+            for spec in specs:
+                queue.submit(spec)
+            job = queue.claim()
+            queue.settle(job.key, "ok", payload={"v": 1})
+        accepts, settles = replay_queue_journal(path)
+        assert set(accepts) == {spec.key for spec in specs}
+        assert set(settles) == {job.key}
+        # the WAL *is* the queue: accepts carry the whole spec
+        assert accepts[job.key]["spec"]["kind"] == "probe"
+
+    def test_resume_requeues_unsettled_preserving_metadata(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        specs = _specs(4)
+        with Journal(path, fresh=True) as journal:
+            queue = ShardedQueue(shards=2, journal=journal)
+            for spec in specs:
+                queue.submit(spec, tenant="acme", priority=3)
+            done = queue.claim()
+            queue.settle(done.key, "ok", payload={"v": 1})
+        # ... SIGKILL ... restart:
+        revived = ShardedQueue(shards=2)
+        settled = revived.resume(path)
+        assert set(settled) == {done.key}
+        assert settled[done.key]["payload"] == {"v": 1}
+        assert len(revived) == 3
+        for job in revived.pending():
+            assert job.tenant == "acme" and job.priority == 3
+            assert job.shard == shard_of(job.key, 2)
+
+    def test_failed_settle_is_requeued_on_resume(self, tmp_path):
+        # at-least-once: a failure is not a completion
+        path = tmp_path / "q.jsonl"
+        spec = _specs(1)[0]
+        with Journal(path, fresh=True) as journal:
+            queue = ShardedQueue(shards=1, journal=journal)
+            queue.submit(spec)
+            job = queue.claim()
+            queue.settle(job.key, "failed", error="boom")
+        revived = ShardedQueue(shards=1)
+        assert revived.resume(path) == {}
+        assert len(revived) == 1
+
+    def test_resume_then_continue_extends_the_log(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        specs = _specs(2)
+        with Journal(path, fresh=True) as journal:
+            queue = ShardedQueue(shards=1, journal=journal)
+            for spec in specs:
+                queue.submit(spec)
+        revived = ShardedQueue(shards=1)
+        revived.resume(path)
+        with Journal(path, fresh=False) as journal:
+            revived.journal = journal
+            job = revived.claim()
+            revived.settle(job.key, "ok", payload={"v": 9})
+        records = read_journal(path)
+        assert [r["type"] for r in records].count("accept") == 2
+        assert records[-1]["type"] == "settle"

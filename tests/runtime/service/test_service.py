@@ -1,0 +1,307 @@
+"""End-to-end service tests: HTTP parity, crash resume, fleet dedupe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import get_design
+from repro.runtime import ExecutionEngine, check_job, probe_job, simulate_job
+from repro.runtime.service import (
+    ExecutionService,
+    LocalDirBackend,
+    RemoteBackend,
+    RemoteQueueSource,
+    ServiceClient,
+    ServiceWorker,
+    drain,
+)
+
+
+def _zoo_specs():
+    design = get_design("gcd")
+    system = design.build()
+    return [check_job(system, label="gcd-check"),
+            simulate_job(system, design.environment(), label="gcd-sim")]
+
+
+# ---------------------------------------------------------------------------
+# parity: HTTP submission == local CLI execution, byte for byte
+# ---------------------------------------------------------------------------
+class TestParity:
+    def test_http_and_local_agree_byte_for_byte(self, tmp_path, live_server):
+        specs = _zoo_specs()
+        local_cache = LocalDirBackend(tmp_path / "local")
+        local = ExecutionEngine(cache=local_cache).run(specs)
+        assert local.ok
+
+        server_cache = LocalDirBackend(tmp_path / "server")
+        _service, base = live_server(store=server_cache, workers=1)
+        remote = ServiceClient(base).run_batch(specs, max_seconds=60)
+        assert remote.ok
+        assert [r.status for r in remote] == ["ok", "ok"]
+
+        for spec in specs:
+            local_path = local_cache.path_for(spec.key)
+            server_path = server_cache.path_for(spec.key)
+            assert local_path.read_bytes() == server_path.read_bytes()
+
+    def test_http_payloads_match_local(self, tmp_path, live_server):
+        specs = _zoo_specs()
+        local = ExecutionEngine().run(specs)
+        _service, base = live_server(
+            store=LocalDirBackend(tmp_path / "s"), workers=1)
+        remote = ServiceClient(base).run_batch(specs, max_seconds=60)
+        assert [r.payload for r in remote] == [r.payload for r in local]
+
+    def test_resubmission_is_answered_from_the_record(self, tmp_path,
+                                                      live_server):
+        _service, base = live_server(
+            store=LocalDirBackend(tmp_path / "s"), workers=1)
+        client = ServiceClient(base)
+        specs = _zoo_specs()
+        client.run_batch(specs, max_seconds=60)
+        accepted = _service.accepted
+        again = client.run_batch(specs, max_seconds=60)
+        assert again.ok
+        assert _service.accepted == accepted  # no new acceptances
+
+    def test_warm_store_answers_cached_without_dispatch(self, tmp_path,
+                                                        live_server):
+        store = LocalDirBackend(tmp_path / "s")
+        specs = _zoo_specs()
+        ExecutionEngine(cache=store).run(specs)  # pre-warm the store
+        _service, base = live_server(store=store, workers=1)
+        batch = ServiceClient(base).run_batch(specs, max_seconds=60)
+        assert [r.status for r in batch] == ["cached", "cached"]
+        assert _service.queue.stats()["depth"] == 0
+
+
+# ---------------------------------------------------------------------------
+# crash safety: SIGKILL the server, restart, lose nothing accepted
+# ---------------------------------------------------------------------------
+class TestCrashResume:
+    def test_accepted_jobs_survive_a_dead_server(self, tmp_path,
+                                                 live_server):
+        journal = tmp_path / "queue.jsonl"
+        # accept-only server (no workers): jobs are queued, never run
+        service, base = live_server(journal_path=str(journal), workers=0)
+        specs = [probe_job("ok", payload={"n": i}) for i in range(5)]
+        records = ServiceClient(base).submit(specs)
+        assert all(r["state"] == "queued" for r in records)
+        # ... SIGKILL: nothing orderly happens to the service state ...
+        revived = ExecutionService(journal_path=str(journal), resume=True,
+                                   workers=1)
+        try:
+            assert revived.queue.depth() == 5
+            worker = revived.workers[0]
+            assert drain(worker, max_seconds=60) == 5
+            for spec in specs:
+                record = revived.job_record(spec.key)
+                assert record["state"] == "done"
+        finally:
+            revived.stop()
+
+    def test_settled_jobs_replay_not_rerun(self, tmp_path, live_server):
+        journal = tmp_path / "queue.jsonl"
+        service, base = live_server(journal_path=str(journal), workers=1)
+        specs = _zoo_specs()
+        first = ServiceClient(base).run_batch(specs, max_seconds=60)
+        assert first.ok
+        revived = ExecutionService(journal_path=str(journal), resume=True,
+                                   workers=0)
+        try:
+            assert revived.replayed == len(specs)
+            assert revived.queue.depth() == 0
+            for spec, result in zip(specs, first):
+                record = revived.job_record(spec.key)
+                assert record["state"] == "done"
+                assert record["status"] == "replayed"
+                assert record["payload"] == result.payload
+        finally:
+            revived.stop()
+
+    def test_mixed_journal_requeues_only_unsettled(self, tmp_path):
+        journal = tmp_path / "queue.jsonl"
+        service = ExecutionService(journal_path=str(journal), workers=0)
+        specs = [probe_job("ok", payload={"n": i}) for i in range(4)]
+        service.submit_many(specs)
+        # hand-settle two of them through the worker path
+        for _ in range(2):
+            job = service.claim_job()
+            from repro.runtime.executor import JobResult
+
+            service.settle_job(job, JobResult(job.spec, "ok", {"done": 1}))
+        service.stop()  # orderly close stands in for the crash here
+        revived = ExecutionService(journal_path=str(journal), resume=True,
+                                   workers=0)
+        try:
+            assert revived.replayed == 2
+            assert revived.queue.depth() == 2
+        finally:
+            revived.stop()
+
+
+# ---------------------------------------------------------------------------
+# fleet dedupe: two workers, one shared remote store, one execution
+# ---------------------------------------------------------------------------
+class TestFleetDedupe:
+    def test_second_worker_hits_cache_dispatches_nothing(self, tmp_path,
+                                                         live_server):
+        _service, base = live_server(
+            store=LocalDirBackend(tmp_path / "s"), workers=0)
+        spec = _zoo_specs()[0]
+
+        engine_one = ExecutionEngine(cache=RemoteBackend(base))
+        first = engine_one.run([spec])
+        assert first[0].status == "ok"
+        assert first.metrics.dispatched == 1
+
+        engine_two = ExecutionEngine(cache=RemoteBackend(base))
+        second = engine_two.run([spec])
+        assert second[0].status == "cached"
+        assert second.metrics.dispatched == 0  # exactly-once fleet-wide
+        assert second[0].payload == first[0].payload
+
+    def test_remote_workers_share_the_server_store(self, tmp_path,
+                                                   live_server):
+        service, base = live_server(
+            store=LocalDirBackend(tmp_path / "s"), workers=0)
+        client = ServiceClient(base)
+        spec = _zoo_specs()[0]
+        client.submit([spec, probe_job("ok", payload={"x": 1})])
+
+        source = RemoteQueueSource(ServiceClient(base))
+        worker = ServiceWorker(
+            source, engine=ExecutionEngine(cache=RemoteBackend(base)),
+            name="remote-0")
+        try:
+            assert drain(worker, max_seconds=60) == 2
+        finally:
+            worker.engine.close()
+        record = client.job(spec.key)
+        assert record["state"] == "done"
+        # the payload was published into the server store over HTTP
+        assert service.store.get(spec.key) is not None
+
+
+# ---------------------------------------------------------------------------
+# protocol edges: throttling, double settle, unknown keys, bad input
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_over_burst_submissions_throttle_deterministically(
+            self, live_server):
+        # refill is ~zero: exactly the burst is accepted, the rest 429s
+        _service, base = live_server(workers=0, rate=0.001, burst=2.0)
+        client = ServiceClient(base)
+        specs = [probe_job("ok", payload={"n": i}) for i in range(6)]
+        records = client.submit(specs)
+        states = [r["state"] for r in records]
+        assert states.count("queued") == 2
+        assert states.count("throttled") == 4
+        # every spec throttled -> the response itself is a 429
+        fresh = [probe_job("ok", payload={"n": i + 100}) for i in range(2)]
+        status, body = client.request(
+            "POST", "/v1/jobs", {"jobs": [s.to_dict() for s in fresh]})
+        assert status == 429
+        assert body["accepted"] == 0 and body["throttled"] == 2
+
+    def test_submit_all_retries_until_the_bucket_refills(self, live_server):
+        _service, base = live_server(workers=0, rate=50.0, burst=2.0)
+        client = ServiceClient(base)
+        specs = [probe_job("ok", payload={"n": i}) for i in range(6)]
+        final = client.submit_all(specs, max_seconds=30)
+        assert all(r["state"] == "queued" for r in final)
+
+    def test_double_settle_is_409(self, live_server):
+        _service, base = live_server(workers=0)
+        client = ServiceClient(base)
+        spec = probe_job("ok", payload={"v": 1})
+        client.submit(spec)
+        claim = client.claim()
+        assert claim["key"] == spec.key
+        assert client.settle(key=spec.key, status="ok",
+                             payload={"r": 1}) is True
+        assert client.settle(key=spec.key, status="ok",
+                             payload={"r": 1}) is False
+
+    def test_unknown_job_is_404(self, live_server):
+        _service, base = live_server(workers=0)
+        assert ServiceClient(base).job("ff" * 32) is None
+
+    def test_malformed_spec_is_400(self, live_server):
+        _service, base = live_server(workers=0)
+        status, body = ServiceClient(base).request(
+            "POST", "/v1/jobs", {"kind": "no-such-kind", "params": {}})
+        assert status == 400
+        assert "bad job spec" in body["error"]
+
+    def test_claim_on_empty_queue_is_none(self, live_server):
+        _service, base = live_server(workers=0)
+        assert ServiceClient(base).claim() is None
+
+    def test_expired_lease_requeues(self, live_server):
+        service, base = live_server(workers=0, lease_seconds=0.0)
+        client = ServiceClient(base)
+        spec = probe_job("ok", payload={"v": 2})
+        client.submit(spec)
+        first = client.claim()
+        assert first is not None
+        # lease 0 expired instantly: the next claim cycle re-offers it
+        second = client.claim()
+        assert second is not None and second["key"] == spec.key
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def test_metrics_report_tenant_depth_and_throttles(self, live_server):
+        _service, base = live_server(workers=0, rate=0.001, burst=1.0)
+        client = ServiceClient(base)
+        specs = [probe_job("ok", payload={"n": i}) for i in range(3)]
+        client.submit(specs[0], tenant="acme")
+        client.submit(specs[1], tenant="acme")  # throttled
+        client.submit(specs[2], tenant="zen")
+        metrics = client.metrics()
+        tenants = metrics["queue"]["tenants"]
+        assert tenants["acme"]["depth"] == 1
+        assert tenants["acme"]["throttled"] == 1
+        assert tenants["zen"]["depth"] == 1
+        assert metrics["service"]["throttled"] == 1
+
+    def test_metrics_aggregate_fleet_results(self, tmp_path, live_server):
+        _service, base = live_server(
+            store=LocalDirBackend(tmp_path / "s"), workers=1)
+        client = ServiceClient(base)
+        client.run_batch(_zoo_specs(), max_seconds=60)
+        metrics = client.metrics()
+        assert metrics["service"]["completed"] == 2
+        assert metrics["fleet"]["jobs"] == 2
+        assert metrics["fleet"]["succeeded"] == 2
+        assert all(w["healthy"] for w in metrics["workers"])
+
+    def test_healthz_and_queue_endpoints(self, live_server):
+        _service, base = live_server(workers=1)
+        client = ServiceClient(base)
+        health = client.healthz()
+        assert health["ok"] and health["workers"] == 1
+        spec = probe_job("sleep", seconds=0.0, payload={"q": 1})
+        client.submit(spec)
+        snapshot = client.queue()
+        assert snapshot["shards"] == 8
+
+    def test_worker_marked_unhealthy_after_node_errors(self):
+        class BrokenSource:
+            def claim_job(self, **_kw):
+                raise OSError("network down")
+
+            def settle_job(self, job, result):  # pragma: no cover
+                pass
+
+        worker = ServiceWorker(BrokenSource(), name="sick",
+                               unhealthy_after=3)
+        for _ in range(3):
+            worker.step()
+        assert not worker.healthy
+        assert worker.stop_event.is_set()
+        assert "network down" in worker.report()["last_error"]

@@ -1,0 +1,121 @@
+"""CacheBackend conformance: every backend honours the same contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.service import (
+    CacheBackend,
+    LocalDirBackend,
+    RemoteBackend,
+    TieredBackend,
+)
+from repro.runtime.cache import ResultCache
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "0" * 62
+KEY_MISSING = "ff" + "0" * 62
+
+
+@pytest.fixture(params=["local", "remote", "tiered"])
+def backend(request, tmp_path, live_server):
+    """One of each backend flavour, empty, ready for puts and gets."""
+    if request.param == "local":
+        return LocalDirBackend(tmp_path / "local")
+    _service, base = live_server(
+        store=LocalDirBackend(tmp_path / "server-store"), workers=0)
+    remote = RemoteBackend(base)
+    if request.param == "remote":
+        return remote
+    return TieredBackend(LocalDirBackend(tmp_path / "tier-local"), remote)
+
+
+class TestConformance:
+    """The parametrised contract every backend must satisfy."""
+
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, CacheBackend)
+
+    def test_miss_returns_none_and_counts(self, backend):
+        assert backend.get(KEY_MISSING) is None
+        assert backend.misses == 1
+        assert backend.hits == 0
+
+    def test_put_then_get_round_trips(self, backend):
+        payload = {"x": 1, "nested": {"y": [2, 3]}, "s": "text"}
+        backend.put(KEY_A, "probe", payload)
+        assert backend.writes >= 1
+        assert backend.get(KEY_A) == payload
+        assert backend.hits >= 1
+
+    def test_contains(self, backend):
+        assert KEY_A not in backend
+        backend.put(KEY_A, "probe", {"v": 1})
+        assert KEY_A in backend
+        assert KEY_B not in backend
+
+    def test_overwrite_is_last_write_wins(self, backend):
+        backend.put(KEY_A, "probe", {"v": 1})
+        backend.put(KEY_A, "probe", {"v": 2})
+        assert backend.get(KEY_A) == {"v": 2}
+
+    def test_distinct_keys_are_independent(self, backend):
+        backend.put(KEY_A, "probe", {"v": "a"})
+        backend.put(KEY_B, "probe", {"v": "b"})
+        assert backend.get(KEY_A) == {"v": "a"}
+        assert backend.get(KEY_B) == {"v": "b"}
+
+
+class TestLocalDirBackend:
+    def test_is_the_result_cache(self, tmp_path):
+        # byte-identical layout guarantee: same class, same files
+        assert LocalDirBackend is ResultCache
+
+
+class TestRemoteBackend:
+    def test_reads_server_store(self, tmp_path, live_server):
+        store = LocalDirBackend(tmp_path / "s")
+        _service, base = live_server(store=store, workers=0)
+        store.put(KEY_A, "probe", {"from": "server"})
+        assert RemoteBackend(base).get(KEY_A) == {"from": "server"}
+
+    def test_put_publishes_to_server_store(self, tmp_path, live_server):
+        store = LocalDirBackend(tmp_path / "s")
+        _service, base = live_server(store=store, workers=0)
+        RemoteBackend(base).put(KEY_A, "probe", {"from": "worker"})
+        assert store.get(KEY_A) == {"from": "worker"}
+
+    def test_unreachable_server_degrades_to_miss(self):
+        backend = RemoteBackend("http://127.0.0.1:1", timeout=0.2)
+        assert backend.get(KEY_A) is None
+        backend.put(KEY_A, "probe", {"v": 1})  # must not raise
+        assert backend.errors >= 2
+
+
+class TestTieredBackend:
+    def test_remote_hit_backfills_local(self, tmp_path, live_server):
+        store = LocalDirBackend(tmp_path / "s")
+        _service, base = live_server(store=store, workers=0)
+        store.put(KEY_A, "probe", {"v": 1})
+        local = LocalDirBackend(tmp_path / "l")
+        tiered = TieredBackend(local, RemoteBackend(base))
+        assert tiered.get(KEY_A) == {"v": 1}
+        # second read is served locally, no HTTP round-trip
+        assert local.get(KEY_A) == {"v": 1}
+
+    def test_write_through_reaches_both_tiers(self, tmp_path, live_server):
+        store = LocalDirBackend(tmp_path / "s")
+        _service, base = live_server(store=store, workers=0)
+        local = LocalDirBackend(tmp_path / "l")
+        tiered = TieredBackend(local, RemoteBackend(base))
+        tiered.put(KEY_A, "probe", {"v": 1})
+        assert local.get(KEY_A) == {"v": 1}
+        assert store.get(KEY_A) == {"v": 1}
+
+    def test_local_hit_skips_remote(self, tmp_path):
+        local = LocalDirBackend(tmp_path / "l")
+        local.put(KEY_A, "probe", {"v": 1})
+        dead = RemoteBackend("http://127.0.0.1:1", timeout=0.2)
+        tiered = TieredBackend(local, dead)
+        assert tiered.get(KEY_A) == {"v": 1}
+        assert dead.errors == 0

@@ -78,3 +78,95 @@ class TestEngineIntegration:
         assert statuses["counter:check"] == "cached"   # untouched → cache hit
         assert statuses["parsum:check"] == "cached"
         assert statuses["gcd:check"] == "cached"       # same content → hit
+
+
+def _key(i):
+    return f"{i:02x}" + "0" * 62
+
+
+def _fill(cache, n, payload=None):
+    keys = [_key(i) for i in range(n)]
+    for i, key in enumerate(keys):
+        cache.put(key, "probe", payload or {"n": i})
+    return keys
+
+
+class TestBoundedCache:
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert not cache.bounded
+        _fill(cache, 10)
+        assert len(cache) == 10
+
+    def test_negative_bounds_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "c", max_bytes=-1)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "c", max_entries=-1)
+
+    def test_prune_to_max_entries_evicts_oldest_first(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        keys = _fill(cache, 5)
+        # age entries explicitly so LRU order is deterministic
+        for age, key in enumerate(keys):
+            os.utime(cache.path_for(key), (1000 + age, 1000 + age))
+        removed = cache.prune(max_entries=2)
+        assert removed == 3
+        assert sorted(cache.keys()) == sorted(keys[3:])
+
+    def test_prune_to_max_bytes(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        keys = _fill(cache, 4)
+        for age, key in enumerate(keys):
+            os.utime(cache.path_for(key), (1000 + age, 1000 + age))
+        entry_size = cache.path_for(keys[0]).stat().st_size
+        cache.prune(max_bytes=2 * entry_size)
+        assert cache.stats()["bytes"] <= 2 * entry_size
+        assert sorted(cache.keys()) == sorted(keys[2:])
+
+    def test_hit_refreshes_recency_when_bounded(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c", max_entries=100)
+        keys = _fill(cache, 3)
+        for age, key in enumerate(keys):
+            os.utime(cache.path_for(key), (1000 + age, 1000 + age))
+        assert cache.get(keys[0]) is not None  # touch the oldest entry
+        cache.prune(max_entries=1)
+        assert list(cache.keys()) == [keys[0]]  # the hit saved it
+
+    def test_put_auto_prunes_on_interval(self, tmp_path):
+        from repro.runtime.cache import _AUTO_PRUNE_INTERVAL
+
+        cache = ResultCache(tmp_path / "c", max_entries=10)
+        _fill(cache, _AUTO_PRUNE_INTERVAL)
+        assert len(cache) <= 10
+        assert cache.evictions >= _AUTO_PRUNE_INTERVAL - 10
+
+    def test_prune_without_bounds_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        _fill(cache, 5)
+        assert cache.prune() == 0
+        assert len(cache) == 5
+
+    def test_pruned_key_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = _fill(cache, 3)
+        cache.prune(max_entries=0)
+        assert cache.get(keys[0]) is None
+        assert cache.misses == 1
+
+    def test_engine_reexecutes_after_eviction(self, tmp_path, zoo):
+        design, system = zoo["gcd"]
+        cache = ResultCache(tmp_path / "c")
+        jobs = [check_job(system)]
+        ExecutionEngine(cache=cache).run(jobs)
+        cache.prune(max_entries=0)
+        rerun = ExecutionEngine(cache=cache).run(jobs)
+        assert rerun[0].status == "ok"  # re-executed, not an error

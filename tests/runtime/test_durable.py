@@ -258,3 +258,74 @@ class TestJournal:
         records = [dispatch_record("a", 1), settle_record("a", "ok"),
                    {"type": "campaign"}, settle_record("b", "failed")]
         assert [key for key, _ in iter_settled(records)] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# concurrent writers: service workers share one journal
+# ---------------------------------------------------------------------------
+class TestConcurrentSettle:
+    """Two workers settling distinct queue shards into one journal."""
+
+    def test_interleaved_settles_all_survive_intact(self, tmp_path):
+        import threading
+
+        from repro.runtime import probe_job
+        from repro.runtime.service import ShardedQueue, shard_of
+
+        path = tmp_path / "wal.jsonl"
+        specs = [probe_job("ok", payload={"n": i}) for i in range(60)]
+        with Journal(path, fresh=True) as journal:
+            queue = ShardedQueue(shards=2, journal=journal)
+            for spec in specs:
+                queue.submit(spec)
+
+            def worker(shard):
+                # each worker owns one shard: disjoint keys, one journal
+                while True:
+                    job = queue.claim(shard=shard)
+                    if job is None:
+                        return
+                    queue.settle(job.key, "ok",
+                                 payload={"shard": shard, "n": job.seq})
+
+            threads = [threading.Thread(target=worker, args=(s,))
+                       for s in (0, 1)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+
+        records = read_journal(path)  # every line must verify its digest
+        settles = [r for r in records if r.get("type") == "settle"]
+        assert len(settles) == 60
+        assert {r["key"] for r in settles} == {s.key for s in specs}
+        for record in settles:
+            assert record["payload"]["shard"] == shard_of(record["key"], 2)
+
+    def test_resume_from_replays_concurrently_settled_keys(self, tmp_path):
+        import threading
+
+        from repro.runtime import ExecutionEngine, probe_job
+
+        path = tmp_path / "wal.jsonl"
+        specs = [probe_job("ok", payload={"n": i}) for i in range(40)]
+        half = len(specs) // 2
+        with Journal(path, fresh=True) as journal:
+            def settle_range(chunk):
+                for spec in chunk:
+                    journal.append(settle_record(
+                        spec.key, "ok", payload={"v": spec.params}))
+
+            threads = [threading.Thread(target=settle_range, args=(c,))
+                       for c in (specs[:half], specs[half:])]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+
+        resume_from = {key: record.get("payload")
+                       for key, record in iter_settled(read_journal(path))}
+        assert len(resume_from) == len(specs)
+        batch = ExecutionEngine().run(specs, resume_from=resume_from)
+        assert [r.status for r in batch] == ["replayed"] * len(specs)
+        assert batch.metrics.dispatched == 0

@@ -446,3 +446,99 @@ class TestDurableCli:
         second = capsys.readouterr().out
         assert json.loads(first[first.index("{"):]) == \
             json.loads(second[second.index("{"):])
+
+
+class TestCacheCli:
+    def _fill(self, tmp_path, n=3):
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        for i in range(n):
+            cache.put(f"{i:02x}" + "0" * 62, "probe", {"n": i})
+        return tmp_path / "cache"
+
+    def test_stats_reports_counts(self, tmp_path, capsys):
+        root = self._fill(tmp_path)
+        assert main(["cache", "stats", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "3" in out
+
+    def test_prune_to_max_entries(self, tmp_path, capsys):
+        from repro.runtime import ResultCache
+
+        root = self._fill(tmp_path)
+        assert main(["cache", "prune", str(root),
+                     "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out
+        assert len(ResultCache(root)) == 1
+
+    def test_prune_requires_a_bound(self, tmp_path, capsys):
+        root = self._fill(tmp_path)
+        assert main(["cache", "prune", str(root)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+
+class TestFaultsChunkSize:
+    ARGS = ["faults", "gcd", "--fault", "guard_invert:t_exit6:start=0",
+            "--fault", "arc_close:a2:start=0", "--backend", "vector",
+            "--format", "json"]
+
+    def test_chunk_size_invariant_report(self, capsys):
+        assert main(self.ARGS + ["--chunk-size", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(self.ARGS + ["--chunk-size", "16"]) == 0
+        sixteen = capsys.readouterr().out
+        assert json.loads(one[one.index("{"):]) == \
+            json.loads(sixteen[sixteen.index("{"):])
+
+    def test_chunk_size_must_be_positive(self, capsys):
+        assert main(self.ARGS + ["--chunk-size", "0"]) == 2
+        assert "chunk_size" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_batch_server_rejects_local_engine_flags(self, tmp_path, capsys):
+        from repro.runtime import probe_job, write_job_file
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [probe_job("ok", payload=1)])
+        assert main(["batch", str(jobfile), "--server", "127.0.0.1:1",
+                     "--cache", str(tmp_path / "c")]) == 2
+        assert "--cache" in capsys.readouterr().err
+
+    def test_batch_unreachable_server_is_an_execution_error(self, tmp_path,
+                                                            capsys):
+        from repro.runtime import probe_job, write_job_file
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [probe_job("ok", payload=1)])
+        assert main(["batch", str(jobfile),
+                     "--server", "http://127.0.0.1:1"]) == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_batch_against_live_server(self, tmp_path, capsys):
+        import threading
+
+        from repro.runtime import probe_job, write_job_file
+        from repro.runtime.service import ExecutionService, make_server
+
+        jobfile = tmp_path / "jobs.json"
+        write_job_file(str(jobfile), [probe_job("ok", payload=5, label="p")])
+        service = ExecutionService(workers=1)
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        service.start()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert main(["batch", str(jobfile),
+                         "--server", f"{host}:{port}"]) == 0
+            out = capsys.readouterr().out
+            assert "batch of 1 job(s)" in out
+            assert "ok" in out
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
+            service.stop()
