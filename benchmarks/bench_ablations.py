@@ -15,9 +15,8 @@ A4  Merger legality: the paper's structural α condition alone would
 """
 
 from repro.core import merger_legal
-from repro.core.equivalence import EquivalenceVerdict
 from repro.io import format_table
-from repro.semantics import Environment, SequentialPolicy, Simulator, simulate
+from repro.semantics import SequentialPolicy, Simulator, simulate
 from repro.synthesis import (
     compact,
     compatibility_classes,

@@ -1,0 +1,171 @@
+"""E14 — the symbolic reachability engine vs the explicit explorer.
+
+The symbolic engine (:mod:`repro.analysis.symbolic`) packs markings into
+dense numpy count rows over the compiled place order and fires every
+enabled transition across the whole BFS frontier with one incidence-
+matrix comparison per transition.  Three claims:
+
+* E14a — **agreement**: on every zoo design the frontier engine visits
+  exactly the explicit explorer's marking set and reproduces its safety,
+  coexistence, deadlock and terminal verdicts (and the two
+  ``semantically_equivalent`` backends return the same verdict);
+* E14b — **coverage**: on a wide fork/join net (the shape the paper's
+  ``∥`` relation says should be *cheap*), the frontier engine covers
+  >= 10x the markings the explicit explorer manages in the same
+  wall-clock budget;
+* E14c — **reduction**: stubborn-set partial-order reduction visits a
+  small fraction of the full marking graph while preserving the
+  deadlock/terminal verdicts on every zoo design.
+
+Measured numbers land in ``BENCH_symbolic.json`` (the CI artifact).
+"""
+
+import json
+import time
+
+from repro.analysis.symbolic import frontier_explore, por_explore
+from repro.core.equivalence import semantically_equivalent
+from repro.io import format_table
+from repro.petri.net import PetriNet
+from repro.petri.reachability import explore
+
+from conftest import emit
+
+#: accumulated across the tests in file order; E14c writes the artifact
+RESULTS: dict = {"experiment": "E14", "claims": {}}
+
+
+def wide_net(branches: int, length: int) -> PetriNet:
+    """Fork into ``branches`` independent chains of ``length`` places."""
+    net = PetriNet(name=f"wide{branches}x{length}")
+    net.add_place("start", marked=True)
+    net.add_place("done")
+    net.add_transition("fork")
+    net.add_transition("join")
+    net.add_arc("start", "fork")
+    net.add_arc("join", "done")
+    for b in range(branches):
+        prev = None
+        for i in range(length):
+            place = f"p{b}_{i}"
+            net.add_place(place)
+            if prev is None:
+                net.add_arc("fork", place)
+            else:
+                t = f"t{b}_{i}"
+                net.add_transition(t)
+                net.add_arc(prev, t)
+                net.add_arc(t, place)
+            prev = place
+        net.add_arc(prev, "join")
+    return net
+
+
+def test_e14a_zoo_agreement(zoo):
+    """Both backends agree on every zoo design, and the symbolic
+    equivalence path returns the explicit verdict."""
+    rows = []
+    agreements = {}
+    for name, (design, system) in zoo.items():
+        explicit = explore(system.net)
+        symbolic = frontier_explore(system.net)
+        markings_agree = (frozenset(explicit.markings)
+                          == symbolic.marking_set())
+        verdicts_agree = (
+            explicit.is_safe == symbolic.is_safe
+            and len(explicit.deadlocks) == symbolic.deadlocks
+            and len(explicit.terminals) == symbolic.terminals
+            and explicit.bounded_by == symbolic.bounded_by)
+        v_explicit = semantically_equivalent(
+            design.build(), design.build(), design.environment())
+        v_symbolic = semantically_equivalent(
+            design.build(), design.build(), design.environment(),
+            backend="symbolic")
+        equiv_agree = v_explicit.equivalent == v_symbolic.equivalent
+        rows.append([name, explicit.num_markings, symbolic.num_markings,
+                     "yes" if markings_agree else "NO",
+                     "yes" if verdicts_agree else "NO",
+                     "yes" if equiv_agree else "NO"])
+        agreements[name] = bool(markings_agree and verdicts_agree
+                                and equiv_agree)
+        assert markings_agree and verdicts_agree and equiv_agree, name
+    emit(format_table(
+        ["design", "explicit markings", "symbolic markings", "sets agree",
+         "verdicts agree", "equiv agrees"],
+        rows, title="E14a: explicit vs symbolic agreement across the zoo"))
+    RESULTS["claims"]["agreement"] = {
+        "designs": len(agreements),
+        "all_agree": all(agreements.values()),
+    }
+
+
+def test_e14b_coverage_race():
+    """Same wall-clock budget, >= 10x the marking coverage."""
+    net = wide_net(branches=8, length=7)
+    budget_markings = 20_000
+
+    started = time.perf_counter()
+    explicit = explore(net, max_markings=budget_markings)
+    explicit_s = time.perf_counter() - started
+
+    symbolic = frontier_explore(net, max_markings=50_000_000,
+                                time_budget=explicit_s)
+    coverage = symbolic.num_markings / explicit.num_markings
+    emit(format_table(
+        ["engine", "markings", "seconds", "markings/s"],
+        [["explicit BFS", explicit.num_markings, f"{explicit_s:.2f}",
+          f"{explicit.num_markings / explicit_s:,.0f}"],
+         ["symbolic frontier", symbolic.num_markings,
+          f"{symbolic.elapsed_s:.2f}",
+          f"{symbolic.num_markings / max(symbolic.elapsed_s, 1e-9):,.0f}"]],
+        title=f"E14b: coverage race on {net.name} "
+              f"(equal wall-clock budget) -> {coverage:.0f}x"))
+    RESULTS["claims"]["coverage"] = {
+        "net": net.name,
+        "explicit_markings": explicit.num_markings,
+        "explicit_s": round(explicit_s, 3),
+        "symbolic_markings": symbolic.num_markings,
+        "symbolic_s": round(symbolic.elapsed_s, 3),
+        "coverage_ratio": round(coverage, 1),
+    }
+    assert coverage >= 10.0, (
+        f"symbolic coverage {coverage:.1f}x < 10x the explicit explorer")
+
+
+def test_e14c_por_reduction(zoo):
+    """Stubborn sets shrink exploration, verdicts intact."""
+    rows = []
+    worst_ratio = 1.0
+    for name, (_design, system) in zoo.items():
+        full = frontier_explore(system.net)
+        reduced = por_explore(system.net)
+        assert (full.deadlocks > 0) == (reduced.deadlocks > 0), name
+        assert (full.terminals > 0) == (reduced.terminals > 0), name
+        ratio = reduced.num_markings / full.num_markings
+        worst_ratio = max(worst_ratio, ratio)
+        rows.append([name, full.num_markings, reduced.num_markings,
+                     f"{100 * ratio:.0f}%"])
+    wide = wide_net(branches=6, length=5)
+    full = frontier_explore(wide)
+    reduced = por_explore(wide)
+    assert (full.deadlocks > 0) == (reduced.deadlocks > 0)
+    wide_ratio = reduced.num_markings / full.num_markings
+    rows.append([wide.name, full.num_markings, reduced.num_markings,
+                 f"{100 * wide_ratio:.1f}%"])
+    emit(format_table(
+        ["net", "full markings", "POR markings", "visited"],
+        rows, title="E14c: stubborn-set reduction "
+                    "(deadlock/terminal verdicts preserved)"))
+    RESULTS["claims"]["por"] = {
+        "zoo_worst_visited_fraction": round(worst_ratio, 3),
+        "wide_net": wide.name,
+        "wide_full_markings": full.num_markings,
+        "wide_por_markings": reduced.num_markings,
+        "wide_visited_fraction": round(wide_ratio, 4),
+    }
+    with open("BENCH_symbolic.json", "w", encoding="utf-8") as handle:
+        json.dump(RESULTS, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    assert wide_ratio <= 0.1, (
+        f"POR visited {100 * wide_ratio:.1f}% of the wide net's markings "
+        "(expected <= 10%)")

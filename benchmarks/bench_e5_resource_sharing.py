@@ -110,7 +110,6 @@ def test_e5_register_sharing(zoo, benchmark):
     value lifetimes never overlap — the storage-side counterpart of E5.
     """
     from repro.transform import share_registers
-    from repro.synthesis import register_count
 
     rows = []
     for name in sorted(zoo):

@@ -96,6 +96,7 @@ from .runtime import (
     JobSpec,
     ResultCache,
     check_job,
+    equiv_job,
     equivalence_job,
     lint_job,
     load_job_file,
@@ -148,7 +149,7 @@ __all__ = [
     # batch runtime
     "ExecutionEngine", "BatchResult", "JobSpec", "JobResult", "ResultCache",
     "FleetMetrics", "simulate_job", "check_job", "lint_job", "reachability_job",
-    "equivalence_job", "synthesize_job", "probe_job", "load_job_file",
+    "equivalence_job", "equiv_job", "synthesize_job", "probe_job", "load_job_file",
     "write_job_file",
     # errors
     "ReproError", "DefinitionError", "ValidationError", "ExecutionError",

@@ -5,6 +5,10 @@
   reachability enumeration) producing :class:`~repro.diagnostics.Diagnostic`
   findings;
 * :mod:`~repro.analysis.sarif` — SARIF 2.1.0 serialization of lint runs;
+* :mod:`~repro.analysis.symbolic` — static reachability/equivalence
+  engine (vectorised frontier bitsets, stubborn-set partial-order
+  reduction, McMillan complete finite prefixes) that never executes the
+  interpreter;
 * :mod:`~repro.analysis.interleaving` — CCS-style shuffle composition and
   the composition-explosion measurement (Section 1 comparison);
 * :mod:`~repro.analysis.regex_baseline` — McFarland-style total-order
@@ -44,6 +48,19 @@ from .lint import (
 )
 from .sarif import sarif_dumps, sarif_log
 from .statespace import StateSpaceStats, state_space_stats
+from .symbolic import (
+    CompiledNet,
+    Prefix,
+    SymbolicAnalyzer,
+    SymbolicGraph,
+    TruncationWarning,
+    complete_prefix,
+    equivalence_diagnostics,
+    frontier_explore,
+    por_explore,
+    stubborn_set,
+    symbolic_semantically_equivalent,
+)
 
 __all__ = [
     "LintRule",
@@ -74,4 +91,15 @@ __all__ = [
     "overconstraint_report",
     "StateSpaceStats",
     "state_space_stats",
+    "CompiledNet",
+    "SymbolicGraph",
+    "SymbolicAnalyzer",
+    "Prefix",
+    "TruncationWarning",
+    "frontier_explore",
+    "por_explore",
+    "stubborn_set",
+    "complete_prefix",
+    "symbolic_semantically_equivalent",
+    "equivalence_diagnostics",
 ]

@@ -23,9 +23,9 @@ benchmark (experiment E1) sweeps N and prints both curves.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import factorial
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..errors import DefinitionError
 from ..petri.net import PetriNet

@@ -58,18 +58,11 @@ import json
 from dataclasses import dataclass, field, replace
 from functools import cached_property
 from itertools import combinations
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from ..core.system import DataControlSystem
 from ..datapath.ports import PortId
-from ..diagnostics import (
-    SEVERITIES,
-    Diagnostic,
-    Location,
-    count_by_severity,
-    severity_at_least,
-    worst_severity,
-)
+from ..diagnostics import Diagnostic, Location, count_by_severity, severity_at_least, worst_severity
 from ..errors import DefinitionError, TransformError
 from ..petri.invariants import invariant_token_sum, positive_p_invariants
 from ..petri.properties import structural_conflicts, unsafe_witness_message

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 from math import factorial
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from ..core.events import EventKey, EventStructure
 

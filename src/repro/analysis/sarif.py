@@ -21,10 +21,7 @@ CI systems ingest for code-scanning annotations.  We map each
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any, Iterable
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .lint import LintReport
+from typing import Any, Iterable
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
@@ -118,3 +115,34 @@ def sarif_log(reports: Iterable["LintReport"], *,
 def sarif_dumps(reports: Iterable["LintReport"], *, indent: int = 2) -> str:
     """The SARIF log as a JSON string."""
     return json.dumps(sarif_log(reports), indent=indent, sort_keys=False)
+
+
+def sarif_diagnostics_log(diagnostics: Iterable[Any], rules: Iterable[Any],
+                          *, tool_name: str = "repro-equiv",
+                          systems: Iterable[str] = (),
+                          tool_version: str | None = None) -> dict[str, Any]:
+    """A SARIF log for free-standing diagnostics (not a lint run).
+
+    Used by the symbolic engine's equivalence/safety checkers, whose
+    findings carry firing-sequence counterexamples rather than lint rule
+    hits.  ``rules`` supplies the descriptors (anything shaped like a
+    lint rule: ``id``/``title``/``clause``/``severity``/``structural``).
+    """
+    from .. import __version__
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri": "https://example.invalid/repro",
+                    "version": tool_version or __version__,
+                    "rules": [_rule_descriptor(r) for r in rules],
+                }
+            },
+            "results": [_result(d) for d in diagnostics],
+            "properties": {"systems": list(systems)},
+        }],
+    }

@@ -175,6 +175,57 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_equiv(args: argparse.Namespace) -> int:
+    from .analysis.sarif import sarif_diagnostics_log
+    from .analysis.symbolic import EQUIV_RULES, equivalence_diagnostics
+    from .core.equivalence import semantically_equivalent
+
+    left, env_left = _load(args.design)
+    right, env_right = _load(args.other)
+    env = _parse_inputs(args.input) if args.input else env_left
+    if not args.input and not env_left.sequences and env_right.sequences:
+        # fall back to whichever side ships default inputs
+        env = env_right
+    verdict = semantically_equivalent(left, right, env,
+                                      max_steps=args.max_steps,
+                                      backend=args.backend)
+    diagnostics = equivalence_diagnostics(verdict, left=args.design,
+                                          right=args.other)
+    if args.format == "sarif":
+        import json as _json
+
+        log = sarif_diagnostics_log(diagnostics, EQUIV_RULES,
+                                    systems=[args.design, args.other])
+        _write_json(args.output or "-", _json.dumps(log, indent=2),
+                    "SARIF log")
+    elif args.format == "json":
+        import json as _json
+
+        payload = _json.dumps({
+            "format": 1,
+            "left": args.design,
+            "right": args.other,
+            "equivalent": verdict.equivalent,
+            "relation": verdict.relation,
+            "backend": verdict.backend,
+            "reason": verdict.reason,
+            "witness": verdict.witness,
+        }, indent=2)
+        _write_json(args.output or "-", payload, "equivalence report")
+    else:
+        status = "EQUIVALENT" if verdict.equivalent else "NOT EQUIVALENT"
+        print(f"{args.design} vs {args.other}: {status} "
+              f"({verdict.relation}, backend={verdict.backend})")
+        if verdict.reason:
+            print(f"reason: {verdict.reason}")
+        witness_text = verdict.witness_text()
+        if witness_text:
+            print("distinguishing firing sequences:")
+            for line in witness_text.splitlines():
+                print(f"  {line}")
+    return 0 if verdict.equivalent else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.lint import (
         baseline_document,
@@ -726,6 +777,28 @@ def build_parser() -> argparse.ArgumentParser:
                              help="verify Definition 3.2 (properly designed)")
     p_check.add_argument("design")
     p_check.set_defaults(func=cmd_check)
+
+    p_equiv = sub.add_parser(
+        "equiv",
+        help="check two designs for semantic equivalence (Def. 4.1)",
+        description="Exit 0 when equivalent, 1 when a distinguishing "
+                    "behaviour was found (printed as a replayable firing "
+                    "sequence), 2 on error.")
+    p_equiv.add_argument("design", help="zoo name, .json, or source file")
+    p_equiv.add_argument("other", help="the candidate equivalent design")
+    p_equiv.add_argument("--backend", choices=("explicit", "symbolic"),
+                         default="symbolic",
+                         help="verification engine (default: symbolic)")
+    p_equiv.add_argument("--input", action="append", default=[],
+                         metavar="NAME=V1,V2,…",
+                         help="input stream (repeatable); defaults to the "
+                              "left design's built-in inputs")
+    p_equiv.add_argument("--max-steps", type=int, default=10_000)
+    p_equiv.add_argument("--format", choices=("text", "json", "sarif"),
+                         default="text")
+    p_equiv.add_argument("--output", metavar="FILE",
+                         help="write json/sarif output here ('-' = stdout)")
+    p_equiv.set_defaults(func=cmd_equiv)
 
     p_lint = sub.add_parser(
         "lint", help="run the structural design-rule checker")

@@ -19,7 +19,7 @@ Three nested notions, strongest first:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..errors import ValidationError
@@ -32,14 +32,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 @dataclass
 class EquivalenceVerdict:
-    """Outcome of an equivalence check, with an explanation on failure."""
+    """Outcome of an equivalence check, with an explanation on failure.
+
+    ``witness`` carries the distinguishing behaviour when the systems are
+    *not* equivalent and one was observed: a JSON-safe mapping with
+    ``"left"``/``"right"`` firing-step sequences (each a list of steps,
+    each step a list of transition names) replayable with
+    :func:`repro.petri.execution.fire_step` from the initial marking.
+    ``backend`` records which engine produced the verdict
+    (``"explicit"`` or ``"symbolic"``).
+    """
 
     equivalent: bool
     relation: str
     reason: str = ""
+    witness: dict | None = None
+    backend: str = "explicit"
 
     def __bool__(self) -> bool:
         return self.equivalent
+
+    def witness_text(self) -> str:
+        """The witness rendered for humans (empty when there is none)."""
+        if not self.witness:
+            return ""
+        lines = []
+        for side in ("left", "right"):
+            steps = self.witness.get(side)
+            if steps is None:
+                continue
+            flat = " ; ".join(",".join(step) for step in steps) or "(empty)"
+            lines.append(f"{side}: {flat}")
+        return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -233,21 +257,49 @@ def control_invariant_equivalent(gamma: DataControlSystem,
 def semantically_equivalent(gamma: DataControlSystem,
                             gamma_prime: DataControlSystem,
                             environment: "Environment | None" = None,
-                            *, max_steps: int = 10_000) -> EquivalenceVerdict:
+                            *, max_steps: int = 10_000,
+                            backend: str = "explicit") -> EquivalenceVerdict:
     """Compare external event structures under a given environment.
 
     This is the observational check of Definition 4.1 made effective: the
     full relation is undecidable, so the result is relative to the supplied
     environment (input value sequences) and the step budget.  Both systems
     receive an independent copy of the environment.
+
+    ``backend="symbolic"`` routes through
+    :func:`repro.analysis.symbolic.symbolic_semantically_equivalent`,
+    which prescreens statically and extracts the event structures through
+    the compiled vector engine instead of the interpreter; the explicit
+    backend remains the differential oracle.  Both record the
+    distinguishing firing sequences in :attr:`EquivalenceVerdict.witness`
+    on an inequivalence verdict.
     """
+    if backend == "symbolic":
+        from ..analysis.symbolic import symbolic_semantically_equivalent
+
+        return symbolic_semantically_equivalent(
+            gamma, gamma_prime, environment, max_steps=max_steps)
+    if backend != "explicit":
+        raise ValidationError(
+            f"unknown equivalence backend {backend!r}: "
+            "expected 'explicit' or 'symbolic'")
+
     from ..semantics.environment import Environment
-    from ..semantics.event_structure import extract_event_structure
+    from ..semantics.event_structure import event_structure_from_trace
+    from ..semantics.policies import MaximalStepPolicy
+    from ..semantics.simulator import Simulator
 
     env = environment if environment is not None else Environment()
-    left = extract_event_structure(gamma, env.fork(), max_steps=max_steps)
-    right = extract_event_structure(gamma_prime, env.fork(), max_steps=max_steps)
+    trace_left = Simulator(gamma, env.fork(),
+                           MaximalStepPolicy()).run(max_steps=max_steps)
+    trace_right = Simulator(gamma_prime, env.fork(),
+                            MaximalStepPolicy()).run(max_steps=max_steps)
+    left = event_structure_from_trace(gamma, trace_left)
+    right = event_structure_from_trace(gamma_prime, trace_right)
     if left.semantically_equal(right):
         return EquivalenceVerdict(True, "semantic")
-    return EquivalenceVerdict(False, "semantic",
-                              left.explain_difference(right) or "structures differ")
+    return EquivalenceVerdict(
+        False, "semantic",
+        left.explain_difference(right) or "structures differ",
+        witness={"left": [list(step) for step in trace_left.steps],
+                 "right": [list(step) for step in trace_right.steps]})

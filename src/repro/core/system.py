@@ -18,7 +18,7 @@ relation, the active subgraph ``ASS(S)``, and ``dom``/``cod``/result set
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from ..datapath.graph import DataPath
 from ..datapath.ports import PortId
@@ -205,18 +205,22 @@ class DataControlSystem:
             self._relations = StructuralRelations(self.net)
         return self._relations
 
-    def coexistence(self, *, max_markings: int = 100_000
+    def coexistence(self, *, max_markings: int = 100_000,
+                    backend: str = "explicit"
                     ) -> tuple[frozenset[frozenset[str]], bool]:
         """Simultaneously markable place pairs (cached).
 
         The behavioural refinement of ``∥`` needed on cyclic nets: see
         :func:`repro.petri.reachability.coexistent_place_pairs`.
+        ``backend="symbolic"`` computes the same relation through the
+        frontier/unfolding engine (the cache is shared — both backends
+        agree by construction, and the differential tests pin it).
         """
         if self._coexistence is None:
             from ..petri.reachability import coexistent_place_pairs
 
             self._coexistence = coexistent_place_pairs(
-                self.net, max_markings=max_markings)
+                self.net, max_markings=max_markings, backend=backend)
         return self._coexistence
 
     def may_coexist(self, s_1: str, s_2: str) -> bool:

@@ -14,10 +14,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
 
 from ..errors import DefinitionError
-from ..values import Value
 from .operations import OpKind, Operation
 from .ports import Arc, PortId
 from .vertex import Vertex

@@ -20,16 +20,7 @@ from __future__ import annotations
 
 from ..errors import DefinitionError
 from ..values import Value
-from .operations import (
-    EXTERNAL_INPUT,
-    EXTERNAL_OUTPUT,
-    REG,
-    ACC,
-    OpKind,
-    Operation,
-    constant_op,
-    get_operation,
-)
+from .operations import EXTERNAL_INPUT, EXTERNAL_OUTPUT, REG, ACC, OpKind, constant_op, get_operation
 from .vertex import Vertex
 
 #: Port names for binary combinational units.

@@ -23,7 +23,7 @@ literature (an adder = 1.0 area, 1.0 delay), not silicon measurements.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import DefinitionError

@@ -16,14 +16,13 @@ Two kinds of checks live here:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..diagnostics import Diagnostic, Location
 from ..errors import ValidationError
 from .graph import DataPath
 from .operations import OpKind
 from .ports import PortId
-from .vertex import Vertex
 
 _HINT = "repair the data-path structure before any other analysis"
 

@@ -27,7 +27,7 @@ fingerprints were absent before it ran).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 #: Recognised severities, weakest first.  Order matters: ``--fail-on``

@@ -47,13 +47,7 @@ from ..semantics.event_structure import event_structure_from_trace
 from ..semantics.policies import SeededMaximalPolicy
 from ..semantics.simulator import Simulator
 from .inject import FaultInjector
-from .monitors import (
-    MonitorViolation,
-    RuntimeMonitor,
-    _TraceConflictMonitor,
-    finding_from_error,
-    standard_monitors,
-)
+from .monitors import MonitorViolation, _TraceConflictMonitor, finding_from_error, standard_monitors
 from .spec import FaultSpec, resolve_seeds
 
 #: The three verdicts, plus the infrastructure failure bucket.

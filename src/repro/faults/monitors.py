@@ -35,7 +35,6 @@ from dataclasses import dataclass
 
 from ..diagnostics import Diagnostic, Location
 from ..errors import ExecutionError, RuntimeFaultError
-from ..petri.marking import Marking
 from ..semantics.simulator import SimHook, Simulator
 from ..semantics.trace import Trace
 

@@ -18,7 +18,7 @@ structural-relation algorithms below work on any net.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator
 
 from ..errors import DefinitionError
 from .marking import Marking

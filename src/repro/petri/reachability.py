@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
 
 from ..errors import ExecutionError
 from .execution import GuardEval, always_true, enabled_transitions
@@ -38,6 +37,14 @@ class ReachabilityGraph:
         ``(source_id, transition_name, target_id)`` triples.
     complete:
         True iff the whole reachable set was enumerated within budget.
+    truncated:
+        True iff the search stopped early (marking budget or token bound);
+        always the negation of ``complete`` for a fresh exploration, but
+        carried explicitly so callers can distinguish "partial state
+        space" from other reasons and so verdicts computed from a
+        truncated graph are never silently presented as proofs.
+    truncation_reason:
+        Human-readable cause when ``truncated`` (empty otherwise).
     bounded_by:
         The smallest ``k`` such that every visited marking is k-bounded.
     deadlocks:
@@ -49,6 +56,8 @@ class ReachabilityGraph:
     markings: list[Marking] = field(default_factory=list)
     edges: list[tuple[int, str, int]] = field(default_factory=list)
     complete: bool = True
+    truncated: bool = False
+    truncation_reason: str = ""
     bounded_by: int = 0
     deadlocks: list[int] = field(default_factory=list)
     terminals: list[int] = field(default_factory=list)
@@ -115,6 +124,10 @@ def explore(net: PetriNet, *, max_markings: int = 100_000, token_bound: int = 8,
             graph.bounded_by = max(graph.bounded_by, peak)
             if peak > token_bound:
                 graph.complete = False
+                graph.truncated = True
+                graph.truncation_reason = (
+                    f"token bound {token_bound} exceeded "
+                    f"(a place reached {peak} tokens)")
                 target = seen.get(successor)
                 if target is None:
                     target = len(graph.markings)
@@ -126,6 +139,9 @@ def explore(net: PetriNet, *, max_markings: int = 100_000, token_bound: int = 8,
             if target is None:
                 if len(graph.markings) >= max_markings:
                     graph.complete = False
+                    graph.truncated = True
+                    graph.truncation_reason = (
+                        f"marking budget {max_markings} exhausted")
                     continue
                 target = len(graph.markings)
                 seen[successor] = target
@@ -137,31 +153,59 @@ def explore(net: PetriNet, *, max_markings: int = 100_000, token_bound: int = 8,
     return graph
 
 
-def is_safe(net: PetriNet, *, max_markings: int = 100_000) -> bool:
+def _check_backend(backend: str) -> None:
+    if backend not in ("explicit", "symbolic"):
+        raise ExecutionError(
+            f"unknown reachability backend {backend!r}: "
+            "expected 'explicit' or 'symbolic'")
+
+
+def is_safe(net: PetriNet, *, max_markings: int = 100_000,
+            backend: str = "explicit") -> bool:
     """Decide safety (1-boundedness) of the unguarded net by exploration.
 
     Raises :class:`~repro.errors.ExecutionError` if the exploration budget
-    is exhausted before a verdict is reached.
+    is exhausted before a verdict is reached.  ``backend="symbolic"``
+    routes through the vectorised frontier engine in
+    :mod:`repro.analysis.symbolic` — same verdicts, far larger nets.
     """
+    _check_backend(backend)
+    if backend == "symbolic":
+        from ..analysis.symbolic import SymbolicAnalyzer
+
+        return SymbolicAnalyzer(net, max_markings=max_markings).is_safe()
     graph = explore(net, max_markings=max_markings, token_bound=1)
     if graph.bounded_by > 1:
         return False
-    if not graph.complete:
+    if graph.truncated:
         raise ExecutionError(
-            "reachability budget exhausted before safety could be decided"
+            "reachability budget exhausted before safety could be decided "
+            f"({graph.truncation_reason})"
         )
     return True
 
 
-def reachable_markings(net: PetriNet, *, max_markings: int = 100_000) -> list[Marking]:
+def reachable_markings(net: PetriNet, *, max_markings: int = 100_000,
+                       backend: str = "explicit") -> list[Marking]:
     """All reachable markings (requires the exploration to complete)."""
+    _check_backend(backend)
+    if backend == "symbolic":
+        from ..analysis.symbolic import frontier_explore
+
+        sym = frontier_explore(net, max_markings=max_markings)
+        if sym.truncated:
+            raise ExecutionError(
+                f"reachability budget exhausted ({sym.truncation_reason})")
+        return sym.markings()
     graph = explore(net, max_markings=max_markings)
-    if not graph.complete:
-        raise ExecutionError("reachability budget exhausted")
+    if graph.truncated:
+        raise ExecutionError(
+            f"reachability budget exhausted ({graph.truncation_reason})")
     return list(graph.markings)
 
 
-def coexistent_place_pairs(net: PetriNet, *, max_markings: int = 100_000
+def coexistent_place_pairs(net: PetriNet, *, max_markings: int = 100_000,
+                           backend: str = "explicit"
                            ) -> tuple[frozenset[frozenset[str]], bool]:
     """Unordered place pairs that hold tokens simultaneously somewhere.
 
@@ -177,8 +221,23 @@ def coexistent_place_pairs(net: PetriNet, *, max_markings: int = 100_000
     iteration.  The vertex-merger legality check and the
     properly-designed rule 1 both need the behavioural notion to stay
     sound for loops.
+
+    A truncated exploration emits a
+    :class:`~repro.analysis.symbolic.TruncationWarning` (the returned
+    ``complete=False`` flag is easy to drop on the floor; the warning is
+    not) — the pair set is then a *lower* bound on true coexistence.
     """
+    _check_backend(backend)
+    if backend == "symbolic":
+        from ..analysis.symbolic import SymbolicAnalyzer
+
+        return SymbolicAnalyzer(
+            net, max_markings=max_markings).coexistent_pairs()
     graph = explore(net, max_markings=max_markings)
+    if graph.truncated:
+        from ..analysis.symbolic import warn_truncated
+
+        warn_truncated("coexistent place pairs", graph.truncation_reason)
     pairs: set[frozenset[str]] = set()
     for marking in graph.markings:
         marked = sorted(marking.marked_places())

@@ -79,6 +79,7 @@ from .jobs import (
     canonical_json,
     check_job,
     lint_job,
+    equiv_job,
     equivalence_job,
     execute_job,
     faults_job,
@@ -125,6 +126,7 @@ __all__ = [
     "check_job",
     "lint_job",
     "reachability_job",
+    "equiv_job",
     "equivalence_job",
     "synthesize_job",
     "faults_job",

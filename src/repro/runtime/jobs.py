@@ -34,7 +34,7 @@ from ..errors import DefinitionError, ExecutionError
 
 #: The workload kinds the engine understands.  ``probe`` is the
 #: fault-injection aid; the other six are the library's real workloads.
-JOB_KINDS = ("simulate", "check", "reachability", "equivalence",
+JOB_KINDS = ("simulate", "check", "reachability", "equivalence", "equiv",
              "synthesize", "lint", "faults", "vecbatch", "probe")
 
 #: Bumped whenever the payload format of any kind changes, so stale
@@ -218,6 +218,31 @@ def equivalence_job(system, other, environment=None, *,
     }, label=label)
 
 
+def equiv_job(system, other, environment=None, *,
+              max_steps: int = 10_000, backend: str = "symbolic",
+              label: str = "") -> JobSpec:
+    """Backend-selectable equivalence check with a replayable witness.
+
+    The scalable successor of :func:`equivalence_job`: the payload
+    carries the distinguishing firing sequences on an inequivalence
+    verdict, and ``backend`` picks the engine (``"symbolic"`` — the
+    static/vectorised path — by default, ``"explicit"`` as the
+    differential oracle).  The backend participates in the job key:
+    verdicts from different engines are cached independently so the
+    differential tests can compare them.
+    """
+    if backend not in ("explicit", "symbolic"):
+        raise DefinitionError(
+            f"unknown equivalence backend {backend!r}: "
+            "expected 'explicit' or 'symbolic'")
+    return JobSpec("equiv", _system_dict(system), {
+        "other": _system_dict(other),
+        "environment": _environment_to_dict(environment),
+        "max_steps": max_steps,
+        "backend": backend,
+    }, label=label)
+
+
 def synthesize_job(system, objective=None, *, algorithm: str = "greedy",
                    seed: int | None = None, max_moves: int = 64,
                    verify: bool = True, label: str = "") -> JobSpec:
@@ -366,6 +391,8 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
         return _run_reachability(system, params)
     if kind == "equivalence":
         return _run_equivalence(system, params)
+    if kind == "equiv":
+        return _run_equiv(system, params)
     if kind == "synthesize":
         return _run_synthesize(system, params)
     if kind == "faults":
@@ -466,6 +493,26 @@ def _run_equivalence(system, params) -> dict[str, Any]:
         "equivalent": verdict.equivalent,
         "relation": verdict.relation,
         "reason": verdict.reason,
+    }, "sim_metrics": None}
+
+
+def _run_equiv(system, params) -> dict[str, Any]:
+    from ..core.equivalence import semantically_equivalent
+    from ..io.json_io import system_from_dict
+
+    other = system_from_dict(params["other"])
+    verdict = semantically_equivalent(
+        system, other,
+        _environment_from_dict(params.get("environment")),
+        max_steps=params.get("max_steps", 10_000),
+        backend=params.get("backend", "symbolic"),
+    )
+    return {"payload": {
+        "equivalent": verdict.equivalent,
+        "relation": verdict.relation,
+        "reason": verdict.reason,
+        "witness": verdict.witness,
+        "backend": verdict.backend,
     }, "sim_metrics": None}
 
 

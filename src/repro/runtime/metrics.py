@@ -13,12 +13,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import Iterable, Mapping
 
 from ..semantics.profile import SimMetrics
-
-if TYPE_CHECKING:  # pragma: no cover - type-only import cycle guard
-    from .executor import JobResult
 
 #: SimMetrics counters summed during aggregation (wall times included:
 #: the aggregate reports total simulator effort across the fleet).

@@ -50,7 +50,7 @@ from ..jobs import JobSpec
 from ..metrics import FleetMetrics
 from ..supervisor import SupervisorConfig
 from .queue import QueuedJob, ShardedQueue, ThrottledError
-from .store import CacheBackend, LocalDirBackend
+from .store import CacheBackend
 from .worker import ServiceWorker, attach_workers
 
 #: Job lifecycle states reported by ``GET /v1/jobs/{key}``.

@@ -34,7 +34,7 @@ and an optional token-bucket rate limit: ``rate`` tokens/second with a
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import monotonic
 from typing import Any, Iterable, Mapping
 

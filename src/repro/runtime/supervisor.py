@@ -35,7 +35,7 @@ import signal
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from time import monotonic, sleep
+from time import monotonic
 from typing import Callable, Iterable
 
 from ..errors import DefinitionError

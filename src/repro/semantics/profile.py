@@ -23,10 +23,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace imports us)
-    from .trace import Trace
+from typing import Callable
 
 #: Cache names reported by the simulator, in display order.
 CACHE_NAMES = ("active_arcs", "com_order", "conflicts", "token_game")

@@ -8,7 +8,6 @@ which the event structure (Definition 3.5) is assembled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from ..core.events import ExternalEvent
 from ..datapath.ports import PortId

@@ -58,7 +58,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 

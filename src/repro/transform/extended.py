@@ -29,7 +29,6 @@ from typing import Iterable
 from ..core.dependence import DataDependence
 from ..core.system import DataControlSystem
 from ..datapath.validate import combinational_cycle
-from ..errors import TransformError
 from .base import Legality, Transformation
 from .control import _fresh_transition
 

@@ -35,7 +35,6 @@ from ..datapath.operations import OpKind
 from ..datapath.ports import PortId
 from ..values import UNDEF
 from .base import Legality, Transformation
-from .datapath_tf import VertexMerger
 
 
 def _plain_registers(system: DataControlSystem) -> list[str]:

@@ -184,3 +184,39 @@ class TestSemanticEquivalence:
         verdict = semantically_equivalent(system, other, env)
         assert not verdict
         assert verdict.reason
+
+    def test_witness_carries_firing_sequences(self):
+        from repro.petri.execution import fire_step
+
+        system = independent_pair_system()
+        other = independent_pair_system()
+        other.datapath.remove_arc("a_ra")
+        other.datapath.connect("rb.q", "sum.l", name="a_ra")
+        verdict = semantically_equivalent(system, other,
+                                          Environment.of(x=[1]))
+        assert verdict.witness is not None
+        assert set(verdict.witness) == {"left", "right"}
+        # replayable: each side's steps fire from its initial marking
+        for sys_, side in ((system, "left"), (other, "right")):
+            marking = sys_.net.initial_marking()
+            for step in verdict.witness[side]:
+                marking = fire_step(sys_.net, marking, step)
+        assert verdict.witness_text()
+
+    def test_symbolic_backend_agrees(self):
+        system = independent_pair_system()
+        env = Environment.of(x=[2])
+        explicit = semantically_equivalent(system,
+                                           independent_pair_system(), env)
+        symbolic = semantically_equivalent(system,
+                                           independent_pair_system(), env,
+                                           backend="symbolic")
+        assert explicit.equivalent and symbolic.equivalent
+        assert symbolic.backend == "symbolic"
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="backend"):
+            semantically_equivalent(relay_system(), relay_system(),
+                                    backend="bdd")

@@ -1,6 +1,6 @@
 """Unit tests for external events and event structures (Defs 3.3-3.6)."""
 
-from repro.core import EventStructure, ExternalEvent, build_event_structure
+from repro.core import ExternalEvent, build_event_structure
 
 
 def event(arc, value, index, state, activation, start, end):

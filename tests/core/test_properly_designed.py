@@ -3,15 +3,9 @@
 import pytest
 
 from repro.core import assert_properly_designed, check_properly_designed
-from repro.datapath import adder, constant, register
-from repro.errors import ValidationError
+from repro.datapath import adder, constant
 
-from tests.util import (
-    fork_join_net,
-    guarded_choice_system,
-    independent_pair_system,
-    relay_system,
-)
+from tests.util import guarded_choice_system, independent_pair_system, relay_system
 
 
 def rule(report, index):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import check_properly_designed
 from repro.designs import ZOO, all_designs, get_design, pad_inputs, pad_outputs
-from repro.semantics import Environment, policy_invariant_structure, simulate
+from repro.semantics import policy_invariant_structure, simulate
 
 DESIGN_NAMES = sorted(ZOO)
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import check_properly_designed
 from repro.designs import ZOO, pad_outputs
-from repro.semantics import Environment, simulate
+from repro.semantics import simulate
 from repro.synthesis import (
     Objective,
     compact,

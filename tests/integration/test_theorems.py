@@ -19,12 +19,7 @@ from repro.core import (
 )
 from repro.designs import ZOO
 from repro.synthesis import compact, linear_blocks, list_schedule, merger_candidates, share_all
-from repro.transform import (
-    ParallelizeStates,
-    SerializeStates,
-    VertexMerger,
-    behaviourally_equivalent,
-)
+from repro.transform import ParallelizeStates, VertexMerger, behaviourally_equivalent
 
 DESIGN_NAMES = sorted(ZOO)
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import check_properly_designed
-from repro.designs import all_designs, pad_outputs
+from repro.designs import pad_outputs
 from repro.errors import DefinitionError
 from repro.io import dumps, loads, system_from_dict, system_to_dict
 from repro.semantics import simulate

@@ -143,5 +143,81 @@ class TestCoexistence:
         net.add_arc("p", "u")
         net.add_arc("u", "q")
         net.add_arc("u", "p")
-        pairs, _complete = coexistent_place_pairs(net, max_markings=100)
+        from repro.analysis.symbolic import TruncationWarning
+
+        with pytest.warns(TruncationWarning):  # the net is unbounded
+            pairs, _complete = coexistent_place_pairs(net, max_markings=100)
         assert frozenset(("q",)) in pairs
+
+
+class TestTruncationFlag:
+    """PR 8 satellite: the silent-cap bugfix."""
+
+    def _pump(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        net.add_arc("t", "q")
+        return net
+
+    def test_budget_cap_sets_truncated(self):
+        graph = explore(fork_join_net(), max_markings=2)
+        assert graph.truncated
+        assert "budget" in graph.truncation_reason
+
+    def test_token_bound_sets_truncated(self):
+        graph = explore(self._pump(), token_bound=3)
+        assert graph.truncated
+        assert "token bound" in graph.truncation_reason
+
+    def test_complete_run_is_not_truncated(self):
+        graph = explore(fork_join_net())
+        assert graph.complete and not graph.truncated
+        assert graph.truncation_reason == ""
+
+    def test_silent_cap_regression(self):
+        """Pin the old behaviour as a failure: before PR 8 a capped
+        exploration only flipped ``complete`` and
+        ``coexistent_place_pairs`` callers got a silently partial pair
+        set.  Truncation must now be loud (flag + warning)."""
+        from repro.analysis.symbolic import TruncationWarning
+
+        graph = explore(fork_join_net(), max_markings=2)
+        assert graph.truncated, "capped exploration not flagged"
+        with pytest.warns(TruncationWarning):
+            coexistent_place_pairs(self._pump(), max_markings=100)
+
+    def test_is_safe_error_names_the_cause(self):
+        # a safe net with more markings than the budget: no verdict is
+        # reachable, so the error must name the exhausted budget
+        with pytest.raises(ExecutionError, match="budget"):
+            is_safe(fork_join_net(), max_markings=2)
+
+    def test_reachable_markings_error_names_the_cause(self):
+        with pytest.raises(ExecutionError, match="budget"):
+            reachable_markings(fork_join_net(), max_markings=2)
+
+
+class TestSymbolicBackendSwitch:
+    def test_is_safe_symbolic(self):
+        assert is_safe(fork_join_net(), backend="symbolic")
+        assert is_safe(loop_net(), backend="symbolic")
+
+    def test_reachable_markings_symbolic(self):
+        explicit = frozenset(reachable_markings(fork_join_net()))
+        symbolic = frozenset(reachable_markings(fork_join_net(),
+                                                backend="symbolic"))
+        assert explicit == symbolic
+
+    def test_coexistent_pairs_symbolic(self):
+        explicit, _ = coexistent_place_pairs(fork_join_net())
+        symbolic, _ = coexistent_place_pairs(fork_join_net(),
+                                             backend="symbolic")
+        assert explicit == symbolic
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutionError, match="backend"):
+            reachable_markings(fork_join_net(), backend="nope")

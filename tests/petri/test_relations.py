@@ -1,7 +1,6 @@
 """Unit tests for the structural relations of Definition 2.3 and dominators."""
 
 import numpy as np
-import pytest
 
 from repro.petri import PetriNet, StructuralRelations, dominators, transitive_closure_bool
 

@@ -1,6 +1,5 @@
 """Unit tests for structural net theory (siphons, traps, Commoner)."""
 
-import pytest
 
 from repro.petri import PetriNet
 from repro.petri.structure import (

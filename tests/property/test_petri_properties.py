@@ -13,18 +13,7 @@ of net theory are checked on them:
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.petri import (
-    PetriNet,
-    apply_state_equation,
-    check_safety,
-    explore,
-    incidence_matrix,
-    is_safe,
-    maximal_step,
-    fire_step,
-    run_to_completion,
-    transitive_closure_bool,
-)
+from repro.petri import PetriNet, apply_state_equation, check_safety, explore, is_safe, maximal_step, fire_step, run_to_completion, transitive_closure_bool
 from repro.petri.reachability import coexistent_place_pairs
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.designs import get_design
 from repro.runtime import ExecutionEngine, check_job, probe_job, simulate_job
@@ -305,3 +304,49 @@ class TestObservability:
         assert not worker.healthy
         assert worker.stop_event.is_set()
         assert "network down" in worker.report()["last_error"]
+
+
+# ---------------------------------------------------------------------------
+# equiv jobs round-trip through the service with cache hits
+# ---------------------------------------------------------------------------
+class TestEquivRoundTrip:
+    def test_equiv_job_round_trips_with_cache_hits(self, tmp_path,
+                                                   live_server):
+        from repro.runtime import equiv_job
+
+        design = get_design("gcd")
+        spec = equiv_job(design.build(), design.build(),
+                         design.environment(), label="gcd-equiv")
+        store = LocalDirBackend(tmp_path / "s")
+        _service, base = live_server(store=store, workers=1)
+        client = ServiceClient(base)
+        first = client.run_batch([spec], max_seconds=60)
+        assert first.ok
+        assert first[0].payload["equivalent"] is True
+        # content-addressed re-submission: no new acceptance, same bytes
+        accepted = _service.accepted
+        again = client.run_batch([spec], max_seconds=60)
+        assert again.ok
+        assert _service.accepted == accepted
+        assert again[0].payload == first[0].payload
+        # a fresh service over the warm store answers without dispatch
+        _service2, base2 = live_server(store=store, workers=1)
+        warm = ServiceClient(base2).run_batch([spec], max_seconds=60)
+        assert warm[0].status == "cached"
+        assert warm[0].payload == first[0].payload
+
+    def test_equiv_matches_local_engine_bytes(self, tmp_path, live_server):
+        from repro.runtime import equiv_job
+
+        design = get_design("counter")
+        spec = equiv_job(design.build(), design.build(),
+                         design.environment())
+        local_cache = LocalDirBackend(tmp_path / "local")
+        local = ExecutionEngine(cache=local_cache).run([spec])
+        assert local.ok
+        server_cache = LocalDirBackend(tmp_path / "server")
+        _service, base = live_server(store=server_cache, workers=1)
+        remote = ServiceClient(base).run_batch([spec], max_seconds=60)
+        assert remote.ok
+        assert local_cache.path_for(spec.key).read_bytes() == \
+            server_cache.path_for(spec.key).read_bytes()

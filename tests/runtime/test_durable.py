@@ -20,7 +20,7 @@ from repro.runtime.durable import (
     read_journal,
     settle_record,
 )
-from repro.semantics import Environment, SeededMaximalPolicy
+from repro.semantics import SeededMaximalPolicy
 from repro.semantics.simulator import Simulator
 
 

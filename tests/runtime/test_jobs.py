@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-from repro.designs import get_design
 from repro.errors import DefinitionError
 from repro.runtime import (
     JobSpec,
@@ -198,3 +197,62 @@ class TestLintJobs:
         assert payload["ok"] is False
         assert any(d["rule"] == "PD002" and d["severity"] == "error"
                    for d in payload["diagnostics"])
+
+
+class TestEquivJobs:
+    """The scalable `equiv` kind: backend-keyed, witness-carrying."""
+
+    def test_key_includes_backend(self, zoo):
+        design, system = zoo["gcd"]
+        from repro.runtime import equiv_job
+        symbolic = equiv_job(system, design.build(), design.environment())
+        explicit = equiv_job(system, design.build(), design.environment(),
+                             backend="explicit")
+        assert symbolic.key != explicit.key
+        assert symbolic.kind == "equiv"
+
+    def test_unknown_backend_rejected(self, zoo):
+        design, system = zoo["gcd"]
+        from repro.runtime import equiv_job
+        with pytest.raises(DefinitionError, match="backend"):
+            equiv_job(system, design.build(), backend="bdd")
+
+    def test_payload_shape_equivalent(self, zoo):
+        design, system = zoo["gcd"]
+        from repro.runtime import equiv_job
+        spec = equiv_job(system, design.build(), design.environment())
+        payload = execute_job(spec.to_dict())["payload"]
+        assert payload["equivalent"] is True
+        assert payload["backend"] == "symbolic"
+        assert payload["witness"] is None
+
+    def test_backends_agree_and_differential(self, zoo):
+        design, system = zoo["fir4"]
+        from repro.runtime import equiv_job
+        verdicts = {}
+        for backend in ("explicit", "symbolic"):
+            spec = equiv_job(system, design.build(), design.environment(),
+                             backend=backend)
+            verdicts[backend] = execute_job(spec.to_dict())["payload"]
+        assert verdicts["explicit"]["equivalent"] == \
+            verdicts["symbolic"]["equivalent"] is True
+
+    def test_inequivalent_payload_carries_reason(self, zoo):
+        _d1, gcd = zoo["gcd"]
+        _d2, counter = zoo["counter"]
+        from repro.runtime import equiv_job
+        payload = execute_job(
+            equiv_job(gcd, counter).to_dict())["payload"]
+        assert payload["equivalent"] is False
+        assert payload["reason"]
+
+    def test_round_trips_through_job_file(self, tmp_path, zoo):
+        design, system = zoo["gcd"]
+        from repro.runtime import equiv_job
+        spec = equiv_job(system, design.build(), design.environment(),
+                         label="eq")
+        path = tmp_path / "jobs.json"
+        write_job_file(str(path), [spec])
+        loaded = load_job_file(str(path))
+        assert loaded[0].key == spec.key
+        assert loaded[0].kind == "equiv"

@@ -3,15 +3,7 @@
 import pytest
 
 from repro.core import DataControlSystem
-from repro.datapath import (
-    DataPath,
-    accumulator,
-    adder,
-    constant,
-    input_pad,
-    output_pad,
-    register,
-)
+from repro.datapath import DataPath, accumulator, constant, input_pad, output_pad, register
 from repro.errors import ExecutionError
 from repro.petri import PetriNet, chain
 from repro.semantics import Environment, SequentialPolicy, Simulator, simulate

@@ -1,6 +1,5 @@
 """Unit tests for critical-path analysis."""
 
-import pytest
 
 from repro.synthesis import (
     clock_period,

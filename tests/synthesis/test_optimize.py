@@ -95,7 +95,7 @@ class TestOptimize:
 
     def test_resource_limits_respected(self):
         system = compile_source(SOURCE)
-        from repro.synthesis import linear_blocks, list_schedule, place_resources
+        from repro.synthesis import place_resources
         result = optimize(system, Objective(w_time=1.0, w_area=0.0,
                                             limits={"mul": 1}))
         # no layer of the optimized control uses two multipliers at once

@@ -542,3 +542,55 @@ class TestServeCli:
             thread.join(timeout=5)
             server.server_close()
             service.stop()
+
+
+class TestEquiv:
+    def test_equivalent_pair_exits_zero(self, capsys):
+        assert main(["equiv", "gcd", "gcd"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_explicit_backend(self, capsys):
+        assert main(["equiv", "gcd", "gcd", "--backend", "explicit"]) == 0
+        assert "backend=explicit" in capsys.readouterr().out
+
+    def test_inequivalent_pair_exits_one(self, capsys):
+        assert main(["equiv", "gcd", "counter"]) == 1
+        out = capsys.readouterr().out
+        assert "NOT EQUIVALENT" in out
+        assert "reason:" in out
+
+    def test_witness_printed_for_behavioural_difference(self, tmp_path,
+                                                        capsys):
+        from repro.io import save
+        from tests.util import independent_pair_system
+
+        left = independent_pair_system()
+        right = independent_pair_system()
+        right.datapath.remove_arc("a_ra")
+        right.datapath.connect("rb.q", "sum.l", name="a_ra")
+        left_path, right_path = tmp_path / "l.json", tmp_path / "r.json"
+        save(left, str(left_path))
+        save(right, str(right_path))
+        code = main(["equiv", str(left_path), str(right_path),
+                     "--input", "x=1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "distinguishing firing sequences" in out
+
+    def test_missing_design_exits_two(self, capsys):
+        assert main(["equiv", "gcd", "nosuch"]) == 2
+
+    def test_json_format(self, capsys):
+        assert main(["equiv", "gcd", "gcd", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["equivalent"] is True
+        assert payload["backend"] == "symbolic"
+
+    def test_sarif_output(self, tmp_path, capsys):
+        target = tmp_path / "equiv.sarif"
+        assert main(["equiv", "gcd", "counter", "--format", "sarif",
+                     "--output", str(target)]) == 1
+        log = json.loads(target.read_text())
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-equiv"
+        assert run["results"][0]["ruleId"] == "EQ001"

@@ -1,9 +1,7 @@
 """Unit tests for the extended (beyond-paper) transformations."""
 
-import pytest
 
 from repro.core import check_properly_designed
-from repro.errors import TransformError
 from repro.semantics import Environment, simulate
 from repro.transform import (
     EliminateDeadVertices,
