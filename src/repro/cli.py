@@ -610,9 +610,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store=store, journal_path=args.journal, resume=args.resume,
         shards=args.shards, rate=args.rate, burst=args.burst,
         workers=args.service_workers, engine_factory=engine_factory,
-        lease_seconds=args.lease_seconds)
+        lease_seconds=args.lease_seconds, max_pending=args.max_pending)
     server = make_server(service, host=args.host, port=args.port,
-                         verbose=args.verbose)
+                         verbose=args.verbose,
+                         max_inflight=args.max_inflight)
     host, port = server.server_address[:2]
     replayed = service.replayed
     pending = service.queue.depth()
@@ -624,8 +625,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{pending} re-queued")
     sys.stdout.flush()
     with service, GracefulShutdown() as shutdown:
-        serve_forever(server, stop_event=shutdown.stop_event)
+        drained = serve_forever(server, stop_event=shutdown.stop_event,
+                                drain_grace=args.drain_grace)
+    if shutdown.stop_event.is_set():
+        # signal-initiated stop: drained or not, the convention is the
+        # interrupted exit code so wrappers treat it like ^C everywhere
+        print("repro serve drained and shut down" if drained
+              else "repro serve shut down with work still queued "
+                   "(journal replays it on --resume)", file=sys.stderr)
+        return 130
     print("repro serve shut down cleanly")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from time import monotonic
+
+    from .runtime import GracefulShutdown
+    from .runtime.chaos import ChaosProxy, policy_from_args
+
+    policy = policy_from_args(args.policy, args.fault, args.seed)
+    if args.emit_policy:
+        policy.save(args.emit_policy)
+        print(f"chaos policy written to {args.emit_policy} "
+              f"({len(policy.faults)} fault(s), seed {policy.seed})")
+        return 0
+    proxy = ChaosProxy(args.upstream, policy, host=args.host,
+                       port=args.port, io_timeout=args.io_timeout)
+    with proxy, GracefulShutdown() as shutdown:
+        print(f"repro chaos proxying {proxy.url} -> {args.upstream} "
+              f"({len(policy.faults)} fault(s), seed {policy.seed})")
+        sys.stdout.flush()
+        deadline = (monotonic() + args.max_seconds
+                    if args.max_seconds is not None else None)
+        while not shutdown.stop_event.wait(0.2):
+            if deadline is not None and monotonic() >= deadline:
+                break
+    metrics = proxy.metrics()
+    if args.metrics_out:
+        _write_json(args.metrics_out,
+                    json.dumps(metrics, indent=2, sort_keys=True),
+                    "chaos metrics")
+    print(f"chaos proxy stopped: {metrics['requests']} request(s), "
+          f"{metrics['injected_total']} fault(s) injected")
     return 0
 
 
@@ -996,10 +1039,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-max-entries", type=int, default=None,
                          metavar="N",
                          help="LRU-evict the --cache store above N entries")
+    p_serve.add_argument("--max-pending", type=int, default=None,
+                         metavar="N",
+                         help="shed submissions (503 + Retry-After) once "
+                              "N jobs are queued (default unbounded)")
+    p_serve.add_argument("--max-inflight", type=int, default=None,
+                         metavar="N",
+                         help="answer 503 when more than N mutating HTTP "
+                              "requests are being handled at once "
+                              "(default unbounded; GETs are exempt)")
+    p_serve.add_argument("--drain-grace", type=float, default=5.0,
+                         metavar="S",
+                         help="on SIGTERM/SIGINT, shed new submissions "
+                              "and spend up to S seconds settling "
+                              "accepted work before stopping (default 5)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
     _add_engine_options(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injecting TCP proxy in front of a repro "
+                      "serve instance (deterministic, seeded)")
+    p_chaos.add_argument("upstream",
+                         help="server to shield, host:port or URL")
+    p_chaos.add_argument("--host", default="127.0.0.1")
+    p_chaos.add_argument("--port", type=int, default=0,
+                         help="proxy listen port (default: pick free)")
+    p_chaos.add_argument("--fault", action="append", default=[],
+                         metavar="SPEC",
+                         help="KIND[:ROUTE[:k=v,...]] — kinds: refuse, "
+                              "reset, delay, truncate, corrupt, partition;"
+                              " e.g. reset:/v1/jobs:p=0.2,start=3 "
+                              "(repeatable; default: a representative mix)")
+    p_chaos.add_argument("--policy", default=None, metavar="FILE",
+                         help="JSON chaos policy (see --emit-policy)")
+    p_chaos.add_argument("--seed", type=int, default=None,
+                         help="override the policy seed")
+    p_chaos.add_argument("--emit-policy", default=None, metavar="FILE",
+                         help="write the resolved policy as JSON and exit")
+    p_chaos.add_argument("--max-seconds", type=float, default=None,
+                         metavar="S",
+                         help="stop after S seconds (default: until "
+                              "SIGTERM/SIGINT)")
+    p_chaos.add_argument("--io-timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="per-connection relay timeout (default 30)")
+    p_chaos.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write injection counters as JSON on exit "
+                              "('-' for stdout)")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or prune a content-addressed result cache")

@@ -37,8 +37,17 @@ missing is a job engine, and this package is it:
     Worker supervision: heartbeat files plus a :class:`Watchdog` that
     SIGKILLs *hung* (not merely slow) workers, :class:`Quarantine` for
     poison jobs, a crash-rate :class:`CircuitBreaker` degrading the
-    fleet to serial, and :class:`GracefulShutdown` converting
-    SIGTERM/SIGINT into a cooperative stop event.
+    fleet to serial, the connection-level :class:`ConnectionBreaker`
+    (closed/open/half-open) shared by HTTP clients of one host, and
+    :class:`GracefulShutdown` converting SIGTERM/SIGINT into a
+    cooperative stop event.
+:mod:`repro.runtime.resilience`
+    The shared retry vocabulary: seeded full-jitter :class:`Backoff`,
+    per-operation :class:`Deadline` budgets, ``Retry-After`` parsing.
+:mod:`repro.runtime.chaos`
+    A deterministic fault-injecting TCP proxy (:class:`ChaosProxy`)
+    and its declarative :class:`ChaosPolicy`, for rehearsing the
+    service's failure modes (``repro chaos``).
 
 Quick tour::
 
@@ -65,9 +74,12 @@ from .durable import (
     read_journal,
     settle_record,
 )
+from .chaos import ChaosFault, ChaosPolicy, ChaosProxy
 from .executor import BatchResult, ExecutionEngine, JobResult
+from .resilience import Backoff, Deadline, parse_retry_after
 from .supervisor import (
     CircuitBreaker,
+    ConnectionBreaker,
     GracefulShutdown,
     Quarantine,
     SupervisorConfig,
@@ -115,8 +127,15 @@ __all__ = [
     "SupervisorConfig",
     "Quarantine",
     "CircuitBreaker",
+    "ConnectionBreaker",
     "Watchdog",
     "GracefulShutdown",
+    "Backoff",
+    "Deadline",
+    "parse_retry_after",
+    "ChaosFault",
+    "ChaosPolicy",
+    "ChaosProxy",
     "FleetMetrics",
     "aggregate_sim_metrics",
     "canonical_json",

@@ -1,0 +1,627 @@
+"""repro.runtime.chaos — deterministic fault injection for the service.
+
+PR 4 attacks a *simulated system* with declarative
+:class:`~repro.faults.spec.FaultSpec`\\ s; this module attacks the
+*service itself*.  :class:`ChaosProxy` is an in-process TCP/HTTP proxy
+(stdlib sockets only, like the rest of the service stack) that sits
+between a client or worker and a running ``repro serve`` and injects,
+under a seeded deterministic policy, the network's whole repertoire of
+bad behaviour:
+
+=============  ===========================================================
+``refuse``     the connection is reset before any response (dead server /
+               connection-refused signature)
+``reset``      the response head plus ``keep_bytes`` of body are sent,
+               then the connection is reset mid-body (RST, not FIN)
+``delay``      a latency spike: the request is held ``delay`` seconds
+               before reaching the server
+``truncate``   the response is cut short after ``keep_bytes`` of body and
+               closed cleanly — the advertised Content-Length lies
+``corrupt``    response body bytes are deterministically flipped; length
+               (and Content-Length) are preserved, the JSON is not
+``partition``  a full one-way partition: ``direction="request"`` drops
+               the request before the server sees it, ``"response"``
+               lets the server act but drops the reply — the canonical
+               "did my submit happen?" ambiguity
+=============  ===========================================================
+
+A :class:`ChaosFault` mirrors :class:`~repro.faults.spec.FaultSpec`'s
+shape: an activation window (``start``/``end``, inclusive, counted in
+*matching requests* seen by that fault), a per-route scope (``route`` is
+a path prefix; ``""`` matches everything), a firing ``probability``
+drawn from a seeded per-fault RNG (``seed=None`` derives from the
+policy seed per fault index, exactly like campaign seeds), and ``once``
+for single-shot faults.  A :class:`ChaosPolicy` is a JSON-serialisable
+bundle of faults plus the policy seed — ``repro chaos --policy`` runs
+one against a live server.
+
+Requests that do reach the upstream carry an ``X-Repro-Chaos`` header
+naming the injections applied, so the server's ``/v1/metrics`` can
+prove the faults actually fired (``service.chaos_injections``).
+
+Determinism: with a single logical client the full injection schedule
+is a pure function of the policy (each fault owns a seeded RNG and a
+private match counter).  Concurrent clients still get reproducible
+*marginal* behaviour per fault, but interleaving order is theirs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field, replace
+from random import Random
+from time import sleep
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import DefinitionError, ExecutionError
+from .resilience import CHAOS_HEADER
+
+#: The recognised chaos kinds.
+CHAOS_KINDS = ("refuse", "reset", "delay", "truncate", "corrupt",
+               "partition")
+
+#: Partition directions (which way the link is dead).
+PARTITION_DIRECTIONS = ("request", "response")
+
+CHAOS_FILE_FORMAT = 1
+
+#: Largest HTTP head the proxy will buffer before giving up on a peer.
+_MAX_HEAD_BYTES = 1 << 20
+
+
+class ChaosError(ExecutionError):
+    """The proxy could not do its job (bind failure, bad upstream...)."""
+
+
+# ---------------------------------------------------------------------------
+# the declarative policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosFault:
+    """One declarative network fault (see the module docstring).
+
+    ``delay`` is only meaningful for ``delay``, ``keep_bytes`` for
+    ``reset``/``truncate``/``corrupt`` (for ``corrupt`` it is the index
+    of the first flipped byte), ``direction`` for ``partition``.  The
+    activation window counts requests *matching this fault's route*,
+    zero-based; ``end=None`` means forever.
+    """
+
+    kind: str
+    route: str = ""
+    delay: float = 0.0
+    keep_bytes: int = 0
+    direction: str = "response"
+    start: int = 0
+    end: int | None = None
+    probability: float = 1.0
+    seed: int | None = None
+    once: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise DefinitionError(
+                f"unknown chaos kind {self.kind!r}; "
+                f"choose one of {CHAOS_KINDS}")
+        if self.kind == "delay" and self.delay <= 0:
+            raise DefinitionError(
+                f"chaos delay must be positive, got {self.delay}")
+        if self.keep_bytes < 0:
+            raise DefinitionError(
+                f"keep_bytes must be >= 0, got {self.keep_bytes}")
+        if self.direction not in PARTITION_DIRECTIONS:
+            raise DefinitionError(
+                f"partition direction must be one of "
+                f"{PARTITION_DIRECTIONS}, got {self.direction!r}")
+        if self.start < 0:
+            raise DefinitionError(
+                f"chaos window start must be >= 0, got {self.start}")
+        if self.end is not None and self.end < self.start:
+            raise DefinitionError(
+                f"chaos window end ({self.end}) precedes start "
+                f"({self.start})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise DefinitionError(
+                f"chaos probability must be in [0, 1], "
+                f"got {self.probability}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind, "route": self.route, "delay": self.delay,
+            "keep_bytes": self.keep_bytes, "direction": self.direction,
+            "start": self.start, "end": self.end,
+            "probability": self.probability, "seed": self.seed,
+            "once": self.once, "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosFault":
+        known = {name: data[name] for name in (
+            "kind", "route", "delay", "keep_bytes", "direction", "start",
+            "end", "probability", "seed", "once", "label") if name in data}
+        return cls(**known)
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosFault":
+        """Parse the compact syntax ``kind[:route[:k=v,k=v,flag…]]``.
+
+        Mirrors :meth:`FaultSpec.parse`: recognised options are
+        ``delay``, ``keep``, ``direction``, ``start``, ``end``, ``p``
+        (probability), ``seed``, ``label`` and the bare flag ``once``.
+        Examples::
+
+            refuse:/v1/jobs:p=0.3,start=2,end=9
+            delay::delay=0.2,p=0.5
+            partition:/v1/settle:direction=response,once
+        """
+        head, _, options = text.partition(":")
+        kind = head.strip()
+        route, _, options = options.partition(":")
+        fields: dict[str, Any] = {"kind": kind, "route": route.strip()}
+        for item in options.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if item == "once":
+                fields["once"] = True
+                continue
+            key, sep, raw = item.partition("=")
+            if not sep:
+                raise DefinitionError(
+                    f"malformed chaos option {item!r} in {text!r}")
+            if key == "delay":
+                fields["delay"] = float(raw)
+            elif key == "keep":
+                fields["keep_bytes"] = int(raw)
+            elif key == "direction":
+                fields["direction"] = raw
+            elif key == "start":
+                fields["start"] = int(raw)
+            elif key == "end":
+                fields["end"] = int(raw)
+            elif key == "p":
+                fields["probability"] = float(raw)
+            elif key == "seed":
+                fields["seed"] = int(raw)
+            elif key == "label":
+                fields["label"] = raw
+            else:
+                raise DefinitionError(
+                    f"unknown chaos option {key!r} in {text!r}")
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A seeded bundle of :class:`ChaosFault`\\ s (the JSON file form)."""
+
+    faults: tuple[ChaosFault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def resolved(self) -> "ChaosPolicy":
+        """Fill in ``seed=None`` faults from the policy seed, per index."""
+        from ..faults.spec import derive_seed
+
+        return replace(self, faults=tuple(
+            fault if fault.seed is not None
+            else replace(fault, seed=derive_seed(self.seed, index))
+            for index, fault in enumerate(self.faults)))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"format": CHAOS_FILE_FORMAT, "seed": self.seed,
+                "faults": [fault.to_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosPolicy":
+        if data.get("format", CHAOS_FILE_FORMAT) != CHAOS_FILE_FORMAT:
+            raise DefinitionError(
+                f"unsupported chaos policy format {data.get('format')!r}")
+        return cls(faults=tuple(ChaosFault.from_dict(entry)
+                                for entry in data.get("faults", ())),
+                   seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def load(cls, path: str) -> "ChaosPolicy":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# armed faults: policy + RNG + counters, one per fault
+# ---------------------------------------------------------------------------
+@dataclass
+class _ArmedFault:
+    """Runtime state of one policy fault inside a proxy."""
+
+    fault: ChaosFault
+    rng: Random
+    matched: int = 0   # requests this fault's route has seen
+    fired: int = 0     # injections actually applied
+
+    def decide(self, path: str) -> bool:
+        """Does this fault fire on the request at ``path``?  (Stateful.)"""
+        if self.fault.route and not path.startswith(self.fault.route):
+            return False
+        index = self.matched
+        self.matched += 1
+        if index < self.fault.start:
+            return False
+        if self.fault.end is not None and index > self.fault.end:
+            return False
+        if self.fault.once and self.fired:
+            return False
+        # consume the RNG even at p=1.0 so windows do not shift when a
+        # neighbouring fault's probability changes
+        if self.rng.random() >= self.fault.probability:
+            return False
+        self.fired += 1
+        return True
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing (one request, one response, no keep-alive)
+# ---------------------------------------------------------------------------
+def _recv_head(sock: socket.socket) -> tuple[bytes, bytes]:
+    """Read up to and including the blank line; returns (head, leftover)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ValueError("peer closed before end of headers")
+        data += chunk
+        if len(data) > _MAX_HEAD_BYTES:
+            raise ValueError("HTTP head exceeds 1 MiB")
+    head, _, leftover = data.partition(b"\r\n\r\n")
+    return head + b"\r\n\r\n", leftover
+
+
+def _content_length(head: bytes) -> int:
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                return int(value.strip())
+            except ValueError:
+                return 0
+    return 0
+
+
+def _recv_message(sock: socket.socket) -> tuple[bytes, bytes]:
+    """One full HTTP message off ``sock``: ``(head, body)``."""
+    head, body = _recv_head(sock)
+    want = _content_length(head)
+    while len(body) < want:
+        chunk = sock.recv(min(65536, want - len(body)))
+        if not chunk:
+            raise ValueError("peer closed mid-body")
+        body += chunk
+    return head, body[:want]
+
+
+def _request_path(head: bytes) -> tuple[str, str]:
+    """``(method, path)`` of a request head (empty strings when odd)."""
+    try:
+        first = head.split(b"\r\n", 1)[0].decode("latin-1")
+        method, target, _version = first.split(" ", 2)
+    except ValueError:
+        return "", ""
+    return method, target.partition("?")[0]
+
+
+def _with_header(head: bytes, name: str, value: str) -> bytes:
+    """``head`` with one extra header line before the blank line."""
+    return head[:-2] + f"{name}: {value}\r\n".encode("latin-1") + b"\r\n"
+
+
+def _abort(sock: socket.socket) -> None:
+    """Close with a TCP RST (SO_LINGER 0), not a graceful FIN."""
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+    except OSError:  # pragma: no cover - platform quirk
+        pass
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+def _close(sock: socket.socket | None) -> None:
+    if sock is not None:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def parse_hostport(url: str, *, default_port: int = 80) -> tuple[str, int]:
+    """``http://host:port`` (or bare ``host:port``) → ``(host, port)``."""
+    text = url.strip()
+    if "://" in text:
+        scheme, _, text = text.partition("://")
+        if scheme != "http":
+            raise DefinitionError(
+                f"chaos proxy only speaks plain http, got {scheme!r}")
+    text = text.split("/", 1)[0]
+    host, _, port_text = text.partition(":")
+    if not host:
+        raise DefinitionError(f"no host in upstream url {url!r}")
+    try:
+        port = int(port_text) if port_text else default_port
+    except ValueError:
+        raise DefinitionError(
+            f"bad port in upstream url {url!r}") from None
+    return host, port
+
+
+# ---------------------------------------------------------------------------
+# the proxy
+# ---------------------------------------------------------------------------
+class ChaosProxy:
+    """In-process HTTP fault-injection proxy in front of one upstream.
+
+    Parameters
+    ----------
+    upstream:
+        The server to shield, ``http://host:port`` or ``host:port``.
+    policy:
+        The :class:`ChaosPolicy` to enforce (resolved per-fault seeds
+        are derived from the policy seed).  An empty policy makes the
+        proxy a transparent relay — the parity baseline.
+    host / port:
+        Listen address; ``port=0`` picks a free port.
+    io_timeout:
+        Socket timeout for reads/writes on either leg.
+    hold_seconds:
+        How long a ``partition`` keeps the victim socket open (black
+        hole) before giving up; clients normally time out first.
+    """
+
+    def __init__(self, upstream: str, policy: ChaosPolicy | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 io_timeout: float = 30.0, hold_seconds: float = 30.0) -> None:
+        self.upstream = parse_hostport(upstream)
+        self.policy = (policy or ChaosPolicy()).resolved()
+        self.io_timeout = io_timeout
+        self.hold_seconds = hold_seconds
+        self._armed = [_ArmedFault(fault, Random(fault.seed))
+                       for fault in self.policy.faults]
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.requests = 0
+        self.upstream_errors = 0
+        self.injections: dict[str, int] = {kind: 0 for kind in CHAOS_KINDS}
+        try:
+            self._listener = socket.create_server(
+                (host, port), reuse_port=False)
+        except OSError as error:
+            raise ChaosError(
+                f"cannot bind chaos proxy on {host}:{port}: {error}"
+            ) from error
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ChaosProxy":
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="repro-chaos-accept", daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        _close(self._listener)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, Any]:
+        """What the proxy has done so far (for tests and ``repro chaos``)."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "upstream_errors": self.upstream_errors,
+                "injections": dict(self.injections),
+                "injected_total": sum(self.injections.values()),
+                "faults": [{
+                    "kind": armed.fault.kind,
+                    "route": armed.fault.route,
+                    "label": armed.fault.label,
+                    "matched": armed.matched,
+                    "fired": armed.fired,
+                } for armed in self._armed],
+            }
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed under us
+                return
+            thread = threading.Thread(target=self._handle, args=(client,),
+                                      name="repro-chaos-conn", daemon=True)
+            thread.start()
+
+    def _decide(self, path: str) -> list[ChaosFault]:
+        """The faults firing on this request (stateful, under the lock)."""
+        with self._lock:
+            self.requests += 1
+            fired = [armed.fault for armed in self._armed
+                     if armed.decide(path)]
+            for fault in fired:
+                self.injections[fault.kind] += 1
+            return fired
+
+    def _blackhole(self, sock: socket.socket) -> None:
+        """Hold the socket open, deliver nothing, until the peer quits."""
+        sock.settimeout(self.hold_seconds)
+        try:
+            while sock.recv(4096):
+                pass
+        except OSError:
+            pass
+        finally:
+            _close(sock)
+
+    # ------------------------------------------------------------------
+    def _handle(self, client: socket.socket) -> None:
+        client.settimeout(self.io_timeout)
+        upstream: socket.socket | None = None
+        try:
+            try:
+                request_head, request_body = _recv_message(client)
+            except (OSError, ValueError):
+                _close(client)
+                return
+            _method, path = _request_path(request_head)
+            fired = self._decide(path)
+            kinds = [fault.kind for fault in fired]
+
+            if "refuse" in kinds:
+                _abort(client)
+                return
+            if any(fault.kind == "partition"
+                   and fault.direction == "request" for fault in fired):
+                self._blackhole(client)
+                return
+            for fault in fired:
+                if fault.kind == "delay":
+                    sleep(fault.delay)
+
+            if kinds:  # let the server count what touched it
+                request_head = _with_header(request_head, CHAOS_HEADER,
+                                            ",".join(sorted(set(kinds))))
+            try:
+                upstream = socket.create_connection(
+                    self.upstream, timeout=self.io_timeout)
+                upstream.sendall(request_head + request_body)
+                response_head, response_body = _recv_message(upstream)
+            except (OSError, ValueError):
+                with self._lock:
+                    self.upstream_errors += 1
+                _abort(client)
+                return
+
+            if any(fault.kind == "partition"
+                   and fault.direction == "response" for fault in fired):
+                _close(upstream)
+                upstream = None
+                self._blackhole(client)
+                return
+            reset = next((f for f in fired if f.kind == "reset"), None)
+            truncate = next((f for f in fired if f.kind == "truncate"),
+                            None)
+            corrupt = next((f for f in fired if f.kind == "corrupt"), None)
+            if corrupt is not None and response_body:
+                response_body = self._corrupt(corrupt, response_body)
+            if reset is not None:
+                client.sendall(response_head
+                               + response_body[:reset.keep_bytes])
+                _abort(client)
+                return
+            if truncate is not None:
+                client.sendall(response_head
+                               + response_body[:truncate.keep_bytes])
+                _close(client)
+                client = None  # type: ignore[assignment]
+                return
+            client.sendall(response_head + response_body)
+        except OSError:
+            pass
+        finally:
+            _close(upstream)
+            _close(client)
+
+    def _corrupt(self, fault: ChaosFault, body: bytes) -> bytes:
+        """Flip a deterministic byte run; length is preserved."""
+        start = min(fault.keep_bytes, len(body) - 1)
+        flipped = bytearray(body)
+        # flip up to 8 bytes starting at `start`; XOR 0x20 flips case in
+        # ASCII JSON, reliably breaking quoting/braces without changing
+        # the advertised Content-Length
+        for offset in range(start, min(start + 8, len(flipped))):
+            flipped[offset] ^= 0x5A
+        return bytes(flipped)
+
+
+def run_policy_forever(proxy: ChaosProxy, *, stop_event=None,
+                       poll: float = 0.2) -> None:
+    """Drive a started proxy until ``stop_event`` (the CLI loop)."""
+    if stop_event is None:  # pragma: no cover - CLI convenience
+        stop_event = threading.Event()
+    while not stop_event.wait(poll):
+        pass
+
+
+def default_policy(seed: int = 0) -> ChaosPolicy:
+    """A representative drop/delay/corrupt mix for smoke runs.
+
+    Every kind fires with moderate probability on every route; windows
+    start after the first few requests so health checks at startup pass
+    untouched.
+    """
+    return ChaosPolicy(seed=seed, faults=(
+        ChaosFault("refuse", probability=0.15, start=2,
+                   label="refuse-15pct"),
+        ChaosFault("delay", delay=0.05, probability=0.2, start=2,
+                   label="delay-50ms"),
+        ChaosFault("reset", keep_bytes=12, probability=0.1, start=2,
+                   label="reset-midbody"),
+        ChaosFault("truncate", keep_bytes=6, probability=0.1, start=2,
+                   label="truncate"),
+        ChaosFault("corrupt", probability=0.1, start=2,
+                   label="corrupt-json"),
+    ))
+
+
+def load_faults_arg(entries: Iterable[str]) -> list[ChaosFault]:
+    """Parse repeated ``--fault`` compact specs (CLI helper)."""
+    return [ChaosFault.parse(entry) for entry in entries]
+
+
+def policy_from_args(policy_path: str | None,
+                     fault_entries: Sequence[str], seed: int | None
+                     ) -> ChaosPolicy:
+    """Resolve the CLI's policy inputs into one :class:`ChaosPolicy`."""
+    if policy_path:
+        policy = ChaosPolicy.load(policy_path)
+        if fault_entries:
+            policy = replace(policy, faults=policy.faults
+                             + tuple(load_faults_arg(fault_entries)))
+    elif fault_entries:
+        policy = ChaosPolicy(faults=tuple(load_faults_arg(fault_entries)))
+    else:
+        policy = default_policy()
+    if seed is not None:
+        policy = replace(policy, seed=seed)
+    return policy

@@ -69,6 +69,7 @@ from .cache import ResultCache
 from .durable import Journal, dispatch_record, settle_record
 from .jobs import JobSpec, canonical_json, execute_job
 from .metrics import FleetMetrics
+from .resilience import Backoff
 from .supervisor import (
     SupervisorConfig,
     Watchdog,
@@ -246,6 +247,7 @@ class ExecutionEngine:
         self.journal = journal
         self.metrics: FleetMetrics | None = None  # last batch's aggregate
         self._jitter = random.Random(jitter_seed)
+        self._backoff = Backoff(backoff, cap=None, rng=self._jitter)
         self._quarantine = self.supervisor.make_quarantine()
         self._pool: ProcessPoolExecutor | None = None
         self._own_heartbeat_dir: str | None = None
@@ -272,7 +274,7 @@ class ExecutionEngine:
 
     def _retry_delay(self, attempts: int) -> float:
         """Full-jitter backoff: uniform over [0, backoff · 2^(n-1)]."""
-        return self._jitter.uniform(0.0, self.backoff * (2 ** (attempts - 1)))
+        return self._backoff.delay(attempts)
 
     def _heartbeat_dir(self) -> str:
         if self.supervisor.heartbeat_dir is not None:

@@ -1,0 +1,116 @@
+"""Shared resilience primitives: seeded backoff, deadlines, Retry-After.
+
+The batch engine has retried with capped full-jitter exponential
+backoff since PR 5 — but the formula lived inline in
+:meth:`ExecutionEngine._retry_delay
+<repro.runtime.executor.ExecutionEngine>`, so every other component
+that needed to wait (the service client polling a queue, a worker
+re-probing a dead cache server) reinvented a fixed ``sleep``.  This
+module names the engine's policy so all of them share it:
+
+:class:`Backoff`
+    The engine's seeded full-jitter schedule as a value: attempt ``n``
+    waits uniformly in ``[0, min(cap, base · 2^(n-1))]``.  Seeding makes
+    schedules reproducible in tests; the jitter matters at fleet scale —
+    N clients blocked on the same token bucket or the same 503 must not
+    re-arrive in lockstep (the thundering herd).
+:class:`Deadline`
+    A monotonic-clock budget for one *logical* operation spanning many
+    attempts.  Distinct from a connect/read timeout: the timeout bounds
+    one socket wait, the deadline bounds the whole retry loop, and the
+    remaining budget travels to the server in the ``X-Repro-Deadline``
+    header so an already-hopeless request is rejected before any work.
+:func:`parse_retry_after`
+    The ``Retry-After`` header (delay-seconds form) as a float, or
+    ``None`` — how a load-shedding server names the polite re-arrival
+    time and clients honor it instead of guessing.
+"""
+
+from __future__ import annotations
+
+import random
+from time import monotonic
+
+from ..errors import DefinitionError
+
+#: Header carrying a request's remaining deadline budget (seconds, float).
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+#: Header a chaos proxy stamps on requests it tampered with (csv of kinds).
+CHAOS_HEADER = "X-Repro-Chaos"
+
+
+class Backoff:
+    """Capped full-jitter exponential backoff with a seedable RNG.
+
+    ``delay(n)`` draws uniformly from ``[0, min(cap, base · 2^(n-1))]``
+    for attempt ``n >= 1`` — the "full jitter" variant, which spreads
+    retries across the whole window instead of synchronising them at its
+    edge.  ``seed=None`` is nondeterministic; tests pin it.
+
+    The engine's historical schedule (no ceiling) is ``cap=None``.
+    """
+
+    def __init__(self, base: float = 0.05, *, cap: float | None = 2.0,
+                 seed: int | None = None,
+                 rng: random.Random | None = None) -> None:
+        if base < 0:
+            raise DefinitionError(f"backoff base must be >= 0, got {base}")
+        if cap is not None and cap < 0:
+            raise DefinitionError(f"backoff cap must be >= 0, got {cap}")
+        self.base = base
+        self.cap = cap
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def ceiling(self, attempt: int, *, base: float | None = None) -> float:
+        """The window ceiling for attempt ``attempt`` (>= 1)."""
+        if attempt < 1:
+            raise DefinitionError(f"attempt must be >= 1, got {attempt}")
+        raw = (self.base if base is None else base) * (2 ** (attempt - 1))
+        return raw if self.cap is None else min(self.cap, raw)
+
+    def delay(self, attempt: int, *, base: float | None = None) -> float:
+        """One jittered delay for attempt ``attempt`` (consumes the RNG)."""
+        return self._rng.uniform(0.0, self.ceiling(attempt, base=base))
+
+
+class Deadline:
+    """Remaining wall-clock budget for one logical operation.
+
+    ``None`` seconds means unbounded (``remaining()`` is ``inf`` and
+    ``expired`` is never true).  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, seconds: float | None, *, clock=monotonic) -> None:
+        self._clock = clock
+        self.seconds = seconds
+        self._at = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> float:
+        if self._at is None:
+            return float("inf")
+        return self._at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, timeout: float) -> float:
+        """``timeout`` bounded by the remaining budget (never below 0)."""
+        return max(0.0, min(timeout, self.remaining()))
+
+
+def parse_retry_after(value: str | None) -> float | None:
+    """``Retry-After`` delay-seconds as a float; ``None`` when absent/odd.
+
+    Only the delay-seconds form is parsed (the HTTP-date form would need
+    wall-clock arithmetic no component here wants); negative values are
+    treated as "retry now" (0.0).
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except (AttributeError, ValueError):
+        return None
+    return max(0.0, seconds)

@@ -26,7 +26,16 @@ remotely.
     existing engine/supervisor, with per-node health accounting, and
     :class:`RemoteQueueSource` for workers attaching over HTTP.
 :mod:`repro.runtime.service.client`
-    :class:`ServiceClient` — the ``repro batch --server`` transport.
+    :class:`ServiceClient` — the ``repro batch --server`` transport,
+    resilient by default: capped full-jitter retries, ``Retry-After``
+    honouring, per-call deadlines and a shared circuit breaker.
+
+Overload, drain and chaos testing (the robustness layer) live in
+:mod:`repro.runtime.resilience` (backoff/deadline primitives) and
+:mod:`repro.runtime.chaos` (the fault-injecting TCP proxy driven by
+``repro chaos``); this package's server answers 503 + ``Retry-After``
+when shedding, 504 on spent deadline budgets, and counts everything in
+``/v1/metrics`` under ``resilience``.
 
 Quick tour::
 
@@ -63,6 +72,7 @@ from .client import (
     wait_until_healthy,
 )
 from .queue import (
+    OverloadedError,
     QueuedJob,
     ShardedQueue,
     ThrottledError,
@@ -93,6 +103,7 @@ __all__ = [
     "parse_server_url",
     "submit_job_file",
     "wait_until_healthy",
+    "OverloadedError",
     "QueuedJob",
     "ShardedQueue",
     "ThrottledError",

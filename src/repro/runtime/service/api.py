@@ -32,6 +32,23 @@ the submit response leaves, and every *settle* before the job's state
 flips — SIGKILL the server at any point, restart with ``resume=True``,
 and accepted-but-unsettled work is re-queued while settled work replays
 from the log (at-least-once dispatch, exactly-once settle).
+
+Overload and failure behaviour (the chaos-hardening contract):
+
+* **Load shedding** is deterministic, not probabilistic: the queue
+  refuses past ``max_pending`` and the HTTP layer refuses mutating
+  requests past ``max_inflight`` — both answer 503 with a
+  ``Retry-After`` hint so resilient clients re-arrive politely.
+* **Deadline budgets** travel in the ``X-Repro-Deadline`` header; a
+  request whose budget is already spent (e.g. it sat in a queue or a
+  slow network leg) is answered 504 before any work happens.
+* **Graceful drain** (SIGTERM path): new submissions are shed with 503
+  while status/metrics GETs keep answering, in-flight claims settle,
+  then the WAL is fsynced and closed — no accepted job is lost, no
+  result is half-written.
+* Every injected fault a chaos proxy stamps into ``X-Repro-Chaos`` and
+  every deduplicated resubmission is counted in ``/v1/metrics``, so a
+  chaos run can *prove* faults fired and retries recovered.
 """
 
 from __future__ import annotations
@@ -39,7 +56,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import monotonic
+from time import monotonic, sleep
 from typing import Any, Mapping
 
 from ... import __version__
@@ -48,8 +65,9 @@ from ..durable import Journal
 from ..executor import ExecutionEngine, JobResult
 from ..jobs import JobSpec
 from ..metrics import FleetMetrics
+from ..resilience import CHAOS_HEADER, DEADLINE_HEADER, parse_retry_after
 from ..supervisor import SupervisorConfig
-from .queue import QueuedJob, ShardedQueue, ThrottledError
+from .queue import OverloadedError, QueuedJob, ShardedQueue, ThrottledError
 from .store import CacheBackend
 from .worker import ServiceWorker, attach_workers
 
@@ -77,6 +95,9 @@ class ExecutionService:
     lease_seconds:
         Claims older than this are re-queued (remote-worker death
         insurance).  ``None`` disables lease expiry.
+    max_pending:
+        Bound on queued (unclaimed) depth; submissions past it are shed
+        with 503 + ``Retry-After`` (see :class:`OverloadedError`).
     """
 
     def __init__(self, *, store: CacheBackend | None = None,
@@ -84,12 +105,14 @@ class ExecutionService:
                  shards: int = 8, rate: float | None = None,
                  burst: float | None = None, workers: int = 1,
                  engine_factory=None, lease_seconds: float | None = 60.0,
-                 unhealthy_after: int = 5) -> None:
+                 unhealthy_after: int = 5,
+                 max_pending: int | None = None) -> None:
         self.store = store
         self.journal = (Journal(journal_path, fresh=not resume)
                         if journal_path is not None else None)
         self.queue = ShardedQueue(shards=shards, journal=None,
-                                  rate=rate, burst=burst)
+                                  rate=rate, burst=burst,
+                                  max_pending=max_pending)
         self.lease_seconds = lease_seconds
         self._lock = threading.Lock()
         self._jobs: dict[str, dict[str, Any]] = {}
@@ -101,6 +124,10 @@ class ExecutionService:
         self.completed = 0
         self.failed = 0
         self.replayed = 0
+        self.resubmissions = 0       # dedupe hits = client retries observed
+        self.deadline_rejected = 0   # requests 504ed with a spent budget
+        self.chaos_observed: dict[str, int] = {}  # X-Repro-Chaos sightings
+        self.draining = False
         if resume and journal_path is not None:
             settled = self.queue.resume(journal_path)
             with self._lock:
@@ -147,6 +174,29 @@ class ExecutionService:
     def __exit__(self, *_exc) -> None:
         self.stop()
 
+    def begin_drain(self) -> None:
+        """Stop accepting new work; everything else keeps answering."""
+        self.draining = True
+
+    def drain(self, *, grace: float = 10.0, poll: float = 0.05) -> bool:
+        """Wait (up to ``grace`` seconds) for accepted work to settle.
+
+        Call after :meth:`begin_drain`.  Returns True when the queue and
+        the running set emptied in time — the clean-shutdown signal the
+        CLI reports.  The WAL is *not* closed here (that is
+        :meth:`stop`); this only waits for the work.
+        """
+        deadline = monotonic() + grace
+        while monotonic() < deadline:
+            with self._lock:
+                running = len(self._running)
+            if len(self.queue) == 0 and running == 0:
+                return True
+            sleep(poll)
+        with self._lock:
+            running = len(self._running)
+        return len(self.queue) == 0 and running == 0
+
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
@@ -170,6 +220,11 @@ class ExecutionService:
         with self._lock:
             record = self._jobs.get(key)
             if record is not None and record["state"] != "failed":
+                # a key we already hold: either a duplicate spec in the
+                # same batch or a client retry whose first submit *did*
+                # land — the count is the server-side proof that retried
+                # submissions deduplicate instead of double-executing
+                self.resubmissions += 1
                 return dict(record)
         if self.store is not None:
             payload = self.store.get(key)
@@ -194,19 +249,36 @@ class ExecutionService:
 
     def submit_many(self, specs, *, tenant: str = "default",
                     priority: int = 0) -> list[dict[str, Any]]:
-        """Submit a batch; throttled items come back ``state="throttled"``."""
+        """Submit a batch; refused items come back as state records.
+
+        ``state="throttled"`` (rate limit) and ``state="shed"``
+        (queue at ``max_pending``) are per-item, so one refused spec
+        does not fail the batch; resilient clients retry just those.
+        """
         records = []
         for spec in specs:
             try:
                 records.append(self.submit(spec, tenant=tenant,
                                            priority=priority))
             except ThrottledError as error:
-                records.append({"key": spec.key, "state": "throttled",
-                                "status": "throttled", "payload": None,
-                                "error": str(error), "attempts": 0,
-                                "tenant": tenant, "kind": spec.kind,
-                                "label": spec.label})
+                records.append(self._refused_record(
+                    spec, "throttled", str(error), tenant))
+            except OverloadedError as error:
+                records.append(self._refused_record(
+                    spec, "shed", str(error), tenant,
+                    retry_after=error.retry_after))
         return records
+
+    @staticmethod
+    def _refused_record(spec: JobSpec, state: str, error: str,
+                        tenant: str,
+                        retry_after: float | None = None) -> dict[str, Any]:
+        record = {"key": spec.key, "state": state, "status": state,
+                  "payload": None, "error": error, "attempts": 0,
+                  "tenant": tenant, "kind": spec.kind, "label": spec.label}
+        if retry_after is not None:
+            record["retry_after"] = retry_after
+        return record
 
     # ------------------------------------------------------------------
     # worker side (local threads and remote HTTP workers both land here)
@@ -312,6 +384,13 @@ class ExecutionService:
                 "running": len(self._running),
                 "uptime_seconds": monotonic() - self.started_at,
                 "version": __version__,
+                "draining": self.draining,
+            }
+            resilience = {
+                "resubmissions": self.resubmissions,
+                "shed": self.queue.shed,
+                "deadline_rejected": self.deadline_rejected,
+                "chaos_observed": dict(self.chaos_observed),
             }
         throttled = 0
         queue_stats = self.queue.stats()
@@ -320,10 +399,22 @@ class ExecutionService:
         service["throttled"] = throttled
         return {
             "service": service,
+            "resilience": resilience,
             "queue": queue_stats,
             "workers": [worker.report() for worker in self.workers],
             "fleet": fleet,
         }
+
+    def observe_chaos(self, header: str | None) -> None:
+        """Count fault kinds a chaos proxy stamped into the request."""
+        if not header:
+            return
+        with self._lock:
+            for kind in header.split(","):
+                kind = kind.strip()
+                if kind:
+                    self.chaos_observed[kind] = \
+                        self.chaos_observed.get(kind, 0) + 1
 
     def healthz(self) -> dict[str, Any]:
         return {
@@ -331,6 +422,7 @@ class ExecutionService:
             "version": __version__,
             "uptime_seconds": monotonic() - self.started_at,
             "workers": sum(1 for worker in self.workers if worker.is_alive()),
+            "draining": self.draining,
         }
 
 
@@ -352,11 +444,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------
-    def _send(self, code: int, body: Mapping[str, Any] | list) -> None:
+    def _send(self, code: int, body: Mapping[str, Any] | list, *,
+              retry_after: float | None = None) -> None:
         data = json.dumps(body, sort_keys=True).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
         self.end_headers()
         self.wfile.write(data)
 
@@ -385,8 +480,33 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return path.rstrip("/") or "/", query
 
     # ------------------------------------------------------------------
+    def _gate_mutation(self) -> bool:
+        """Overload + deadline admission for POST/PUT (GETs stay free).
+
+        Status and metrics reads must keep answering while the server
+        sheds work — an operator debugging an overload needs
+        ``/v1/metrics`` more than ever — so only mutations are gated.
+        Returns False after answering 503 (too many in flight) or 504
+        (the request's ``X-Repro-Deadline`` budget is already spent).
+        """
+        self.service.observe_chaos(self.headers.get(CHAOS_HEADER))
+        budget = parse_retry_after(self.headers.get(DEADLINE_HEADER))
+        if budget is not None and budget <= 0.0:
+            with self.service._lock:
+                self.service.deadline_rejected += 1
+            self._send(504, {"error": "deadline budget already spent"})
+            return False
+        server = self.server
+        if not server.try_admit():  # type: ignore[attr-defined]
+            self._send(503, {"error": "too many requests in flight"},
+                       retry_after=0.5)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path, _query = self._route()
+        self.service.observe_chaos(self.headers.get(CHAOS_HEADER))
         try:
             if path == "/v1/healthz":
                 self._send(200, self.service.healthz())
@@ -415,6 +535,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def do_PUT(self) -> None:  # noqa: N802
         path, _query = self._route()
+        if not self._gate_mutation():
+            return
         try:
             if path.startswith("/v1/cache/"):
                 key = path[len("/v1/cache/"):]
@@ -435,9 +557,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send(404, {"error": f"no such endpoint {path!r}"})
         except Exception as error:  # pragma: no cover - handler fail-safe
             self._send(500, {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            self.server.release()  # type: ignore[attr-defined]
 
     def do_POST(self) -> None:  # noqa: N802
         path, query = self._route()
+        if not self._gate_mutation():
+            return
         try:
             if path == "/v1/jobs":
                 self._post_jobs(query)
@@ -449,9 +575,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send(404, {"error": f"no such endpoint {path!r}"})
         except Exception as error:  # pragma: no cover - handler fail-safe
             self._send(500, {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            self.server.release()  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     def _post_jobs(self, query: dict[str, str]) -> None:
+        if self.service.draining:
+            self._send(503, {"error": "server is draining; "
+                                      "resubmit elsewhere or later"},
+                       retry_after=1.0)
+            return
         body = self._read_body()
         if body is None:
             self._send(400, {"error": "request body is not valid JSON"})
@@ -482,12 +615,23 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         records = self.service.submit_many(specs, tenant=tenant,
                                            priority=priority)
         throttled = sum(1 for r in records if r["state"] == "throttled")
-        code = 429 if records and throttled == len(records) else 200
+        shed = sum(1 for r in records if r["state"] == "shed")
+        retry_after = None
+        if records and shed == len(records):
+            # nothing got in at all: a plain 503 + Retry-After, so even
+            # the dumbest client knows when to come back
+            code = 503
+            retry_after = max(r.get("retry_after", 1.0) for r in records)
+        elif records and throttled + shed == len(records):
+            code = 429
+        else:
+            code = 200
         self._send(code, {
             "results": records,
-            "accepted": len(records) - throttled,
+            "accepted": len(records) - throttled - shed,
             "throttled": throttled,
-        })
+            "shed": shed,
+        }, retry_after=retry_after)
 
     def _post_claim(self) -> None:
         body = self._read_body() or {}
@@ -524,37 +668,79 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying its :class:`ExecutionService`."""
+    """ThreadingHTTPServer carrying its :class:`ExecutionService`.
+
+    ``max_inflight`` bounds concurrently *handled* mutating requests
+    (POST/PUT); excess requests are answered 503 + ``Retry-After``
+    immediately instead of queueing behind the thread pool — bounded
+    accept, deterministic shedding.  ``None`` is unbounded.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
     def __init__(self, address: tuple[str, int],
-                 service: ExecutionService, *, verbose: bool = False) -> None:
+                 service: ExecutionService, *, verbose: bool = False,
+                 max_inflight: int | None = None) -> None:
         super().__init__(address, _ServiceHandler)
         self.service = service
         self.verbose = verbose
+        self.max_inflight = max_inflight
+        self.http_shed = 0
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    def try_admit(self) -> bool:
+        """Take one in-flight slot, or refuse (the caller answers 503)."""
+        with self._inflight_lock:
+            if (self.max_inflight is not None
+                    and self._inflight >= self.max_inflight):
+                self.http_shed += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
 
 
 def make_server(service: ExecutionService, *, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> ServiceServer:
+                port: int = 0, verbose: bool = False,
+                max_inflight: int | None = None) -> ServiceServer:
     """Bind the HTTP server (``port=0`` picks a free port)."""
-    return ServiceServer((host, port), service, verbose=verbose)
+    return ServiceServer((host, port), service, verbose=verbose,
+                         max_inflight=max_inflight)
 
 
 def serve_forever(server: ServiceServer, *, stop_event=None,
-                  poll: float = 0.2) -> None:
-    """Run the accept loop until ``stop_event`` is set (or forever)."""
+                  poll: float = 0.2,
+                  drain_grace: float | None = None) -> bool:
+    """Run the accept loop until ``stop_event`` is set (or forever).
+
+    With ``drain_grace`` set, a stop drains gracefully instead of
+    slamming the door: new submissions are shed with 503 (status and
+    metrics GETs keep answering — pollers see their jobs finish), then
+    up to ``drain_grace`` seconds are spent settling accepted work
+    before the accept loop stops.  Returns True when the queue emptied
+    in time (the CLI's clean-exit signal); ``drain_grace=None``
+    preserves the original immediate stop and returns True.
+    """
     if stop_event is None:
         server.serve_forever(poll_interval=poll)  # pragma: no cover
-        return
+        return True
     thread = threading.Thread(target=server.serve_forever,
                               kwargs={"poll_interval": poll},
                               name="repro-serve-accept", daemon=True)
     thread.start()
+    drained = True
     try:
         while not stop_event.wait(poll):
             pass
+        if drain_grace is not None:
+            server.service.begin_drain()
+            drained = server.service.drain(grace=drain_grace)
     finally:
         server.shutdown()
         thread.join(timeout=5.0)
+    return drained

@@ -8,6 +8,27 @@ completion, and rebuild the familiar
 codes) match the local path exactly.  Remote workers use :meth:`claim`
 and :meth:`settle` through
 :class:`~repro.runtime.service.worker.RemoteQueueSource`.
+
+Since the chaos hardening pass the client is *resilient by default*:
+
+* transport failures (refused connections, resets, truncated or
+  corrupted responses) and 503 load shedding are retried with the
+  engine's capped full-jitter exponential backoff
+  (:class:`~repro.runtime.resilience.Backoff`), honouring the server's
+  ``Retry-After`` hint when one is sent;
+* every logical call carries a **deadline** distinct from the
+  per-attempt socket ``timeout`` — the timeout bounds one connect/read,
+  the deadline bounds the whole retry loop, and the remaining budget
+  travels in the ``X-Repro-Deadline`` header so the server drops
+  already-hopeless requests;
+* an optional shared
+  :class:`~repro.runtime.supervisor.ConnectionBreaker` fails calls
+  instantly while the server is known-dead instead of paying a timeout
+  per call, probing recovery through half-open.
+
+Retrying submissions is safe because job keys are content-addressed
+(a duplicate submit deduplicates server-side) and settlement is
+exactly-once (a duplicate settle is answered 409).
 """
 
 from __future__ import annotations
@@ -20,6 +41,11 @@ from ...errors import ExecutionError
 from ..executor import BatchResult, JobResult
 from ..jobs import JobSpec
 from ..metrics import FleetMetrics
+from ..resilience import DEADLINE_HEADER, Backoff, Deadline, parse_retry_after
+from ..supervisor import ConnectionBreaker
+
+#: Statuses that are worth retrying on an idempotent route.
+_RETRIABLE_STATUSES = (503,)
 
 
 class ServiceError(ExecutionError):
@@ -31,43 +57,161 @@ class ServiceError(ExecutionError):
 
 
 class ServiceClient:
-    """Thin JSON-over-HTTP client for one server."""
+    """JSON-over-HTTP client for one server, resilient by default.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    timeout:
+        Per-attempt socket timeout (covers connect and read of one
+        request).
+    deadline:
+        Default end-to-end budget for one logical call across all its
+        retries; ``None`` leaves only ``timeout`` per attempt.
+    retries / backoff / backoff_cap / jitter_seed:
+        Retry budget for idempotent calls and the full-jitter schedule
+        (attempt ``n`` waits uniformly in
+        ``[0, min(cap, backoff · 2^(n-1))]``); the seed pins schedules
+        in tests.  ``retries=0`` restores fail-fast behaviour.
+    breaker:
+        Optional :class:`ConnectionBreaker`, possibly shared with other
+        clients of the same host (e.g. a
+        :class:`~repro.runtime.service.store.RemoteBackend`); when the
+        breaker is open, calls raise immediately instead of timing out.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 deadline: float | None = None, retries: int = 4,
+                 backoff: float = 0.05, backoff_cap: float = 2.0,
+                 jitter_seed: int | None = None,
+                 breaker: ConnectionBreaker | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.deadline = deadline
+        self.retries = retries
+        self.backoff_policy = Backoff(backoff, cap=backoff_cap,
+                                      seed=jitter_seed)
+        self.breaker = breaker
+        self.retries_performed = 0
+        self.last_retry_after: float | None = None
 
     # ------------------------------------------------------------------
-    def request(self, method: str, path: str,
-                body: Any = None) -> tuple[int, Any]:
-        """One request; returns ``(status, decoded JSON or None)``."""
+    def request(self, method: str, path: str, body: Any = None, *,
+                deadline: Deadline | None = None) -> tuple[int, Any]:
+        """One raw request; returns ``(status, decoded JSON or None)``.
+
+        No retries at this layer (tests drive exact statuses through
+        it); transport failures — unreachable server, resets, truncated
+        or undecodable responses — raise :class:`ServiceError` with
+        ``status=0``.  ``deadline`` clamps the socket timeout and is
+        advertised to the server via ``X-Repro-Deadline``.
+        """
+        import http.client
         import urllib.error
         import urllib.request
 
         data = (json.dumps(body, sort_keys=True).encode("utf-8")
                 if body is not None else None)
+        headers = {"Content-Type": "application/json"} if data else {}
+        timeout = self.timeout
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"deadline exhausted before {method} {path}")
+            timeout = deadline.clamp(timeout)
+            if remaining != float("inf"):
+                headers[DEADLINE_HEADER] = f"{remaining:.3f}"
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {})
+            headers=headers)
+        self.last_retry_after = None
         try:
             with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
+                                        timeout=timeout) as response:
                 raw = response.read()
-                return response.status, (json.loads(raw.decode("utf-8"))
-                                         if raw else None)
+                self.last_retry_after = parse_retry_after(
+                    response.headers.get("Retry-After"))
+                status = response.status
         except urllib.error.HTTPError as error:
             raw = error.read()
+            self.last_retry_after = parse_retry_after(
+                error.headers.get("Retry-After") if error.headers else None)
             try:
                 decoded = json.loads(raw.decode("utf-8")) if raw else None
             except ValueError:
                 decoded = None
             return error.code, decoded
-        except OSError as error:
+        except (http.client.HTTPException, OSError) as error:
+            # refused/reset/timeout/truncated — the transport failed
             raise ServiceError(
-                f"cannot reach server at {self.base_url}: {error}") from None
+                f"cannot reach server at {self.base_url}: "
+                f"{type(error).__name__}: {error}") from None
+        if not raw:
+            return status, None
+        try:
+            return status, json.loads(raw.decode("utf-8"))
+        except ValueError as error:
+            # a 200 whose body does not decode is a damaged response
+            # (e.g. corrupted in flight), not a server answer
+            raise ServiceError(
+                f"undecodable response from {method} {path}: "
+                f"{error}") from None
+
+    def request_retry(self, method: str, path: str, body: Any = None, *,
+                      idempotent: bool = True,
+                      max_seconds: float | None = None) -> tuple[int, Any]:
+        """:meth:`request` with backoff retries and breaker protection.
+
+        Retries transport failures and 503 shedding (honouring
+        ``Retry-After``) while the route is ``idempotent``, the retry
+        budget lasts, and the deadline has not expired.  Non-idempotent
+        calls get exactly one attempt.
+        """
+        deadline = Deadline(max_seconds if max_seconds is not None
+                            else self.deadline)
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.breaker is not None and not self.breaker.allow():
+                raise ServiceError(
+                    f"circuit breaker open for {self.base_url} "
+                    f"({self.breaker.report()['consecutive_failures']} "
+                    f"consecutive failures)")
+            try:
+                status, decoded = self.request(method, path, body,
+                                               deadline=deadline)
+            except ServiceError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if (not idempotent or attempt > self.retries
+                        or deadline.expired):
+                    raise
+                self._backoff_sleep(attempt, deadline, None)
+                continue
+            if self.breaker is not None:
+                # any HTTP answer proves the host is alive; HTTP-level
+                # errors (4xx/5xx) are the application's business
+                self.breaker.record_success()
+            if (status in _RETRIABLE_STATUSES and idempotent
+                    and attempt <= self.retries and not deadline.expired):
+                self._backoff_sleep(attempt, deadline,
+                                    self.last_retry_after)
+                continue
+            return status, decoded
+
+    def _backoff_sleep(self, attempt: int, deadline: Deadline,
+                       hint: float | None) -> None:
+        delay = hint if hint is not None else \
+            self.backoff_policy.delay(attempt)
+        remaining = deadline.remaining()
+        if remaining != float("inf"):
+            delay = min(delay, max(0.0, remaining))
+        self.retries_performed += 1
+        if delay > 0:
+            sleep(delay)
 
     def _get(self, path: str) -> Any:
-        status, body = self.request("GET", path)
+        status, body = self.request_retry("GET", path)
         if status != 200:
             raise ServiceError(
                 f"GET {path} failed with HTTP {status}: "
@@ -85,7 +229,7 @@ class ServiceClient:
         return self._get("/v1/queue")
 
     def job(self, key: str) -> dict[str, Any] | None:
-        status, body = self.request("GET", f"/v1/jobs/{key}")
+        status, body = self.request_retry("GET", f"/v1/jobs/{key}")
         if status == 404:
             return None
         if status != 200:
@@ -99,6 +243,8 @@ class ServiceClient:
                priority: int = 0) -> list[dict[str, Any]]:
         """Submit specs; returns per-spec state records (incl. throttled).
 
+        Content-addressed keys make resubmission idempotent, so
+        transport failures and 503 shedding are retried transparently.
         429 (everything throttled) is returned as records, not raised —
         callers decide whether to back off (see :meth:`submit_all`).
         """
@@ -106,8 +252,12 @@ class ServiceClient:
             specs = [specs]
         body = {"jobs": [spec.to_dict() for spec in specs],
                 "tenant": tenant, "priority": priority}
-        status, decoded = self.request("POST", "/v1/jobs", body)
-        if status not in (200, 429) or not isinstance(decoded, dict):
+        status, decoded = self.request_retry("POST", "/v1/jobs", body,
+                                             idempotent=True)
+        # 429 = throttled records, 503-with-results = every item shed;
+        # both are per-item refusals submit_all keeps retrying, not errors
+        if (status not in (200, 429, 503) or not isinstance(decoded, dict)
+                or "results" not in decoded):
             raise ServiceError(
                 f"POST /v1/jobs failed with HTTP {status}: "
                 f"{(decoded or {}).get('error', '')}", status)
@@ -117,55 +267,81 @@ class ServiceClient:
                    tenant: str = "default", priority: int = 0,
                    retry_seconds: float = 0.1,
                    max_seconds: float = 300.0) -> list[dict[str, Any]]:
-        """Submit, retrying throttled items until the bucket refills."""
+        """Submit, retrying throttled/shed items until capacity frees.
+
+        Waits between rounds with capped full-jitter backoff seeded per
+        client (N blocked clients spread out instead of re-arriving in
+        lockstep when the bucket refills), honouring the server's
+        ``Retry-After`` hint when one came back.
+        """
         records: dict[str, dict[str, Any]] = {}
         remaining = list(specs)
         deadline = monotonic() + max_seconds
+        round_index = 0
         while remaining:
-            throttled: list[JobSpec] = []
+            blocked: list[JobSpec] = []
             for spec, record in zip(remaining,
                                     self.submit(remaining, tenant=tenant,
                                                 priority=priority)):
-                if record["state"] == "throttled":
-                    throttled.append(spec)
+                if record["state"] in ("throttled", "shed"):
+                    blocked.append(spec)
                 else:
                     records[spec.key] = record
-            if throttled and monotonic() > deadline:
+            if blocked and monotonic() > deadline:
                 raise ServiceError(
-                    f"{len(throttled)} job(s) still throttled after "
+                    f"{len(blocked)} job(s) still refused after "
                     f"{max_seconds:g}s")
-            remaining = throttled
+            remaining = blocked
             if remaining:
-                sleep(retry_seconds)
+                round_index += 1
+                hint = self.last_retry_after
+                delay = hint if hint is not None else (
+                    retry_seconds / 2 + self.backoff_policy.delay(
+                        min(round_index, 8), base=retry_seconds) / 2)
+                sleep(min(delay, max(0.0, deadline - monotonic())))
         return [records[spec.key] for spec in specs]
 
     # ------------------------------------------------------------------
     def wait(self, keys: Sequence[str], *, poll: float = 0.1,
              max_seconds: float = 600.0) -> dict[str, dict[str, Any]]:
-        """Poll until every key is done/failed; returns final records."""
+        """Poll until every key is done/failed; returns final records.
+
+        Polling backs off with capped full jitter while no key makes
+        progress (and snaps back to ``poll`` when one does), so many
+        blocked clients do not hammer the server in lockstep.
+        """
         outstanding = set(keys)
         final: dict[str, dict[str, Any]] = {}
         deadline = monotonic() + max_seconds
+        idle_rounds = 0
         while outstanding:
             for key in sorted(outstanding):
                 record = self.job(key)
                 if record is not None and record["state"] in ("done",
                                                               "failed"):
                     final[key] = record
+            progressed = bool(outstanding & set(final))
             outstanding -= set(final)
+            idle_rounds = 0 if progressed else idle_rounds + 1
             if outstanding:
                 if monotonic() > deadline:
                     raise ServiceError(
                         f"{len(outstanding)} job(s) still running after "
                         f"{max_seconds:g}s")
-                sleep(poll)
+                delay = poll / 2 + self.backoff_policy.delay(
+                    min(idle_rounds + 1, 8), base=poll) / 2
+                sleep(min(delay, max(0.0, deadline - monotonic())))
         return final
 
     # ------------------------------------------------------------------
     def claim(self, *, shard: int | None = None,
               worker: str = "") -> dict[str, Any] | None:
-        status, body = self.request("POST", "/v1/claim",
-                                    {"shard": shard, "worker": worker})
+        """Claim one job.  Safe to retry: an orphaned claim (response
+        lost after the server recorded it) is re-queued by lease expiry.
+        """
+        status, body = self.request_retry("POST", "/v1/claim",
+                                          {"shard": shard,
+                                           "worker": worker})
         if status == 204:
             return None
         if status != 200 or not isinstance(body, dict):
@@ -174,7 +350,11 @@ class ServiceClient:
         return body
 
     def settle(self, **fields: Any) -> bool:
-        status, _body = self.request("POST", "/v1/settle", fields)
+        """Settle one claim.  Safe to retry: a duplicate settle (first
+        response lost in flight) is answered 409 — exactly-once
+        settlement holds either way.
+        """
+        status, _body = self.request_retry("POST", "/v1/settle", fields)
         if status == 409:
             return False  # lease expired under us; the other settle won
         if status != 200:
@@ -211,6 +391,7 @@ class ServiceClient:
         # de-duplicated specs share one record; count each submission
         for result in results:
             metrics.record(result)
+        metrics.retries += self.retries_performed
         metrics.wall_seconds = monotonic() - started
         return BatchResult(results, metrics)
 
@@ -245,7 +426,7 @@ def submit_job_file(client: ServiceClient, path: str, *,
 def wait_until_healthy(base_url: str, *, max_seconds: float = 30.0,
                        poll: float = 0.1) -> dict[str, Any]:
     """Block until a just-started server answers ``/v1/healthz``."""
-    client = ServiceClient(base_url, timeout=poll + 1.0)
+    client = ServiceClient(base_url, timeout=poll + 1.0, retries=0)
     deadline = monotonic() + max_seconds
     while True:
         try:

@@ -50,6 +50,21 @@ class ThrottledError(ExecutionError):
     """A tenant's token bucket is empty; the submission was refused."""
 
 
+class OverloadedError(ExecutionError):
+    """The queue is at ``max_pending``; the submission was shed.
+
+    Unlike throttling (a per-tenant fairness policy), overload is a
+    whole-server health bound: accepting past it just converts fresh
+    work into timeouts.  Shedding early with a ``Retry-After`` hint is
+    deterministic (depth is exact, not probabilistic) and cheap — a
+    refused job was never journalled, so there is nothing to undo.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 def shard_of(key: str, shards: int) -> int:
     """Stable shard assignment: ``int(key, 16) % shards``."""
     return int(key, 16) % shards
@@ -139,17 +154,26 @@ class ShardedQueue:
     rate, burst:
         Optional per-tenant token-bucket rate limit (tokens/second and
         bucket capacity).  ``None`` disables throttling.
+    max_pending:
+        Optional bound on total queued (unclaimed) depth across all
+        tenants; submissions past it raise :class:`OverloadedError`
+        (HTTP 503 + ``Retry-After`` at the API).  ``None`` is unbounded.
     """
 
     def __init__(self, *, shards: int = 8, journal: Journal | None = None,
-                 rate: float | None = None,
-                 burst: float | None = None) -> None:
+                 rate: float | None = None, burst: float | None = None,
+                 max_pending: int | None = None) -> None:
         if shards < 1:
             raise DefinitionError(f"shards must be >= 1, got {shards}")
+        if max_pending is not None and max_pending < 1:
+            raise DefinitionError(
+                f"max_pending must be >= 1, got {max_pending}")
         self.shards = shards
         self.journal = journal
         self.rate = rate
         self.burst = burst if burst is not None else rate
+        self.max_pending = max_pending
+        self.shed = 0
         self._lock = threading.Lock()
         # shard -> priority -> FIFO of QueuedJob (priority claims high-first)
         self._lanes: list[dict[int, list[QueuedJob]]] = [
@@ -181,7 +205,9 @@ class ShardedQueue:
         Idempotent per key: re-submitting a queued or claimed key
         returns the existing entry without a duplicate journal record.
         Raises :class:`ThrottledError` when the tenant's bucket is empty
-        (counted, never journalled — a refused job was never accepted).
+        and :class:`OverloadedError` when the queue is at
+        ``max_pending`` (both counted, never journalled — a refused job
+        was never accepted).
         """
         key = spec.key
         with self._lock:
@@ -189,6 +215,13 @@ class ShardedQueue:
             if existing is not None:
                 return existing
             stats = self._tenant(tenant)
+            if (self.max_pending is not None
+                    and len(self._queued) >= self.max_pending):
+                self.shed += 1
+                raise OverloadedError(
+                    f"queue is at max_pending={self.max_pending}; "
+                    f"submission shed",
+                    retry_after=max(0.1, 0.01 * self.max_pending))
             if self._throttled(tenant):
                 stats.throttled += 1
                 raise ThrottledError(
@@ -324,6 +357,8 @@ class ShardedQueue:
                                 self._tenants.items())},
                 "rate": self.rate,
                 "burst": self.burst,
+                "max_pending": self.max_pending,
+                "shed": self.shed,
             }
 
     # ------------------------------------------------------------------

@@ -17,7 +17,12 @@ already satisfies it.  This module names that contract
     every later worker's engine sees a cache hit and dispatches nothing.
     Network and server errors degrade to misses (reads) or are dropped
     (writes) — a flaky cache must never fail a job — with
-    :attr:`RemoteBackend.errors` counting the degradations.
+    :attr:`RemoteBackend.errors` counting the degradations.  A
+    :class:`~repro.runtime.supervisor.ConnectionBreaker` turns a *dead*
+    server into instant misses instead of a connect timeout per key
+    (partition tolerance: jobs keep completing from local state), and a
+    cheap ``/v1/healthz`` probe closes the breaker again once the server
+    answers.
 :class:`TieredBackend`
     Local-over-remote composition: reads check the local tier first and
     backfill it on a remote hit; writes go to both.  The local tier
@@ -34,6 +39,7 @@ import json
 from typing import Any, Iterator, Protocol, runtime_checkable
 
 from ..cache import ResultCache
+from ..supervisor import ConnectionBreaker
 
 
 @runtime_checkable
@@ -69,36 +75,80 @@ class RemoteBackend:
     under ``/v1/cache/<key>``.  The server stores them through its own
     :class:`LocalDirBackend`, so the bytes on the server's disk are
     identical to a local run's.
+
+    The breaker opens after ``failure_threshold`` consecutive transport
+    failures; while open, every cache call is an instant miss/drop
+    (counted in :attr:`short_circuits`) — no timeout paid, no job
+    failed.  After ``recovery_seconds`` one call probes ``/v1/healthz``
+    (cheap and side-effect free, unlike a data read) and a healthy
+    answer closes the breaker for everyone sharing it.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+    def __init__(self, base_url: str, *, timeout: float = 10.0,
+                 breaker: ConnectionBreaker | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.breaker = breaker if breaker is not None else \
+            ConnectionBreaker()
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.errors = 0
+        self.short_circuits = 0
 
     def _url(self, key: str) -> str:
         return f"{self.base_url}/v1/cache/{key}"
+
+    def _admit(self) -> bool:
+        """Breaker gate; half-open calls re-probe ``/v1/healthz`` first."""
+        if self.breaker.allow():
+            if self.breaker.state == "half_open" and not self._probe():
+                return False
+            return True
+        self.short_circuits += 1
+        return False
+
+    def _probe(self) -> bool:
+        """One cheap liveness check; settles the half-open breaker."""
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(f"{self.base_url}/v1/healthz",
+                                        timeout=self.timeout):
+                pass
+        except urllib.error.HTTPError:
+            pass  # any HTTP answer proves the server is back
+        except OSError:
+            self.breaker.record_failure()
+            return False
+        self.breaker.record_success()
+        return True
 
     def get(self, key: str) -> dict[str, Any] | None:
         import urllib.error
         import urllib.request
 
+        if not self._admit():
+            self.misses += 1
+            return None
         try:
             with urllib.request.urlopen(self._url(key),
                                         timeout=self.timeout) as response:
                 entry = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
+            # an HTTP answer proves the server is alive, whatever it said
+            self.breaker.record_success()
             if error.code != 404:
                 self.errors += 1
             self.misses += 1
             return None
         except (OSError, ValueError):
+            self.breaker.record_failure()
             self.errors += 1
             self.misses += 1
             return None
+        self.breaker.record_success()
         payload = entry.get("payload") if isinstance(entry, dict) else None
         if payload is None:
             self.misses += 1
@@ -110,6 +160,8 @@ class RemoteBackend:
         import urllib.error
         import urllib.request
 
+        if not self._admit():
+            return  # best-effort publish; dropped while partitioned
         body = json.dumps({"kind": kind, "payload": payload},
                           sort_keys=True).encode("utf-8")
         request = urllib.request.Request(
@@ -118,10 +170,23 @@ class RemoteBackend:
         try:
             with urllib.request.urlopen(request, timeout=self.timeout):
                 pass
+        except urllib.error.HTTPError:
+            self.breaker.record_success()
+            self.errors += 1
+            return
         except (OSError, ValueError):
+            self.breaker.record_failure()
             self.errors += 1  # best-effort publish; the job still succeeded
             return
+        self.breaker.record_success()
         self.writes += 1
+
+    def report(self) -> dict[str, Any]:
+        """Counters plus the breaker's view, for worker reports."""
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "errors": self.errors,
+                "short_circuits": self.short_circuits,
+                "breaker": self.breaker.report()}
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

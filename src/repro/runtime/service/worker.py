@@ -135,7 +135,7 @@ class ServiceWorker(threading.Thread):
 
     def report(self) -> dict[str, Any]:
         """This node's health record for ``/v1/metrics``."""
-        return {
+        record = {
             "name": self.worker_name,
             "shard": self.shard,
             "healthy": self.healthy,
@@ -145,6 +145,14 @@ class ServiceWorker(threading.Thread):
             "consecutive_errors": self.consecutive_errors,
             "last_error": self.last_error,
         }
+        # a RemoteBackend cache exposes its partition view (breaker
+        # state, degradations) — surface it so /v1/metrics shows which
+        # nodes are cut off from the shared store
+        cache = getattr(self.engine, "cache", None)
+        cache_report = getattr(cache, "report", None)
+        if callable(cache_report):
+            record["cache"] = cache_report()
+        return record
 
 
 @dataclass

@@ -229,6 +229,120 @@ class CircuitBreaker:
                 and self.crash_rate > self.rate_threshold)
 
 
+class ConnectionBreaker:
+    """Closed/open/half-open circuit breaker for calls to one remote peer.
+
+    :class:`CircuitBreaker` above protects a batch from its own worker
+    pool (crash *rate*, trips once, never resets — the serial fallback
+    is strictly safer).  Remote peers are different: a dead server
+    usually comes back, and until it does every optimistic call costs a
+    full connect timeout.  This breaker is the classic remote-call state
+    machine shared by :class:`~repro.runtime.service.client.ServiceClient`
+    and :class:`~repro.runtime.service.store.RemoteBackend`:
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures open the breaker.
+    * **open** — :meth:`allow` refuses instantly (counted in
+      :attr:`short_circuits`) until ``recovery_seconds`` have passed.
+    * **half-open** — exactly one probe call is let through;
+      success closes the breaker, failure re-opens it and restarts the
+      recovery clock.
+
+    One instance may be shared by several clients of the same host —
+    that is the point: the first component to notice the host is dead
+    spares all the others their timeouts.  Methods are thread-safe.
+    """
+
+    STATES = ("closed", "open", "half_open")
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 recovery_seconds: float = 5.0, clock=monotonic) -> None:
+        if failure_threshold < 1:
+            raise DefinitionError(
+                f"breaker failure_threshold must be >= 1, "
+                f"got {failure_threshold}")
+        if recovery_seconds < 0:
+            raise DefinitionError(
+                f"breaker recovery_seconds must be >= 0, "
+                f"got {recovery_seconds}")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.consecutive_failures = 0
+        self.successes = 0
+        self.failures = 0
+        self.short_circuits = 0
+        self.transitions = 0  # every state change, for /v1/metrics
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._observe_state()
+
+    def _observe_state(self) -> str:
+        """Current state, promoting open → half-open when recovery is due."""
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.recovery_seconds):
+            self._transition("half_open")
+            self._probe_inflight = False
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self.transitions += 1
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Refusals are counted.)"""
+        with self._lock:
+            state = self._observe_state()
+            if state == "closed":
+                return True
+            if state == "half_open" and not self._probe_inflight:
+                self._probe_inflight = True  # exactly one probe at a time
+                return True
+            self.short_circuits += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self.consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state in ("half_open", "open"):
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self.consecutive_failures += 1
+            self._probe_inflight = False
+            if self._state == "half_open" or (
+                    self._state == "closed"
+                    and self.consecutive_failures >= self.failure_threshold):
+                self._transition("open")
+                self._opened_at = self._clock()
+
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """Observability record for ``/v1/metrics``."""
+        with self._lock:
+            return {
+                "state": self._observe_state(),
+                "successes": self.successes,
+                "failures": self.failures,
+                "consecutive_failures": self.consecutive_failures,
+                "short_circuits": self.short_circuits,
+                "transitions": self.transitions,
+            }
+
+
 @dataclass
 class SupervisorConfig:
     """Supervision policy for one :class:`ExecutionEngine`.

@@ -1,0 +1,328 @@
+"""Chaos harness: the service + resilient client under injected faults.
+
+Every test follows the same argument: run real jobs through a real
+HTTP server with a :class:`ChaosProxy` between client and server, and
+prove the end-to-end guarantees hold *under* the faults — every
+accepted job settles exactly once, results are byte-identical to a
+fault-free run, nothing is silently lost across a crash, and the
+metrics counters prove the faults actually fired (a chaos suite whose
+faults never fire proves nothing).
+"""
+
+from __future__ import annotations
+
+import json
+from random import Random
+from time import monotonic
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.runtime import probe_job
+from repro.runtime.chaos import (
+    ChaosFault,
+    ChaosPolicy,
+    ChaosProxy,
+    _ArmedFault,
+    default_policy,
+    parse_hostport,
+    policy_from_args,
+)
+from repro.runtime.service import ExecutionService, ServiceClient, ServiceError
+
+
+def _client(url: str, **kwargs) -> ServiceClient:
+    """A fast-retrying, seeded client for chaos tests."""
+    options = dict(timeout=2.0, retries=8, backoff=0.01, backoff_cap=0.05,
+                   jitter_seed=7)
+    options.update(kwargs)
+    return ServiceClient(url, **options)
+
+
+def _payload_bytes(records: dict) -> dict[str, str]:
+    return {key: json.dumps(record["payload"], sort_keys=True)
+            for key, record in records.items()}
+
+
+# ---------------------------------------------------------------------------
+# the declarative policy
+# ---------------------------------------------------------------------------
+class TestChaosFault:
+    def test_parse_compact_syntax(self):
+        fault = ChaosFault.parse("refuse:/v1/jobs:p=0.3,start=2,end=9")
+        assert fault.kind == "refuse"
+        assert fault.route == "/v1/jobs"
+        assert fault.probability == pytest.approx(0.3)
+        assert (fault.start, fault.end) == (2, 9)
+
+    def test_parse_flags_and_options(self):
+        fault = ChaosFault.parse(
+            "partition:/v1/settle:direction=request,once,seed=5,label=x")
+        assert fault.direction == "request"
+        assert fault.once and fault.seed == 5 and fault.label == "x"
+
+    def test_parse_bare_kind(self):
+        assert ChaosFault.parse("corrupt").route == ""
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DefinitionError):
+            ChaosFault.parse("sabotage")
+
+    def test_malformed_option_rejected(self):
+        with pytest.raises(DefinitionError):
+            ChaosFault.parse("refuse::p")
+        with pytest.raises(DefinitionError):
+            ChaosFault.parse("refuse::nope=1")
+
+    def test_validation(self):
+        with pytest.raises(DefinitionError):
+            ChaosFault("delay", delay=0.0)
+        with pytest.raises(DefinitionError):
+            ChaosFault("refuse", probability=1.5)
+        with pytest.raises(DefinitionError):
+            ChaosFault("refuse", start=4, end=2)
+        with pytest.raises(DefinitionError):
+            ChaosFault("partition", direction="sideways")
+
+    def test_round_trips_through_dict(self):
+        fault = ChaosFault("reset", route="/v1", keep_bytes=9,
+                           probability=0.5, start=1, end=7, once=True)
+        assert ChaosFault.from_dict(fault.to_dict()) == fault
+
+
+class TestChaosPolicy:
+    def test_save_load_round_trip(self, tmp_path):
+        policy = ChaosPolicy(seed=11, faults=(
+            ChaosFault("refuse", probability=0.2),
+            ChaosFault("delay", delay=0.05),
+        ))
+        path = tmp_path / "policy.json"
+        policy.save(str(path))
+        assert ChaosPolicy.load(str(path)) == policy
+
+    def test_resolved_fills_seeds_deterministically(self):
+        policy = ChaosPolicy(seed=3, faults=(
+            ChaosFault("refuse"), ChaosFault("corrupt", seed=99)))
+        resolved = policy.resolved()
+        assert resolved.faults[0].seed is not None
+        assert resolved.faults[1].seed == 99  # explicit seeds survive
+        assert policy.resolved() == resolved  # pure function of policy
+
+    def test_policy_from_args_layering(self, tmp_path):
+        path = tmp_path / "p.json"
+        ChaosPolicy(seed=1, faults=(ChaosFault("refuse"),)).save(str(path))
+        policy = policy_from_args(str(path), ["corrupt::once"], 9)
+        assert [f.kind for f in policy.faults] == ["refuse", "corrupt"]
+        assert policy.seed == 9
+        assert policy_from_args(None, [], None) == default_policy()
+
+
+class TestArmedFault:
+    def _armed(self, fault):
+        return _ArmedFault(fault, Random(fault.seed or 0))
+
+    def test_window_counts_matching_requests(self):
+        armed = self._armed(ChaosFault("refuse", start=2, end=3))
+        fired = [armed.decide("/v1/jobs") for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_route_prefix_scopes_the_counter(self):
+        armed = self._armed(ChaosFault("refuse", route="/v1/jobs", start=1))
+        assert not armed.decide("/v1/healthz")  # not even counted
+        assert not armed.decide("/v1/jobs")     # index 0 < start
+        assert armed.decide("/v1/jobs/abc")     # prefix match, index 1
+
+    def test_once_fires_a_single_time(self):
+        armed = self._armed(ChaosFault("refuse", once=True))
+        assert [armed.decide("/") for _ in range(4)] \
+            == [True, False, False, False]
+
+    def test_rng_consumed_even_at_probability_one(self):
+        """Windows must not shift when a neighbour's p changes."""
+        certain = self._armed(ChaosFault("refuse", seed=5))
+        never = self._armed(ChaosFault("refuse", seed=5, probability=0.0))
+        for _ in range(10):
+            certain.decide("/")
+            never.decide("/")
+        assert certain.rng.random() == never.rng.random()
+
+    def test_parse_hostport(self):
+        assert parse_hostport("http://127.0.0.1:8750") == ("127.0.0.1", 8750)
+        assert parse_hostport("10.0.0.2:80/v1") == ("10.0.0.2", 80)
+        with pytest.raises(DefinitionError):
+            parse_hostport("https://secure:1")
+        with pytest.raises(DefinitionError):
+            parse_hostport(":8750")
+
+
+# ---------------------------------------------------------------------------
+# the proxy against a live server
+# ---------------------------------------------------------------------------
+class TestProxyRelay:
+    def test_transparent_relay_is_invisible(self, live_server):
+        _service, base = live_server(workers=1)
+        specs = [probe_job("ok", payload={"n": i}, label=f"p{i}")
+                 for i in range(3)]
+        with ChaosProxy(base) as proxy:  # empty policy = pure relay
+            direct = _client(base).run_batch(specs, max_seconds=30)
+            proxied = _client(proxy.url).run_batch(specs, max_seconds=30)
+        assert proxied.ok
+        assert [r.payload for r in proxied] == [r.payload for r in direct]
+        assert proxy.metrics()["injected_total"] == 0
+        assert proxy.metrics()["requests"] > 0
+
+    def test_refused_connections_are_retried_through(self, live_server):
+        service, base = live_server(workers=1)
+        policy = ChaosPolicy(faults=(
+            ChaosFault("refuse", route="/v1/jobs", start=0, end=1),))
+        with ChaosProxy(base, policy) as proxy:
+            client = _client(proxy.url)
+            records = client.submit_all(
+                [probe_job("ok", payload={"v": 1}, label="r")])
+        assert records[0]["state"] in ("queued", "done")
+        assert client.retries_performed >= 2
+        fault_report = proxy.metrics()["faults"][0]
+        assert fault_report["fired"] == 2
+
+    def test_fail_fast_client_surfaces_the_fault(self, live_server):
+        _service, base = live_server(workers=0)
+        policy = ChaosPolicy(faults=(ChaosFault("refuse"),))
+        with ChaosProxy(base, policy) as proxy:
+            with pytest.raises(ServiceError):
+                _client(proxy.url, retries=0).healthz()
+
+    def test_reset_midbody_is_retried(self, live_server):
+        _service, base = live_server(workers=0)
+        policy = ChaosPolicy(faults=(
+            ChaosFault("reset", keep_bytes=10, once=True),))
+        with ChaosProxy(base, policy) as proxy:
+            client = _client(proxy.url)
+            health = client.healthz()
+        assert health["ok"] is True
+        assert client.retries_performed >= 1
+        assert proxy.metrics()["injections"]["reset"] == 1
+
+    def test_truncated_response_is_retried(self, live_server):
+        _service, base = live_server(workers=0)
+        policy = ChaosPolicy(faults=(
+            ChaosFault("truncate", keep_bytes=5, once=True),))
+        with ChaosProxy(base, policy) as proxy:
+            client = _client(proxy.url)
+            assert client.healthz()["ok"] is True
+        assert client.retries_performed >= 1
+
+    def test_corrupted_response_is_retried(self, live_server):
+        _service, base = live_server(workers=0)
+        policy = ChaosPolicy(faults=(ChaosFault("corrupt", once=True),))
+        with ChaosProxy(base, policy) as proxy:
+            client = _client(proxy.url)
+            assert client.healthz()["ok"] is True
+        assert client.retries_performed >= 1
+        assert proxy.metrics()["injections"]["corrupt"] == 1
+
+    def test_latency_spike_exhausts_the_deadline(self, live_server):
+        _service, base = live_server(workers=0)
+        policy = ChaosPolicy(faults=(ChaosFault("delay", delay=0.4),))
+        with ChaosProxy(base, policy) as proxy:
+            client = _client(proxy.url, timeout=0.15, retries=1,
+                             deadline=0.3)
+            started = monotonic()
+            with pytest.raises(ServiceError):
+                client.healthz()
+        assert monotonic() - started < 2.0  # bounded by the deadline
+
+    def test_partitioned_submit_lands_exactly_once(self, live_server):
+        """The canonical 'did my submit happen?' ambiguity.
+
+        The server accepts the job but the response is black-holed; the
+        client times out and retries; content addressing turns the retry
+        into a dedupe instead of a second execution.
+        """
+        service, base = live_server(workers=0)
+        policy = ChaosPolicy(faults=(
+            ChaosFault("partition", route="/v1/jobs",
+                       direction="response", once=True),))
+        proxy = ChaosProxy(base, policy, hold_seconds=1.0)
+        with proxy:
+            client = _client(proxy.url, timeout=0.3)
+            records = client.submit_all([probe_job("ok", payload={"k": 1},
+                                                   label="amb")])
+        assert records[0]["state"] == "queued"
+        assert service.accepted == 1           # exactly one acceptance
+        assert service.resubmissions >= 1      # the retry deduplicated
+        assert client.retries_performed >= 1
+        assert proxy.metrics()["injections"]["partition"] == 1
+
+    def test_request_partition_never_reaches_the_server(self, live_server):
+        service, base = live_server(workers=0)
+        policy = ChaosPolicy(faults=(
+            ChaosFault("partition", route="/v1/jobs",
+                       direction="request", once=True),))
+        proxy = ChaosProxy(base, policy, hold_seconds=1.0)
+        with proxy:
+            client = _client(proxy.url, timeout=0.3)
+            client.submit_all([probe_job("ok", payload={"k": 2},
+                                         label="drop")])
+        assert service.accepted == 1  # only the retry landed
+
+
+# ---------------------------------------------------------------------------
+# the flagship: a seeded chaos storm, end to end
+# ---------------------------------------------------------------------------
+class TestChaosStorm:
+    def test_exactly_once_and_byte_identical_under_chaos(self, live_server):
+        specs = [probe_job("ok", payload={"n": i, "blob": "x" * 50},
+                           label=f"job{i}") for i in range(6)]
+
+        # fault-free baseline
+        _svc0, base0 = live_server(workers=2)
+        baseline = _client(base0).run_batch(specs, max_seconds=60)
+        assert baseline.ok
+
+        # same batch through a seeded storm of every response fault
+        service, base = live_server(workers=2)
+        with ChaosProxy(base, default_policy(seed=3)) as proxy:
+            client = _client(proxy.url, retries=10)
+            stormy = client.run_batch(specs, max_seconds=120)
+
+        assert stormy.ok
+        assert [json.dumps(r.payload, sort_keys=True) for r in stormy] \
+            == [json.dumps(r.payload, sort_keys=True) for r in baseline]
+
+        # exactly-once settlement despite retries
+        assert service.accepted == len(specs)
+        assert service.completed == len(specs)
+        assert service.fleet.jobs == len(specs)
+
+        # the run must prove the faults fired and the client retried
+        metrics = proxy.metrics()
+        assert metrics["injected_total"] > 0
+        assert client.retries_performed > 0
+        observed = service.metrics()["resilience"]["chaos_observed"]
+        assert sum(observed.values()) > 0  # server saw stamped requests
+
+    def test_crash_resume_under_chaos_loses_nothing(self, tmp_path,
+                                                    live_server):
+        journal = tmp_path / "queue.jsonl"
+        service, base = live_server(journal_path=str(journal), workers=0)
+        policy = ChaosPolicy(seed=5, faults=(
+            ChaosFault("refuse", route="/v1/jobs", start=0, end=1),
+            ChaosFault("corrupt", route="/v1/jobs", start=2, once=True),))
+        specs = [probe_job("ok", payload={"n": i}, label=f"c{i}")
+                 for i in range(5)]
+        with ChaosProxy(base, policy) as proxy:
+            records = _client(proxy.url, retries=12).submit_all(specs)
+        assert all(r["state"] == "queued" for r in records)
+        assert proxy.metrics()["injected_total"] > 0
+        # ... SIGKILL: nothing orderly happens to the service state ...
+        revived = ExecutionService(journal_path=str(journal), resume=True,
+                                   workers=1)
+        try:
+            assert revived.queue.depth() == len(specs)
+            from repro.runtime.service import drain
+
+            assert drain(revived.workers[0], max_seconds=60) == len(specs)
+            for spec in specs:
+                assert revived.job_record(spec.key)["state"] == "done"
+        finally:
+            revived.stop()

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 
+import pytest
+
 from repro.designs import get_design
 from repro.runtime import ExecutionEngine, check_job, probe_job, simulate_job
 from repro.runtime.service import (
@@ -11,6 +13,7 @@ from repro.runtime.service import (
     RemoteBackend,
     RemoteQueueSource,
     ServiceClient,
+    ServiceError,
     ServiceWorker,
     drain,
 )
@@ -350,3 +353,185 @@ class TestEquivRoundTrip:
         assert remote.ok
         assert local_cache.path_for(spec.key).read_bytes() == \
             server_cache.path_for(spec.key).read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# overload protection, deadline budgets, graceful drain
+# ---------------------------------------------------------------------------
+class TestOverload:
+    def test_max_pending_sheds_deterministically(self, live_server):
+        service, base = live_server(workers=0, max_pending=2)
+        client = ServiceClient(base, retries=0)
+        specs = [probe_job("ok", payload={"n": i}) for i in range(4)]
+        records = client.submit(specs)
+        states = [r["state"] for r in records]
+        assert states == ["queued", "queued", "shed", "shed"]
+        assert all("max_pending" in r["error"]
+                   for r in records if r["state"] == "shed")
+        assert service.queue.shed == 2
+        assert service.metrics()["resilience"]["shed"] == 2
+
+    def test_all_shed_is_503_with_retry_after(self, live_server):
+        _service, base = live_server(workers=0, max_pending=1)
+        client = ServiceClient(base, retries=0)
+        client.submit([probe_job("ok", payload={"n": 0})])
+        status, body = client.request(
+            "POST", "/v1/jobs",
+            {"jobs": [probe_job("ok", payload={"n": 1}).to_dict()]})
+        assert status == 503
+        assert body["shed"] == 1
+        assert client.last_retry_after is not None
+
+    def test_shed_submissions_recover_once_capacity_frees(self, live_server):
+        """submit_all keeps retrying shed items as the queue drains."""
+        service, base = live_server(workers=1, max_pending=2)
+        client = ServiceClient(base, retries=0, jitter_seed=3)
+        specs = [probe_job("ok", payload={"n": i}) for i in range(6)]
+        records = client.submit_all(specs, retry_seconds=0.05,
+                                    max_seconds=30.0)
+        assert len(records) == 6
+        final = client.wait([s.key for s in specs], max_seconds=30.0)
+        assert all(r["state"] == "done" for r in final.values())
+        assert service.queue.shed > 0  # the bound really was hit
+
+    def test_max_inflight_sheds_posts_but_not_gets(self, live_server):
+        from repro.runtime.service import make_server
+        import threading
+
+        service = ExecutionService(workers=0)
+        server = make_server(service, max_inflight=0)  # every POST refused
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(f"http://{host}:{port}", retries=0)
+            status, body = client.request(
+                "POST", "/v1/jobs",
+                {"jobs": [probe_job("ok", payload={"n": 1}).to_dict()]})
+            assert status == 503
+            assert "in flight" in body["error"]
+            assert client.last_retry_after is not None
+            assert client.healthz()["ok"] is True  # GETs stay open
+            assert server.http_shed >= 1
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
+            service.stop()
+
+
+class TestDeadline:
+    def test_spent_budget_is_rejected_504(self, live_server):
+        service, base = live_server(workers=0)
+        client = ServiceClient(base, retries=0)
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{base}/v1/jobs", data=b"{}", method="POST",
+            headers={"Content-Type": "application/json",
+                     "X-Repro-Deadline": "0.000"})
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert info.value.code == 504
+        assert service.deadline_rejected == 1
+        assert client.healthz()["ok"] is True  # server unharmed
+
+    def test_live_budget_travels_and_is_accepted(self, live_server):
+        from repro.runtime.resilience import Deadline
+
+        service, base = live_server(workers=0)
+        client = ServiceClient(base, retries=0)
+        status, _body = client.request(
+            "POST", "/v1/jobs",
+            {"jobs": [probe_job("ok", payload={"n": 1}).to_dict()]},
+            deadline=Deadline(30.0))
+        assert status == 200
+        assert service.deadline_rejected == 0
+
+    def test_expired_deadline_never_leaves_the_client(self, live_server):
+        from repro.runtime.resilience import Deadline
+
+        _service, base = live_server(workers=0)
+        client = ServiceClient(base, retries=0)
+        clock = {"now": 0.0}
+        dead = Deadline(1.0, clock=lambda: clock["now"])
+        clock["now"] = 2.0
+        with pytest.raises(ServiceError):
+            client.request("GET", "/v1/healthz", deadline=dead)
+
+
+class TestDrain:
+    def test_draining_sheds_submits_but_answers_reads(self, live_server):
+        service, base = live_server(workers=1)
+        client = ServiceClient(base, retries=0)
+        spec = probe_job("ok", payload={"n": 1}, label="pre-drain")
+        client.submit_all([spec])
+        client.wait([spec.key], max_seconds=30.0)
+        service.begin_drain()
+        status, body = client.request(
+            "POST", "/v1/jobs",
+            {"jobs": [probe_job("ok", payload={"n": 2}).to_dict()]})
+        assert status == 503
+        assert "draining" in body["error"]
+        assert client.healthz()["draining"] is True
+        assert client.job(spec.key)["state"] == "done"  # reads still work
+
+    def test_drain_waits_for_accepted_work(self, live_server):
+        service, base = live_server(workers=1)
+        client = ServiceClient(base, retries=0)
+        specs = [probe_job("sleep", seconds=0.05, payload={"n": i},
+                           label=f"slow{i}") for i in range(3)]
+        client.submit_all(specs)
+        service.begin_drain()
+        assert service.drain(grace=30.0) is True
+        for spec in specs:
+            assert service.job_record(spec.key)["state"] == "done"
+
+    def test_drain_times_out_with_unfinished_work(self, live_server):
+        service, base = live_server(workers=0)  # nobody will ever claim
+        ServiceClient(base, retries=0).submit_all(
+            [probe_job("ok", payload={"n": 1})])
+        service.begin_drain()
+        assert service.drain(grace=0.2) is False
+
+    def test_serve_forever_drain_grace_settles_then_stops(self, tmp_path):
+        import threading
+
+        from repro.runtime.service import make_server, serve_forever
+
+        journal = tmp_path / "queue.jsonl"
+        service = ExecutionService(journal_path=str(journal), workers=1)
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        stop = threading.Event()
+        service.start()
+        outcome: list[bool] = []
+        runner = threading.Thread(
+            target=lambda: outcome.append(
+                serve_forever(server, stop_event=stop, poll=0.05,
+                              drain_grace=10.0)),
+            daemon=True)
+        runner.start()
+        try:
+            client = ServiceClient(f"http://{host}:{port}", retries=0)
+            specs = [probe_job("sleep", seconds=0.05, payload={"n": i})
+                     for i in range(3)]
+            client.submit_all(specs)
+            stop.set()
+            runner.join(timeout=30)
+            assert outcome == [True]
+            for spec in specs:
+                assert service.job_record(spec.key)["state"] == "done"
+        finally:
+            server.server_close()
+            service.stop()
+        # the journal closed cleanly: a resume finds everything settled
+        revived = ExecutionService(journal_path=str(journal), resume=True,
+                                   workers=0)
+        try:
+            assert revived.queue.depth() == 0
+            assert revived.replayed == 3
+        finally:
+            revived.stop()

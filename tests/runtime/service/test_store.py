@@ -11,6 +11,7 @@ from repro.runtime.service import (
     TieredBackend,
 )
 from repro.runtime.cache import ResultCache
+from repro.runtime.supervisor import ConnectionBreaker
 
 KEY_A = "ab" + "0" * 62
 KEY_B = "cd" + "0" * 62
@@ -119,3 +120,78 @@ class TestTieredBackend:
         tiered = TieredBackend(local, dead)
         assert tiered.get(KEY_A) == {"v": 1}
         assert dead.errors == 0
+
+
+class TestRemoteBreaker:
+    """Partition tolerance: a dead server costs one timeout, not N."""
+
+    def test_breaker_opens_and_short_circuits(self):
+        breaker = ConnectionBreaker(failure_threshold=2,
+                                    recovery_seconds=3600.0)
+        backend = RemoteBackend("http://127.0.0.1:1", timeout=0.2,
+                                breaker=breaker)
+        for _ in range(5):
+            assert backend.get(KEY_A) is None
+        # two real connect failures open the breaker; the remaining
+        # three calls are instant misses — no further timeout paid
+        assert breaker.state == "open"
+        assert backend.errors == 2
+        assert backend.short_circuits == 3
+        assert backend.misses == 5
+
+    def test_open_breaker_drops_writes_silently(self):
+        breaker = ConnectionBreaker(failure_threshold=1,
+                                    recovery_seconds=3600.0)
+        backend = RemoteBackend("http://127.0.0.1:1", timeout=0.2,
+                                breaker=breaker)
+        backend.get(KEY_A)  # opens the breaker
+        backend.put(KEY_A, "probe", {"v": 1})  # must not raise, not connect
+        assert backend.errors == 1
+        assert backend.short_circuits == 1
+
+    def test_healthz_probe_closes_the_breaker(self, tmp_path, live_server):
+        store = LocalDirBackend(tmp_path / "s")
+        _service, base = live_server(store=store, workers=0)
+        clock = {"now": 0.0}
+        breaker = ConnectionBreaker(failure_threshold=1, recovery_seconds=5.0,
+                                    clock=lambda: clock["now"])
+        backend = RemoteBackend(base, breaker=breaker)
+        breaker.record_failure()  # a partition happened
+        assert breaker.state == "open"
+        clock["now"] = 10.0  # recovery window elapsed → half-open
+        store.put(KEY_A, "probe", {"v": 7})
+        # the next call probes /v1/healthz, closes the breaker, and the
+        # data read itself goes through
+        assert backend.get(KEY_A) == {"v": 7}
+        assert breaker.state == "closed"
+        assert backend.short_circuits == 0
+
+    def test_failed_probe_reopens(self):
+        clock = {"now": 0.0}
+        breaker = ConnectionBreaker(failure_threshold=1, recovery_seconds=5.0,
+                                    clock=lambda: clock["now"])
+        backend = RemoteBackend("http://127.0.0.1:1", timeout=0.2,
+                                breaker=breaker)
+        backend.get(KEY_A)  # opens
+        clock["now"] = 10.0  # half-open: one probe allowed
+        assert backend.get(KEY_A) is None  # probe fails → open again
+        assert breaker.state == "open"
+
+    def test_report_includes_breaker_state(self):
+        backend = RemoteBackend("http://127.0.0.1:1", timeout=0.2)
+        report = backend.report()
+        assert report["breaker"]["state"] == "closed"
+        for counter in ("hits", "misses", "writes", "errors",
+                        "short_circuits"):
+            assert report[counter] == 0
+
+    def test_shared_breaker_shields_all_clients(self):
+        # one breaker, two backends: the first's failures protect both
+        breaker = ConnectionBreaker(failure_threshold=1,
+                                    recovery_seconds=3600.0)
+        a = RemoteBackend("http://127.0.0.1:1", timeout=0.2, breaker=breaker)
+        b = RemoteBackend("http://127.0.0.1:1", timeout=0.2, breaker=breaker)
+        a.get(KEY_A)  # pays the timeout, opens the breaker
+        assert b.get(KEY_A) is None
+        assert b.errors == 0  # b never even connected
+        assert b.short_circuits == 1

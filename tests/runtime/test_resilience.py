@@ -1,0 +1,106 @@
+"""Unit tests for the shared resilience primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.runtime.resilience import (
+    Backoff,
+    Deadline,
+    parse_retry_after,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBackoff:
+    def test_ceiling_doubles_until_cap(self):
+        policy = Backoff(0.1, cap=0.5)
+        assert policy.ceiling(1) == pytest.approx(0.1)
+        assert policy.ceiling(2) == pytest.approx(0.2)
+        assert policy.ceiling(3) == pytest.approx(0.4)
+        assert policy.ceiling(4) == pytest.approx(0.5)  # capped
+        assert policy.ceiling(10) == pytest.approx(0.5)
+
+    def test_uncapped_matches_raw_exponential(self):
+        policy = Backoff(0.05, cap=None)
+        assert policy.ceiling(6) == pytest.approx(0.05 * 32)
+
+    def test_delay_is_within_the_window(self):
+        policy = Backoff(0.1, cap=1.0, seed=123)
+        for attempt in range(1, 8):
+            delay = policy.delay(attempt)
+            assert 0.0 <= delay <= policy.ceiling(attempt)
+
+    def test_seeded_schedules_reproduce(self):
+        a = [Backoff(0.1, seed=42).delay(n) for n in range(1, 6)]
+        b = [Backoff(0.1, seed=42).delay(n) for n in range(1, 6)]
+        assert a == b
+        c = [Backoff(0.1, seed=43).delay(n) for n in range(1, 6)]
+        assert a != c
+
+    def test_base_override_per_call(self):
+        policy = Backoff(0.05, cap=None, seed=1)
+        assert policy.ceiling(3, base=0.2) == pytest.approx(0.8)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(DefinitionError):
+            Backoff(0.1).ceiling(0)
+
+    def test_negative_base_or_cap_rejected(self):
+        with pytest.raises(DefinitionError):
+            Backoff(-0.1)
+        with pytest.raises(DefinitionError):
+            Backoff(0.1, cap=-1.0)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired
+        assert deadline.clamp(3.0) == 3.0
+
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+        clock.advance(1.0)
+        assert deadline.expired
+
+    def test_clamp_bounds_a_timeout(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.clamp(30.0) == pytest.approx(1.0)
+        assert deadline.clamp(0.2) == pytest.approx(0.2)
+        clock.advance(2.0)
+        assert deadline.clamp(30.0) == 0.0  # never negative
+
+
+class TestParseRetryAfter:
+    def test_absent_is_none(self):
+        assert parse_retry_after(None) is None
+
+    def test_delay_seconds(self):
+        assert parse_retry_after("2.5") == pytest.approx(2.5)
+        assert parse_retry_after(" 10 ") == pytest.approx(10.0)
+
+    def test_negative_means_now(self):
+        assert parse_retry_after("-3") == 0.0
+
+    def test_http_date_and_garbage_are_none(self):
+        assert parse_retry_after("Wed, 21 Oct 2015 07:28:00 GMT") is None
+        assert parse_retry_after("soon") is None

@@ -226,3 +226,85 @@ class TestEngineJournal:
         assert [r.payload for r in second] == [r.payload for r in first]
         assert second.metrics.replayed == 2
         assert second.metrics.dispatched == 0  # nothing re-executed
+
+
+# ---------------------------------------------------------------------------
+# ConnectionBreaker — the closed/open/half-open connection-level breaker
+# ---------------------------------------------------------------------------
+class TestConnectionBreaker:
+    def _make(self, **kwargs):
+        from repro.runtime import ConnectionBreaker
+
+        clock = {"now": 0.0}
+        breaker = ConnectionBreaker(clock=lambda: clock["now"], **kwargs)
+        return breaker, clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _clock = self._make()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _clock = self._make(failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.short_circuits == 1
+
+    def test_success_resets_the_streak(self):
+        breaker, _clock = self._make(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken, never reached 2
+
+    def test_half_open_after_recovery_lets_one_probe(self):
+        breaker, clock = self._make(failure_threshold=1,
+                                    recovery_seconds=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock["now"] = 6.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()        # the single probe slot
+        assert not breaker.allow()    # second caller is refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_restarts_the_clock(self):
+        breaker, clock = self._make(failure_threshold=1,
+                                    recovery_seconds=5.0)
+        breaker.record_failure()
+        clock["now"] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock["now"] = 10.0           # only 4s since reopen: still open
+        assert not breaker.allow()
+        clock["now"] = 11.5
+        assert breaker.state == "half_open"
+
+    def test_transitions_and_report(self):
+        breaker, clock = self._make(failure_threshold=1,
+                                    recovery_seconds=1.0)
+        breaker.record_failure()      # closed -> open
+        clock["now"] = 2.0
+        breaker.allow()               # open -> half_open (+ probe)
+        breaker.record_success()      # half_open -> closed
+        report = breaker.report()
+        assert report["state"] == "closed"
+        assert report["transitions"] == 3
+        assert report["failures"] == 1
+        assert report["successes"] == 1
+        assert report["consecutive_failures"] == 0
+
+    def test_validation(self):
+        from repro.runtime import ConnectionBreaker
+
+        with pytest.raises(DefinitionError):
+            ConnectionBreaker(failure_threshold=0)
+        with pytest.raises(DefinitionError):
+            ConnectionBreaker(recovery_seconds=-1.0)
