@@ -101,6 +101,7 @@ from .errors import (
     TransformError,
     ValidationError,
 )
+from .fuzz.corpus import DEFAULT_CORPUS_DIR as _DEFAULT_CORPUS_DIR
 from .io import dumps, format_table
 from .io.dot import datapath_to_dot, petri_to_dot, system_to_dot
 from .semantics import Environment, simulate
@@ -803,6 +804,133 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "for S seconds (default: hang detection off)")
 
 
+def _fuzz_report_text(report) -> list[str]:
+    lines = [
+        f"fuzz campaign: seed={report.config.seed} "
+        f"cases={report.config.cases} "
+        f"oracles={','.join(report.config.oracles)}",
+        f"  cases run     {report.cases_run}"
+        + (" (truncated by --time-budget)" if report.truncated else ""),
+        f"  divergences   {sum(report.buckets.values())} "
+        f"({len(report.buckets)} bucket(s))",
+        f"  explained     "
+        + (", ".join(f"{k}={v}"
+                     for k, v in sorted(report.explained.items()))
+           or "none"),
+        f"  skipped       "
+        + (", ".join(f"{k}={v}" for k, v in sorted(report.skipped.items()))
+           or "none"),
+        f"  shrink steps  {report.shrink_steps}",
+        f"  elapsed       {report.elapsed_seconds:.1f}s "
+        f"({report.cases_per_second:.0f} cases/s)",
+    ]
+    for record in report.divergences:
+        lines.append(f"  [{record['fingerprint']}] {record['oracle']}/"
+                     f"{record['kind']} seed={record['seed']} "
+                     f"x{report.buckets[record['fingerprint']]}: "
+                     f"{record['detail']}")
+    return lines
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .fuzz import evaluate_replay, load_corpus, replay_entry
+
+    directory = args.replay
+    entries = load_corpus(directory)
+    if not entries:
+        print(f"no corpus entries under {directory!r}", file=sys.stderr)
+        return 0
+    results = []
+    failed = 0
+    for entry in entries:
+        ok, detail = evaluate_replay(entry, replay_entry(
+            entry, max_steps=args.max_steps))
+        failed += 0 if ok else 1
+        results.append({"id": entry.id, "expect": entry.expect,
+                        "ok": ok, "detail": detail})
+    if args.format == "json":
+        payload = _json.dumps({"format": 1, "corpus": directory,
+                               "entries": results,
+                               "failed": failed}, indent=2)
+        _write_json(args.output or "-", payload, "corpus replay report")
+    else:
+        for result in results:
+            status = "ok" if result["ok"] else "FAIL"
+            print(f"[{status}] {result['id']} ({result['expect']}): "
+                  f"{result['detail']}")
+        print(f"replayed {len(results)} corpus entries, {failed} failed")
+    return 1 if failed else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .fuzz import FuzzConfig, entry_from_record, run_fuzz, save_entry
+    from .fuzz.oracles import ORACLES
+
+    if args.replay is not None:
+        return _cmd_fuzz_replay(args)
+    oracles = tuple(name.strip() for name in args.oracles.split(",")
+                    if name.strip())
+    for name in oracles:
+        if name not in ORACLES:
+            raise DefinitionError(f"unknown oracle {name!r}; choose from "
+                                  f"{', '.join(ORACLES)}")
+    if args.cases < 0:
+        raise DefinitionError("--cases must be >= 0")
+    if args.min_places < 1 or args.max_places < args.min_places:
+        raise DefinitionError("--min-places/--max-places must satisfy "
+                              "1 <= min <= max")
+    config = FuzzConfig(
+        seed=args.seed, cases=args.cases, offset=args.offset,
+        min_places=args.min_places, max_places=args.max_places,
+        mutation_rate=args.mutation_rate, quirk_rate=args.quirk_rate,
+        oracles=oracles, shrink=not args.no_shrink,
+        max_steps=args.max_steps, max_markings=args.max_markings,
+        time_budget=args.time_budget)
+
+    if args.emit_jobs:
+        from .runtime import fuzz_job, write_job_file
+
+        if args.shards < 1:
+            raise DefinitionError("--shards must be >= 1")
+        shard_size = -(-args.cases // args.shards)  # ceil division
+        jobs = []
+        for start in range(0, args.cases, shard_size):
+            jobs.append(fuzz_job(
+                seed=args.seed, cases=min(shard_size, args.cases - start),
+                offset=args.offset + start, min_places=args.min_places,
+                max_places=args.max_places,
+                mutation_rate=args.mutation_rate,
+                quirk_rate=args.quirk_rate, oracles=list(oracles),
+                shrink=not args.no_shrink, max_steps=args.max_steps,
+                max_markings=args.max_markings))
+        write_job_file(args.emit_jobs, jobs)
+        print(f"{len(jobs)} fuzz job(s) written to {args.emit_jobs} "
+              f"(run with: repro batch {args.emit_jobs})")
+        return 0
+
+    report = run_fuzz(config)
+    pinned = []
+    if args.corpus_dir and report.divergences:
+        for record in report.divergences:
+            entry = entry_from_record(record, expect="xfail")
+            pinned.append(save_entry(args.corpus_dir, entry))
+    if args.format == "json":
+        payload = _json.dumps(dict(report.to_dict(), pinned=pinned),
+                              indent=2)
+        _write_json(args.output or "-", payload, "fuzz report")
+    else:
+        for line in _fuzz_report_text(report):
+            print(line)
+        for path in pinned:
+            print(f"  pinned repro: {path}")
+        print("ok" if report.ok else "DIVERGED")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1127,6 +1255,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the job file instead of running it")
     _add_engine_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="generative fuzzing with cross-backend differential oracles")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    p_fuzz.add_argument("--cases", type=int, default=200,
+                        help="number of cases to generate (default 200)")
+    p_fuzz.add_argument("--offset", type=int, default=0,
+                        help="case index offset, for sharded campaigns")
+    p_fuzz.add_argument("--min-places", type=int, default=4)
+    p_fuzz.add_argument("--max-places", type=int, default=24,
+                        help="net size range per case (default 4..24)")
+    p_fuzz.add_argument("--mutation-rate", type=float, default=0.25,
+                        help="fraction of cases that break a Def. 3.2 "
+                             "clause (default 0.25)")
+    p_fuzz.add_argument("--quirk-rate", type=float, default=0.06,
+                        help="fraction of degenerate-shape cases "
+                             "(default 0.06)")
+    p_fuzz.add_argument("--oracles", default=",".join(
+        ("trace", "analysis", "monitor")),
+        help="comma-separated oracle subset (default all three)")
+    p_fuzz.add_argument("--max-steps", type=int, default=256,
+                        help="simulation step cap per case (default 256)")
+    p_fuzz.add_argument("--max-markings", type=int, default=4096,
+                        help="reachability budget per case (default 4096)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of divergences")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop early after this many seconds")
+    p_fuzz.add_argument("--corpus-dir", metavar="DIR",
+                        help="pin shrunk divergences as corpus files here")
+    p_fuzz.add_argument("--replay", nargs="?", const=_DEFAULT_CORPUS_DIR,
+                        metavar="DIR",
+                        help="replay the pinned corpus instead of fuzzing "
+                             f"(default dir: {_DEFAULT_CORPUS_DIR})")
+    p_fuzz.add_argument("--emit-jobs", metavar="PATH",
+                        help="write fuzz job specs instead of running")
+    p_fuzz.add_argument("--shards", type=int, default=1,
+                        help="split --emit-jobs into N sharded jobs")
+    p_fuzz.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    p_fuzz.add_argument("--output", metavar="PATH",
+                        help="write the JSON report here instead of stdout")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,86 @@
+"""Generative design fuzzing with cross-backend differential oracles.
+
+The fourth wall of the test pyramid: where the unit suite checks
+hand-built designs and the property suite checks the zoo, this package
+*generates* arbitrary :class:`~repro.core.system.DataControlSystem`\\ s —
+properly designed by construction, deliberately broken by mutation, or
+structurally degenerate — and demands that every independent
+implementation of the paper's semantics agree on them:
+
+* :mod:`repro.fuzz.generate` — the seeded, size-parameterised generator;
+* :mod:`repro.fuzz.oracles` — interpreter vs vector traces, explicit vs
+  symbolic analyses, static checks vs runtime monitors;
+* :mod:`repro.fuzz.shrink` — delta-debugging divergences to minimal
+  repros;
+* :mod:`repro.fuzz.corpus` — the pinned regression corpus under
+  ``tests/corpus/``;
+* :mod:`repro.fuzz.campaign` — the campaign loop behind ``repro fuzz``
+  and the content-addressed ``fuzz`` job kind.
+"""
+
+from .campaign import FuzzConfig, FuzzReport, run_fuzz, shrink_divergence
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    CorpusEntry,
+    case_from_entry,
+    entry_from_divergence,
+    entry_from_record,
+    evaluate_replay,
+    load_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from .generate import (
+    BOUNDARY_VALUES,
+    MUTATIONS,
+    QUIRKS,
+    FuzzCase,
+    GeneratorConfig,
+    apply_mutation,
+    case_seed,
+    generate_case,
+)
+from .oracles import (
+    ORACLES,
+    Divergence,
+    OracleReport,
+    analysis_oracle,
+    monitor_oracle,
+    run_oracles,
+    trace_oracle,
+)
+from .shrink import shrink_case
+
+__all__ = [
+    "BOUNDARY_VALUES",
+    "DEFAULT_CORPUS_DIR",
+    "CorpusEntry",
+    "Divergence",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzReport",
+    "GeneratorConfig",
+    "MUTATIONS",
+    "ORACLES",
+    "OracleReport",
+    "QUIRKS",
+    "analysis_oracle",
+    "apply_mutation",
+    "case_from_entry",
+    "case_seed",
+    "entry_from_divergence",
+    "entry_from_record",
+    "evaluate_replay",
+    "generate_case",
+    "load_corpus",
+    "load_entry",
+    "monitor_oracle",
+    "replay_entry",
+    "run_fuzz",
+    "run_oracles",
+    "save_entry",
+    "shrink_case",
+    "shrink_divergence",
+    "trace_oracle",
+]

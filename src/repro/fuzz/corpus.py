@@ -1,0 +1,213 @@
+"""The pinned regression corpus: JSON repro files under ``tests/corpus/``.
+
+Every divergence the fuzzer finds (after shrinking) is emitted as one
+self-contained JSON file: the serialised system, its environment, the
+oracle that flagged it, and an ``expect`` verdict:
+
+``"pass"``
+    the underlying bug is fixed — replaying the case must produce *zero*
+    divergences (the usual state of the corpus; these are regression
+    pins);
+``"xfail"``
+    a known, still-open divergence — replaying must reproduce a
+    divergence with the same fingerprint, and the ``note`` field carries
+    the tracking rationale.
+
+``tests/fuzz/test_corpus_replay.py`` replays every entry on every test
+run, so a fixed bug that regresses — or an open bug that silently
+changes shape — fails CI deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import DefinitionError
+from .generate import FuzzCase
+from .oracles import ORACLES, Divergence, OracleReport, run_oracles
+
+CORPUS_FORMAT = 1
+
+#: Repo-relative default location of the pinned corpus.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+
+@dataclass
+class CorpusEntry:
+    """One pinned repro file."""
+
+    id: str
+    oracle: str
+    kind: str
+    detail_key: str
+    fingerprint: str
+    seed: int
+    shape: str
+    mutation: str | None
+    strict: bool
+    expect: str                       # "pass" | "xfail"
+    note: str
+    system: dict[str, Any]
+    environment: dict[str, Any] | None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": CORPUS_FORMAT,
+            "id": self.id,
+            "oracle": self.oracle,
+            "kind": self.kind,
+            "detail_key": self.detail_key,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "shape": self.shape,
+            "mutation": self.mutation,
+            "strict": self.strict,
+            "expect": self.expect,
+            "note": self.note,
+            "system": self.system,
+            "environment": self.environment,
+            "params": self.params,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CorpusEntry":
+        if data.get("format") != CORPUS_FORMAT:
+            raise DefinitionError(
+                f"unsupported corpus format {data.get('format')!r}")
+        if data.get("expect") not in ("pass", "xfail"):
+            raise DefinitionError(
+                f"corpus entry {data.get('id')!r}: expect must be "
+                f"'pass' or 'xfail', not {data.get('expect')!r}")
+        return cls(
+            id=data["id"], oracle=data["oracle"], kind=data["kind"],
+            detail_key=data.get("detail_key", ""),
+            fingerprint=data["fingerprint"], seed=data.get("seed", 0),
+            shape=data.get("shape", "block"),
+            mutation=data.get("mutation"),
+            strict=data.get("strict", True), expect=data["expect"],
+            note=data.get("note", ""), system=data["system"],
+            environment=data.get("environment"),
+            params=dict(data.get("params", {})))
+
+
+def entry_from_divergence(divergence: Divergence, *, strict: bool,
+                          expect: str, note: str = "") -> CorpusEntry:
+    """Pin one (ideally shrunk) divergence as a corpus entry."""
+    return CorpusEntry(
+        id=f"{divergence.oracle}-{divergence.kind}-"
+           f"{divergence.fingerprint}",
+        oracle=divergence.oracle, kind=divergence.kind,
+        detail_key=divergence.detail_key,
+        fingerprint=divergence.fingerprint, seed=divergence.seed,
+        shape=divergence.shape, mutation=divergence.mutation,
+        strict=strict, expect=expect, note=note,
+        system=divergence.system, environment=divergence.environment,
+        params=dict(divergence.params))
+
+
+def entry_from_record(record: dict[str, Any], *, expect: str,
+                      note: str = "") -> CorpusEntry:
+    """Pin one campaign divergence record (a ``FuzzReport`` dict entry).
+
+    Prefers the shrunk form when the campaign produced one, falling back
+    to the original system.
+    """
+    shrunk = record.get("shrunk") or {}
+    return CorpusEntry(
+        id=f"{record['oracle']}-{record['kind']}-{record['fingerprint']}",
+        oracle=record["oracle"], kind=record["kind"],
+        detail_key=record.get("detail_key", ""),
+        fingerprint=record["fingerprint"], seed=record.get("seed", 0),
+        shape=record.get("shape", "block"),
+        mutation=record.get("mutation"),
+        strict=bool(record.get("params", {}).get("strict", True)),
+        expect=expect, note=note or record.get("detail", ""),
+        system=shrunk.get("system") or record["system"],
+        environment=(shrunk.get("environment")
+                     if shrunk else record.get("environment")),
+        params={"oracles": [record["oracle"]]})
+
+
+def evaluate_replay(entry: CorpusEntry, report: OracleReport
+                    ) -> tuple[bool, str]:
+    """Judge one replay against the entry's ``expect`` verdict."""
+    fingerprints = {d.fingerprint for d in report.divergences}
+    if entry.expect == "pass":
+        if not fingerprints:
+            return True, "no divergence (fixed, stays fixed)"
+        return False, ("regressed: divergence(s) "
+                       f"{sorted(fingerprints)} reappeared")
+    if entry.fingerprint in fingerprints:
+        return True, "known divergence still reproduces (xfail)"
+    if fingerprints:
+        return False, (f"xfail changed shape: expected "
+                       f"{entry.fingerprint}, got {sorted(fingerprints)}")
+    return False, ("xfail no longer reproduces — fix confirmed? "
+                   "flip expect to 'pass'")
+
+
+def case_from_entry(entry: CorpusEntry) -> FuzzCase:
+    """Rebuild the executable case pinned by ``entry``."""
+    from ..io.json_io import system_from_dict
+    from ..runtime.jobs import _environment_from_dict
+
+    return FuzzCase(
+        seed=entry.seed, system=system_from_dict(entry.system),
+        environment=_environment_from_dict(entry.environment),
+        shape=entry.shape, mutation=entry.mutation, strict=entry.strict)
+
+
+def replay_entry(entry: CorpusEntry, *, max_steps: int = 256
+                 ) -> OracleReport:
+    """Re-run the oracles over a pinned entry.
+
+    Runs the oracles named in ``entry.params["oracles"]`` when present,
+    else all of them.  The caller interprets the report against
+    ``entry.expect``.
+    """
+    case = case_from_entry(entry)
+    oracles = tuple(entry.params.get("oracles", ORACLES))
+    return run_oracles(case, oracles=oracles, max_steps=max_steps)
+
+
+# ---------------------------------------------------------------------------
+# on-disk layout
+# ---------------------------------------------------------------------------
+def entry_path(directory: str, entry: CorpusEntry) -> str:
+    return os.path.join(directory, f"{entry.id}.json")
+
+
+def save_entry(directory: str, entry: CorpusEntry) -> str:
+    """Write one corpus file (sorted keys, trailing newline); return path."""
+    os.makedirs(directory, exist_ok=True)
+    path = entry_path(directory, entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise DefinitionError(
+                f"corpus file {path!r} is not valid JSON: {error}"
+            ) from None
+    return CorpusEntry.from_dict(data)
+
+
+def load_corpus(directory: str) -> list[CorpusEntry]:
+    """All corpus entries under ``directory``, sorted by id."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            entries.append(load_entry(os.path.join(directory, name)))
+    return entries

@@ -1,0 +1,460 @@
+"""Seeded generator of random :class:`DataControlSystem`\\ s.
+
+The generator grows **properly-designed systems by construction** using
+typed growth rules over a block grammar::
+
+    block := LEAF | SEQ(block...) | PAR(block...) | CHOICE(block, block)
+
+Every control place — including the fork/join and decide/merge glue
+states — receives a *private* datapath pattern (load / constant-load /
+compute / emit), which discharges the Definition 3.2 clauses
+structurally:
+
+* rule 1 (disjoint ASS): no two states share a datapath resource;
+* rule 2 (safety): block-structured nets are 1-bounded — one token per
+  active branch, forks and joins balance;
+* rule 3 (conflict freedom): every CHOICE is resolved by complementary
+  guards (comparator + inverter, the ``guarded_choice`` idiom);
+* rule 4 (no combinational loops): each pattern is a tiny DAG;
+* rule 5 (sequential drive): every pattern latches a register or writes
+  an output pad.
+
+On top of the proper skeleton, :data:`MUTATIONS` deliberately break one
+clause each (``extra_token`` → unsafe net, ``shared_drive`` → multi
+driver, ``guard_drop`` → naked conflict place, ``comb_loop`` → cyclic
+combinational path within a state, ``no_seq`` → a state with no
+sequential vertex), and :data:`QUIRKS` produce the structurally-legal
+edge shapes (empty system, zero-token marking, single-place self loop)
+that exercise backend corner cases.
+
+Everything is a pure function of the integer seed: the same seed yields
+byte-identical ``system_to_dict`` forms and environments, which is what
+makes fuzz campaigns content-addressable and shardable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..core.system import DataControlSystem
+from ..datapath.graph import DataPath
+from ..datapath.library import (
+    comparator,
+    constant,
+    input_pad,
+    inverter,
+    operator,
+    output_pad,
+    register,
+)
+from ..petri.net import PetriNet
+from ..semantics.environment import Environment
+
+#: Mutation operator names, each targeting one Definition 3.2 clause.
+MUTATIONS = ("extra_token", "shared_drive", "guard_drop", "comb_loop",
+             "no_seq")
+
+#: Structurally-legal edge shapes generated at a low rate.
+QUIRKS = ("empty", "zero_token", "self_loop")
+
+#: Values likely to expose backend boundary behaviour (int64 edges, the
+#: float-exactness cliff at 2**53, the vector engine's overflow guards).
+BOUNDARY_VALUES = (
+    0, 1, -1, 2**31 - 1, -(2**31), 2**53 - 1, 2**53 + 1,
+    2**62 - 1, -(2**62), 2**63 - 1, -(2**63),
+)
+
+_PATTERNS = ("load", "konst", "compute", "emit")
+_COMPUTE_OPS = ("add", "sub", "mul", "div", "mod")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and mix parameters of one fuzz campaign."""
+
+    min_places: int = 4
+    max_places: int = 24
+    env_length: int = 4
+    #: Fraction of cases receiving one clause-breaking mutation.
+    mutation_rate: float = 0.0
+    #: Fraction of cases replaced by an edge shape from :data:`QUIRKS`.
+    quirk_rate: float = 0.06
+    #: Probability that a generated value is drawn from the boundary pool.
+    boundary_rate: float = 0.15
+
+
+@dataclass
+class FuzzCase:
+    """One generated test case (system + stimulus + provenance)."""
+
+    seed: int
+    system: DataControlSystem
+    environment: Environment
+    shape: str                 # "block" or one of QUIRKS
+    mutation: str | None       # None = proper by construction
+    strict: bool               # strictness the trace oracle will use
+
+
+def case_seed(campaign_seed: int, index: int) -> int:
+    """Per-case seed — a pure function of (campaign seed, case index).
+
+    Shardable: a job generating cases ``[offset, offset + n)`` of
+    campaign ``seed`` reproduces exactly the cases a single full run
+    would generate at those indices.
+    """
+    return (campaign_seed * 1_000_003 + index * 7919 + 17) & 0x7FFFFFFF
+
+
+def _value(rng: Random, config: GeneratorConfig) -> int:
+    if rng.random() < config.boundary_rate:
+        return rng.choice(BOUNDARY_VALUES)
+    return rng.randint(-9, 9)
+
+
+class _Builder:
+    """Accumulates the net, datapath, control and guards of one system."""
+
+    def __init__(self, rng: Random, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.dp = DataPath(name="fuzz")
+        self.net = PetriNet(name="fuzz")
+        self.control: dict[str, list[str]] = {}
+        self.guards: dict[str, list[str]] = {}
+        self.env: dict[str, list[int]] = {}
+        self._n = 0
+
+    def _id(self) -> int:
+        self._n += 1
+        return self._n
+
+    def new_transition(self) -> str:
+        name = f"t{self._id()}"
+        self.net.add_transition(name)
+        return name
+
+    # -- states ---------------------------------------------------------
+    def new_state(self, *, marked: bool = False) -> str:
+        """A fresh place with a private datapath pattern (rule 5 holds)."""
+        i = self._id()
+        place = f"s{i}"
+        self.net.add_place(place, marked=marked)
+        self.control[place] = self._pattern(i)
+        return place
+
+    def _pattern(self, i: int) -> list[str]:
+        rng, cfg = self.rng, self.config
+        kind = rng.choice(_PATTERNS)
+        if kind == "load":
+            self.dp.add_vertex(input_pad(f"x{i}"))
+            self.dp.add_vertex(register(f"r{i}"))
+            self.dp.connect(f"x{i}.out", f"r{i}.d", name=f"a{i}_in")
+            self.env[f"x{i}"] = [_value(rng, cfg)
+                                 for _ in range(cfg.env_length)]
+            return [f"a{i}_in"]
+        if kind == "konst":
+            init = _value(rng, cfg) if rng.random() < 0.3 else None
+            self.dp.add_vertex(constant(f"k{i}", _value(rng, cfg)))
+            self.dp.add_vertex(register(f"r{i}", init))
+            self.dp.connect(f"k{i}.o", f"r{i}.d", name=f"a{i}_k")
+            return [f"a{i}_k"]
+        if kind == "compute":
+            op = rng.choice(_COMPUTE_OPS)
+            right = _value(rng, cfg)
+            if op in ("div", "mod") and rng.random() < 0.9 and right == 0:
+                right = 1  # keep some division-by-zero cases, not many
+            self.dp.add_vertex(constant(f"ka{i}", _value(rng, cfg)))
+            self.dp.add_vertex(constant(f"kb{i}", right))
+            self.dp.add_vertex(operator(f"op{i}", op))
+            self.dp.add_vertex(register(f"r{i}"))
+            self.dp.connect(f"ka{i}.o", f"op{i}.l", name=f"a{i}_l")
+            self.dp.connect(f"kb{i}.o", f"op{i}.r", name=f"a{i}_r")
+            self.dp.connect(f"op{i}.o", f"r{i}.d", name=f"a{i}_o")
+            return [f"a{i}_l", f"a{i}_r", f"a{i}_o"]
+        # emit
+        self.dp.add_vertex(constant(f"k{i}", _value(rng, cfg)))
+        self.dp.add_vertex(output_pad(f"y{i}"))
+        self.dp.connect(f"k{i}.o", f"y{i}.in", name=f"a{i}_y")
+        return [f"a{i}_y"]
+
+    # -- block emission -------------------------------------------------
+    def emit(self, block, *, marked: bool = False) -> tuple[str, str]:
+        """Emit ``block``; return its (entry place, exit place)."""
+        kind = block[0]
+        if kind == "leaf":
+            place = self.new_state(marked=marked)
+            return place, place
+        if kind == "seq":
+            entry, exit_ = self.emit(block[1][0], marked=marked)
+            for part in block[1][1:]:
+                t = self.new_transition()
+                self.net.add_arc(exit_, t)
+                nxt_entry, exit_ = self.emit(part)
+                self.net.add_arc(t, nxt_entry)
+            return entry, exit_
+        if kind == "par":
+            pre = self.new_state(marked=marked)
+            fork = self.new_transition()
+            self.net.add_arc(pre, fork)
+            join = self.new_transition()
+            post = self.new_state()
+            self.net.add_arc(join, post)
+            for branch in block[1]:
+                b_entry, b_exit = self.emit(branch)
+                self.net.add_arc(fork, b_entry)
+                self.net.add_arc(b_exit, join)
+            return pre, post
+        if kind == "choice":
+            return self._emit_choice(block, marked=marked)
+        raise AssertionError(f"unknown block kind {kind!r}")
+
+    def _emit_choice(self, block, *, marked: bool) -> tuple[str, str]:
+        """Guarded choice: latch an input, branch on ``x != 0``."""
+        i = self._id()
+        # stage 1: latch the scrutinee
+        read = f"s{i}r"
+        self.net.add_place(read, marked=marked)
+        self.dp.add_vertex(input_pad(f"x{i}"))
+        self.dp.add_vertex(register(f"rx{i}"))
+        self.dp.connect(f"x{i}.out", f"rx{i}.d", name=f"a{i}_read")
+        self.env[f"x{i}"] = [_value(self.rng, self.config)
+                             for _ in range(self.config.env_length)]
+        self.control[read] = [f"a{i}_read"]
+        # stage 2: evaluate the condition and latch it
+        decide = f"s{i}d"
+        self.net.add_place(decide)
+        self.dp.add_vertex(constant(f"z{i}", 0))
+        self.dp.add_vertex(comparator(f"nz{i}", "ne"))
+        self.dp.add_vertex(inverter(f"nv{i}"))
+        self.dp.add_vertex(register(f"c{i}"))
+        self.dp.connect(f"rx{i}.q", f"nz{i}.l", name=f"a{i}_cl")
+        self.dp.connect(f"z{i}.o", f"nz{i}.r", name=f"a{i}_cr")
+        self.dp.connect(f"nz{i}.o", f"nv{i}.i", name=f"a{i}_nv")
+        self.dp.connect(f"nz{i}.o", f"c{i}.d", name=f"a{i}_lat")
+        self.control[decide] = [f"a{i}_cl", f"a{i}_cr", f"a{i}_nv",
+                                f"a{i}_lat"]
+        t_read = self.new_transition()
+        self.net.add_arc(read, t_read)
+        self.net.add_arc(t_read, decide)
+        # branches under complementary guards
+        t_then = self.new_transition()
+        t_else = self.new_transition()
+        self.net.add_arc(decide, t_then)
+        self.net.add_arc(decide, t_else)
+        self.guards[t_then] = [f"nz{i}.o"]
+        self.guards[t_else] = [f"nv{i}.o"]
+        then_entry, then_exit = self.emit(block[1])
+        else_entry, else_exit = self.emit(block[2])
+        self.net.add_arc(t_then, then_entry)
+        self.net.add_arc(t_else, else_entry)
+        merge = self.new_state()
+        t_mt = self.new_transition()
+        t_me = self.new_transition()
+        self.net.add_arc(then_exit, t_mt)
+        self.net.add_arc(t_mt, merge)
+        self.net.add_arc(else_exit, t_me)
+        self.net.add_arc(t_me, merge)
+        return read, merge
+
+    def finish(self, seed: int) -> DataControlSystem:
+        system = DataControlSystem(self.dp, self.net, name=f"fuzz{seed}")
+        for place, arcs in self.control.items():
+            system.set_control(place, arcs)
+        for transition, ports in self.guards.items():
+            system.set_guard(transition, ports)
+        return system
+
+
+def _grow(rng: Random, budget: int):
+    """Recursive typed growth of the block tree (~``budget`` states)."""
+    if budget <= 1:
+        return ("leaf",)
+    r = rng.random()
+    if r < 0.40 or budget < 3:
+        k = rng.randint(2, max(2, min(4, budget)))
+        parts, remaining = [], budget
+        for j in range(k):
+            if j == k - 1:
+                share = max(1, remaining)  # last part spends what's left
+            else:
+                share = rng.randint(1, max(1, remaining - (k - 1 - j)))
+            parts.append(_grow(rng, share))
+            remaining = max(0, remaining - share)
+        return ("seq", parts)
+    if r < 0.65 and budget >= 4:
+        k = rng.randint(2, 3)
+        share = max(1, (budget - 2) // k)
+        return ("par", [_grow(rng, share) for _ in range(k)])
+    if r < 0.85 and budget >= 5:
+        share = max(1, (budget - 4) // 2)
+        return ("choice", _grow(rng, share), _grow(rng, share))
+    # never collapse a big budget to a single leaf — min_places is a floor
+    return ("seq", [("leaf",), _grow(rng, budget - 1)])
+
+
+# ---------------------------------------------------------------------------
+# quirk shapes — structurally legal backend corner cases
+# ---------------------------------------------------------------------------
+def _quirk_system(shape: str, rng: Random, config: GeneratorConfig,
+                  seed: int) -> tuple[DataControlSystem, Environment]:
+    if shape == "empty":
+        system = DataControlSystem(DataPath(name="fuzz"),
+                                   PetriNet(name="fuzz"), name=f"fuzz{seed}")
+        return system, Environment()
+    builder = _Builder(rng, config)
+    if shape == "zero_token":
+        entry, exit_ = builder.emit(("seq", [("leaf",), ("leaf",)]),
+                                    marked=False)
+        t_end = builder.new_transition()
+        builder.net.add_arc(exit_, t_end)
+        system = builder.finish(seed)
+    else:  # self_loop: one state cycling through a single transition
+        place = builder.new_state(marked=True)
+        t = builder.new_transition()
+        builder.net.add_arc(place, t)
+        builder.net.add_arc(t, place)
+        system = builder.finish(seed)
+    env = Environment({k: list(v) for k, v in sorted(builder.env.items())},
+                      exhausted_policy="cycle")
+    return system, env
+
+
+# ---------------------------------------------------------------------------
+# mutation operators — each breaks one Definition 3.2 clause
+# ---------------------------------------------------------------------------
+def _mutate_extra_token(system: DataControlSystem, rng: Random) -> bool:
+    places = sorted(system.net.places)
+    if not places:
+        return False
+    system.net.set_initial(rng.choice(places), 2)
+    return True
+
+
+def _mutate_shared_drive(system: DataControlSystem, rng: Random) -> bool:
+    """Rule 1: two *coexistent* states made to share a datapath arc.
+
+    Falls back to a same-state double drive (a runtime drive conflict,
+    lint DP004) when the net has no coexistent controlled place pair —
+    purely sequential skeletons have none.
+    """
+    controlled = sorted(p for p, arcs in system.control.items() if arcs)
+    pairs = [(a, b)
+             for i, a in enumerate(controlled)
+             for b in controlled[i + 1:]
+             if system.may_coexist(a, b)]
+    if pairs:
+        place_a, place_b = rng.choice(pairs)
+        system.datapath.add_vertex(register("mutshr"))
+        system.datapath.add_vertex(constant("mutk", 7))
+        system.datapath.connect("mutk.o", "mutshr.d", name="mut_drive")
+        system.set_control(place_a,
+                           list(system.control[place_a]) + ["mut_drive"])
+        system.set_control(place_b,
+                           list(system.control[place_b]) + ["mut_drive"])
+        return True
+    candidates = []
+    for place, arcs in sorted(system.control.items()):
+        for arc_name in sorted(arcs):
+            arc = system.datapath.arcs[arc_name]
+            target = system.datapath.vertices[arc.target.vertex]
+            if target.is_sequential:
+                candidates.append((place, str(arc.target)))
+    if not candidates:
+        return False
+    place, target = rng.choice(candidates)
+    system.datapath.add_vertex(constant("mutk", 7))
+    system.datapath.connect("mutk.o", target, name="mut_drive")
+    system.set_control(place, list(system.control[place]) + ["mut_drive"])
+    return True
+
+
+def _mutate_guard_drop(system: DataControlSystem, rng: Random) -> bool:
+    guarded = sorted(system.guards)
+    if not guarded:
+        return False
+    system.guards.pop(rng.choice(guarded))
+    return True
+
+
+def _mutate_comb_loop(system: DataControlSystem, rng: Random) -> bool:
+    controlled = sorted(p for p, arcs in system.control.items() if arcs)
+    if not controlled:
+        return False
+    place = rng.choice(controlled)
+    system.datapath.add_vertex(inverter("mutia"))
+    system.datapath.add_vertex(inverter("mutib"))
+    system.datapath.connect("mutia.o", "mutib.i", name="mut_fwd")
+    system.datapath.connect("mutib.o", "mutia.i", name="mut_bwd")
+    system.set_control(place, list(system.control[place])
+                       + ["mut_fwd", "mut_bwd"])
+    return True
+
+
+def _mutate_no_seq(system: DataControlSystem, rng: Random) -> bool:
+    for place in sorted(system.control):
+        arcs = system.control[place]
+        comb_only = [
+            a for a in arcs
+            if not system.datapath.vertices[
+                system.datapath.arcs[a].target.vertex].is_sequential
+        ]
+        if comb_only and len(comb_only) < len(arcs):
+            system.set_control(place, comb_only)
+            return True
+    return False
+
+
+_MUTATORS = {
+    "extra_token": _mutate_extra_token,
+    "shared_drive": _mutate_shared_drive,
+    "guard_drop": _mutate_guard_drop,
+    "comb_loop": _mutate_comb_loop,
+    "no_seq": _mutate_no_seq,
+}
+
+
+def apply_mutation(system: DataControlSystem, name: str,
+                   rng: Random) -> bool:
+    """Apply one named mutation in place; ``False`` if inapplicable."""
+    if name not in _MUTATORS:
+        raise ValueError(f"unknown mutation {name!r}; "
+                         f"choose one of {MUTATIONS}")
+    return _MUTATORS[name](system, rng)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+def generate_case(seed: int,
+                  config: GeneratorConfig | None = None) -> FuzzCase:
+    """Generate one deterministic fuzz case from ``seed``."""
+    config = config or GeneratorConfig()
+    rng = Random(seed)
+    strict = rng.random() < 0.5
+    if rng.random() < config.quirk_rate:
+        shape = rng.choice(QUIRKS)
+        system, env = _quirk_system(shape, rng, config, seed)
+        return FuzzCase(seed, system, env, shape, None, strict)
+
+    target = rng.randint(config.min_places, config.max_places)
+    builder = _Builder(rng, config)
+    block = _grow(rng, target)
+    _entry, exit_ = builder.emit(block, marked=True)
+    t_end = builder.new_transition()
+    builder.net.add_arc(exit_, t_end)
+    system = builder.finish(seed)
+
+    policy = rng.choice(("hold", "cycle", "cycle", "raise"))
+    env = Environment({k: list(v) for k, v in sorted(builder.env.items())},
+                      exhausted_policy=policy)
+
+    mutation = None
+    if rng.random() < config.mutation_rate:
+        order = list(MUTATIONS)
+        rng.shuffle(order)
+        for name in order:
+            if apply_mutation(system, name, rng):
+                mutation = name
+                break
+    return FuzzCase(seed, system, env, "block", mutation, strict)

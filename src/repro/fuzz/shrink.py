@@ -1,0 +1,261 @@
+"""Delta-debugging shrinker for divergent fuzz cases.
+
+Given a failing case (as its JSON dict form) and a *failure predicate*
+(usually "re-running the oracle still produces a divergence with the
+same fingerprint"), the shrinker greedily removes places, transitions,
+datapath arcs, vertices, and environment values while the predicate
+keeps holding, converging on a minimal repro.
+
+Structural removals cascade: dropping a vertex also drops the datapath
+arcs touching it, the control entries naming those arcs, any guards
+reading its ports, and its environment sequence — so every candidate is
+a *well-formed* serialised system.  Candidates that still fail to
+deserialise (or crash the oracle) simply don't satisfy the predicate and
+are skipped.
+
+List-shaped removals use the classic ddmin schedule (drop large chunks
+first, halve the granularity on failure), so a 500-place system shrinks
+in hundreds — not tens of thousands — of predicate evaluations.  The
+whole procedure is deterministic: candidates are tried in sorted order,
+and the same input dict + predicate always yields the same minimal
+repro.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+def _clone(data: dict[str, Any]) -> dict[str, Any]:
+    return json.loads(json.dumps(data))
+
+
+# ---------------------------------------------------------------------------
+# cascading removals over the serialised system form
+# ---------------------------------------------------------------------------
+def _drop_places(data: dict[str, Any], names: set[str]) -> None:
+    net = data["system"]["net"]
+    net["places"] = [p for p in net["places"] if p["name"] not in names]
+    net["flow"] = [[s, t] for s, t in net["flow"]
+                   if s not in names and t not in names]
+    data["system"]["control"] = {
+        place: arcs for place, arcs in data["system"]["control"].items()
+        if place not in names}
+
+
+def _drop_transitions(data: dict[str, Any], names: set[str]) -> None:
+    net = data["system"]["net"]
+    net["transitions"] = [t for t in net["transitions"]
+                          if t["name"] not in names]
+    net["flow"] = [[s, t] for s, t in net["flow"]
+                   if s not in names and t not in names]
+    data["system"]["guards"] = {
+        transition: ports
+        for transition, ports in data["system"]["guards"].items()
+        if transition not in names}
+
+
+def _drop_dp_arcs(data: dict[str, Any], names: set[str]) -> None:
+    dp = data["system"]["datapath"]
+    dp["arcs"] = [a for a in dp["arcs"] if a["name"] not in names]
+    control = data["system"]["control"]
+    for place in list(control):
+        kept = [a for a in control[place] if a not in names]
+        if kept:
+            control[place] = kept
+        else:
+            del control[place]
+
+
+def _drop_vertices(data: dict[str, Any], names: set[str]) -> None:
+    dp = data["system"]["datapath"]
+    dp["vertices"] = [v for v in dp["vertices"] if v["name"] not in names]
+    dead_arcs = {a["name"] for a in dp["arcs"]
+                 if a["source"].split(".")[0] in names
+                 or a["target"].split(".")[0] in names}
+    _drop_dp_arcs(data, dead_arcs)
+    guards = data["system"]["guards"]
+    for transition in list(guards):
+        kept = [p for p in guards[transition]
+                if p.split(".")[0] not in names]
+        if kept:
+            guards[transition] = kept
+        else:
+            del guards[transition]
+    env = data.get("environment")
+    if env:
+        for vertex in names:
+            env["sequences"].pop(vertex, None)
+
+
+# ---------------------------------------------------------------------------
+# ddmin over one name list
+# ---------------------------------------------------------------------------
+def _ddmin(names: list[str],
+           still_fails_without: Callable[[set[str]], bool],
+           budget: list[int]) -> tuple[list[str], int]:
+    """Minimise ``names`` such that removing the complement keeps failing.
+
+    Returns (kept names, accepted reduction count).  ``budget`` is a
+    single-element mutable attempt counter shared across passes.
+
+    ``still_fails_without`` always receives the *cumulative* removal set
+    (everything accepted so far plus the chunk under test): accepted
+    chunks interact — two individually-safe removals can break the
+    predicate together — so every candidate tested is exactly the state
+    the caller would materialise.
+    """
+    kept = list(names)
+    removed: set[str] = set()
+    steps = 0
+    granularity = 2
+    while len(kept) >= 1 and granularity <= 2 * len(kept):
+        chunk = max(1, len(kept) // granularity)
+        reduced = False
+        start = 0
+        while start < len(kept):
+            if budget[0] <= 0:
+                return kept, steps
+            budget[0] -= 1
+            candidate = set(kept[start:start + chunk])
+            if candidate and still_fails_without(removed | candidate):
+                kept = [n for n in kept if n not in candidate]
+                removed |= candidate
+                steps += 1
+                reduced = True
+                granularity = max(granularity - 1, 2)
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(kept):
+                break
+            granularity = min(len(kept), granularity * 2)
+    return kept, steps
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+def shrink_case(case_dict: dict[str, Any], predicate: Predicate, *,
+                max_attempts: int = 3000
+                ) -> tuple[dict[str, Any], int]:
+    """Greedy fixpoint reduction of ``case_dict`` under ``predicate``.
+
+    Returns ``(shrunk dict, accepted reduction steps)``.  The input dict
+    is not modified.  ``max_attempts`` bounds total predicate
+    evaluations so a slow oracle cannot stall a campaign.
+    """
+    best = _clone(case_dict)
+    if not predicate(best):
+        return best, 0  # not reproducible — nothing to shrink against
+    budget = [max_attempts]
+    total = 0
+
+    def attempt(mutator: Callable[[dict[str, Any]], None]) -> bool:
+        nonlocal best, total
+        if budget[0] <= 0:
+            return False
+        candidate = _clone(best)
+        mutator(candidate)
+        if candidate == best:
+            return False
+        budget[0] -= 1
+        if predicate(candidate):
+            best = candidate
+            total += 1
+            return True
+        return False
+
+    def structural_pass(category: str,
+                        names_of: Callable[[dict[str, Any]], list[str]],
+                        dropper: Callable[[dict[str, Any], set[str]], None]
+                        ) -> int:
+        names = sorted(names_of(best))
+
+        def fails_without(subset: set[str]) -> bool:
+            candidate = _clone(best)
+            dropper(candidate, subset)
+            return predicate(candidate)
+
+        kept, steps = _ddmin(names, fails_without, budget)
+        removed = set(names) - set(kept)
+        if removed:
+            dropper(best, removed)
+        return steps
+
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        before = total
+        total += structural_pass(
+            "places",
+            lambda d: [p["name"] for p in d["system"]["net"]["places"]],
+            _drop_places)
+        total += structural_pass(
+            "transitions",
+            lambda d: [t["name"]
+                       for t in d["system"]["net"]["transitions"]],
+            _drop_transitions)
+        total += structural_pass(
+            "vertices",
+            lambda d: [v["name"]
+                       for v in d["system"]["datapath"]["vertices"]],
+            _drop_vertices)
+        total += structural_pass(
+            "arcs",
+            lambda d: [a["name"] for a in d["system"]["datapath"]["arcs"]],
+            _drop_dp_arcs)
+        total += _shrink_environment(best, attempt)
+        total += _shrink_values(best, attempt)
+        changed = total > before
+    return best, total
+
+
+def _shrink_environment(best: dict[str, Any],
+                        attempt: Callable[..., bool]) -> int:
+    steps = 0
+    env = best.get("environment") or {}
+    for vertex in sorted(env.get("sequences", {})):
+        def drop(d, vertex=vertex):
+            d["environment"]["sequences"].pop(vertex, None)
+        if attempt(drop):
+            steps += 1
+            continue
+        length = len(env["sequences"].get(vertex, []))
+        if length > 1:
+            def truncate(d, vertex=vertex):
+                d["environment"]["sequences"][vertex] = \
+                    d["environment"]["sequences"][vertex][:1]
+            if attempt(truncate):
+                steps += 1
+    return steps
+
+
+def _iter_value_slots(data: dict[str, Any]) -> Iterable[tuple]:
+    env = data.get("environment") or {}
+    for vertex in sorted(env.get("sequences", {})):
+        for index in range(len(env["sequences"][vertex])):
+            yield ("env", vertex, index)
+    for position, vertex in enumerate(data["system"]["datapath"]["vertices"]):
+        for port in sorted(vertex.get("init", {})):
+            yield ("init", position, port)
+
+
+def _shrink_values(best: dict[str, Any],
+                   attempt: Callable[..., bool]) -> int:
+    steps = 0
+    for slot in list(_iter_value_slots(best)):
+        def zero(d, slot=slot):
+            if slot[0] == "env":
+                seq = d["environment"]["sequences"][slot[1]]
+                if seq[slot[2]] != 0:
+                    seq[slot[2]] = 0
+            else:
+                d["system"]["datapath"]["vertices"][slot[1]]["init"].pop(
+                    slot[2], None)
+        if attempt(zero):
+            steps += 1
+    return steps

@@ -18,11 +18,43 @@ from ..datapath.graph import DataPath
 from ..datapath.operations import get_operation
 from ..datapath.ports import PortId
 from ..datapath.vertex import Vertex
-from ..errors import DefinitionError
+from ..errors import DefinitionError, ParseError
 from ..petri.net import PetriNet
 from ..values import UNDEF
 
 FORMAT_VERSION = 1
+
+#: Keys a serialised system may carry at each level.  Unknown keys are
+#: rejected loudly: a typo'd field silently ignored is a design that
+#: simulates differently than its author intended.
+_TOP_KEYS = {"format", "name", "datapath", "net", "control", "guards"}
+_DATAPATH_KEYS = {"name", "vertices", "arcs"}
+_NET_KEYS = {"name", "places", "transitions", "flow"}
+
+
+def _require(data: Any, key: str, kind: type, where: str) -> Any:
+    """Fetch ``data[key]`` checking presence and type; fail structurally."""
+    if not isinstance(data, dict):
+        raise DefinitionError(
+            f"design {where}: expected an object, got "
+            f"{type(data).__name__}")
+    if key not in data:
+        raise DefinitionError(f"design {where}: missing required key "
+                              f"{key!r}")
+    value = data[key]
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise DefinitionError(
+            f"design {where}.{key}: expected {kind.__name__}, got "
+            f"{type(value).__name__}")
+    return value
+
+
+def _reject_unknown(data: dict, allowed: set[str], where: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise DefinitionError(
+            f"design {where}: unknown key(s) {', '.join(map(repr, unknown))};"
+            f" expected only {', '.join(map(repr, sorted(allowed)))}")
 
 
 def system_to_dict(system: DataControlSystem) -> dict[str, Any]:
@@ -73,33 +105,79 @@ def system_to_dict(system: DataControlSystem) -> dict[str, Any]:
 
 
 def system_from_dict(data: dict[str, Any]) -> DataControlSystem:
-    """Inverse of :func:`system_to_dict`."""
+    """Inverse of :func:`system_to_dict`.
+
+    Validates the document's *shape* before touching the model: missing
+    keys, wrong types, and unknown keys all raise a
+    :class:`~repro.errors.DefinitionError` naming the offending path —
+    never a bare ``KeyError``/``TypeError`` traceback.
+    """
+    if not isinstance(data, dict):
+        raise DefinitionError(
+            f"design: expected a JSON object, got {type(data).__name__}")
     if data.get("format") != FORMAT_VERSION:
         raise DefinitionError(
             f"unsupported serialisation format {data.get('format')!r}"
         )
-    dp = DataPath(name=data["datapath"]["name"])
-    for entry in data["datapath"]["vertices"]:
-        ops = {port: get_operation(name) for port, name in entry["ops"].items()}
+    _reject_unknown(data, _TOP_KEYS, "top level")
+    dp_data = _require(data, "datapath", dict, "top level")
+    _reject_unknown(dp_data, _DATAPATH_KEYS, "datapath")
+    net_data = _require(data, "net", dict, "top level")
+    _reject_unknown(net_data, _NET_KEYS, "net")
+
+    dp = DataPath(name=_require(dp_data, "name", str, "datapath"))
+    for position, entry in enumerate(
+            _require(dp_data, "vertices", list, "datapath")):
+        where = f"datapath.vertices[{position}]"
+        ops = {port: get_operation(name)
+               for port, name in _require(entry, "ops", dict, where).items()}
         dp.add_vertex(Vertex(
-            entry["name"], tuple(entry["in_ports"]), tuple(entry["out_ports"]),
+            _require(entry, "name", str, where),
+            tuple(_require(entry, "in_ports", list, where)),
+            tuple(_require(entry, "out_ports", list, where)),
             ops, dict(entry.get("init", {})),
         ))
-    for entry in data["datapath"]["arcs"]:
-        dp.connect(PortId.parse(entry["source"]), PortId.parse(entry["target"]),
-                   name=entry["name"])
-    net = PetriNet(name=data["net"]["name"])
-    for entry in data["net"]["places"]:
-        net.add_place(entry["name"], label=entry.get("label", ""),
+    for position, entry in enumerate(
+            _require(dp_data, "arcs", list, "datapath")):
+        where = f"datapath.arcs[{position}]"
+        dp.connect(PortId.parse(_require(entry, "source", str, where)),
+                   PortId.parse(_require(entry, "target", str, where)),
+                   name=_require(entry, "name", str, where))
+    net = PetriNet(name=_require(net_data, "name", str, "net"))
+    for position, entry in enumerate(
+            _require(net_data, "places", list, "net")):
+        where = f"net.places[{position}]"
+        net.add_place(_require(entry, "name", str, where),
+                      label=entry.get("label", ""),
                       tokens=entry.get("tokens", 0))
-    for entry in data["net"]["transitions"]:
-        net.add_transition(entry["name"], label=entry.get("label", ""))
-    for source, target in data["net"]["flow"]:
-        net.add_arc(source, target)
-    system = DataControlSystem(dp, net, name=data["name"])
-    for place, arcs in data["control"].items():
+    for position, entry in enumerate(
+            _require(net_data, "transitions", list, "net")):
+        where = f"net.transitions[{position}]"
+        net.add_transition(_require(entry, "name", str, where),
+                           label=entry.get("label", ""))
+    for position, pair in enumerate(_require(net_data, "flow", list, "net")):
+        if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                or not all(isinstance(end, str) for end in pair)):
+            raise DefinitionError(
+                f"design net.flow[{position}]: expected a "
+                f"[source, target] pair of names, got {pair!r}")
+        net.add_arc(pair[0], pair[1])
+    system = DataControlSystem(dp, net,
+                               name=_require(data, "name", str, "top level"))
+    for place, arcs in _require(data, "control", dict, "top level").items():
+        if (not isinstance(arcs, list)
+                or not all(isinstance(a, str) for a in arcs)):
+            raise DefinitionError(
+                f"design control[{place!r}]: expected a list of arc "
+                f"names, got {arcs!r}")
         system.set_control(place, arcs)
-    for transition, ports in data["guards"].items():
+    for transition, ports in _require(data, "guards", dict,
+                                      "top level").items():
+        if (not isinstance(ports, list)
+                or not all(isinstance(p, str) for p in ports)):
+            raise DefinitionError(
+                f"design guards[{transition!r}]: expected a list of "
+                f"ports, got {ports!r}")
         system.set_guard(transition, [PortId.parse(p) for p in ports])
     return system
 
@@ -110,8 +188,17 @@ def dumps(system: DataControlSystem, *, indent: int | None = 2) -> str:
 
 
 def loads(text: str) -> DataControlSystem:
-    """Deserialise a system from a JSON string."""
-    return system_from_dict(json.loads(text))
+    """Deserialise a system from a JSON string.
+
+    Malformed JSON raises :class:`~repro.errors.ParseError` (truncated
+    files included); a well-formed document with the wrong shape raises
+    :class:`~repro.errors.DefinitionError`.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ParseError(f"design is not valid JSON: {error}") from None
+    return system_from_dict(data)
 
 
 def save(system: DataControlSystem, path: str) -> None:

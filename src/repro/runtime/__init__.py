@@ -95,6 +95,7 @@ from .jobs import (
     equivalence_job,
     execute_job,
     faults_job,
+    fuzz_job,
     job_key,
     load_job_file,
     probe_job,
@@ -152,6 +153,7 @@ __all__ = [
     "vecbatch_simulate_job",
     "vecbatch_faults_job",
     "probe_job",
+    "fuzz_job",
     "load_job_file",
     "write_job_file",
 ]

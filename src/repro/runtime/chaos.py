@@ -222,17 +222,60 @@ class ChaosPolicy:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ChaosPolicy":
+        if not isinstance(data, Mapping):
+            raise DefinitionError(
+                "chaos policy: expected a JSON object, got "
+                f"{type(data).__name__}")
         if data.get("format", CHAOS_FILE_FORMAT) != CHAOS_FILE_FORMAT:
             raise DefinitionError(
                 f"unsupported chaos policy format {data.get('format')!r}")
-        return cls(faults=tuple(ChaosFault.from_dict(entry)
-                                for entry in data.get("faults", ())),
-                   seed=int(data.get("seed", 0)))
+        unknown = sorted(set(data) - {"format", "seed", "faults"})
+        if unknown:
+            raise DefinitionError(
+                "chaos policy: unknown key(s) "
+                f"{', '.join(map(repr, unknown))}; expected only "
+                "'format', 'seed', 'faults'")
+        faults = data.get("faults", ())
+        if not isinstance(faults, (list, tuple)):
+            raise DefinitionError(
+                "chaos policy: 'faults' must be a list, got "
+                f"{type(faults).__name__}")
+        entries = []
+        for position, entry in enumerate(faults):
+            if not isinstance(entry, Mapping):
+                raise DefinitionError(
+                    f"chaos policy: faults[{position}] must be an object, "
+                    f"got {type(entry).__name__}")
+            bad = sorted(set(entry) - {
+                "kind", "route", "delay", "keep_bytes", "direction",
+                "start", "end", "probability", "seed", "once", "label"})
+            if bad:
+                raise DefinitionError(
+                    f"chaos policy: faults[{position}] has unknown "
+                    f"key(s) {', '.join(map(repr, bad))}")
+            try:
+                entries.append(ChaosFault.from_dict(entry))
+            except TypeError as error:
+                raise DefinitionError(
+                    f"chaos policy: faults[{position}]: {error}") from None
+        seed = data.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise DefinitionError(
+                f"chaos policy: 'seed' must be an integer, got {seed!r}")
+        return cls(faults=tuple(entries), seed=seed)
 
     @classmethod
     def load(cls, path: str) -> "ChaosPolicy":
+        from ..errors import ParseError
+
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ParseError(
+                    f"chaos policy {path!r} is not valid JSON: {error}"
+                ) from None
+        return cls.from_dict(data)
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:

@@ -35,7 +35,7 @@ from ..errors import DefinitionError, ExecutionError
 #: The workload kinds the engine understands.  ``probe`` is the
 #: fault-injection aid; the other six are the library's real workloads.
 JOB_KINDS = ("simulate", "check", "reachability", "equivalence", "equiv",
-             "synthesize", "lint", "faults", "vecbatch", "probe")
+             "synthesize", "lint", "faults", "vecbatch", "fuzz", "probe")
 
 #: Bumped whenever the payload format of any kind changes, so stale
 #: cache entries from an older engine can never be confused for current
@@ -336,6 +336,44 @@ def vecbatch_faults_job(system, faults, environment=None, *,
     }, label=label or f"vecbatch of {len(entries)} faults")
 
 
+def fuzz_job(*, seed: int = 0, cases: int = 200, offset: int = 0,
+             min_places: int = 4, max_places: int = 24,
+             mutation_rate: float = 0.25, quirk_rate: float = 0.06,
+             oracles: Sequence[str] | None = None, shrink: bool = True,
+             max_steps: int = 256, max_markings: int = 4096,
+             analysis_place_limit: int = 40, label: str = "") -> JobSpec:
+    """One shard of a differential fuzz campaign (``system`` is None).
+
+    The payload is the deterministic part of the
+    :class:`~repro.fuzz.campaign.FuzzReport` — a pure function of the
+    parameters, so identical shards dedupe fleet-wide through the
+    content-addressed cache.  ``offset`` shards a campaign: the job
+    fuzzes case indices ``[offset, offset + cases)`` of campaign
+    ``seed``, and the per-case seeds match what a single local run would
+    use at the same indices.  There is deliberately no time budget: a
+    wall-clock cutoff would make the payload depend on the machine.
+    """
+    from ..fuzz.campaign import FuzzConfig
+    from ..fuzz.oracles import ORACLES
+
+    config = FuzzConfig(
+        seed=seed, cases=cases, offset=offset, min_places=min_places,
+        max_places=max_places, mutation_rate=mutation_rate,
+        quirk_rate=quirk_rate,
+        oracles=tuple(oracles) if oracles is not None else ORACLES,
+        shrink=shrink, max_steps=max_steps, max_markings=max_markings,
+        analysis_place_limit=analysis_place_limit)
+    for oracle in config.oracles:
+        if oracle not in ORACLES:
+            raise DefinitionError(
+                f"unknown oracle {oracle!r}; choose from {ORACLES}")
+    if cases < 0:
+        raise DefinitionError("cases must be >= 0")
+    return JobSpec("fuzz", None, config.to_params(),
+                   label=label or f"fuzz[{seed}] cases "
+                                  f"{offset}..{offset + cases}")
+
+
 def probe_job(action: str, *, seconds: float = 0.0, marker: str = "",
               failures: int = 0, payload: Any = None,
               label: str = "") -> JobSpec:
@@ -377,6 +415,8 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
     params = spec.get("params", {})
     if kind == "probe":
         return {"payload": _run_probe(params), "sim_metrics": None}
+    if kind == "fuzz":
+        return _run_fuzz(params)
 
     from ..io.json_io import system_from_dict
 
@@ -627,6 +667,13 @@ def _run_vecbatch_faults(system, params) -> dict[str, Any]:
     return {"payload": {"entries": entries}, "sim_metrics": None}
 
 
+def _run_fuzz(params) -> dict[str, Any]:
+    from ..fuzz.campaign import FuzzConfig, run_fuzz
+
+    report = run_fuzz(FuzzConfig.from_params(dict(params)))
+    return {"payload": report.payload(), "sim_metrics": report.metrics()}
+
+
 def _run_probe(params) -> dict[str, Any]:
     action = params.get("action", "ok")
     if action == "ok":
@@ -676,15 +723,60 @@ def write_job_file(path: str, jobs: Sequence[JobSpec]) -> None:
         handle.write("\n")
 
 
+_JOB_ENTRY_KEYS = {"kind", "system", "params", "label"}
+
+
 def load_job_file(path: str) -> list[JobSpec]:
-    """Read a batch of job specs written by :func:`write_job_file`."""
+    """Read a batch of job specs written by :func:`write_job_file`.
+
+    Malformed JSON raises :class:`~repro.errors.ParseError`; a document
+    with the wrong shape (missing ``jobs``, non-object entries, unknown
+    entry keys, missing ``kind``) raises
+    :class:`~repro.errors.DefinitionError` naming the offending entry.
+    """
+    from ..errors import ParseError
+
     with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ParseError(
+                f"job file {path!r} is not valid JSON: {error}") from None
     if isinstance(document, list):  # bare list of specs is accepted too
         entries = document
-    else:
+    elif isinstance(document, dict):
         if document.get("format") != JOB_FILE_FORMAT:
             raise DefinitionError(
                 f"unsupported job file format {document.get('format')!r}")
-        entries = document["jobs"]
-    return [JobSpec.from_dict(entry) for entry in entries]
+        entries = document.get("jobs")
+        if not isinstance(entries, list):
+            raise DefinitionError(
+                "job file: 'jobs' must be a list of job specs, got "
+                f"{type(entries).__name__}")
+    else:
+        raise DefinitionError(
+            "job file: expected an object with a 'jobs' list or a bare "
+            f"list of specs, got {type(document).__name__}")
+    specs = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise DefinitionError(
+                f"job file: jobs[{position}] must be an object, got "
+                f"{type(entry).__name__}")
+        unknown = sorted(set(entry) - _JOB_ENTRY_KEYS)
+        if unknown:
+            raise DefinitionError(
+                f"job file: jobs[{position}] has unknown key(s) "
+                f"{', '.join(map(repr, unknown))}; expected only "
+                f"{', '.join(map(repr, sorted(_JOB_ENTRY_KEYS)))}")
+        if "kind" not in entry:
+            raise DefinitionError(
+                f"job file: jobs[{position}] is missing required key "
+                "'kind'")
+        params = entry.get("params", {})
+        if not isinstance(params, dict):
+            raise DefinitionError(
+                f"job file: jobs[{position}].params must be an object, "
+                f"got {type(params).__name__}")
+        specs.append(JobSpec.from_dict(entry))
+    return specs

@@ -1007,22 +1007,29 @@ class VectorSimulator:
         result = BatchResult(len(lanes), 0.0)
         end_step = 0
         for i, (lane, kind) in enumerate(zip(lanes, kinds)):
-            if from_checkpoint is not None:
-                st = self._resumed_scalar_lane(i, lane, kind,
-                                               from_checkpoint.lanes[i])
-            else:
-                st = self._fresh_scalar_lane(i, lane, kind)
-            states.append(st)
+            # lane setup draws the initial environment values, which can
+            # itself raise (e.g. an exhausted stream under policy
+            # "raise") — it must sit inside the capture scope or one bad
+            # lane poisons the whole batch
+            st = None
             try:
+                if from_checkpoint is not None:
+                    st = self._resumed_scalar_lane(i, lane, kind,
+                                                   from_checkpoint.lanes[i])
+                else:
+                    st = self._fresh_scalar_lane(i, lane, kind)
                 self._drive_scalar_lane(st, max_steps, on_limit)
             except ReproError as error:
                 if not capture_errors:
                     raise
                 result._errors[i] = error
-                st.finished = True
+                if st is not None:
+                    st.finished = True
             else:
                 result._traces[i] = st.trace
-            end_step = max(end_step, st.step)
+            if st is not None:
+                states.append(st)
+                end_step = max(end_step, st.step)
         wall = perf_counter() - wall_start
         result._wall = wall
         for st in states:

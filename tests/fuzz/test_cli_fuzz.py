@@ -1,0 +1,158 @@
+"""The ``repro fuzz`` CLI verb and hardened JSON ingestion (exit 2)."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.cli import main
+
+warnings.filterwarnings("ignore", message=".*truncated exploration.*")
+
+
+class TestFuzzVerb:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--cases", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "cases run" in out and "ok" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["fuzz", "--seed", "0", "--cases", "5",
+                     "--format", "json", "--output", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["cases"] == 5
+        assert report["divergences"] == []
+        assert "config" in report and "buckets" in report
+
+    def test_json_report_is_reproducible(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(["fuzz", "--seed", "7", "--cases", "5",
+                         "--format", "json", "--output", str(path)]) == 0
+        reports = [json.loads(p.read_text()) for p in paths]
+        for r in reports:
+            r.pop("elapsed_seconds"), r.pop("cases_per_second")
+        assert reports[0] == reports[1]
+
+    def test_unknown_oracle_exits_two(self, capsys):
+        assert main(["fuzz", "--cases", "1",
+                     "--oracles", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "nonsense" in err and "\n" not in err.strip()
+
+    def test_bad_size_range_exits_two(self, capsys):
+        assert main(["fuzz", "--cases", "1", "--min-places", "9",
+                     "--max-places", "3"]) == 2
+        assert "min" in capsys.readouterr().err
+
+    def test_emit_jobs_shards(self, tmp_path, capsys):
+        jobs_path = tmp_path / "jobs.json"
+        assert main(["fuzz", "--cases", "10", "--shards", "3",
+                     "--emit-jobs", str(jobs_path)]) == 0
+        from repro.runtime import load_job_file
+        specs = load_job_file(str(jobs_path))
+        assert len(specs) == 3
+        assert all(spec.kind == "fuzz" for spec in specs)
+        assert sum(spec.params["cases"] for spec in specs) == 10
+        offsets = sorted(spec.params["offset"] for spec in specs)
+        assert offsets == [0, 4, 8]
+
+    def test_replay_empty_corpus_dir(self, tmp_path, capsys):
+        assert main(["fuzz", "--replay", str(tmp_path / "none")]) == 0
+        assert "no corpus entries" in capsys.readouterr().err
+
+    def test_replay_real_corpus(self, capsys):
+        import os
+        corpus = os.path.join(os.path.dirname(__file__), "..", "corpus")
+        assert main(["fuzz", "--replay", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out and "0 failed" in out
+
+
+class TestIngestionHardening:
+    """Malformed JSON inputs exit 2 with a one-line structured error."""
+
+    def _assert_exit_two(self, capsys, argv, needle=""):
+        assert main(argv) == 2
+        err = capsys.readouterr().err.strip()
+        assert err and "\n" not in err, f"multi-line stderr: {err!r}"
+        assert "Traceback" not in err
+        if needle:
+            assert needle in err
+
+    def test_truncated_design_json(self, tmp_path, capsys):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"format": 1, "name": "x", "datapa')
+        self._assert_exit_two(capsys, ["simulate", str(path)],
+                              "not valid JSON")
+
+    def test_design_wrong_type(self, tmp_path, capsys):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({
+            "format": 1, "name": "x",
+            "datapath": {"name": "d", "vertices": "oops", "arcs": []},
+            "net": {"name": "n", "places": [], "transitions": [],
+                    "flow": []},
+            "control": {}, "guards": {}}))
+        self._assert_exit_two(capsys, ["simulate", str(path)],
+                              "vertices")
+
+    def test_design_unknown_key(self, tmp_path, capsys):
+        path = tmp_path / "unknown.json"
+        path.write_text(json.dumps({
+            "format": 1, "name": "x", "bogus": 1,
+            "datapath": {"name": "d", "vertices": [], "arcs": []},
+            "net": {"name": "n", "places": [], "transitions": [],
+                    "flow": []},
+            "control": {}, "guards": {}}))
+        self._assert_exit_two(capsys, ["check", str(path)], "bogus")
+
+    def test_truncated_job_file(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text('[{"kind": "sim')
+        self._assert_exit_two(capsys, ["batch", str(path)],
+                              "not valid JSON")
+
+    def test_job_file_unknown_key(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(
+            [{"kind": "fuzz", "params": {}, "surprise": True}]))
+        self._assert_exit_two(capsys, ["batch", str(path)], "surprise")
+
+    def test_job_file_not_a_list(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"kind": "fuzz"}))
+        self._assert_exit_two(capsys, ["batch", str(path)])
+
+    def test_job_file_missing_kind(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"params": {}}]))
+        self._assert_exit_two(capsys, ["batch", str(path)], "kind")
+
+    def test_equiv_with_malformed_design(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        self._assert_exit_two(capsys, ["equiv", str(path), "gcd"])
+
+    def test_chaos_policy_truncated(self, tmp_path, capsys):
+        path = tmp_path / "policy.json"
+        path.write_text('{"faults": [')
+        self._assert_exit_two(
+            capsys,
+            ["chaos", "http://127.0.0.1:1", "--policy", str(path),
+             "--emit-policy", str(tmp_path / "out.json")],
+            "not valid JSON")
+
+    def test_chaos_policy_unknown_key(self, tmp_path, capsys):
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({"faults": [], "surprises": 1}))
+        self._assert_exit_two(
+            capsys,
+            ["chaos", "http://127.0.0.1:1", "--policy", str(path),
+             "--emit-policy", str(tmp_path / "out.json")])
+
+    def test_corpus_file_truncated(self, tmp_path, capsys):
+        (tmp_path / "x.json").write_text('{"format": 1')
+        self._assert_exit_two(capsys, ["fuzz", "--replay", str(tmp_path)],
+                              "not valid JSON")

@@ -1,0 +1,87 @@
+"""Replay every pinned corpus entry under ``tests/corpus/``.
+
+``expect: pass`` entries are regression pins — they must produce zero
+divergences forever.  ``expect: xfail`` entries are known-open bugs —
+they must keep reproducing the *same* fingerprint until fixed (at which
+point this harness fails loudly, prompting a flip to ``pass``).
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.fuzz import (
+    CorpusEntry,
+    entry_from_divergence,
+    evaluate_replay,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.oracles import Divergence, OracleReport
+
+warnings.filterwarnings("ignore", message=".*truncated exploration.*")
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 5, (
+        "the pinned corpus has been emptied — regression pins are load-"
+        "bearing; restore tests/corpus/ from history")
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.id)
+def test_replay(entry):
+    report = replay_entry(entry)
+    ok, detail = evaluate_replay(entry, report)
+    if not ok and entry.expect == "xfail":
+        pytest.fail(f"{entry.id}: {detail} (note: {entry.note})")
+    assert ok, f"{entry.id}: {detail}"
+
+
+class TestEvaluateReplay:
+    def _divergence(self, **overrides):
+        base = dict(oracle="trace", kind="k", detail="d", detail_key="dk",
+                    seed=0, shape="block", mutation=None, system={},
+                    environment=None, params={})
+        base.update(overrides)
+        return Divergence(**base)
+
+    def test_pass_entry_fails_when_divergence_reappears(self):
+        d = self._divergence()
+        entry = entry_from_divergence(d, strict=True, expect="pass")
+        report = OracleReport(divergences=[d])
+        ok, detail = evaluate_replay(entry, report)
+        assert not ok and "regressed" in detail
+
+    def test_xfail_entry_passes_on_same_fingerprint(self):
+        d = self._divergence()
+        entry = entry_from_divergence(d, strict=True, expect="xfail",
+                                      note="tracked")
+        ok, _ = evaluate_replay(entry, OracleReport(divergences=[d]))
+        assert ok
+
+    def test_xfail_entry_fails_when_bug_disappears(self):
+        d = self._divergence()
+        entry = entry_from_divergence(d, strict=True, expect="xfail")
+        ok, detail = evaluate_replay(entry, OracleReport())
+        assert not ok and "no longer reproduces" in detail
+
+    def test_save_load_round_trip(self, tmp_path):
+        d = self._divergence(system={"format": 1})
+        entry = entry_from_divergence(d, strict=False, expect="xfail",
+                                      note="n")
+        path = save_entry(str(tmp_path), entry)
+        loaded = load_corpus(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded[0] == entry
+        assert path.endswith(f"{entry.id}.json")
+
+    def test_bad_expect_rejected(self):
+        from repro.errors import DefinitionError
+        with pytest.raises(DefinitionError):
+            CorpusEntry.from_dict({"format": 1, "id": "x",
+                                   "expect": "maybe"})

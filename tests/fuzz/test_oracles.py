@@ -1,0 +1,83 @@
+"""The differential oracles: backends must agree, or say why not."""
+
+import warnings
+
+import pytest
+
+from repro.fuzz import (
+    GeneratorConfig,
+    generate_case,
+    run_oracles,
+)
+from repro.fuzz.oracles import Divergence
+
+warnings.filterwarnings("ignore", message=".*truncated exploration.*")
+
+
+def _sweep(seeds, config=None, oracles=None):
+    reports = []
+    for seed in seeds:
+        case = generate_case(seed, config)
+        kwargs = {"oracles": oracles} if oracles else {}
+        reports.append((seed, run_oracles(case, **kwargs)))
+    return reports
+
+
+class TestAgreement:
+    def test_proper_cases_have_no_divergences(self):
+        config = GeneratorConfig(mutation_rate=0.0, quirk_rate=0.0)
+        for seed, report in _sweep(range(30), config):
+            assert not report.divergences, (seed, report.divergences)
+
+    def test_mutated_cases_have_no_divergences(self):
+        # broken designs must still *fail identically* everywhere
+        config = GeneratorConfig(mutation_rate=1.0, quirk_rate=0.0)
+        for seed, report in _sweep(range(30), config):
+            assert not report.divergences, (seed, report.divergences)
+
+    def test_quirk_cases_have_no_divergences(self):
+        config = GeneratorConfig(mutation_rate=0.0, quirk_rate=1.0)
+        for seed, report in _sweep(range(15), config):
+            assert not report.divergences, (seed, report.divergences)
+
+
+class TestOracleSelection:
+    def test_single_oracle_subset_runs(self):
+        case = generate_case(11)
+        report = run_oracles(case, oracles=("trace",))
+        assert not report.divergences
+
+    def test_unknown_oracle_rejected(self):
+        case = generate_case(11)
+        with pytest.raises(ValueError):
+            run_oracles(case, oracles=("nonsense",))
+
+
+class TestDivergenceRecords:
+    def test_fingerprint_is_stable_and_content_addressed(self):
+        case = generate_case(5)
+        base = {
+            "oracle": "trace", "kind": "vector_numpy_mismatch",
+            "detail": "something human readable",
+            "detail_key": "k1", "seed": case.seed, "shape": case.shape,
+            "mutation": case.mutation, "system": {}, "environment": None,
+            "params": {},
+        }
+        a = Divergence(**base)
+        b = Divergence(**dict(base, detail="different prose",
+                              seed=999))
+        c = Divergence(**dict(base, detail_key="k2"))
+        assert a.fingerprint == b.fingerprint  # prose/seed don't matter
+        assert a.fingerprint != c.fingerprint  # detail_key does
+        assert len(a.fingerprint) == 16
+
+    def test_as_dict_round_trip_fields(self):
+        d = Divergence(
+            oracle="analysis", kind="safety_verdict", detail="d",
+            detail_key="k", seed=1, shape="block", mutation=None,
+            system={"format": 1}, environment=None, params={})
+        record = d.as_dict()
+        for key in ("oracle", "kind", "detail", "detail_key", "seed",
+                    "shape", "mutation", "system", "environment",
+                    "params", "fingerprint"):
+            assert key in record
